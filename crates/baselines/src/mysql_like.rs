@@ -1,0 +1,64 @@
+//! A conventional, non-oblivious, unencrypted in-memory index — the MySQL
+//! stand-in for the point-query comparison of Figure 9.
+
+use std::collections::BTreeMap;
+
+/// A plain ordered index.
+#[derive(Default)]
+pub struct ConventionalIndex {
+    map: BTreeMap<u64, Vec<u8>>,
+}
+
+impl ConventionalIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: u64) -> Option<&Vec<u8>> {
+        self.map.get(&key)
+    }
+
+    /// Insert.
+    pub fn insert(&mut self, key: u64, value: Vec<u8>) {
+        self.map.insert(key, value);
+    }
+
+    /// Delete.
+    pub fn delete(&mut self, key: u64) -> bool {
+        self.map.remove(&key).is_some()
+    }
+
+    /// Range scan.
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, &Vec<u8>)> {
+        self.map.range(lo..=hi).map(|(k, v)| (*k, v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let mut idx = ConventionalIndex::new();
+        idx.insert(5, vec![1]);
+        idx.insert(9, vec![2]);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.get(5), Some(&vec![1]));
+        assert_eq!(idx.range(0, 100).len(), 2);
+        assert!(idx.delete(5));
+        assert!(!idx.delete(5));
+    }
+}

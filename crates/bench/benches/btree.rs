@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks for the oblivious B+ tree: padded point-op
+//! costs vs table size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oblidb_btree::ObTree;
+use oblidb_crypto::aead::AeadKey;
+use oblidb_enclave::{EnclaveRng, Host, OmBudget};
+use oblidb_oram::PosMapKind;
+
+fn build(n: u64) -> (Host, ObTree) {
+    let mut host = Host::new();
+    let om = OmBudget::new(64 * 1024 * 1024);
+    let items: Vec<(u128, Vec<u8>)> = (0..n).map(|i| (i as u128, vec![0u8; 64])).collect();
+    let tree = ObTree::bulk_load(
+        &mut host,
+        AeadKey([1u8; 32]),
+        &items,
+        n + 1024,
+        64,
+        8,
+        PosMapKind::Direct,
+        &om,
+        EnclaveRng::seed_from_u64(1),
+    )
+    .unwrap();
+    (host, tree)
+}
+
+fn bench_point_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree");
+    for n in [1_000u64, 10_000, 50_000] {
+        group.bench_with_input(BenchmarkId::new("get", n), &n, |b, &n| {
+            let (mut host, mut tree) = build(n);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 101) % n;
+                std::hint::black_box(tree.get(&mut host, i as u128).unwrap());
+            });
+        });
+    }
+    group.bench_function("insert_delete_10k", |b| {
+        let (mut host, mut tree) = build(10_000);
+        let mut k = 1_000_000u128;
+        b.iter(|| {
+            k += 1;
+            tree.insert(&mut host, k, &[1u8; 64]).unwrap();
+            tree.delete(&mut host, k).unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_point_ops
+}
+criterion_main!(benches);

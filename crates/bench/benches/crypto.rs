@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks for the crypto substrate: the per-block
+//! sealing costs that dominate every oblivious operator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oblidb_crypto::aead::{open, seal, AeadKey, Nonce};
+use oblidb_crypto::{sha256, SipHash24};
+
+fn bench_aead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aead");
+    let key = AeadKey([7u8; 32]);
+    for size in [64usize, 256, 1024, 4096] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("seal", size), &size, |b, &size| {
+            let mut buf = vec![0xABu8; size];
+            let mut ctr = 0u64;
+            b.iter(|| {
+                ctr += 1;
+                let nonce = Nonce::from_parts(0, ctr);
+                std::hint::black_box(seal(&key, &nonce, b"aad", &mut buf));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("seal+open", size), &size, |b, &size| {
+            let mut ctr = 0u64;
+            b.iter(|| {
+                ctr += 1;
+                let mut buf = vec![0xABu8; size];
+                let nonce = Nonce::from_parts(0, ctr);
+                let tag = seal(&key, &nonce, b"aad", &mut buf);
+                open(&key, &nonce, b"aad", &mut buf, &tag).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashing");
+    let data = vec![0x42u8; 1024];
+    group.throughput(Throughput::Bytes(1024));
+    group.bench_function("sha256_1k", |b| b.iter(|| std::hint::black_box(sha256(&data))));
+    let sip = SipHash24::new(1, 2);
+    group.bench_function("siphash_u64", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(sip.hash_u64(i))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_aead, bench_hashing
+}
+criterion_main!(benches);

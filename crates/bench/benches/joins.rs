@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks for the three oblivious join algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oblidb_core::exec::{hash_join, sort_merge_join, SortMergeVariant};
+use oblidb_core::table::FlatTable;
+use oblidb_crypto::aead::AeadKey;
+use oblidb_enclave::{Host, OmBudget};
+use oblidb_workloads::synthetic;
+
+fn load(host: &mut Host, rows: &[Vec<oblidb_core::Value>], seed: u8) -> FlatTable {
+    let schema = synthetic::schema(8);
+    let encoded: Vec<Vec<u8>> = rows.iter().map(|r| schema.encode_row(r).unwrap()).collect();
+    FlatTable::from_encoded_rows(host, AeadKey([seed; 32]), schema, &encoded, rows.len() as u64)
+        .unwrap()
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fk_join_1k_x_2k");
+    let (p, f) = synthetic::fk_join_tables(1_000, 2_000, 3);
+    for (name, om_rows) in [("om500", 500usize), ("om50", 50)] {
+        group.bench_with_input(BenchmarkId::new("hash", name), &om_rows, |b, &om_rows| {
+            let mut host = Host::new();
+            let mut t1 = load(&mut host, &p, 1);
+            let mut t2 = load(&mut host, &f, 2);
+            let om = OmBudget::new(om_rows * t1.row_len());
+            b.iter(|| {
+                let out =
+                    hash_join(&mut host, &om, &mut t1, 0, &mut t2, 0, AeadKey([9u8; 32]))
+                        .unwrap();
+                out.free(&mut host);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("opaque", name), &om_rows, |b, &om_rows| {
+            let mut host = Host::new();
+            let mut t1 = load(&mut host, &p, 1);
+            let mut t2 = load(&mut host, &f, 2);
+            let om = OmBudget::new(om_rows * t1.row_len());
+            b.iter(|| {
+                let out = sort_merge_join(
+                    &mut host,
+                    &om,
+                    &mut t1,
+                    0,
+                    &mut t2,
+                    0,
+                    AeadKey([9u8; 32]),
+                    SortMergeVariant::Opaque,
+                )
+                .unwrap();
+                out.free(&mut host);
+            });
+        });
+    }
+    group.bench_function("zero_om", |b| {
+        let mut host = Host::new();
+        let mut t1 = load(&mut host, &p, 1);
+        let mut t2 = load(&mut host, &f, 2);
+        let om = OmBudget::new(0);
+        b.iter(|| {
+            let out = sort_merge_join(
+                &mut host,
+                &om,
+                &mut t1,
+                0,
+                &mut t2,
+                0,
+                AeadKey([9u8; 32]),
+                SortMergeVariant::ZeroOm { scratch_rows: 64 },
+            )
+            .unwrap();
+            out.free(&mut host);
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_joins
+}
+criterion_main!(benches);

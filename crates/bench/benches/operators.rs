@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks for the oblivious SELECT algorithms and
+//! aggregation, at fixed size and selectivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oblidb_core::planner::SelectAlgo;
+use oblidb_core::{Database, DbConfig, StorageMethod};
+use oblidb_workloads::synthetic;
+
+const N: usize = 4_096;
+
+fn db() -> Database {
+    let mut db = Database::new(DbConfig::default());
+    let rows = synthetic::table(N, 8, 5);
+    db.create_table_with_rows(
+        "t",
+        synthetic::schema(8),
+        StorageMethod::Flat,
+        None,
+        &rows,
+        N as u64,
+    )
+    .unwrap();
+    db
+}
+
+fn bench_selects(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_5pct");
+    let sql = format!("SELECT * FROM t WHERE id < {}", N / 20);
+    for algo in [
+        SelectAlgo::Small,
+        SelectAlgo::Large,
+        SelectAlgo::Continuous,
+        SelectAlgo::Hash,
+        SelectAlgo::Naive,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("algo", format!("{algo:?}")),
+            &algo,
+            |b, &algo| {
+                let mut db = db();
+                db.config_mut().planner.force_select = Some(algo);
+                b.iter(|| std::hint::black_box(db.execute(&sql).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_aggregates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate");
+    group.bench_function("fused_sum", |b| {
+        let mut db = db();
+        b.iter(|| db.execute("SELECT SUM(val) FROM t WHERE id < 2000").unwrap());
+    });
+    group.bench_function("group_by", |b| {
+        let mut db = db();
+        b.iter(|| db.execute("SELECT val, COUNT(*) FROM t GROUP BY val").unwrap());
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_selects, bench_aggregates
+}
+criterion_main!(benches);

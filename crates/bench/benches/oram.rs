@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for Path ORAM: per-access cost vs capacity,
+//! direct vs recursive position maps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oblidb_crypto::aead::AeadKey;
+use oblidb_enclave::{EnclaveRng, Host, OmBudget};
+use oblidb_oram::{PathOram, PosMapKind};
+
+fn bench_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oram_access");
+    for capacity in [1_000u64, 10_000, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("direct_read", capacity),
+            &capacity,
+            |b, &capacity| {
+                let mut host = Host::new();
+                let om = OmBudget::new(64 * 1024 * 1024);
+                let mut oram = PathOram::new(
+                    &mut host,
+                    AeadKey([1u8; 32]),
+                    capacity,
+                    64,
+                    PosMapKind::Direct,
+                    &om,
+                    EnclaveRng::seed_from_u64(1),
+                )
+                .unwrap();
+                let mut i = 0u64;
+                b.iter(|| {
+                    i = (i + 7919) % capacity;
+                    std::hint::black_box(oram.read(&mut host, i).unwrap());
+                });
+            },
+        );
+    }
+    group.bench_function("recursive_read_10k", |b| {
+        let mut host = Host::new();
+        let om = OmBudget::new(64 * 1024 * 1024);
+        let mut oram = PathOram::new(
+            &mut host,
+            AeadKey([1u8; 32]),
+            10_000,
+            64,
+            PosMapKind::Recursive { entries_per_block: 256 },
+            &om,
+            EnclaveRng::seed_from_u64(1),
+        )
+        .unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            std::hint::black_box(oram.read(&mut host, i).unwrap());
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_access
+}
+criterion_main!(benches);

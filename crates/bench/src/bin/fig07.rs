@@ -1,0 +1,182 @@
+//! Figure 7: ObliDB vs Opaque (oblivious mode) vs Spark SQL on Big Data
+//! Benchmark queries Q1–Q3, without and with indexes.
+//!
+//! Paper result shape: ObliDB/flat ≈ Opaque on all three queries (same
+//! scan-based costs); ObliDB with an index beats Opaque by ~19× on Q1
+//! (tiny selectivity); nothing oblivious comes near the no-security
+//! engine, but ObliDB stays within a small factor (2.6× in the paper).
+//!
+//! `OBLIDB_SCALE=paper` runs the full 360 k/350 k-row tables.
+
+use oblidb_baselines::opaque::OpaqueEngine;
+use oblidb_baselines::plain::PlainTable;
+use oblidb_bench::report::Report;
+use oblidb_bench::timing::fmt_duration;
+use oblidb_core::exec::AggFunc;
+use oblidb_core::predicate::{CmpOp, Predicate};
+use oblidb_core::{Database, DbConfig, StorageMethod, Value};
+use oblidb_workloads::bdb;
+use std::time::{Duration, Instant};
+
+struct Timings {
+    q1: Duration,
+    q2: Duration,
+    q3: Duration,
+}
+
+fn run_oblidb(rankings: &[Vec<Value>], visits: &[Vec<Value>], indexed: bool) -> Timings {
+    let mut db = Database::new(DbConfig::default());
+    // The paper disables the Continuous algorithm when comparing with
+    // Opaque, to equalize leakage.
+    db.config_mut().planner.enable_continuous = false;
+    let (method, index_col) = if indexed {
+        (StorageMethod::Both, Some("pageRank"))
+    } else {
+        (StorageMethod::Flat, None)
+    };
+    db.create_table_with_rows(
+        "rankings",
+        bdb::rankings_schema(),
+        method,
+        index_col,
+        rankings,
+        rankings.len() as u64,
+    )
+    .unwrap();
+    db.create_table_with_rows(
+        "uservisits",
+        bdb::uservisits_schema(),
+        StorageMethod::Flat,
+        None,
+        visits,
+        visits.len() as u64,
+    )
+    .unwrap();
+
+    let t = |db: &mut Database, sql: &str| {
+        let start = Instant::now();
+        db.execute(sql).unwrap();
+        start.elapsed()
+    };
+    Timings {
+        q1: t(&mut db, &bdb::q1_sql()),
+        q2: t(&mut db, &bdb::q2_sql()),
+        q3: t(&mut db, &bdb::q3_sql()),
+    }
+}
+
+fn run_opaque(rankings: &[Vec<Value>], visits: &[Vec<Value>]) -> Timings {
+    // Opaque's original evaluation grants it 72 MB of oblivious memory.
+    let mut eng = OpaqueEngine::new(72 * 1024 * 1024, 9);
+    let mut tr = eng.load_table(bdb::rankings_schema(), rankings).unwrap();
+    let mut tv = eng.load_table(bdb::uservisits_schema(), visits).unwrap();
+
+    let q1_pred = Predicate::cmp(
+        &bdb::rankings_schema(),
+        "pageRank",
+        CmpOp::Gt,
+        Value::Int(bdb::Q1_PAGERANK_CUTOFF),
+    )
+    .unwrap();
+    let start = Instant::now();
+    let out = eng.select(&mut tr, &q1_pred).unwrap();
+    let q1 = start.elapsed();
+    out.free(&mut eng.host);
+
+    let start = Instant::now();
+    let out = eng
+        .group_aggregate(&mut tv, 1, AggFunc::Sum, Some(4), &Predicate::True)
+        .unwrap();
+    let q2 = start.elapsed();
+    out.free(&mut eng.host);
+
+    // Q3: filter visits by date (select), join, aggregate.
+    let date_pred = Predicate::cmp(
+        &bdb::uservisits_schema(),
+        "visitDate",
+        CmpOp::Lt,
+        Value::Int(bdb::Q3_DATE_CUTOFF),
+    )
+    .unwrap();
+    let start = Instant::now();
+    let mut filtered = eng.select(&mut tv, &date_pred).unwrap();
+    let mut joined = eng.join(&mut tr, 0, &mut filtered, 2).unwrap();
+    let _avg = eng.aggregate(&mut joined, AggFunc::Avg, Some(1), &Predicate::True).unwrap();
+    let _sum = eng.aggregate(&mut joined, AggFunc::Sum, Some(7), &Predicate::True).unwrap();
+    let q3 = start.elapsed();
+    filtered.free(&mut eng.host);
+    joined.free(&mut eng.host);
+
+    Timings { q1, q2, q3 }
+}
+
+fn run_plain(rankings: &[Vec<Value>], visits: &[Vec<Value>]) -> Timings {
+    let pr = PlainTable::new(bdb::rankings_schema(), rankings.to_vec());
+    let pv = PlainTable::new(bdb::uservisits_schema(), visits.to_vec());
+
+    let q1_pred =
+        Predicate::cmp(&pr.schema, "pageRank", CmpOp::Gt, Value::Int(bdb::Q1_PAGERANK_CUTOFF))
+            .unwrap();
+    let start = Instant::now();
+    let _ = pr.select(&q1_pred);
+    let q1 = start.elapsed();
+
+    let start = Instant::now();
+    let _ = pv.group_aggregate(1, AggFunc::Sum, Some(4), &Predicate::True);
+    let q2 = start.elapsed();
+
+    let date_pred =
+        Predicate::cmp(&pv.schema, "visitDate", CmpOp::Lt, Value::Int(bdb::Q3_DATE_CUTOFF))
+            .unwrap();
+    let start = Instant::now();
+    let filtered = PlainTable::new(pv.schema.clone(), pv.select(&date_pred));
+    let joined = pr.join(0, &filtered, 2);
+    let n = joined.len().max(1) as f64;
+    let _avg: f64 =
+        joined.iter().map(|r| r[1].as_int().unwrap() as f64).sum::<f64>() / n;
+    let q3 = start.elapsed();
+
+    Timings { q1, q2, q3 }
+}
+
+fn main() {
+    let scale = oblidb_bench::setup::scale();
+    let n_r = scale.pick(30_000, bdb::RANKINGS_ROWS);
+    let n_v = scale.pick(30_000, bdb::USERVISITS_ROWS);
+    println!("generating BDB tables: rankings={n_r}, uservisits={n_v} ...");
+    let rankings = bdb::rankings(n_r, 42);
+    let visits = bdb::uservisits(n_v, n_r, 42);
+
+    println!("running Opaque (oblivious mode, 72MB OM)...");
+    let opaque = run_opaque(&rankings, &visits);
+    println!("running ObliDB (flat only, 20MB OM)...");
+    let flat = run_oblidb(&rankings, &visits, false);
+    println!("running ObliDB (index allowed)...");
+    let indexed = run_oblidb(&rankings, &visits, true);
+    println!("running plain engine (no security)...");
+    let plain = run_plain(&rankings, &visits);
+
+    let mut report = Report::new(
+        format!("Figure 7 — Big Data Benchmark ({n_r}/{n_v} rows)"),
+        &["query", "Opaque", "ObliDB flat", "ObliDB index", "plain (no sec)", "ObliDB-idx vs Opaque"],
+    );
+    for (q, o, f, i, p) in [
+        ("Q1 (select)", opaque.q1, flat.q1, indexed.q1, plain.q1),
+        ("Q2 (group-by)", opaque.q2, flat.q2, indexed.q2, plain.q2),
+        ("Q3 (join)", opaque.q3, flat.q3, indexed.q3, plain.q3),
+    ] {
+        report.row(&[
+            q.to_string(),
+            fmt_duration(o),
+            fmt_duration(f),
+            fmt_duration(i),
+            fmt_duration(p),
+            format!("{:.1}x", o.as_secs_f64() / i.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    report.print();
+    println!(
+        "\nPaper shape: Q1 with index beats Opaque by ~19x; Q2/Q3 are comparable\n\
+         (indexes do not help full-scan queries); ObliDB flat ~= Opaque throughout."
+    );
+}

@@ -1,0 +1,169 @@
+//! Figure 9: point-operation latency vs table size — ObliDB's oblivious
+//! index against the HIRB + vORAM oblivious map and a conventional
+//! (MySQL-like) index. 64-byte entries, vORAM bucket 4096, as in §7.1.
+//!
+//! Paper shape: ObliDB beats HIRB ~7× at 10⁶ rows (its blocks are small
+//! B+-tree nodes, HIRB moves 4 KB vORAM buckets per access); both are
+//! orders of magnitude above the plaintext index; all curves grow
+//! polylogarithmically.
+
+use oblidb_baselines::hirb::HirbMap;
+use oblidb_baselines::mysql_like::ConventionalIndex;
+use oblidb_bench::report::Report;
+use oblidb_bench::timing::fmt_duration;
+use oblidb_btree::ObTree;
+use oblidb_crypto::aead::AeadKey;
+use oblidb_enclave::{EnclaveRng, Host, OmBudget};
+use oblidb_oram::PosMapKind;
+use std::time::{Duration, Instant};
+
+const VALUE_LEN: usize = 64;
+const PROBES: u64 = 25;
+
+struct Latencies {
+    get: Duration,
+    insert: Duration,
+    delete: Duration,
+}
+
+fn bench_oblidb(n: u64) -> Latencies {
+    let mut host = Host::new();
+    let om = OmBudget::new(256 * 1024 * 1024); // position map for 10^6 nodes
+    let items: Vec<(u128, Vec<u8>)> =
+        (0..n).map(|i| ((i * 2) as u128, vec![i as u8; VALUE_LEN])).collect();
+    let mut tree = ObTree::bulk_load(
+        &mut host,
+        AeadKey([1u8; 32]),
+        &items,
+        n + PROBES + 8,
+        VALUE_LEN,
+        8,
+        PosMapKind::Direct,
+        &om,
+        EnclaveRng::seed_from_u64(3),
+    )
+    .unwrap();
+
+    let start = Instant::now();
+    for i in 0..PROBES {
+        tree.get(&mut host, ((i * 97) % n * 2) as u128).unwrap();
+    }
+    let get = start.elapsed() / PROBES as u32;
+
+    let start = Instant::now();
+    for i in 0..PROBES {
+        tree.insert(&mut host, (2 * n + i) as u128, &[9u8; VALUE_LEN]).unwrap();
+    }
+    let insert = start.elapsed() / PROBES as u32;
+
+    let start = Instant::now();
+    for i in 0..PROBES {
+        tree.delete(&mut host, (2 * n + i) as u128).unwrap();
+    }
+    let delete = start.elapsed() / PROBES as u32;
+
+    Latencies { get, insert, delete }
+}
+
+fn bench_hirb(n: u64) -> Latencies {
+    let mut host = Host::new();
+    let om = OmBudget::new(256 * 1024 * 1024);
+    let mut map = HirbMap::new(
+        &mut host,
+        AeadKey([2u8; 32]),
+        n + PROBES + 8,
+        VALUE_LEN,
+        &om,
+        EnclaveRng::seed_from_u64(4),
+    )
+    .unwrap();
+    // HIRB has no bulk path in Roche et al. either; populate with a
+    // sparse sample at large n to keep setup feasible, then measure —
+    // per-op cost depends only on the (capacity-determined) height.
+    let populate = n.min(2_000);
+    for i in 0..populate {
+        map.insert(&mut host, i * 2, &[i as u8; VALUE_LEN]).unwrap();
+    }
+
+    let start = Instant::now();
+    for i in 0..PROBES {
+        map.get(&mut host, (i * 97) % populate * 2).unwrap();
+    }
+    let get = start.elapsed() / PROBES as u32;
+
+    let start = Instant::now();
+    for i in 0..PROBES {
+        map.insert(&mut host, 2 * n + i, &[9u8; VALUE_LEN]).unwrap();
+    }
+    let insert = start.elapsed() / PROBES as u32;
+
+    let start = Instant::now();
+    for i in 0..PROBES {
+        map.delete(&mut host, 2 * n + i).unwrap();
+    }
+    let delete = start.elapsed() / PROBES as u32;
+
+    Latencies { get, insert, delete }
+}
+
+fn bench_mysql(n: u64) -> Latencies {
+    let mut idx = ConventionalIndex::new();
+    for i in 0..n {
+        idx.insert(i * 2, vec![i as u8; VALUE_LEN]);
+    }
+    let start = Instant::now();
+    for i in 0..PROBES {
+        std::hint::black_box(idx.get((i * 97) % n * 2));
+    }
+    let get = start.elapsed() / PROBES as u32;
+    let start = Instant::now();
+    for i in 0..PROBES {
+        idx.insert(2 * n + i, vec![9u8; VALUE_LEN]);
+    }
+    let insert = start.elapsed() / PROBES as u32;
+    let start = Instant::now();
+    for i in 0..PROBES {
+        idx.delete(2 * n + i);
+    }
+    let delete = start.elapsed() / PROBES as u32;
+    Latencies { get, insert, delete }
+}
+
+fn main() {
+    let scale = oblidb_bench::setup::scale();
+    let sizes: Vec<u64> = match scale {
+        oblidb_bench::setup::Scale::Small => vec![100, 1_000, 10_000, 100_000],
+        oblidb_bench::setup::Scale::Paper => vec![100, 1_000, 10_000, 100_000, 1_000_000],
+    };
+
+    let mut report = Report::new(
+        "Figure 9 — point ops vs table size (64B entries; avg per op)",
+        &["N", "op", "ObliDB", "HIRB+vORAM", "MySQL-like", "HIRB/ObliDB"],
+    );
+    for &n in &sizes {
+        println!("building structures at N = {n} ...");
+        let o = bench_oblidb(n);
+        let h = bench_hirb(n);
+        let m = bench_mysql(n);
+        for (op, od, hd, md) in [
+            ("get", o.get, h.get, m.get),
+            ("insert", o.insert, h.insert, m.insert),
+            ("delete", o.delete, h.delete, m.delete),
+        ] {
+            report.row(&[
+                n.to_string(),
+                op.to_string(),
+                fmt_duration(od),
+                fmt_duration(hd),
+                fmt_duration(md),
+                format!("{:.1}x", hd.as_secs_f64() / od.as_secs_f64().max(1e-12)),
+            ]);
+        }
+    }
+    report.print();
+    println!(
+        "\nPaper shape: ObliDB ~7.6x faster than HIRB for retrieval and ~3x for\n\
+         insert/delete at 10^6 rows; MySQL stays orders of magnitude below both;\n\
+         all oblivious curves grow polylogarithmically."
+    );
+}

@@ -1,0 +1,65 @@
+//! §7.2 "Impact of padding mode": the CFPB complaints table (107 k rows,
+//! padded to 200 k) — aggregate and select slowdowns under padding.
+//!
+//! Paper numbers: grouped aggregation 4.4× slower (it pads to the maximum
+//! supported group count), selection 2.4× slower, for ≈2× table padding.
+
+use oblidb_bench::report::Report;
+use oblidb_bench::setup::{scale, Scale};
+use oblidb_bench::timing::fmt_duration;
+use oblidb_core::padding::PaddingConfig;
+use oblidb_core::{Database, DbConfig, StorageMethod};
+use oblidb_workloads::cfpb;
+use std::time::{Duration, Instant};
+
+fn run(n: usize, padding: Option<PaddingConfig>, sql: &str) -> Duration {
+    let mut db = Database::new(DbConfig { padding, ..DbConfig::default() });
+    let rows = cfpb::complaints(n, 5);
+    db.create_table_with_rows(
+        "complaints",
+        cfpb::schema(),
+        StorageMethod::Flat,
+        None,
+        &rows,
+        n as u64,
+    )
+    .unwrap();
+    let start = Instant::now();
+    db.execute(sql).unwrap();
+    start.elapsed()
+}
+
+fn main() {
+    let (n, pad) = match scale() {
+        Scale::Small => (20_000usize, 40_000u64),
+        Scale::Paper => (cfpb::CFPB_ROWS, cfpb::CFPB_PAD),
+    };
+
+    let mut report = Report::new(
+        format!("§7.2 padding mode — CFPB table ({n} rows padded to {pad})"),
+        &["query", "no padding", "padded", "slowdown", "paper"],
+    );
+    // Selection under padding pads the output structure to `pad` rows.
+    let select_plain = run(n, None, cfpb::select_sql());
+    let select_padded = run(n, Some(PaddingConfig::uniform(pad)), cfpb::select_sql());
+    report.row(&[
+        "select".into(),
+        fmt_duration(select_plain),
+        fmt_duration(select_padded),
+        format!("{:.1}x", select_padded.as_secs_f64() / select_plain.as_secs_f64()),
+        "2.4x".into(),
+    ]);
+
+    // Aggregation: the padded run pads the group table to the bound.
+    let agg_plain = run(n, None, cfpb::aggregate_sql());
+    let agg_padded = run(n, Some(PaddingConfig::uniform(pad)), cfpb::aggregate_sql());
+    report.row(&[
+        "aggregate".into(),
+        fmt_duration(agg_plain),
+        fmt_duration(agg_padded),
+        format!("{:.1}x", agg_padded.as_secs_f64() / agg_plain.as_secs_f64()),
+        "4.4x".into(),
+    ]);
+    report.print();
+    println!("\nPaper shape: modest constant-factor slowdowns for ~2x padding.");
+}

@@ -1,0 +1,10 @@
+//! Shared helpers for the benchmark harness binaries (one per paper
+//! table/figure; see DESIGN.md §5 for the experiment index).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod timing;
+
+pub mod setup;

@@ -1,0 +1,93 @@
+//! Result-table printing for the figure harness binaries.
+//!
+//! Each binary prints the rows/series its paper figure reports, with the
+//! paper's numbers alongside for shape comparison (absolute values differ:
+//! our substrate is a simulator, not the authors' SGX testbed — see
+//! EXPERIMENTS.md).
+
+/// A printable results table.
+pub struct Report {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Starts a report with a figure title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Report {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one row.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        println!("\n== {} ==", self.title);
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{h:<w$}", w = widths[i]))
+            .collect();
+        println!("{}", header.join("  "));
+        println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<w$}", w = widths[i]))
+                .collect();
+            println!("{}", line.join("  "));
+        }
+    }
+
+    /// Renders as a markdown table (for EXPERIMENTS.md snippets).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_renders() {
+        let mut r = Report::new("Fig X", &["a", "b"]);
+        r.row(&["1".into(), "2".into()]);
+        let md = r.to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        r.print();
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut r = Report::new("Fig X", &["a", "b"]);
+        r.row(&["1".into()]);
+    }
+}

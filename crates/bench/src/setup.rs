@@ -1,0 +1,92 @@
+//! Experiment setup shared by the figure binaries.
+//!
+//! Every binary supports two scales, chosen by the `OBLIDB_SCALE`
+//! environment variable:
+//!
+//! * `small` (default): sizes that finish in seconds-to-a-minute on a
+//!   laptop while preserving every shape the paper reports;
+//! * `paper`: the paper's sizes (360 k/350 k-row BDB tables, 100 k-row
+//!   microbenchmark tables, up to 10⁶-row indexes). Expect long runtimes.
+
+use oblidb_core::{Database, DbConfig, StorageMethod};
+use oblidb_workloads::synthetic;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sizes, same shapes.
+    Small,
+    /// The paper's sizes.
+    Paper,
+}
+
+/// Reads `OBLIDB_SCALE` (default [`Scale::Small`]).
+pub fn scale() -> Scale {
+    match std::env::var("OBLIDB_SCALE").as_deref() {
+        Ok("paper") | Ok("PAPER") | Ok("full") => Scale::Paper,
+        _ => Scale::Small,
+    }
+}
+
+impl Scale {
+    /// Scales a paper-sized count down for the small configuration.
+    pub fn pick(&self, small: usize, paper: usize) -> usize {
+        match self {
+            Scale::Small => small,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// Builds a database holding one synthetic table `t` of `n` rows with the
+/// given storage method (index on `id` where applicable).
+pub fn synthetic_db(n: usize, method: StorageMethod, seed: u64) -> Database {
+    let mut db = Database::new(DbConfig { seed, ..DbConfig::default() });
+    let rows = synthetic::table(n, 8, seed);
+    let index = match method {
+        StorageMethod::Flat => None,
+        _ => Some("id"),
+    };
+    db.create_table_with_rows(
+        "t",
+        synthetic::schema(8),
+        method,
+        index,
+        &rows,
+        (n + n / 4 + 16) as u64,
+    )
+    .unwrap();
+    db
+}
+
+/// Formats a ratio like "2.13x".
+pub fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "inf".into()
+    } else {
+        format!("{:.2}x", a / b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_to_small() {
+        // (Environment-dependent, but the default path must parse.)
+        let s = scale();
+        assert!(matches!(s, Scale::Small | Scale::Paper));
+        assert_eq!(Scale::Small.pick(10, 100), 10);
+        assert_eq!(Scale::Paper.pick(10, 100), 100);
+    }
+
+    #[test]
+    fn synthetic_db_builds_all_methods() {
+        for m in [StorageMethod::Flat, StorageMethod::Indexed, StorageMethod::Both] {
+            let mut db = synthetic_db(50, m, 1);
+            let out = db.execute("SELECT COUNT(*) FROM t").unwrap();
+            assert_eq!(out.rows()[0][0].as_int(), Some(50));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Oblivious B+ tree stored inside Path ORAM (paper §3.2).
+//!
+//! ObliDB's indexed storage method is a B+ tree whose nodes live in a Path
+//! ORAM. A direct composition of B+ trees and ORAM still leaks through the
+//! *number* of ORAM accesses (splits and merges fire at data-dependent
+//! moments) — so every operation here is **padded with dummy ORAM accesses
+//! to its worst case** for the tree's current (public) height:
+//!
+//! * lookups already touch a fixed number of nodes (all data is in the
+//!   leaves of a balanced tree);
+//! * inserts and deletes are padded to the worst-case split/unlink chain;
+//! * parent pointers are removed entirely (paper §3.2: updating them on
+//!   splits would cost an ORAM write per child), and nodes fetched during
+//!   an operation are cached in the enclave and written back once ("lazy
+//!   write-back").
+//!
+//! Layout choices follow the paper's implementation: **one record per leaf
+//! block** (footnote 2), internal nodes with a configurable fanout, and a
+//! doubly-linked leaf chain for range scans. The tree's height and record
+//! count are public (table sizes leak by design); *which* key an operation
+//! touches is hidden.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod node;
+mod tree;
+
+pub use node::{InternalNode, LeafNode, Node, NIL};
+pub use tree::{ObTree, ObTreeError, OpKind};

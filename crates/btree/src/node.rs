@@ -1,0 +1,211 @@
+//! Node serialization for the oblivious B+ tree.
+//!
+//! Every node occupies exactly one ORAM block so the adversary cannot tell
+//! internal nodes from leaves. Keys are `u128` so callers can pack a column
+//! value and a row id into one composite key (making duplicate column
+//! values distinct index entries).
+
+/// Null node address.
+pub const NIL: u64 = u64::MAX;
+
+const TAG_FREE: u8 = 0;
+const TAG_INTERNAL: u8 = 1;
+const TAG_LEAF: u8 = 2;
+
+/// An internal node: `count` fence entries `(min_key, child)`, where
+/// `min_key` is the minimum key in the child's subtree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternalNode {
+    /// Fence entries, sorted by `min_key`.
+    pub entries: Vec<(u128, u64)>,
+}
+
+impl InternalNode {
+    /// Index of the child whose subtree should contain `key`: the last
+    /// entry with `min_key <= key`, or 0 if the key sorts before all
+    /// entries (the leftmost subtree absorbs small keys).
+    pub fn route(&self, key: u128) -> usize {
+        match self.entries.iter().rposition(|&(min, _)| min <= key) {
+            Some(i) => i,
+            None => 0,
+        }
+    }
+
+    /// Inserts a fence entry keeping order.
+    pub fn insert_entry(&mut self, min_key: u128, child: u64) {
+        let pos = self.entries.partition_point(|&(k, _)| k <= min_key);
+        self.entries.insert(pos, (min_key, child));
+    }
+
+    /// Removes the entry pointing at `child`, returning its position.
+    pub fn remove_child(&mut self, child: u64) -> Option<usize> {
+        let pos = self.entries.iter().position(|&(_, c)| c == child)?;
+        self.entries.remove(pos);
+        Some(pos)
+    }
+}
+
+/// A leaf node: exactly one record (paper footnote 2) plus chain links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafNode {
+    /// The record's composite key.
+    pub key: u128,
+    /// Previous leaf in key order, or [`NIL`].
+    pub prev: u64,
+    /// Next leaf in key order, or [`NIL`].
+    pub next: u64,
+    /// Fixed-length record payload.
+    pub payload: Vec<u8>,
+}
+
+/// A B+ tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Unallocated block.
+    Free,
+    /// Routing node.
+    Internal(InternalNode),
+    /// Data-bearing node.
+    Leaf(LeafNode),
+}
+
+impl Node {
+    /// Serialized node size for a tree with the given fanout and record
+    /// payload length. All node kinds share one size (the ORAM block size).
+    pub fn serialized_len(fanout: usize, payload_len: usize) -> usize {
+        let internal = 1 + 2 + fanout * (16 + 8);
+        let leaf = 1 + 16 + 8 + 8 + payload_len;
+        internal.max(leaf)
+    }
+
+    /// Serializes into a zero-padded buffer of exactly
+    /// [`Node::serialized_len`] bytes.
+    pub fn serialize(&self, fanout: usize, payload_len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; Self::serialized_len(fanout, payload_len)];
+        match self {
+            Node::Free => {
+                out[0] = TAG_FREE;
+            }
+            Node::Internal(n) => {
+                assert!(n.entries.len() <= fanout, "internal node overflow");
+                out[0] = TAG_INTERNAL;
+                out[1..3].copy_from_slice(&(n.entries.len() as u16).to_le_bytes());
+                let mut off = 3;
+                for &(key, child) in &n.entries {
+                    out[off..off + 16].copy_from_slice(&key.to_le_bytes());
+                    off += 16;
+                    out[off..off + 8].copy_from_slice(&child.to_le_bytes());
+                    off += 8;
+                }
+            }
+            Node::Leaf(n) => {
+                assert_eq!(n.payload.len(), payload_len, "leaf payload length");
+                out[0] = TAG_LEAF;
+                out[1..17].copy_from_slice(&n.key.to_le_bytes());
+                out[17..25].copy_from_slice(&n.prev.to_le_bytes());
+                out[25..33].copy_from_slice(&n.next.to_le_bytes());
+                out[33..33 + payload_len].copy_from_slice(&n.payload);
+            }
+        }
+        out
+    }
+
+    /// Parses a node from an ORAM block.
+    pub fn deserialize(bytes: &[u8], payload_len: usize) -> Node {
+        match bytes[0] {
+            TAG_INTERNAL => {
+                let count = u16::from_le_bytes(bytes[1..3].try_into().unwrap()) as usize;
+                let mut entries = Vec::with_capacity(count);
+                let mut off = 3;
+                for _ in 0..count {
+                    let key = u128::from_le_bytes(bytes[off..off + 16].try_into().unwrap());
+                    off += 16;
+                    let child = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+                    off += 8;
+                    entries.push((key, child));
+                }
+                Node::Internal(InternalNode { entries })
+            }
+            TAG_LEAF => {
+                let key = u128::from_le_bytes(bytes[1..17].try_into().unwrap());
+                let prev = u64::from_le_bytes(bytes[17..25].try_into().unwrap());
+                let next = u64::from_le_bytes(bytes[25..33].try_into().unwrap());
+                let payload = bytes[33..33 + payload_len].to_vec();
+                Node::Leaf(LeafNode { key, prev, next, payload })
+            }
+            _ => Node::Free,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internal_roundtrip() {
+        let n = Node::Internal(InternalNode { entries: vec![(5, 1), (10, 2), (300, 9)] });
+        let bytes = n.serialize(8, 4);
+        assert_eq!(Node::deserialize(&bytes, 4), n);
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let n = Node::Leaf(LeafNode { key: 42, prev: 1, next: NIL, payload: vec![7, 8, 9, 10] });
+        let bytes = n.serialize(8, 4);
+        assert_eq!(Node::deserialize(&bytes, 4), n);
+    }
+
+    #[test]
+    fn free_roundtrip() {
+        let bytes = Node::Free.serialize(8, 4);
+        assert_eq!(Node::deserialize(&bytes, 4), Node::Free);
+    }
+
+    #[test]
+    fn zeroed_block_reads_as_free() {
+        // Unwritten ORAM blocks are all-zero; they must parse as Free.
+        let bytes = vec![0u8; Node::serialized_len(8, 4)];
+        assert_eq!(Node::deserialize(&bytes, 4), Node::Free);
+    }
+
+    #[test]
+    fn route_picks_last_at_most() {
+        let n = InternalNode { entries: vec![(10, 0), (20, 1), (30, 2)] };
+        assert_eq!(n.route(5), 0); // below all: leftmost
+        assert_eq!(n.route(10), 0);
+        assert_eq!(n.route(19), 0);
+        assert_eq!(n.route(20), 1);
+        assert_eq!(n.route(25), 1);
+        assert_eq!(n.route(1000), 2);
+    }
+
+    #[test]
+    fn insert_entry_keeps_order() {
+        let mut n = InternalNode { entries: vec![(10, 0), (30, 2)] };
+        n.insert_entry(20, 1);
+        assert_eq!(n.entries, vec![(10, 0), (20, 1), (30, 2)]);
+        n.insert_entry(5, 7);
+        assert_eq!(n.entries[0], (5, 7));
+    }
+
+    #[test]
+    fn remove_child_by_address() {
+        let mut n = InternalNode { entries: vec![(10, 0), (20, 1), (30, 2)] };
+        assert_eq!(n.remove_child(1), Some(1));
+        assert_eq!(n.entries, vec![(10, 0), (30, 2)]);
+        assert_eq!(n.remove_child(99), None);
+    }
+
+    #[test]
+    fn node_sizes_uniform() {
+        let len = Node::serialized_len(16, 64);
+        for n in [
+            Node::Free,
+            Node::Internal(InternalNode { entries: vec![(1, 1)] }),
+            Node::Leaf(LeafNode { key: 1, prev: NIL, next: NIL, payload: vec![0; 64] }),
+        ] {
+            assert_eq!(n.serialize(16, 64).len(), len);
+        }
+    }
+}

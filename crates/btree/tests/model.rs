@@ -1,0 +1,123 @@
+//! Property-based model test: the oblivious B+ tree must behave exactly
+//! like `std::collections::BTreeMap` under arbitrary operation sequences,
+//! while keeping its per-operation ORAM access counts key-independent.
+
+use oblidb_btree::{ObTree, OpKind};
+use oblidb_crypto::aead::AeadKey;
+use oblidb_enclave::{EnclaveRng, Host, OmBudget, DEFAULT_OM_BYTES};
+use oblidb_oram::PosMapKind;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8, u8),
+    Delete(u8),
+    Get(u8),
+    Update(u8, u8),
+    Range(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        any::<u8>().prop_map(Op::Delete),
+        any::<u8>().prop_map(Op::Get),
+        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Update(k, v)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut host = Host::new();
+        let om = OmBudget::new(DEFAULT_OM_BYTES);
+        let mut tree = ObTree::new(
+            &mut host,
+            AeadKey([1u8; 32]),
+            300,
+            4,
+            4,
+            PosMapKind::Direct,
+            &om,
+            EnclaveRng::seed_from_u64(99),
+        )
+        .unwrap();
+        let mut model: BTreeMap<u128, Vec<u8>> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let created = tree.insert(&mut host, k as u128, &[v; 4]).unwrap();
+                    let existed = model.insert(k as u128, vec![v; 4]).is_some();
+                    prop_assert_eq!(created, !existed);
+                }
+                Op::Delete(k) => {
+                    let deleted = tree.delete(&mut host, k as u128).unwrap();
+                    prop_assert_eq!(deleted, model.remove(&(k as u128)).is_some());
+                }
+                Op::Get(k) => {
+                    let got = tree.get(&mut host, k as u128).unwrap();
+                    prop_assert_eq!(got.as_deref(), model.get(&(k as u128)).map(|v| v.as_slice()));
+                }
+                Op::Update(k, v) => {
+                    let updated = tree.update(&mut host, k as u128, &[v; 4]).unwrap();
+                    let present = model.contains_key(&(k as u128));
+                    prop_assert_eq!(updated, present);
+                    if present {
+                        model.insert(k as u128, vec![v; 4]);
+                    }
+                }
+                Op::Range(lo, hi) => {
+                    let expected: Vec<u128> =
+                        model.range(lo as u128..=hi as u128).map(|(k, _)| *k).collect();
+                    let limit = (hi - lo) as u64 + 2;
+                    let got: Vec<u128> = tree
+                        .range(&mut host, lo as u128, hi as u128, limit)
+                        .unwrap()
+                        .iter()
+                        .map(|(k, _)| *k)
+                        .collect();
+                    prop_assert_eq!(got, expected);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len() as u64);
+        }
+    }
+
+    #[test]
+    fn access_counts_depend_only_on_height_and_op(keys in proptest::collection::vec(any::<u8>(), 2..40)) {
+        let mut host = Host::new();
+        let om = OmBudget::new(DEFAULT_OM_BYTES);
+        let mut tree = ObTree::new(
+            &mut host,
+            AeadKey([1u8; 32]),
+            300,
+            4,
+            4,
+            PosMapKind::Direct,
+            &om,
+            EnclaveRng::seed_from_u64(4),
+        )
+        .unwrap();
+        for (i, k) in keys.iter().enumerate() {
+            tree.insert(&mut host, (*k as u128) << 8 | i as u128, &[0u8; 4]).unwrap();
+        }
+        // All gets cost the same untrusted accesses, hit or miss.
+        let mut counts = std::collections::HashSet::new();
+        for probe in [0u128, 1, 77, u128::from(u64::MAX)] {
+            host.reset_stats();
+            tree.get(&mut host, probe).unwrap();
+            counts.insert(host.stats().total_accesses());
+        }
+        prop_assert_eq!(counts.len(), 1);
+        // And the observed count matches the public budget formula.
+        host.reset_stats();
+        tree.get(&mut host, 42).unwrap();
+        let per_access = host.stats().total_accesses() / tree.op_budget(OpKind::Get);
+        prop_assert!(per_access >= 1);
+    }
+}

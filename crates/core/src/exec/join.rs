@@ -1,0 +1,530 @@
+//! Oblivious join algorithms (paper §4.3).
+//!
+//! * [`hash_join`] — block-partitioned oblivious hash join: chunks of T1
+//!   that fit in oblivious memory become an in-enclave hash table; every
+//!   probe of T2 writes exactly one output block (joined row or dummy), so
+//!   the access pattern depends only on the table sizes and the budget.
+//! * [`sort_merge_join`] — the Opaque join and its 0-OM variant: union the
+//!   tables, obliviously sort by join key, then a linear merge scan that
+//!   writes one output block per union row. The two variants differ only
+//!   in whether the sort's chunk buffer is charged to oblivious memory
+//!   (Opaque) or lives in ordinary enclave memory (0-OM, chunk of 1 by
+//!   default).
+//!
+//! Sort keys hash the join value (SipHash-2-4 of the encoded column bytes)
+//! so text joins group correctly; the merge verifies true byte equality,
+//! making a hash collision harmless for matching (it only costs adjacency,
+//! with probability ≈ 2⁻⁶⁴).
+
+use oblidb_crypto::aead::AeadKey;
+use oblidb_crypto::SipHash24;
+use oblidb_enclave::{Host, OmBudget};
+
+use crate::error::DbError;
+use crate::table::FlatTable;
+use crate::types::{Column, Schema};
+
+/// Bytes of an encoded column value (the join key's canonical form).
+fn col_bytes(schema: &Schema, row: &[u8], col: usize) -> Vec<u8> {
+    let off = schema.col_offset(col);
+    let w = schema.columns[col].dtype.width();
+    row[off..off + w].to_vec()
+}
+
+/// Output schema of a join: all of T1's columns then all of T2's.
+fn join_schema(s1: &Schema, s2: &Schema) -> Schema {
+    s1.join("t1", s2, "t2")
+}
+
+/// Encodes a joined row from two used input rows (strips the inner flags).
+fn join_rows(out_len: usize, r1: &[u8], r2: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(out_len);
+    out.push(1u8);
+    out.extend_from_slice(&r1[1..]);
+    out.extend_from_slice(&r2[1..]);
+    debug_assert_eq!(out.len(), out_len);
+    out
+}
+
+/// Oblivious hash join (paper §4.3). Complexity O(|T1|·|T2| / S); the
+/// output data structure holds one block per probe:
+/// `ceil(|T1| / chunk) · |T2|` blocks.
+pub fn hash_join(
+    host: &mut Host,
+    om: &OmBudget,
+    t1: &mut FlatTable,
+    c1: usize,
+    t2: &mut FlatTable,
+    c2: usize,
+    out_key: AeadKey,
+) -> Result<FlatTable, DbError> {
+    use std::collections::HashMap;
+
+    let s1 = t1.schema().clone();
+    let s2 = t2.schema().clone();
+    let out_schema = join_schema(&s1, &s2);
+    let out_len = out_schema.row_len();
+
+    // Oblivious-memory chunk: how much of T1 fits in the enclave at once.
+    let entry_size = s1.row_len() + 32;
+    let alloc = om.alloc_up_to(t1.capacity() as usize * entry_size);
+    let chunk = ((alloc.bytes() / entry_size).max(1) as u64).min(t1.capacity());
+    let passes = t1.capacity().div_ceil(chunk);
+
+    let mut out = FlatTable::create(host, out_key, out_schema.clone(), passes * t2.capacity())?;
+    let dummy = out_schema.dummy_row();
+
+    let mut matches = 0u64;
+    let mut out_pos = 0u64;
+    for pass in 0..passes {
+        let lo = pass * chunk;
+        let hi = (lo + chunk).min(t1.capacity());
+        // Build the in-enclave hash table from this chunk of T1.
+        let mut build: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+        for i in lo..hi {
+            let bytes = t1.read_row(host, i)?;
+            if Schema::row_used(&bytes) {
+                build.insert(col_bytes(&s1, &bytes, c1), bytes);
+            }
+        }
+        // Probe every row of T2; each probe writes exactly one output
+        // block (paper: "After each check, a row is written to the next
+        // block of an output table").
+        for j in 0..t2.capacity() {
+            let bytes = t2.read_row(host, j)?;
+            let hit = if Schema::row_used(&bytes) {
+                build.get(&col_bytes(&s2, &bytes, c2))
+            } else {
+                None
+            };
+            match hit {
+                Some(r1) => {
+                    out.write_row(host, out_pos, &join_rows(out_len, r1, &bytes))?;
+                    matches += 1;
+                }
+                None => out.write_row(host, out_pos, &dummy)?,
+            }
+            out_pos += 1;
+        }
+    }
+    out.set_num_rows(matches);
+    out.set_insert_cursor(out.capacity());
+    Ok(out)
+}
+
+/// Which sort-merge variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortMergeVariant {
+    /// Opaque join: quicksort chunks held in oblivious memory, then a
+    /// bitonic network over chunks (paper §4.3).
+    Opaque,
+    /// 0-OM join: the same network with `scratch_rows` of ordinary
+    /// (non-oblivious) enclave memory — zero oblivious memory used.
+    ZeroOm {
+        /// Rows of plain enclave scratch used to accelerate the sort.
+        scratch_rows: usize,
+    },
+}
+
+/// Oblivious sort-merge join for foreign-key joins: T1 is the primary
+/// side (unique join keys), T2 the foreign side. Output structure size is
+/// the padded union size; real rows number at most |T2|.
+pub fn sort_merge_join(
+    host: &mut Host,
+    om: &OmBudget,
+    t1: &mut FlatTable,
+    c1: usize,
+    t2: &mut FlatTable,
+    c2: usize,
+    out_key: AeadKey,
+    variant: SortMergeVariant,
+) -> Result<FlatTable, DbError> {
+    let s1 = t1.schema().clone();
+    let s2 = t2.schema().clone();
+    let out_schema = join_schema(&s1, &s2);
+    let out_len = out_schema.row_len();
+
+    // Union row layout: [used][tag][key u128][padded original row].
+    let payload = s1.row_len().max(s2.row_len());
+    let union_schema = Schema::new(vec![Column::new(
+        "u",
+        crate::types::DataType::Text(1 + 16 + payload),
+    )]);
+    let union_len = union_schema.row_len();
+    let n = (t1.capacity() + t2.capacity()).max(2).next_power_of_two();
+    let union_key = AeadKey(oblidb_crypto::derive_key(&out_key.0, b"join-union"));
+    let mut union = FlatTable::create(host, union_key, union_schema, n)?;
+
+    let kd = oblidb_crypto::derive_key(&out_key.0, b"join-key-hash");
+    let hasher = SipHash24::new(
+        u64::from_le_bytes(kd[..8].try_into().unwrap()),
+        u64::from_le_bytes(kd[8..16].try_into().unwrap()),
+    );
+    // Sort key: (hash of join value) ‖ tag, dummies at u128::MAX. The tag
+    // bit puts the primary row before its foreign matches.
+    let make_key = |hash: u64, tag: u8| ((hash as u128) << 1) | tag as u128;
+
+    let pack = |used: bool, tag: u8, hash: u64, row: &[u8]| -> Vec<u8> {
+        let mut out = vec![0u8; union_len];
+        if used {
+            out[0] = 1;
+            out[1] = tag;
+            out[2..18].copy_from_slice(&make_key(hash, tag).to_le_bytes());
+            out[18..18 + row.len()].copy_from_slice(row);
+        }
+        out
+    };
+
+    // Fill the union table: T1 then T2 then dummies (all positions get one
+    // write; the fill pattern is size-determined).
+    let mut pos = 0u64;
+    for i in 0..t1.capacity() {
+        let bytes = t1.read_row(host, i)?;
+        let used = Schema::row_used(&bytes);
+        let h = hasher.hash(&col_bytes(&s1, &bytes, c1));
+        let packed = pack(used, 0, h, &bytes);
+        union.write_row(host, pos, &packed)?;
+        pos += 1;
+    }
+    for j in 0..t2.capacity() {
+        let bytes = t2.read_row(host, j)?;
+        let used = Schema::row_used(&bytes);
+        let h = hasher.hash(&col_bytes(&s2, &bytes, c2));
+        let packed = pack(used, 1, h, &bytes);
+        union.write_row(host, pos, &packed)?;
+        pos += 1;
+    }
+
+    // Oblivious sort by key; dummies (key MAX) sink to the end.
+    let union_sort_key = |bytes: &[u8]| -> u128 {
+        if bytes[0] != 1 {
+            return u128::MAX;
+        }
+        u128::from_le_bytes(bytes[2..18].try_into().unwrap())
+    };
+    let (chunk_rows, oblivious_local, _om_alloc) = match variant {
+        SortMergeVariant::Opaque => {
+            let alloc = om.alloc_up_to(n as usize * union_len);
+            (((alloc.bytes() / union_len).max(1)).min(n as usize), false, Some(alloc))
+        }
+        // The 0-OM variant keeps even its in-enclave sorting data-oblivious
+        // (bitonic), trading CPU for zero trust in enclave memory privacy.
+        SortMergeVariant::ZeroOm { scratch_rows } => (scratch_rows.max(1), true, None),
+    };
+    super::sort::bitonic_sort_with(
+        host,
+        &mut union,
+        n,
+        union_sort_key,
+        chunk_rows,
+        oblivious_local,
+    )?;
+
+    // Merge scan: one read of the union and one output write per position.
+    let mut out = FlatTable::create(host, out_key, out_schema.clone(), n)?;
+    let dummy = out_schema.dummy_row();
+    let mut current_primary: Option<(Vec<u8>, Vec<u8>)> = None; // (key bytes, row)
+    let mut matches = 0u64;
+    for i in 0..n {
+        let bytes = union.read_row(host, i)?;
+        let used = bytes[0] == 1;
+        let tag = bytes[1];
+        let row = &bytes[18..];
+        let mut emit: Option<Vec<u8>> = None;
+        if used && tag == 0 {
+            let r1 = &row[..s1.row_len()];
+            current_primary = Some((col_bytes(&s1, r1, c1), r1.to_vec()));
+        } else if used && tag == 1 {
+            let r2 = &row[..s2.row_len()];
+            if let Some((pk, pr)) = &current_primary {
+                // Verify true equality — hash adjacency is not trusted.
+                if *pk == col_bytes(&s2, r2, c2) {
+                    emit = Some(join_rows(out_len, pr, r2));
+                }
+            }
+        }
+        match emit {
+            Some(joined) => {
+                out.write_row(host, i, &joined)?;
+                matches += 1;
+            }
+            None => out.write_row(host, i, &dummy)?,
+        }
+    }
+    out.set_num_rows(matches);
+    out.set_insert_cursor(out.capacity());
+    union.free(host);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{DataType, Value};
+    use oblidb_enclave::DEFAULT_OM_BYTES;
+
+    fn schema1() -> Schema {
+        Schema::new(vec![Column::new("pk", DataType::Int), Column::new("a", DataType::Int)])
+    }
+
+    fn schema2() -> Schema {
+        Schema::new(vec![Column::new("fk", DataType::Int), Column::new("b", DataType::Int)])
+    }
+
+    fn build(
+        host: &mut Host,
+        schema: Schema,
+        rows: &[(i64, i64)],
+        seed: u8,
+    ) -> FlatTable {
+        let encoded: Vec<Vec<u8>> = rows
+            .iter()
+            .map(|(k, v)| schema.encode_row(&[Value::Int(*k), Value::Int(*v)]).unwrap())
+            .collect();
+        FlatTable::from_encoded_rows(host, AeadKey([seed; 32]), schema, &encoded, rows.len() as u64)
+            .unwrap()
+    }
+
+    /// Reference nested-loop join on decoded values.
+    fn reference(t1: &[(i64, i64)], t2: &[(i64, i64)]) -> Vec<(i64, i64, i64, i64)> {
+        let mut out = Vec::new();
+        for (pk, a) in t1 {
+            for (fk, b) in t2 {
+                if pk == fk {
+                    out.push((*pk, *a, *fk, *b));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn extract(host: &mut Host, out: &mut FlatTable) -> Vec<(i64, i64, i64, i64)> {
+        let mut rows: Vec<(i64, i64, i64, i64)> = out
+            .collect_rows(host)
+            .unwrap()
+            .iter()
+            .map(|r| {
+                (
+                    r[0].as_int().unwrap(),
+                    r[1].as_int().unwrap(),
+                    r[2].as_int().unwrap(),
+                    r[3].as_int().unwrap(),
+                )
+            })
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    fn t1_rows() -> Vec<(i64, i64)> {
+        (0..10).map(|i| (i, i * 100)).collect()
+    }
+
+    fn t2_rows() -> Vec<(i64, i64)> {
+        // Foreign side: multiple matches per key, some misses.
+        vec![(0, 1), (0, 2), (3, 3), (3, 4), (3, 5), (9, 6), (42, 7), (-1, 8)]
+    }
+
+    #[test]
+    fn hash_join_matches_reference() {
+        let mut host = Host::new();
+        let om = OmBudget::new(DEFAULT_OM_BYTES);
+        let mut t1 = build(&mut host, schema1(), &t1_rows(), 1);
+        let mut t2 = build(&mut host, schema2(), &t2_rows(), 2);
+        let mut out =
+            hash_join(&mut host, &om, &mut t1, 0, &mut t2, 0, AeadKey([9u8; 32])).unwrap();
+        assert_eq!(extract(&mut host, &mut out), reference(&t1_rows(), &t2_rows()));
+    }
+
+    #[test]
+    fn hash_join_multi_pass_small_om() {
+        // Oblivious memory for ~2 rows of T1 → many passes, same answer.
+        let mut host = Host::new();
+        let mut t1 = build(&mut host, schema1(), &t1_rows(), 1);
+        let mut t2 = build(&mut host, schema2(), &t2_rows(), 2);
+        let om = OmBudget::new(2 * (t1.row_len() + 32));
+        let mut out =
+            hash_join(&mut host, &om, &mut t1, 0, &mut t2, 0, AeadKey([9u8; 32])).unwrap();
+        assert_eq!(extract(&mut host, &mut out), reference(&t1_rows(), &t2_rows()));
+        // Output structure: passes × |T2| blocks.
+        assert_eq!(out.capacity() % t2_rows().len() as u64, 0);
+        assert!(out.capacity() > t2_rows().len() as u64);
+    }
+
+    #[test]
+    fn opaque_join_matches_reference() {
+        let mut host = Host::new();
+        let om = OmBudget::new(DEFAULT_OM_BYTES);
+        let mut t1 = build(&mut host, schema1(), &t1_rows(), 1);
+        let mut t2 = build(&mut host, schema2(), &t2_rows(), 2);
+        let mut out = sort_merge_join(
+            &mut host,
+            &om,
+            &mut t1,
+            0,
+            &mut t2,
+            0,
+            AeadKey([9u8; 32]),
+            SortMergeVariant::Opaque,
+        )
+        .unwrap();
+        assert_eq!(extract(&mut host, &mut out), reference(&t1_rows(), &t2_rows()));
+    }
+
+    #[test]
+    fn zero_om_join_matches_reference() {
+        let mut host = Host::new();
+        let om = OmBudget::new(0); // truly zero oblivious memory
+        let mut t1 = build(&mut host, schema1(), &t1_rows(), 1);
+        let mut t2 = build(&mut host, schema2(), &t2_rows(), 2);
+        let mut out = sort_merge_join(
+            &mut host,
+            &om,
+            &mut t1,
+            0,
+            &mut t2,
+            0,
+            AeadKey([9u8; 32]),
+            SortMergeVariant::ZeroOm { scratch_rows: 1 },
+        )
+        .unwrap();
+        assert_eq!(extract(&mut host, &mut out), reference(&t1_rows(), &t2_rows()));
+    }
+
+    #[test]
+    fn text_join_keys() {
+        let s1 = Schema::new(vec![
+            Column::new("url", DataType::Text(24)),
+            Column::new("rank", DataType::Int),
+        ]);
+        let s2 = Schema::new(vec![
+            Column::new("dest", DataType::Text(24)),
+            Column::new("rev", DataType::Int),
+        ]);
+        let mut host = Host::new();
+        let om = OmBudget::new(DEFAULT_OM_BYTES);
+        let urls = ["http://a.example/page", "http://b.example/page", "http://c.example"];
+        let r1: Vec<Vec<u8>> = urls
+            .iter()
+            .enumerate()
+            .map(|(i, u)| {
+                s1.encode_row(&[Value::Text(u.to_string()), Value::Int(i as i64)]).unwrap()
+            })
+            .collect();
+        let r2: Vec<Vec<u8>> = [urls[0], urls[2], urls[2], "http://nope"]
+            .iter()
+            .enumerate()
+            .map(|(i, u)| {
+                s2.encode_row(&[Value::Text(u.to_string()), Value::Int(100 + i as i64)]).unwrap()
+            })
+            .collect();
+        let mut t1 =
+            FlatTable::from_encoded_rows(&mut host, AeadKey([1u8; 32]), s1, &r1, 3).unwrap();
+        let mut t2 =
+            FlatTable::from_encoded_rows(&mut host, AeadKey([2u8; 32]), s2, &r2, 4).unwrap();
+        for variant in
+            [SortMergeVariant::Opaque, SortMergeVariant::ZeroOm { scratch_rows: 2 }]
+        {
+            let out = sort_merge_join(
+                &mut host,
+                &om,
+                &mut t1,
+                0,
+                &mut t2,
+                0,
+                AeadKey([9u8; 32]),
+                variant,
+            )
+            .unwrap();
+            assert_eq!(out.num_rows(), 3, "{variant:?}");
+        }
+        let mut out =
+            hash_join(&mut host, &om, &mut t1, 0, &mut t2, 0, AeadKey([9u8; 32])).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        let rows = out.collect_rows(&mut host).unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn empty_foreign_side() {
+        let mut host = Host::new();
+        let om = OmBudget::new(DEFAULT_OM_BYTES);
+        let mut t1 = build(&mut host, schema1(), &t1_rows(), 1);
+        let mut t2 = build(&mut host, schema2(), &[(999, 0)], 2);
+        let mut out =
+            hash_join(&mut host, &om, &mut t1, 0, &mut t2, 0, AeadKey([9u8; 32])).unwrap();
+        assert_eq!(out.num_rows(), 0);
+        assert!(out.collect_rows(&mut host).unwrap().is_empty());
+    }
+
+    #[test]
+    fn join_traces_depend_only_on_sizes() {
+        // Two different data sets of identical sizes: identical traces.
+        for variant in [
+            None, // hash join
+            Some(SortMergeVariant::Opaque),
+            Some(SortMergeVariant::ZeroOm { scratch_rows: 2 }),
+        ] {
+            let mut traces = Vec::new();
+            for flip in [0i64, 1] {
+                let mut host = Host::new();
+                let om = OmBudget::new(4096);
+                let d1: Vec<(i64, i64)> = (0..8).map(|i| (i * (1 + flip), i)).collect();
+                let d2: Vec<(i64, i64)> = (0..6).map(|i| (i * (3 - flip), i)).collect();
+                let mut t1 = build(&mut host, schema1(), &d1, 1);
+                let mut t2 = build(&mut host, schema2(), &d2, 2);
+                host.start_trace();
+                match variant {
+                    None => {
+                        hash_join(&mut host, &om, &mut t1, 0, &mut t2, 0, AeadKey([9u8; 32]))
+                            .unwrap();
+                    }
+                    Some(v) => {
+                        sort_merge_join(
+                            &mut host,
+                            &om,
+                            &mut t1,
+                            0,
+                            &mut t2,
+                            0,
+                            AeadKey([9u8; 32]),
+                            v,
+                        )
+                        .unwrap();
+                    }
+                }
+                traces.push(host.take_trace());
+            }
+            assert_eq!(traces[0], traces[1], "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn output_of_join_composes_with_select() {
+        let mut host = Host::new();
+        let om = OmBudget::new(DEFAULT_OM_BYTES);
+        let mut t1 = build(&mut host, schema1(), &t1_rows(), 1);
+        let mut t2 = build(&mut host, schema2(), &t2_rows(), 2);
+        let mut joined =
+            hash_join(&mut host, &om, &mut t1, 0, &mut t2, 0, AeadKey([9u8; 32])).unwrap();
+        let pred = Predicate_on_b(&joined);
+        let out = crate::exec::select::select_small(
+            &mut host,
+            &om,
+            &mut joined,
+            &pred,
+            AeadKey([8u8; 32]),
+            3,
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 3);
+    }
+
+    #[allow(non_snake_case)]
+    fn Predicate_on_b(joined: &FlatTable) -> crate::predicate::Predicate {
+        use crate::predicate::CmpOp;
+        crate::predicate::Predicate::cmp(joined.schema(), "t2.b", CmpOp::Ge, Value::Int(3))
+            .unwrap()
+    }
+}

@@ -1,0 +1,13 @@
+//! The oblivious physical operators (paper §4, Figure 3).
+
+pub mod aggregate;
+pub mod join;
+pub mod select;
+pub mod sort;
+
+pub use aggregate::{aggregate, group_aggregate, AggFunc, AggState};
+pub use join::{hash_join, sort_merge_join, SortMergeVariant};
+pub use select::{
+    select_continuous, select_hash, select_large, select_naive, select_small, HASH_SLOTS,
+};
+pub use sort::bitonic_sort;

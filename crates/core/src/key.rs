@@ -1,0 +1,107 @@
+//! Order-preserving composite index keys.
+//!
+//! ObliDB indexes a table on one column. The B+ tree key is a `u128`
+//! composite of the column value (order-preserving encoding, high bits) and
+//! the row id (low bits), so duplicate column values remain distinct index
+//! entries and range queries over the column map to contiguous key ranges.
+
+use crate::types::Value;
+
+/// Order-preserving map from `i64` to `u64` (flip the sign bit).
+pub fn order_u64_from_i64(v: i64) -> u64 {
+    (v as u64) ^ (1u64 << 63)
+}
+
+/// Order-preserving map from `f64` to `u64` (IEEE total-order trick:
+/// positive floats flip the sign bit, negative floats flip all bits).
+pub fn order_u64_from_f64(v: f64) -> u64 {
+    let bits = v.to_bits();
+    if bits >> 63 == 0 {
+        bits | (1u64 << 63)
+    } else {
+        !bits
+    }
+}
+
+/// Order-preserving `u64` for any indexable value. Text columns use their
+/// first 8 bytes (ties broken by row id, so correctness is unaffected; only
+/// range-scan granularity coarsens for longer shared prefixes).
+pub fn order_u64(v: &Value) -> u64 {
+    match v {
+        Value::Int(i) => order_u64_from_i64(*i),
+        Value::Float(f) => order_u64_from_f64(*f),
+        Value::Text(s) => {
+            let mut buf = [0u8; 8];
+            let take = s.len().min(8);
+            buf[..take].copy_from_slice(&s.as_bytes()[..take]);
+            u64::from_be_bytes(buf)
+        }
+    }
+}
+
+/// Packs (column value, row id) into a composite key.
+pub fn composite(v: &Value, row_id: u64) -> u128 {
+    ((order_u64(v) as u128) << 64) | row_id as u128
+}
+
+/// The smallest composite key for a column value.
+pub fn range_lo(v: &Value) -> u128 {
+    (order_u64(v) as u128) << 64
+}
+
+/// The largest composite key for a column value.
+pub fn range_hi(v: &Value) -> u128 {
+    ((order_u64(v) as u128) << 64) | u64::MAX as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i64_order_preserved() {
+        let vals = [i64::MIN, -5, -1, 0, 1, 5, i64::MAX];
+        for w in vals.windows(2) {
+            assert!(order_u64_from_i64(w[0]) < order_u64_from_i64(w[1]));
+        }
+    }
+
+    #[test]
+    fn f64_order_preserved() {
+        let vals = [f64::NEG_INFINITY, -10.5, -0.0, 0.0, 1.0e-9, 2.5, f64::INFINITY];
+        for w in vals.windows(2) {
+            assert!(
+                order_u64_from_f64(w[0]) <= order_u64_from_f64(w[1]),
+                "{} !<= {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(order_u64_from_f64(-1.0) < order_u64_from_f64(1.0));
+    }
+
+    #[test]
+    fn text_prefix_order() {
+        assert!(order_u64(&Value::Text("apple".into())) < order_u64(&Value::Text("banana".into())));
+        assert!(order_u64(&Value::Text("a".into())) < order_u64(&Value::Text("ab".into())));
+    }
+
+    #[test]
+    fn composite_ranges_bracket_rowids() {
+        let v = Value::Int(7);
+        let lo = range_lo(&v);
+        let hi = range_hi(&v);
+        for rid in [0u64, 1, 999, u64::MAX] {
+            let k = composite(&v, rid);
+            assert!(lo <= k && k <= hi);
+        }
+        assert!(range_hi(&Value::Int(6)) < lo);
+        assert!(hi < range_lo(&Value::Int(8)));
+    }
+
+    #[test]
+    fn duplicates_distinct_by_rowid() {
+        let v = Value::Int(7);
+        assert_ne!(composite(&v, 1), composite(&v, 2));
+    }
+}

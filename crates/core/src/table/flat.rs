@@ -1,0 +1,404 @@
+//! The flat storage method (paper §3.1).
+//!
+//! Rows live in adjacent sealed blocks, one record per block (footnote 2),
+//! with no built-in obliviousness — so every mutation is a full scan where
+//! each block is read and re-written (dummy writes for unaffected blocks),
+//! and read operators are built from full scans by the algorithms in
+//! [`crate::exec`]. The only exception is the administrator-selectable
+//! constant-time "fast insert" (§3.1), which appends at a cursor and leaks
+//! nothing beyond the table size, which grows observably anyway.
+
+use oblidb_crypto::aead::AeadKey;
+use oblidb_enclave::Host;
+use oblidb_storage::SealedRegion;
+
+use crate::error::DbError;
+use crate::predicate::Predicate;
+use crate::types::{Row, Schema, Value};
+
+/// A flat table: `capacity` sealed row-blocks, `num_rows` of them in use.
+///
+/// Both numbers are public (the adversary sees the allocation and watches
+/// it fill); *which* blocks hold real rows is hidden.
+pub struct FlatTable {
+    schema: Schema,
+    store: SealedRegion,
+    num_rows: u64,
+    insert_cursor: u64,
+}
+
+impl FlatTable {
+    /// Allocates an empty table of `capacity` rows.
+    pub fn create(
+        host: &mut Host,
+        key: AeadKey,
+        schema: Schema,
+        capacity: u64,
+    ) -> Result<Self, DbError> {
+        let row_len = schema.row_len();
+        let store = SealedRegion::create(host, key, capacity.max(1) as usize, row_len)?;
+        Ok(FlatTable { schema, store, num_rows: 0, insert_cursor: 0 })
+    }
+
+    /// Bulk-creates a table from encoded rows (pre-deployment load).
+    pub fn from_encoded_rows(
+        host: &mut Host,
+        key: AeadKey,
+        schema: Schema,
+        rows: &[Vec<u8>],
+        capacity: u64,
+    ) -> Result<Self, DbError> {
+        assert!(rows.len() as u64 <= capacity.max(1));
+        let mut t = Self::create(host, key, schema, capacity)?;
+        for row in rows {
+            t.store.write(host, t.insert_cursor, row)?;
+            t.insert_cursor += 1;
+        }
+        t.num_rows = rows.len() as u64;
+        Ok(t)
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Allocated blocks (public).
+    pub fn capacity(&self) -> u64 {
+        self.store.len()
+    }
+
+    /// Rows in use (public).
+    pub fn num_rows(&self) -> u64 {
+        self.num_rows
+    }
+
+    /// Encoded row length.
+    pub fn row_len(&self) -> usize {
+        self.schema.row_len()
+    }
+
+    /// The untrusted region backing this table.
+    pub fn region_id(&self) -> oblidb_enclave::RegionId {
+        self.store.region_id()
+    }
+
+    /// Reads block `i`, returning the decrypted row bytes.
+    pub fn read_row(&mut self, host: &mut Host, i: u64) -> Result<Vec<u8>, DbError> {
+        Ok(self.store.read(host, i)?.to_vec())
+    }
+
+    /// Writes block `i`.
+    pub fn write_row(&mut self, host: &mut Host, i: u64, bytes: &[u8]) -> Result<(), DbError> {
+        self.store.write(host, i, bytes)?;
+        Ok(())
+    }
+
+    /// Sets the logical row count (used by operators that fill an output
+    /// table they allocated).
+    pub fn set_num_rows(&mut self, n: u64) {
+        self.num_rows = n;
+    }
+
+    /// Advances the fast-insert cursor (operators that fill blocks
+    /// sequentially keep it consistent).
+    pub fn set_insert_cursor(&mut self, c: u64) {
+        self.insert_cursor = c;
+    }
+
+    /// Replaces the schema with one of identical layout (used to attach
+    /// table-qualified column names to join outputs).
+    pub fn rename_columns(&mut self, schema: Schema) {
+        assert_eq!(schema.row_len(), self.schema.row_len(), "layout must not change");
+        self.schema = schema;
+    }
+
+    /// Oblivious insert (paper §3.1): one pass over the whole table; the
+    /// first unused block gets the real write, every other block gets a
+    /// dummy re-encryption. Leaks only the table size.
+    pub fn insert_oblivious(&mut self, host: &mut Host, values: &[Value]) -> Result<(), DbError> {
+        let encoded = self.schema.encode_row(values)?;
+        let mut placed = false;
+        for i in 0..self.capacity() {
+            let current = self.store.read(host, i)?.to_vec();
+            if !placed && !Schema::row_used(&current) {
+                self.store.write(host, i, &encoded)?;
+                placed = true;
+            } else {
+                self.store.write(host, i, &current)?;
+            }
+        }
+        if !placed {
+            return Err(DbError::TableFull("flat table".into()));
+        }
+        self.num_rows += 1;
+        self.insert_cursor = self.insert_cursor.max(self.num_rows);
+        Ok(())
+    }
+
+    /// Constant-time insert (paper §3.1): writes directly at the cursor.
+    /// Safe for tables with few deletions; leaks only the insertion count,
+    /// which the adversary learns from table growth anyway.
+    pub fn insert_fast(&mut self, host: &mut Host, values: &[Value]) -> Result<(), DbError> {
+        let encoded = self.schema.encode_row(values)?;
+        if self.insert_cursor >= self.capacity() {
+            return Err(DbError::TableFull("flat table".into()));
+        }
+        self.store.write(host, self.insert_cursor, &encoded)?;
+        self.insert_cursor += 1;
+        self.num_rows += 1;
+        Ok(())
+    }
+
+    /// Oblivious UPDATE (paper §3.1): one pass; matching rows are
+    /// rewritten with the assignments applied, others get dummy writes.
+    /// Returns the number of rows changed.
+    pub fn update_where(
+        &mut self,
+        host: &mut Host,
+        pred: &Predicate,
+        assignments: &[(usize, Value)],
+    ) -> Result<u64, DbError> {
+        let mut changed = 0;
+        for i in 0..self.capacity() {
+            let bytes = self.store.read(host, i)?.to_vec();
+            if Schema::row_used(&bytes) && pred.eval(&self.schema, &bytes) {
+                let mut row = self.schema.decode_row(&bytes);
+                for (col, v) in assignments {
+                    row[*col] = v.clone();
+                }
+                let encoded = self.schema.encode_row(&row)?;
+                self.store.write(host, i, &encoded)?;
+                changed += 1;
+            } else {
+                self.store.write(host, i, &bytes)?;
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Oblivious DELETE (paper §3.1): one pass; matching rows are marked
+    /// unused and overwritten with dummy data, others get dummy writes.
+    pub fn delete_where(&mut self, host: &mut Host, pred: &Predicate) -> Result<u64, DbError> {
+        let dummy = self.schema.dummy_row();
+        let mut removed = 0;
+        for i in 0..self.capacity() {
+            let bytes = self.store.read(host, i)?.to_vec();
+            if Schema::row_used(&bytes) && pred.eval(&self.schema, &bytes) {
+                self.store.write(host, i, &dummy)?;
+                removed += 1;
+            } else {
+                self.store.write(host, i, &bytes)?;
+            }
+        }
+        self.num_rows -= removed;
+        Ok(removed)
+    }
+
+    /// Copies this table into a larger allocation (paper §3: capacity "can
+    /// be increased later by copying to a new, larger table").
+    pub fn grow(&mut self, host: &mut Host, key: AeadKey, new_capacity: u64) -> Result<(), DbError> {
+        assert!(new_capacity >= self.capacity());
+        let mut bigger =
+            SealedRegion::create(host, key, new_capacity as usize, self.row_len())?;
+        for i in 0..self.capacity() {
+            let bytes = self.store.read(host, i)?.to_vec();
+            bigger.write(host, i, &bytes)?;
+        }
+        let old = std::mem::replace(&mut self.store, bigger);
+        old.free(host);
+        Ok(())
+    }
+
+    /// Decodes every used row (full scan — the only oblivious way out).
+    pub fn collect_rows(&mut self, host: &mut Host) -> Result<Vec<Row>, DbError> {
+        let mut out = Vec::with_capacity(self.num_rows as usize);
+        for i in 0..self.capacity() {
+            let bytes = self.store.read(host, i)?;
+            if Schema::row_used(bytes) {
+                out.push(self.schema.decode_row(bytes));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Releases untrusted memory.
+    pub fn free(self, host: &mut Host) {
+        self.store.free(host);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use crate::types::{Column, DataType};
+    use oblidb_enclave::{AccessKind, Host};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Column::new("id", DataType::Int), Column::new("v", DataType::Int)])
+    }
+
+    fn setup(capacity: u64) -> (Host, FlatTable) {
+        let mut host = Host::new();
+        let t = FlatTable::create(&mut host, AeadKey([1u8; 32]), schema(), capacity).unwrap();
+        (host, t)
+    }
+
+    fn vrow(id: i64, v: i64) -> Vec<Value> {
+        vec![Value::Int(id), Value::Int(v)]
+    }
+
+    #[test]
+    fn oblivious_insert_and_collect() {
+        let (mut host, mut t) = setup(8);
+        t.insert_oblivious(&mut host, &vrow(1, 10)).unwrap();
+        t.insert_oblivious(&mut host, &vrow(2, 20)).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        let rows = t.collect_rows(&mut host).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn oblivious_insert_touches_every_block_uniformly() {
+        let (mut host, mut t) = setup(8);
+        host.start_trace();
+        t.insert_oblivious(&mut host, &vrow(1, 10)).unwrap();
+        let trace_a = host.take_trace();
+        host.start_trace();
+        t.insert_oblivious(&mut host, &vrow(999, -5)).unwrap();
+        let trace_b = host.take_trace();
+        // Identical access pattern no matter the values or fill level.
+        assert_eq!(trace_a, trace_b);
+        // Pattern is read-then-write per block, over all blocks.
+        assert_eq!(trace_a.len(), 16);
+        for pair in trace_a.0.chunks(2) {
+            assert_eq!(pair[0].kind, AccessKind::Read);
+            assert_eq!(pair[1].kind, AccessKind::Write);
+            assert_eq!(pair[0].index, pair[1].index);
+        }
+    }
+
+    #[test]
+    fn fast_insert_is_constant_time() {
+        let (mut host, mut t) = setup(8);
+        host.start_trace();
+        t.insert_fast(&mut host, &vrow(1, 1)).unwrap();
+        assert_eq!(host.take_trace().len(), 1);
+        t.insert_fast(&mut host, &vrow(2, 2)).unwrap();
+        assert_eq!(t.collect_rows(&mut host).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn table_full_detected() {
+        let (mut host, mut t) = setup(2);
+        t.insert_fast(&mut host, &vrow(1, 1)).unwrap();
+        t.insert_fast(&mut host, &vrow(2, 2)).unwrap();
+        assert!(matches!(t.insert_fast(&mut host, &vrow(3, 3)), Err(DbError::TableFull(_))));
+        assert!(matches!(
+            t.insert_oblivious(&mut host, &vrow(3, 3)),
+            Err(DbError::TableFull(_))
+        ));
+    }
+
+    #[test]
+    fn update_where_applies_assignments() {
+        let (mut host, mut t) = setup(4);
+        for i in 0..4 {
+            t.insert_fast(&mut host, &vrow(i, i * 10)).unwrap();
+        }
+        let pred = Predicate::cmp(t.schema(), "id", CmpOp::Ge, Value::Int(2)).unwrap();
+        let changed = t.update_where(&mut host, &pred, &[(1, Value::Int(0))]).unwrap();
+        assert_eq!(changed, 2);
+        let rows = t.collect_rows(&mut host).unwrap();
+        assert_eq!(rows[2][1], Value::Int(0));
+        assert_eq!(rows[1][1], Value::Int(10));
+    }
+
+    #[test]
+    fn update_trace_is_data_independent() {
+        let (mut host, mut t) = setup(6);
+        for i in 0..6 {
+            t.insert_fast(&mut host, &vrow(i, i)).unwrap();
+        }
+        let p_none = Predicate::cmp(t.schema(), "id", CmpOp::Gt, Value::Int(100)).unwrap();
+        let p_all = Predicate::True;
+        host.start_trace();
+        t.update_where(&mut host, &p_none, &[(1, Value::Int(7))]).unwrap();
+        let a = host.take_trace();
+        host.start_trace();
+        t.update_where(&mut host, &p_all, &[(1, Value::Int(7))]).unwrap();
+        let b = host.take_trace();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delete_where_marks_unused() {
+        let (mut host, mut t) = setup(5);
+        for i in 0..5 {
+            t.insert_fast(&mut host, &vrow(i, i)).unwrap();
+        }
+        let pred = Predicate::cmp(t.schema(), "id", CmpOp::Lt, Value::Int(2)).unwrap();
+        assert_eq!(t.delete_where(&mut host, &pred).unwrap(), 2);
+        assert_eq!(t.num_rows(), 3);
+        let rows = t.collect_rows(&mut host).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r[0].as_int().unwrap() >= 2));
+    }
+
+    #[test]
+    fn delete_trace_is_data_independent() {
+        let (mut host, mut t) = setup(5);
+        for i in 0..5 {
+            t.insert_fast(&mut host, &vrow(i, i)).unwrap();
+        }
+        let p1 = Predicate::cmp(t.schema(), "id", CmpOp::Eq, Value::Int(0)).unwrap();
+        let p2 = Predicate::cmp(t.schema(), "id", CmpOp::Eq, Value::Int(4)).unwrap();
+        host.start_trace();
+        t.delete_where(&mut host, &p1).unwrap();
+        let a = host.take_trace();
+        host.start_trace();
+        t.delete_where(&mut host, &p2).unwrap();
+        let b = host.take_trace();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oblivious_insert_reuses_deleted_slots() {
+        let (mut host, mut t) = setup(2);
+        t.insert_fast(&mut host, &vrow(1, 1)).unwrap();
+        t.insert_fast(&mut host, &vrow(2, 2)).unwrap();
+        let pred = Predicate::cmp(t.schema(), "id", CmpOp::Eq, Value::Int(1)).unwrap();
+        t.delete_where(&mut host, &pred).unwrap();
+        t.insert_oblivious(&mut host, &vrow(3, 3)).unwrap();
+        let mut ids: Vec<i64> =
+            t.collect_rows(&mut host).unwrap().iter().map(|r| r[0].as_int().unwrap()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn grow_preserves_rows() {
+        let (mut host, mut t) = setup(2);
+        t.insert_fast(&mut host, &vrow(1, 1)).unwrap();
+        t.insert_fast(&mut host, &vrow(2, 2)).unwrap();
+        t.grow(&mut host, AeadKey([2u8; 32]), 10).unwrap();
+        assert_eq!(t.capacity(), 10);
+        t.insert_fast(&mut host, &vrow(3, 3)).unwrap();
+        assert_eq!(t.collect_rows(&mut host).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn bulk_load_roundtrip() {
+        let mut host = Host::new();
+        let s = schema();
+        let rows: Vec<Vec<u8>> =
+            (0..5i64).map(|i| s.encode_row(&vrow(i, i * 2)).unwrap()).collect();
+        let mut t =
+            FlatTable::from_encoded_rows(&mut host, AeadKey([1u8; 32]), s, &rows, 10).unwrap();
+        assert_eq!(t.num_rows(), 5);
+        assert_eq!(t.capacity(), 10);
+        assert_eq!(t.collect_rows(&mut host).unwrap().len(), 5);
+    }
+}

@@ -1,0 +1,62 @@
+//! Storage methods (paper §3): flat, indexed, or both.
+
+mod flat;
+mod indexed;
+
+pub use flat::FlatTable;
+pub use indexed::IndexedTable;
+
+/// A named table with one or both storage methods attached.
+///
+/// Administrators choose the representation per table based on the expected
+/// workload (paper §3.3); `Both` pays insert/update/delete on each method
+/// but lets the planner use the better one per query (Figure 12).
+pub enum TableStorage {
+    /// Contiguous sealed blocks, scanned in full by every operator.
+    Flat(FlatTable),
+    /// Oblivious B+ tree in Path ORAM.
+    Indexed(IndexedTable),
+    /// Both representations, kept in sync.
+    Both {
+        /// The flat copy.
+        flat: FlatTable,
+        /// The indexed copy.
+        indexed: IndexedTable,
+    },
+}
+
+impl TableStorage {
+    /// The flat representation, if present.
+    pub fn flat_mut(&mut self) -> Option<&mut FlatTable> {
+        match self {
+            TableStorage::Flat(f) | TableStorage::Both { flat: f, .. } => Some(f),
+            TableStorage::Indexed(_) => None,
+        }
+    }
+
+    /// The indexed representation, if present.
+    pub fn indexed_mut(&mut self) -> Option<&mut IndexedTable> {
+        match self {
+            TableStorage::Indexed(i) | TableStorage::Both { indexed: i, .. } => Some(i),
+            TableStorage::Flat(_) => None,
+        }
+    }
+
+    /// Logical row count (public).
+    pub fn num_rows(&self) -> u64 {
+        match self {
+            TableStorage::Flat(f) => f.num_rows(),
+            TableStorage::Indexed(i) => i.num_rows(),
+            TableStorage::Both { flat, .. } => flat.num_rows(),
+        }
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &crate::types::Schema {
+        match self {
+            TableStorage::Flat(f) => f.schema(),
+            TableStorage::Indexed(i) => i.schema(),
+            TableStorage::Both { flat, .. } => flat.schema(),
+        }
+    }
+}

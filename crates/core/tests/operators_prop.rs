@@ -1,0 +1,306 @@
+//! Property-based testing of the oblivious operators: under arbitrary
+//! data and predicates, every algorithm must agree with a plain reference
+//! implementation, and equal-leakage runs must produce equal traces.
+
+use oblidb_core::exec::{self, AggFunc, SortMergeVariant};
+use oblidb_core::planner::SelectAlgo;
+use oblidb_core::predicate::{CmpOp, Predicate};
+use oblidb_core::table::FlatTable;
+use oblidb_core::types::{Column, DataType, Schema, Value};
+use oblidb_crypto::aead::AeadKey;
+use oblidb_enclave::{EnclaveRng, Host, OmBudget, DEFAULT_OM_BYTES};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new(vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)])
+}
+
+fn build(host: &mut Host, rows: &[(i64, i64)]) -> FlatTable {
+    let s = schema();
+    let encoded: Vec<Vec<u8>> = rows
+        .iter()
+        .map(|(a, b)| s.encode_row(&[Value::Int(*a), Value::Int(*b)]).unwrap())
+        .collect();
+    FlatTable::from_encoded_rows(host, AeadKey([1u8; 32]), s, &encoded, rows.len().max(1) as u64)
+        .unwrap()
+}
+
+#[derive(Debug, Clone)]
+struct PredSpec {
+    col: usize,
+    op: CmpOp,
+    value: i64,
+}
+
+fn pred_strategy() -> impl Strategy<Value = PredSpec> {
+    (
+        0usize..2,
+        prop_oneof![
+            Just(CmpOp::Eq),
+            Just(CmpOp::Ne),
+            Just(CmpOp::Lt),
+            Just(CmpOp::Le),
+            Just(CmpOp::Gt),
+            Just(CmpOp::Ge)
+        ],
+        -20i64..20,
+    )
+        .prop_map(|(col, op, value)| PredSpec { col, op, value })
+}
+
+fn to_pred(spec: &PredSpec) -> Predicate {
+    Predicate::Cmp { col: spec.col, op: spec.op, value: Value::Int(spec.value) }
+}
+
+fn reference_filter(rows: &[(i64, i64)], spec: &PredSpec) -> Vec<(i64, i64)> {
+    use std::cmp::Ordering::*;
+    let mut out: Vec<(i64, i64)> = rows
+        .iter()
+        .filter(|(a, b)| {
+            let v = if spec.col == 0 { *a } else { *b };
+            let ord = v.cmp(&spec.value);
+            match spec.op {
+                CmpOp::Eq => ord == Equal,
+                CmpOp::Ne => ord != Equal,
+                CmpOp::Lt => ord == Less,
+                CmpOp::Le => ord != Greater,
+                CmpOp::Gt => ord == Greater,
+                CmpOp::Ge => ord != Less,
+            }
+        })
+        .copied()
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn collect_pairs(host: &mut Host, t: &mut FlatTable) -> Vec<(i64, i64)> {
+    let mut out: Vec<(i64, i64)> = t
+        .collect_rows(host)
+        .unwrap()
+        .iter()
+        .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every select algorithm returns exactly the reference filter result.
+    #[test]
+    fn select_algorithms_match_reference(
+        rows in proptest::collection::vec((-20i64..20, -20i64..20), 1..60),
+        spec in pred_strategy(),
+    ) {
+        let expected = reference_filter(&rows, &spec);
+        for algo in [
+            SelectAlgo::Small,
+            SelectAlgo::Large,
+            SelectAlgo::Hash,
+            SelectAlgo::Naive,
+        ] {
+            let mut host = Host::new();
+            let om = OmBudget::new(DEFAULT_OM_BYTES);
+            let mut t = build(&mut host, &rows);
+            let pred = to_pred(&spec);
+            let out_rows = expected.len() as u64;
+            let key = AeadKey([9u8; 32]);
+            let mut out = match algo {
+                SelectAlgo::Small => {
+                    exec::select_small(&mut host, &om, &mut t, &pred, key, out_rows).unwrap()
+                }
+                SelectAlgo::Large => {
+                    exec::select_large(&mut host, &mut t, &pred, key).unwrap()
+                }
+                SelectAlgo::Hash => {
+                    exec::select_hash(&mut host, &mut t, &pred, key, out_rows).unwrap()
+                }
+                SelectAlgo::Naive => exec::select_naive(
+                    &mut host,
+                    &om,
+                    &mut t,
+                    &pred,
+                    key,
+                    out_rows,
+                    EnclaveRng::seed_from_u64(7),
+                )
+                .unwrap(),
+                _ => unreachable!(),
+            };
+            prop_assert_eq!(collect_pairs(&mut host, &mut out), expected.clone(), "{:?}", algo);
+        }
+    }
+
+    /// The padded select returns the reference result for any pad ≥ |R|.
+    #[test]
+    fn padded_select_matches_reference(
+        rows in proptest::collection::vec((-20i64..20, -20i64..20), 1..50),
+        spec in pred_strategy(),
+        extra in 0u64..20,
+    ) {
+        let expected = reference_filter(&rows, &spec);
+        let mut host = Host::new();
+        let om = OmBudget::new(DEFAULT_OM_BYTES);
+        let mut t = build(&mut host, &rows);
+        let pad = expected.len() as u64 + extra;
+        let mut out = exec::select::select_padded(
+            &mut host,
+            &om,
+            &mut t,
+            &to_pred(&spec),
+            AeadKey([9u8; 32]),
+            pad,
+        )
+        .unwrap();
+        prop_assert!(out.capacity() >= pad.max(1));
+        prop_assert_eq!(collect_pairs(&mut host, &mut out), expected);
+    }
+
+    /// Aggregates agree with a plain fold, for any predicate.
+    #[test]
+    fn aggregates_match_reference(
+        rows in proptest::collection::vec((-20i64..20, -20i64..20), 1..60),
+        spec in pred_strategy(),
+    ) {
+        let matching = reference_filter(&rows, &spec);
+        let mut host = Host::new();
+        let mut t = build(&mut host, &rows);
+        let pred = to_pred(&spec);
+
+        let count = exec::aggregate(&mut host, &mut t, AggFunc::Count, None, &pred).unwrap();
+        prop_assert_eq!(count, Value::Int(matching.len() as i64));
+
+        let sum = exec::aggregate(&mut host, &mut t, AggFunc::Sum, Some(1), &pred).unwrap();
+        prop_assert_eq!(sum, Value::Int(matching.iter().map(|(_, b)| b).sum::<i64>()));
+
+        if !matching.is_empty() {
+            let min = exec::aggregate(&mut host, &mut t, AggFunc::Min, Some(0), &pred).unwrap();
+            prop_assert_eq!(min, Value::Int(matching.iter().map(|(a, _)| *a).min().unwrap()));
+        }
+    }
+
+    /// All three joins agree with a nested-loop reference on arbitrary
+    /// (possibly non-FK) key distributions — T1 keys are deduplicated to
+    /// preserve the FK precondition of the sort-merge variants.
+    #[test]
+    fn joins_match_reference(
+        t1_keys in proptest::collection::btree_set(-10i64..10, 1..12),
+        t2 in proptest::collection::vec((-10i64..10, 0i64..100), 0..30),
+    ) {
+        let t1: Vec<(i64, i64)> = t1_keys.iter().map(|k| (*k, k * 2)).collect();
+        let mut expected = Vec::new();
+        for (k1, v1) in &t1 {
+            for (k2, v2) in &t2 {
+                if k1 == k2 {
+                    expected.push((*k1, *v1, *k2, *v2));
+                }
+            }
+        }
+        expected.sort_unstable();
+
+        for variant in [None, Some(SortMergeVariant::Opaque), Some(SortMergeVariant::ZeroOm { scratch_rows: 2 })] {
+            let mut host = Host::new();
+            let om = OmBudget::new(4096);
+            let mut left = build(&mut host, &t1);
+            let mut right = build(&mut host, &t2);
+            let key = AeadKey([9u8; 32]);
+            let mut out = match variant {
+                None => exec::hash_join(&mut host, &om, &mut left, 0, &mut right, 0, key).unwrap(),
+                Some(v) => exec::sort_merge_join(
+                    &mut host, &om, &mut left, 0, &mut right, 0, key, v,
+                ).unwrap(),
+            };
+            let mut got: Vec<(i64, i64, i64, i64)> = out
+                .collect_rows(&mut host)
+                .unwrap()
+                .iter()
+                .map(|r| (
+                    r[0].as_int().unwrap(),
+                    r[1].as_int().unwrap(),
+                    r[2].as_int().unwrap(),
+                    r[3].as_int().unwrap(),
+                ))
+                .collect();
+            got.sort_unstable();
+            prop_assert_eq!(got, expected.clone(), "{:?}", variant);
+        }
+    }
+
+    /// Bitonic sort equals std sort for any data and chunk size.
+    #[test]
+    fn bitonic_matches_std_sort(
+        values in proptest::collection::vec(-1000i64..1000, 1..64),
+        chunk in 1usize..70,
+    ) {
+        let mut host = Host::new();
+        let rows: Vec<(i64, i64)> = values.iter().map(|v| (*v, 0)).collect();
+        let mut t = build(&mut host, &rows);
+        let n = (values.len() as u64).max(2).next_power_of_two();
+        t.grow(&mut host, AeadKey([2u8; 32]), n).unwrap();
+        let s = t.schema().clone();
+        exec::bitonic_sort(&mut host, &mut t, n, move |bytes| {
+            if !Schema::row_used(bytes) {
+                return u128::MAX;
+            }
+            match s.decode_col(bytes, 0) {
+                Value::Int(v) => oblidb_core::key::order_u64_from_i64(v) as u128,
+                _ => 0,
+            }
+        }, chunk).unwrap();
+
+        let mut got = Vec::new();
+        for i in 0..n {
+            let bytes = t.read_row(&mut host, i).unwrap();
+            if Schema::row_used(&bytes) {
+                got.push(t.schema().decode_col(&bytes, 0).as_int().unwrap());
+            }
+        }
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Trace-equality, property-tested: two datasets with the same size
+    /// and match count produce identical adversary transcripts under every
+    /// deterministic select algorithm.
+    #[test]
+    fn equal_leakage_implies_equal_traces(
+        n in 4usize..32,
+        k in 1usize..4,
+        shift in 0usize..2,
+    ) {
+        let k = k.min(n);
+        // Dataset A: first k rows match (value 1); dataset B: last k rows.
+        let data_a: Vec<(i64, i64)> =
+            (0..n).map(|i| (i as i64, i64::from(i < k))).collect();
+        let data_b: Vec<(i64, i64)> =
+            (0..n).map(|i| (i as i64 + shift as i64, i64::from(i >= n - k))).collect();
+        for algo in [SelectAlgo::Small, SelectAlgo::Large, SelectAlgo::Hash] {
+            let mut traces = Vec::new();
+            for data in [&data_a, &data_b] {
+                let mut host = Host::new();
+                let om = OmBudget::new(DEFAULT_OM_BYTES);
+                let mut t = build(&mut host, data);
+                let pred = Predicate::Cmp { col: 1, op: CmpOp::Eq, value: Value::Int(1) };
+                host.start_trace();
+                let key = AeadKey([9u8; 32]);
+                match algo {
+                    SelectAlgo::Small => {
+                        exec::select_small(&mut host, &om, &mut t, &pred, key, k as u64).unwrap();
+                    }
+                    SelectAlgo::Large => {
+                        exec::select_large(&mut host, &mut t, &pred, key).unwrap();
+                    }
+                    SelectAlgo::Hash => {
+                        exec::select_hash(&mut host, &mut t, &pred, key, k as u64).unwrap();
+                    }
+                    _ => unreachable!(),
+                }
+                traces.push(host.take_trace());
+            }
+            prop_assert_eq!(&traces[0], &traces[1], "{:?}", algo);
+        }
+    }
+}

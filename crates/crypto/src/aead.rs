@@ -1,0 +1,197 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+//!
+//! Every block ObliDB writes outside the enclave is sealed with this AEAD;
+//! the associated data binds the ciphertext to its (table, block index,
+//! revision) identity so the untrusted OS can neither tamper with, shuffle,
+//! nor replay blocks without detection (paper §3).
+
+use crate::chacha::ChaCha20;
+use crate::poly1305::{tags_equal, Poly1305};
+
+/// Byte length of the authentication tag.
+pub const TAG_LEN: usize = 16;
+/// Byte length of the nonce.
+pub const NONCE_LEN: usize = 12;
+
+/// A 256-bit AEAD key.
+#[derive(Clone, Copy)]
+pub struct AeadKey(pub [u8; 32]);
+
+/// A 96-bit nonce. Must never repeat for the same key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Nonce(pub [u8; NONCE_LEN]);
+
+impl Nonce {
+    /// Builds a nonce from a 32-bit epoch and 64-bit counter.
+    ///
+    /// The sealed-storage layer uses (epoch = region id, counter = a
+    /// monotonically increasing write counter), which guarantees uniqueness.
+    pub fn from_parts(epoch: u32, counter: u64) -> Self {
+        let mut n = [0u8; NONCE_LEN];
+        n[..4].copy_from_slice(&epoch.to_le_bytes());
+        n[4..].copy_from_slice(&counter.to_le_bytes());
+        Nonce(n)
+    }
+}
+
+/// Error returned when decryption fails authentication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AeadError;
+
+impl std::fmt::Display for AeadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AEAD authentication failed")
+    }
+}
+
+impl std::error::Error for AeadError {}
+
+fn poly_key(key: &AeadKey, nonce: &Nonce) -> [u8; 32] {
+    let cipher = ChaCha20::new(&key.0, &nonce.0);
+    let mut block = [0u8; 64];
+    cipher.block(0, &mut block);
+    block[..32].try_into().unwrap()
+}
+
+fn compute_tag(otk: &[u8; 32], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+    let mut mac = Poly1305::new(otk);
+    mac.update(aad);
+    let aad_pad = (16 - aad.len() % 16) % 16;
+    mac.update(&[0u8; 16][..aad_pad]);
+    mac.update(ciphertext);
+    let ct_pad = (16 - ciphertext.len() % 16) % 16;
+    mac.update(&[0u8; 16][..ct_pad]);
+    let mut lens = [0u8; 16];
+    lens[..8].copy_from_slice(&(aad.len() as u64).to_le_bytes());
+    lens[8..].copy_from_slice(&(ciphertext.len() as u64).to_le_bytes());
+    mac.update(&lens);
+    mac.finish()
+}
+
+/// Encrypts `plaintext` in place and returns the authentication tag.
+pub fn seal(key: &AeadKey, nonce: &Nonce, aad: &[u8], plaintext: &mut [u8]) -> [u8; TAG_LEN] {
+    let otk = poly_key(key, nonce);
+    let cipher = ChaCha20::new(&key.0, &nonce.0);
+    cipher.apply_keystream(1, plaintext);
+    compute_tag(&otk, aad, plaintext)
+}
+
+/// Verifies the tag and decrypts `ciphertext` in place.
+///
+/// On failure the buffer is left in its (still encrypted) input state and
+/// `Err(AeadError)` is returned.
+pub fn open(
+    key: &AeadKey,
+    nonce: &Nonce,
+    aad: &[u8],
+    ciphertext: &mut [u8],
+    tag: &[u8; TAG_LEN],
+) -> Result<(), AeadError> {
+    let otk = poly_key(key, nonce);
+    let expected = compute_tag(&otk, aad, ciphertext);
+    if !tags_equal(&expected, tag) {
+        return Err(AeadError);
+    }
+    let cipher = ChaCha20::new(&key.0, &nonce.0);
+    cipher.apply_keystream(1, ciphertext);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.8.2 AEAD test vector (tag check).
+    #[test]
+    fn rfc8439_aead_vector() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = 0x80 + i as u8;
+        }
+        let nonce = Nonce([
+            0x07, 0x00, 0x00, 0x00, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47,
+        ]);
+        let aad: [u8; 12] = [
+            0x50, 0x51, 0x52, 0x53, 0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7,
+        ];
+        let mut plaintext = *b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let tag = seal(&AeadKey(key), &nonce, &aad, &mut plaintext);
+        let expected_tag: [u8; 16] = [
+            0x1a, 0xe1, 0x0b, 0x59, 0x4f, 0x09, 0xe2, 0x6a, 0x7e, 0x90, 0x2e, 0xcb, 0xd0, 0x60,
+            0x06, 0x91,
+        ];
+        assert_eq!(tag, expected_tag);
+        // First ciphertext bytes from the RFC.
+        assert_eq!(
+            &plaintext[..16],
+            &[
+                0xd3, 0x1a, 0x8d, 0x34, 0x64, 0x8e, 0x60, 0xdb, 0x7b, 0x86, 0xaf, 0xbc, 0x53,
+                0xef, 0x7e, 0xc2
+            ]
+        );
+    }
+
+    #[test]
+    fn roundtrip() {
+        let key = AeadKey([5u8; 32]);
+        let nonce = Nonce::from_parts(1, 99);
+        let aad = b"table:0,block:7,rev:3";
+        let mut data = b"the quick brown fox".to_vec();
+        let tag = seal(&key, &nonce, aad, &mut data);
+        open(&key, &nonce, aad, &mut data, &tag).unwrap();
+        assert_eq!(&data, b"the quick brown fox");
+    }
+
+    #[test]
+    fn tamper_ciphertext_detected() {
+        let key = AeadKey([5u8; 32]);
+        let nonce = Nonce::from_parts(0, 0);
+        let mut data = vec![1u8; 64];
+        let tag = seal(&key, &nonce, b"", &mut data);
+        data[10] ^= 1;
+        assert_eq!(open(&key, &nonce, b"", &mut data, &tag), Err(AeadError));
+    }
+
+    #[test]
+    fn tamper_aad_detected() {
+        let key = AeadKey([5u8; 32]);
+        let nonce = Nonce::from_parts(0, 0);
+        let mut data = vec![1u8; 64];
+        let tag = seal(&key, &nonce, b"rev:1", &mut data);
+        assert_eq!(open(&key, &nonce, b"rev:2", &mut data, &tag), Err(AeadError));
+    }
+
+    #[test]
+    fn wrong_key_detected() {
+        let nonce = Nonce::from_parts(0, 0);
+        let mut data = vec![9u8; 32];
+        let tag = seal(&AeadKey([1u8; 32]), &nonce, b"", &mut data);
+        assert_eq!(open(&AeadKey([2u8; 32]), &nonce, b"", &mut data, &tag), Err(AeadError));
+    }
+
+    #[test]
+    fn wrong_nonce_detected() {
+        let key = AeadKey([1u8; 32]);
+        let mut data = vec![9u8; 32];
+        let tag = seal(&key, &Nonce::from_parts(0, 1), b"", &mut data);
+        assert_eq!(
+            open(&key, &Nonce::from_parts(0, 2), b"", &mut data, &tag),
+            Err(AeadError)
+        );
+    }
+
+    #[test]
+    fn nonce_from_parts_is_injective_on_counter() {
+        assert_ne!(Nonce::from_parts(3, 1), Nonce::from_parts(3, 2));
+        assert_ne!(Nonce::from_parts(3, 1), Nonce::from_parts(4, 1));
+    }
+
+    #[test]
+    fn empty_plaintext_roundtrip() {
+        let key = AeadKey([8u8; 32]);
+        let nonce = Nonce::from_parts(0, 7);
+        let mut data = Vec::new();
+        let tag = seal(&key, &nonce, b"aad", &mut data);
+        open(&key, &nonce, b"aad", &mut data, &tag).unwrap();
+    }
+}

@@ -1,0 +1,172 @@
+//! ChaCha20 stream cipher (RFC 8439).
+//!
+//! The cipher state is sixteen 32-bit words: four constants, eight key
+//! words, a 32-bit block counter, and a 96-bit nonce. Each 64-byte keystream
+//! block is produced by 20 rounds (10 "double rounds") of quarter-round
+//! mixing followed by a feed-forward addition of the initial state.
+
+/// Byte length of one keystream block.
+pub const BLOCK_LEN: usize = 64;
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A ChaCha20 cipher instance bound to a key and nonce.
+#[derive(Clone)]
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha20 {
+    /// Creates a cipher from a 256-bit key and a 96-bit nonce.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12]) -> Self {
+        let mut k = [0u32; 8];
+        for (i, w) in k.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        let mut n = [0u32; 3];
+        for (i, w) in n.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        Self { key: k, nonce: n }
+    }
+
+    /// Produces the 64-byte keystream block for the given counter value.
+    pub fn block(&self, counter: u32, out: &mut [u8; BLOCK_LEN]) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter;
+        state[13..16].copy_from_slice(&self.nonce);
+        let initial = state;
+
+        for _ in 0..10 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            let word = state[i].wrapping_add(initial[i]);
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+    }
+
+    /// XORs the keystream (starting at block `counter`) into `data` in place.
+    ///
+    /// Encryption and decryption are the same operation.
+    pub fn apply_keystream(&self, counter: u32, data: &mut [u8]) {
+        let mut block = [0u8; BLOCK_LEN];
+        let mut ctr = counter;
+        for chunk in data.chunks_mut(BLOCK_LEN) {
+            self.block(ctr, &mut block);
+            for (b, k) in chunk.iter_mut().zip(block.iter()) {
+                *b ^= k;
+            }
+            ctr = ctr.wrapping_add(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.1.1 quarter-round test vector.
+    #[test]
+    fn quarter_round_vector() {
+        let mut st = [0u32; 16];
+        st[0] = 0x1111_1111;
+        st[1] = 0x0102_0304;
+        st[2] = 0x9b8d_6f43;
+        st[3] = 0x0123_4567;
+        quarter_round(&mut st, 0, 1, 2, 3);
+        assert_eq!(st[0], 0xea2a_92f4);
+        assert_eq!(st[1], 0xcb1c_f8ce);
+        assert_eq!(st[2], 0x4581_472e);
+        assert_eq!(st[3], 0x5881_c4bb);
+    }
+
+    /// RFC 8439 §2.3.2 block-function test vector.
+    #[test]
+    fn block_function_vector() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce = [
+            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let cipher = ChaCha20::new(&key, &nonce);
+        let mut out = [0u8; BLOCK_LEN];
+        cipher.block(1, &mut out);
+        let expected: [u8; 64] = [
+            0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20,
+            0x71, 0xc4, 0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0, 0x68, 0x03, 0x04, 0x22, 0xaa, 0x9a,
+            0xc3, 0xd4, 0x6c, 0x4e, 0xd2, 0x82, 0x64, 0x46, 0x07, 0x9f, 0xaa, 0x09, 0x14, 0xc2,
+            0xd7, 0x05, 0xd9, 0x8b, 0x02, 0xa2, 0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e, 0xb9,
+            0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50, 0x3c, 0x4e,
+        ];
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn keystream_roundtrip() {
+        let key = [0x42u8; 32];
+        let nonce = [7u8; 12];
+        let cipher = ChaCha20::new(&key, &nonce);
+        let mut data = (0u8..=200).collect::<Vec<u8>>();
+        let original = data.clone();
+        cipher.apply_keystream(1, &mut data);
+        assert_ne!(data, original);
+        cipher.apply_keystream(1, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn different_counters_give_different_streams() {
+        let cipher = ChaCha20::new(&[1u8; 32], &[2u8; 12]);
+        let mut a = [0u8; BLOCK_LEN];
+        let mut b = [0u8; BLOCK_LEN];
+        cipher.block(0, &mut a);
+        cipher.block(1, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_nonces_give_different_streams() {
+        let a_cipher = ChaCha20::new(&[1u8; 32], &[0u8; 12]);
+        let b_cipher = ChaCha20::new(&[1u8; 32], &[1u8; 12]);
+        let mut a = [0u8; BLOCK_LEN];
+        let mut b = [0u8; BLOCK_LEN];
+        a_cipher.block(0, &mut a);
+        b_cipher.block(0, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn partial_block_matches_prefix_of_full_block() {
+        let cipher = ChaCha20::new(&[9u8; 32], &[3u8; 12]);
+        let mut long = vec![0u8; 100];
+        let mut short = vec![0u8; 10];
+        cipher.apply_keystream(5, &mut long);
+        cipher.apply_keystream(5, &mut short);
+        assert_eq!(&long[..10], &short[..]);
+    }
+}

@@ -1,0 +1,289 @@
+//! Poly1305 one-time authenticator (RFC 8439).
+//!
+//! This is a 32-bit limb implementation in the style of poly1305-donna-32:
+//! the accumulator and clamped `r` are held in five 26-bit limbs and
+//! multiplication/reduction is performed modulo 2^130 - 5 with 64-bit
+//! intermediates.
+
+/// Byte length of a Poly1305 tag.
+pub const TAG_LEN: usize = 16;
+
+/// Incremental Poly1305 state.
+pub struct Poly1305 {
+    r: [u32; 5],
+    h: [u32; 5],
+    pad: [u32; 4],
+    leftover: usize,
+    buffer: [u8; 16],
+}
+
+impl Poly1305 {
+    /// Initializes the authenticator with a 32-byte one-time key `(r, s)`.
+    pub fn new(key: &[u8; 32]) -> Self {
+        let t0 = u32::from_le_bytes(key[0..4].try_into().unwrap());
+        let t1 = u32::from_le_bytes(key[4..8].try_into().unwrap());
+        let t2 = u32::from_le_bytes(key[8..12].try_into().unwrap());
+        let t3 = u32::from_le_bytes(key[12..16].try_into().unwrap());
+
+        // Clamp r per the spec and split into 26-bit limbs.
+        let r = [
+            t0 & 0x03ff_ffff,
+            ((t0 >> 26) | (t1 << 6)) & 0x03ff_ff03,
+            ((t1 >> 20) | (t2 << 12)) & 0x03ff_c0ff,
+            ((t2 >> 14) | (t3 << 18)) & 0x03f0_3fff,
+            (t3 >> 8) & 0x000f_ffff,
+        ];
+
+        let pad = [
+            u32::from_le_bytes(key[16..20].try_into().unwrap()),
+            u32::from_le_bytes(key[20..24].try_into().unwrap()),
+            u32::from_le_bytes(key[24..28].try_into().unwrap()),
+            u32::from_le_bytes(key[28..32].try_into().unwrap()),
+        ];
+
+        Self { r, h: [0; 5], pad, leftover: 0, buffer: [0; 16] }
+    }
+
+    fn process_block(&mut self, block: &[u8; 16], hibit: u32) {
+        let r0 = self.r[0] as u64;
+        let r1 = self.r[1] as u64;
+        let r2 = self.r[2] as u64;
+        let r3 = self.r[3] as u64;
+        let r4 = self.r[4] as u64;
+
+        let s1 = r1 * 5;
+        let s2 = r2 * 5;
+        let s3 = r3 * 5;
+        let s4 = r4 * 5;
+
+        let t0 = u32::from_le_bytes(block[0..4].try_into().unwrap());
+        let t1 = u32::from_le_bytes(block[4..8].try_into().unwrap());
+        let t2 = u32::from_le_bytes(block[8..12].try_into().unwrap());
+        let t3 = u32::from_le_bytes(block[12..16].try_into().unwrap());
+
+        // h += message block (with the 2^128 bit for full blocks)
+        let h0 = (self.h[0] + (t0 & 0x03ff_ffff)) as u64;
+        let h1 = (self.h[1] + (((t0 >> 26) | (t1 << 6)) & 0x03ff_ffff)) as u64;
+        let h2 = (self.h[2] + (((t1 >> 20) | (t2 << 12)) & 0x03ff_ffff)) as u64;
+        let h3 = (self.h[3] + (((t2 >> 14) | (t3 << 18)) & 0x03ff_ffff)) as u64;
+        let h4 = (self.h[4] + ((t3 >> 8) | hibit)) as u64;
+
+        // h *= r (mod 2^130 - 5)
+        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        // Partial carry propagation.
+        let mut c;
+        let mut d0 = d0;
+        let mut d1 = d1;
+        let mut d2 = d2;
+        let mut d3 = d3;
+        let mut d4 = d4;
+
+        c = d0 >> 26;
+        let h0 = (d0 & 0x03ff_ffff) as u32;
+        d1 += c;
+        c = d1 >> 26;
+        let h1 = (d1 & 0x03ff_ffff) as u32;
+        d2 += c;
+        c = d2 >> 26;
+        let h2 = (d2 & 0x03ff_ffff) as u32;
+        d3 += c;
+        c = d3 >> 26;
+        let h3 = (d3 & 0x03ff_ffff) as u32;
+        d4 += c;
+        c = d4 >> 26;
+        let h4 = (d4 & 0x03ff_ffff) as u32;
+        d0 = (h0 as u64) + c * 5;
+        c = d0 >> 26;
+        let h0 = (d0 & 0x03ff_ffff) as u32;
+        let h1 = h1 + c as u32;
+
+        self.h = [h0, h1, h2, h3, h4];
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.leftover > 0 {
+            let want = (16 - self.leftover).min(data.len());
+            self.buffer[self.leftover..self.leftover + want].copy_from_slice(&data[..want]);
+            self.leftover += want;
+            data = &data[want..];
+            if self.leftover < 16 {
+                return;
+            }
+            let block = self.buffer;
+            self.process_block(&block, 1 << 24);
+            self.leftover = 0;
+        }
+        while data.len() >= 16 {
+            let block: [u8; 16] = data[..16].try_into().unwrap();
+            self.process_block(&block, 1 << 24);
+            data = &data[16..];
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.leftover = data.len();
+        }
+    }
+
+    /// Finishes and returns the 16-byte tag.
+    pub fn finish(mut self) -> [u8; TAG_LEN] {
+        if self.leftover > 0 {
+            let mut block = [0u8; 16];
+            block[..self.leftover].copy_from_slice(&self.buffer[..self.leftover]);
+            block[self.leftover] = 1;
+            self.process_block(&block, 0);
+        }
+
+        // Full carry propagation.
+        let mut h0 = self.h[0];
+        let mut h1 = self.h[1];
+        let mut h2 = self.h[2];
+        let mut h3 = self.h[3];
+        let mut h4 = self.h[4];
+
+        let mut c;
+        c = h1 >> 26;
+        h1 &= 0x03ff_ffff;
+        h2 += c;
+        c = h2 >> 26;
+        h2 &= 0x03ff_ffff;
+        h3 += c;
+        c = h3 >> 26;
+        h3 &= 0x03ff_ffff;
+        h4 += c;
+        c = h4 >> 26;
+        h4 &= 0x03ff_ffff;
+        h0 += c * 5;
+        c = h0 >> 26;
+        h0 &= 0x03ff_ffff;
+        h1 += c;
+
+        // Compute h + -p to check whether h >= p.
+        let mut g0 = h0.wrapping_add(5);
+        c = g0 >> 26;
+        g0 &= 0x03ff_ffff;
+        let mut g1 = h1.wrapping_add(c);
+        c = g1 >> 26;
+        g1 &= 0x03ff_ffff;
+        let mut g2 = h2.wrapping_add(c);
+        c = g2 >> 26;
+        g2 &= 0x03ff_ffff;
+        let mut g3 = h3.wrapping_add(c);
+        c = g3 >> 26;
+        g3 &= 0x03ff_ffff;
+        let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+        // Select h if h < p, else g.
+        let mask = (g4 >> 31).wrapping_sub(1);
+        g0 &= mask;
+        g1 &= mask;
+        g2 &= mask;
+        g3 &= mask;
+        let g4m = g4 & mask;
+        let inv = !mask;
+        h0 = (h0 & inv) | g0;
+        h1 = (h1 & inv) | g1;
+        h2 = (h2 & inv) | g2;
+        h3 = (h3 & inv) | g3;
+        h4 = (h4 & inv) | g4m;
+
+        // Serialize to four 32-bit words.
+        let w0 = h0 | (h1 << 26);
+        let w1 = (h1 >> 6) | (h2 << 20);
+        let w2 = (h2 >> 12) | (h3 << 14);
+        let w3 = (h3 >> 18) | (h4 << 8);
+
+        // Add s (the pad) with carry.
+        let mut tag = [0u8; TAG_LEN];
+        let mut f: u64;
+        f = w0 as u64 + self.pad[0] as u64;
+        tag[0..4].copy_from_slice(&(f as u32).to_le_bytes());
+        f = w1 as u64 + self.pad[1] as u64 + (f >> 32);
+        tag[4..8].copy_from_slice(&(f as u32).to_le_bytes());
+        f = w2 as u64 + self.pad[2] as u64 + (f >> 32);
+        tag[8..12].copy_from_slice(&(f as u32).to_le_bytes());
+        f = w3 as u64 + self.pad[3] as u64 + (f >> 32);
+        tag[12..16].copy_from_slice(&(f as u32).to_le_bytes());
+        tag
+    }
+
+    /// One-shot tag computation.
+    pub fn tag(key: &[u8; 32], data: &[u8]) -> [u8; TAG_LEN] {
+        let mut p = Self::new(key);
+        p.update(data);
+        p.finish()
+    }
+}
+
+/// Constant-time tag comparison.
+pub fn tags_equal(a: &[u8; TAG_LEN], b: &[u8; TAG_LEN]) -> bool {
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.5.2 test vector.
+    #[test]
+    fn rfc8439_vector() {
+        let key: [u8; 32] = [
+            0x85, 0xd6, 0xbe, 0x78, 0x57, 0x55, 0x6d, 0x33, 0x7f, 0x44, 0x52, 0xfe, 0x42, 0xd5,
+            0x06, 0xa8, 0x01, 0x03, 0x80, 0x8a, 0xfb, 0x0d, 0xb2, 0xfd, 0x4a, 0xbf, 0xf6, 0xaf,
+            0x41, 0x49, 0xf5, 0x1b,
+        ];
+        let msg = b"Cryptographic Forum Research Group";
+        let tag = Poly1305::tag(&key, msg);
+        let expected: [u8; 16] = [
+            0xa8, 0x06, 0x1d, 0xc1, 0x30, 0x51, 0x36, 0xc6, 0xc2, 0x2b, 0x8b, 0xaf, 0x0c, 0x01,
+            0x27, 0xa9,
+        ];
+        assert_eq!(tag, expected);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = [0x11u8; 32];
+        let msg: Vec<u8> = (0u8..=255).cycle().take(1000).collect();
+        let oneshot = Poly1305::tag(&key, &msg);
+        for split in [0usize, 1, 15, 16, 17, 31, 500, 999, 1000] {
+            let mut p = Poly1305::new(&key);
+            p.update(&msg[..split]);
+            p.update(&msg[split..]);
+            assert_eq!(p.finish(), oneshot, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn different_messages_different_tags() {
+        let key = [3u8; 32];
+        assert_ne!(Poly1305::tag(&key, b"hello"), Poly1305::tag(&key, b"hellp"));
+    }
+
+    #[test]
+    fn tags_equal_is_exact() {
+        let a = [1u8; 16];
+        let mut b = a;
+        assert!(tags_equal(&a, &b));
+        b[15] ^= 0x80;
+        assert!(!tags_equal(&a, &b));
+    }
+
+    #[test]
+    fn empty_message_has_tag_s() {
+        // With r = 0 the accumulator stays 0 and the tag is exactly s.
+        let mut key = [0u8; 32];
+        key[16..32].copy_from_slice(&[0xAB; 16]);
+        let tag = Poly1305::tag(&key, b"anything");
+        assert_eq!(tag, [0xAB; 16]);
+    }
+}

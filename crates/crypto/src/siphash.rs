@@ -1,0 +1,131 @@
+//! SipHash-2-4, a fast keyed PRF (Aumasson & Bernstein).
+//!
+//! ObliDB's Hash SELECT operator hashes the *index* of each row (never its
+//! contents) with two independently keyed hash functions (paper §4.1,
+//! "double hashing"). SipHash-2-4 is the PRF used for both; the unit tests
+//! cross-check against the standard library's reference implementation.
+
+/// A keyed SipHash-2-4 instance.
+#[derive(Clone, Copy, Debug)]
+pub struct SipHash24 {
+    k0: u64,
+    k1: u64,
+}
+
+#[inline(always)]
+fn sipround(v: &mut [u64; 4]) {
+    v[0] = v[0].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(13);
+    v[1] ^= v[0];
+    v[0] = v[0].rotate_left(32);
+    v[2] = v[2].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(16);
+    v[3] ^= v[2];
+    v[0] = v[0].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(21);
+    v[3] ^= v[0];
+    v[2] = v[2].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(17);
+    v[1] ^= v[2];
+    v[2] = v[2].rotate_left(32);
+}
+
+impl SipHash24 {
+    /// Creates a PRF from a 128-bit key given as two words.
+    pub fn new(k0: u64, k1: u64) -> Self {
+        Self { k0, k1 }
+    }
+
+    /// Hashes an arbitrary byte string.
+    pub fn hash(&self, data: &[u8]) -> u64 {
+        let mut v = [
+            self.k0 ^ 0x736f_6d65_7073_6575,
+            self.k1 ^ 0x646f_7261_6e64_6f6d,
+            self.k0 ^ 0x6c79_6765_6e65_7261,
+            self.k1 ^ 0x7465_6462_7974_6573,
+        ];
+
+        let mut chunks = data.chunks_exact(8);
+        for chunk in &mut chunks {
+            let m = u64::from_le_bytes(chunk.try_into().unwrap());
+            v[3] ^= m;
+            sipround(&mut v);
+            sipround(&mut v);
+            v[0] ^= m;
+        }
+
+        let rem = chunks.remainder();
+        let mut last = (data.len() as u64) << 56;
+        for (i, &b) in rem.iter().enumerate() {
+            last |= (b as u64) << (8 * i);
+        }
+        v[3] ^= last;
+        sipround(&mut v);
+        sipround(&mut v);
+        v[0] ^= last;
+
+        v[2] ^= 0xff;
+        sipround(&mut v);
+        sipround(&mut v);
+        sipround(&mut v);
+        sipround(&mut v);
+        v[0] ^ v[1] ^ v[2] ^ v[3]
+    }
+
+    /// Hashes a `u64` (the row index in ObliDB's hash select).
+    pub fn hash_u64(&self, x: u64) -> u64 {
+        self.hash(&x.to_le_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hasher;
+
+    /// Cross-check against the standard library's SipHash-2-4 reference.
+    #[test]
+    #[allow(deprecated)]
+    fn matches_std_reference() {
+        let keys = [(0u64, 0u64), (1, 2), (0xdead_beef, 0xcafe_babe), (u64::MAX, 42)];
+        let messages: Vec<Vec<u8>> = (0..32usize)
+            .map(|n| (0..n).map(|i| (i * 7 + 3) as u8).collect())
+            .collect();
+        for &(k0, k1) in &keys {
+            let ours = SipHash24::new(k0, k1);
+            for msg in &messages {
+                let mut std_hasher = std::hash::SipHasher::new_with_keys(k0, k1);
+                std_hasher.write(msg);
+                assert_eq!(ours.hash(msg), std_hasher.finish(), "key ({k0},{k1}) len {}", msg.len());
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_keys_distinct_outputs() {
+        let a = SipHash24::new(1, 1);
+        let b = SipHash24::new(1, 2);
+        assert_ne!(a.hash_u64(12345), b.hash_u64(12345));
+    }
+
+    #[test]
+    fn deterministic() {
+        let h = SipHash24::new(9, 9);
+        assert_eq!(h.hash_u64(7), h.hash_u64(7));
+    }
+
+    #[test]
+    fn reasonable_distribution_over_buckets() {
+        // Sanity: hashing 0..10_000 into 64 buckets should not leave any
+        // bucket empty or let one bucket dominate.
+        let h = SipHash24::new(0x1234, 0x5678);
+        let mut counts = [0usize; 64];
+        for i in 0..10_000u64 {
+            counts[(h.hash_u64(i) % 64) as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(min > 80, "min bucket {min}");
+        assert!(max < 280, "max bucket {max}");
+    }
+}

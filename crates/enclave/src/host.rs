@@ -1,0 +1,441 @@
+//! The untrusted host: block-granular memory regions with access tracing.
+
+use std::fmt;
+
+/// Identifies one untrusted memory region (e.g. one table file, one ORAM
+/// bucket tree). Region identity is public information — the paper does not
+/// hide *which table* a query touches, only which blocks within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u32);
+
+/// The direction of a boundary crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// The enclave read a block from untrusted memory.
+    Read,
+    /// The enclave wrote a block to untrusted memory.
+    Write,
+}
+
+/// One observable memory access: what the OS-level adversary sees.
+///
+/// Note what is *absent*: the adversary never sees plaintext contents (blocks
+/// are sealed by the storage layer before they reach the host), only the
+/// (region, block index, direction) triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccessEvent {
+    /// Which region was touched.
+    pub region: RegionId,
+    /// Which block within the region.
+    pub index: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// A recorded sequence of accesses — the adversary's transcript
+/// (`TRACE(D, Q)` in the paper's Appendix A).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace(pub Vec<AccessEvent>);
+
+impl Trace {
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The events restricted to one region (useful for per-table assertions).
+    pub fn for_region(&self, region: RegionId) -> Vec<AccessEvent> {
+        self.0.iter().copied().filter(|e| e.region == region).collect()
+    }
+}
+
+/// Aggregate access statistics (always maintained; cheap).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostStats {
+    /// Total block reads.
+    pub reads: u64,
+    /// Total block writes.
+    pub writes: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+}
+
+impl HostStats {
+    /// Total boundary crossings.
+    pub fn total_accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Errors from host memory operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostError {
+    /// The region id was never allocated or was freed.
+    UnknownRegion(RegionId),
+    /// The block index exceeds the region length.
+    OutOfBounds {
+        /// Offending region.
+        region: RegionId,
+        /// Offending index.
+        index: u64,
+        /// Region length in blocks.
+        len: u64,
+    },
+    /// The block was never written.
+    EmptyBlock(RegionId, u64),
+    /// A write's length differs from the region's block size.
+    BlockSizeMismatch {
+        /// Offending region.
+        region: RegionId,
+        /// Expected sealed-block size.
+        expected: usize,
+        /// Provided buffer size.
+        got: usize,
+    },
+}
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostError::UnknownRegion(r) => write!(f, "unknown region {r:?}"),
+            HostError::OutOfBounds { region, index, len } => {
+                write!(f, "index {index} out of bounds for region {region:?} (len {len})")
+            }
+            HostError::EmptyBlock(r, i) => write!(f, "block {i} in region {r:?} never written"),
+            HostError::BlockSizeMismatch { region, expected, got } => write!(
+                f,
+                "block size mismatch in region {region:?}: expected {expected}, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+struct Region {
+    block_size: usize,
+    blocks: Vec<Option<Box<[u8]>>>,
+}
+
+/// The untrusted world: all memory outside the enclave.
+///
+/// Single-threaded by design, matching the paper's single-node engine; the
+/// benchmark harness gives each experiment its own `Host`.
+#[derive(Default)]
+pub struct Host {
+    regions: Vec<Option<Region>>,
+    trace: Option<Vec<AccessEvent>>,
+    stats: HostStats,
+}
+
+impl Host {
+    /// Creates an empty untrusted memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a region of `blocks` blocks, each `block_size` bytes.
+    ///
+    /// Allocation size is public (the paper leaks data-structure sizes).
+    pub fn alloc_region(&mut self, blocks: usize, block_size: usize) -> RegionId {
+        let id = RegionId(self.regions.len() as u32);
+        self.regions.push(Some(Region { block_size, blocks: vec![None; blocks] }));
+        id
+    }
+
+    /// Frees a region (e.g. an intermediate table that was consumed).
+    pub fn free_region(&mut self, region: RegionId) {
+        if let Some(slot) = self.regions.get_mut(region.0 as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Grows a region to `new_blocks` blocks (used when a table is copied to
+    /// a larger allocation; growth is public information).
+    pub fn grow_region(&mut self, region: RegionId, new_blocks: usize) -> Result<(), HostError> {
+        let r = self.region_mut(region)?;
+        if new_blocks > r.blocks.len() {
+            r.blocks.resize(new_blocks, None);
+        }
+        Ok(())
+    }
+
+    fn region(&self, region: RegionId) -> Result<&Region, HostError> {
+        self.regions
+            .get(region.0 as usize)
+            .and_then(|r| r.as_ref())
+            .ok_or(HostError::UnknownRegion(region))
+    }
+
+    fn region_mut(&mut self, region: RegionId) -> Result<&mut Region, HostError> {
+        self.regions
+            .get_mut(region.0 as usize)
+            .and_then(|r| r.as_mut())
+            .ok_or(HostError::UnknownRegion(region))
+    }
+
+    /// Number of blocks in a region.
+    pub fn region_len(&self, region: RegionId) -> Result<u64, HostError> {
+        Ok(self.region(region)?.blocks.len() as u64)
+    }
+
+    /// The sealed-block size of a region.
+    pub fn region_block_size(&self, region: RegionId) -> Result<usize, HostError> {
+        Ok(self.region(region)?.block_size)
+    }
+
+    fn record(&mut self, region: RegionId, index: u64, kind: AccessKind) {
+        if let Some(t) = &mut self.trace {
+            t.push(AccessEvent { region, index, kind });
+        }
+    }
+
+    /// Reads a sealed block. Observable by the adversary.
+    pub fn read(&mut self, region: RegionId, index: u64) -> Result<&[u8], HostError> {
+        // Record before borrow of region data; stats unconditionally.
+        self.record(region, index, AccessKind::Read);
+        let r = self
+            .regions
+            .get(region.0 as usize)
+            .and_then(|r| r.as_ref())
+            .ok_or(HostError::UnknownRegion(region))?;
+        let len = r.blocks.len() as u64;
+        let block = r
+            .blocks
+            .get(index as usize)
+            .ok_or(HostError::OutOfBounds { region, index, len })?
+            .as_deref()
+            .ok_or(HostError::EmptyBlock(region, index))?;
+        self.stats.reads += 1;
+        self.stats.bytes_read += block.len() as u64;
+        // Reborrow immutably for the return value.
+        let r = self.regions[region.0 as usize].as_ref().unwrap();
+        Ok(r.blocks[index as usize].as_deref().unwrap())
+    }
+
+    /// Writes a sealed block. Observable by the adversary.
+    pub fn write(&mut self, region: RegionId, index: u64, data: &[u8]) -> Result<(), HostError> {
+        self.record(region, index, AccessKind::Write);
+        let r = self
+            .regions
+            .get_mut(region.0 as usize)
+            .and_then(|r| r.as_mut())
+            .ok_or(HostError::UnknownRegion(region))?;
+        if data.len() != r.block_size {
+            return Err(HostError::BlockSizeMismatch {
+                region,
+                expected: r.block_size,
+                got: data.len(),
+            });
+        }
+        let len = r.blocks.len() as u64;
+        let slot = r
+            .blocks
+            .get_mut(index as usize)
+            .ok_or(HostError::OutOfBounds { region, index, len })?;
+        match slot {
+            Some(existing) => existing.copy_from_slice(data),
+            None => *slot = Some(data.to_vec().into_boxed_slice()),
+        }
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    /// ADVERSARY API: overwrite raw bytes without going through the enclave.
+    ///
+    /// Used by integrity tests to model OS tampering. Does not appear in the
+    /// trace (the adversary does not observe itself).
+    pub fn adversary_corrupt(&mut self, region: RegionId, index: u64, f: impl FnOnce(&mut [u8])) {
+        if let Some(Some(r)) = self.regions.get_mut(region.0 as usize) {
+            if let Some(Some(block)) = r.blocks.get_mut(index as usize) {
+                f(block);
+            }
+        }
+    }
+
+    /// ADVERSARY API: swap two sealed blocks (models shuffling attacks).
+    pub fn adversary_swap(&mut self, region: RegionId, a: u64, b: u64) {
+        if let Some(Some(r)) = self.regions.get_mut(region.0 as usize) {
+            r.blocks.swap(a as usize, b as usize);
+        }
+    }
+
+    /// ADVERSARY API: snapshot a sealed block for a later replay/rollback.
+    pub fn adversary_snapshot(&self, region: RegionId, index: u64) -> Option<Box<[u8]>> {
+        self.regions
+            .get(region.0 as usize)
+            .and_then(|r| r.as_ref())
+            .and_then(|r| r.blocks.get(index as usize))
+            .and_then(|b| b.clone())
+    }
+
+    /// ADVERSARY API: restore a previously-snapshotted block (rollback).
+    pub fn adversary_restore(&mut self, region: RegionId, index: u64, snapshot: Box<[u8]>) {
+        if let Some(Some(r)) = self.regions.get_mut(region.0 as usize) {
+            if let Some(slot) = r.blocks.get_mut(index as usize) {
+                *slot = Some(snapshot);
+            }
+        }
+    }
+
+    /// Starts recording accesses (clearing any previous recording).
+    pub fn start_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the transcript.
+    pub fn take_trace(&mut self) -> Trace {
+        Trace(self.trace.take().unwrap_or_default())
+    }
+
+    /// Whether a trace is being recorded.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Aggregate statistics since the last [`Host::reset_stats`].
+    pub fn stats(&self) -> HostStats {
+        self.stats
+    }
+
+    /// Zeroes the aggregate counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = HostStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_read_write_roundtrip() {
+        let mut h = Host::new();
+        let r = h.alloc_region(4, 8);
+        h.write(r, 2, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        assert_eq!(h.read(r, 2).unwrap(), &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn read_unwritten_block_fails() {
+        let mut h = Host::new();
+        let r = h.alloc_region(4, 8);
+        assert_eq!(h.read(r, 0), Err(HostError::EmptyBlock(r, 0)));
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mut h = Host::new();
+        let r = h.alloc_region(4, 8);
+        assert!(matches!(h.write(r, 9, &[0; 8]), Err(HostError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn block_size_enforced() {
+        let mut h = Host::new();
+        let r = h.alloc_region(4, 8);
+        assert!(matches!(
+            h.write(r, 0, &[0; 7]),
+            Err(HostError::BlockSizeMismatch { expected: 8, got: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn freed_region_unusable() {
+        let mut h = Host::new();
+        let r = h.alloc_region(4, 8);
+        h.free_region(r);
+        assert_eq!(h.read(r, 0), Err(HostError::UnknownRegion(r)));
+    }
+
+    #[test]
+    fn trace_records_order_and_kind() {
+        let mut h = Host::new();
+        let r = h.alloc_region(4, 8);
+        h.start_trace();
+        h.write(r, 1, &[0; 8]).unwrap();
+        h.read(r, 1).unwrap();
+        h.write(r, 3, &[0; 8]).unwrap();
+        let t = h.take_trace();
+        assert_eq!(
+            t.0,
+            vec![
+                AccessEvent { region: r, index: 1, kind: AccessKind::Write },
+                AccessEvent { region: r, index: 1, kind: AccessKind::Read },
+                AccessEvent { region: r, index: 3, kind: AccessKind::Write },
+            ]
+        );
+    }
+
+    #[test]
+    fn failed_reads_still_traced() {
+        // An adversary observes the *attempt*; the trace must include it.
+        let mut h = Host::new();
+        let r = h.alloc_region(2, 8);
+        h.start_trace();
+        let _ = h.read(r, 0);
+        let t = h.take_trace();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut h = Host::new();
+        let r = h.alloc_region(4, 16);
+        h.write(r, 0, &[0; 16]).unwrap();
+        h.write(r, 1, &[0; 16]).unwrap();
+        h.read(r, 0).unwrap();
+        let s = h.stats();
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes_written, 32);
+        assert_eq!(s.bytes_read, 16);
+        assert_eq!(s.total_accesses(), 3);
+    }
+
+    #[test]
+    fn grow_region_preserves_content() {
+        let mut h = Host::new();
+        let r = h.alloc_region(2, 4);
+        h.write(r, 1, &[9; 4]).unwrap();
+        h.grow_region(r, 10).unwrap();
+        assert_eq!(h.region_len(r).unwrap(), 10);
+        assert_eq!(h.read(r, 1).unwrap(), &[9; 4]);
+    }
+
+    #[test]
+    fn adversary_apis_do_not_trace() {
+        let mut h = Host::new();
+        let r = h.alloc_region(2, 4);
+        h.write(r, 0, &[1; 4]).unwrap();
+        h.write(r, 1, &[2; 4]).unwrap();
+        h.start_trace();
+        h.adversary_corrupt(r, 0, |b| b[0] ^= 0xFF);
+        h.adversary_swap(r, 0, 1);
+        let snap = h.adversary_snapshot(r, 0).unwrap();
+        h.adversary_restore(r, 0, snap);
+        assert!(h.take_trace().is_empty());
+    }
+
+    #[test]
+    fn trace_for_region_filters() {
+        let mut h = Host::new();
+        let a = h.alloc_region(2, 4);
+        let b = h.alloc_region(2, 4);
+        h.start_trace();
+        h.write(a, 0, &[0; 4]).unwrap();
+        h.write(b, 0, &[0; 4]).unwrap();
+        h.write(a, 1, &[0; 4]).unwrap();
+        let t = h.take_trace();
+        assert_eq!(t.for_region(a).len(), 2);
+        assert_eq!(t.for_region(b).len(), 1);
+    }
+}

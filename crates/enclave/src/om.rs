@@ -1,0 +1,160 @@
+//! Oblivious-memory budget accounting.
+//!
+//! The paper assumes "a limited amount of oblivious memory is available to
+//! the enclave and protected from access pattern leaks" (§2.2). Data
+//! structures that must live there — ORAM position maps, the Small-select
+//! buffer, group-by hash tables, hash-join build tables, sort chunks —
+//! allocate against this budget. When the budget shrinks, operators make
+//! more passes rather than failing (Figure 8 measures exactly that), so
+//! most allocation sites ask for *whatever is available* via
+//! [`OmBudget::available`] and clamp their buffer sizes.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Error: an allocation would exceed the oblivious-memory budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OmError {
+    /// Bytes requested.
+    pub requested: usize,
+    /// Bytes currently free.
+    pub available: usize,
+}
+
+impl std::fmt::Display for OmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "oblivious memory exhausted: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OmError {}
+
+#[derive(Debug)]
+struct Inner {
+    capacity: usize,
+    used: Cell<usize>,
+}
+
+/// A shared handle to the enclave's oblivious-memory pool.
+#[derive(Debug, Clone)]
+pub struct OmBudget {
+    inner: Rc<Inner>,
+}
+
+impl OmBudget {
+    /// Creates a pool of `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        Self { inner: Rc::new(Inner { capacity, used: Cell::new(0) }) }
+    }
+
+    /// Total pool size in bytes.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.inner.used.get()
+    }
+
+    /// Bytes currently free.
+    pub fn available(&self) -> usize {
+        self.inner.capacity - self.inner.used.get()
+    }
+
+    /// Reserves `bytes`; the reservation is released when the returned guard
+    /// drops.
+    pub fn try_alloc(&self, bytes: usize) -> Result<OmAllocation, OmError> {
+        let available = self.available();
+        if bytes > available {
+            return Err(OmError { requested: bytes, available });
+        }
+        self.inner.used.set(self.inner.used.get() + bytes);
+        Ok(OmAllocation { budget: Rc::clone(&self.inner), bytes })
+    }
+
+    /// Reserves `min(bytes, available)` and reports how much was granted.
+    ///
+    /// This is the degrade-gracefully path: e.g. the Small select buffer
+    /// takes whatever is left and makes more passes.
+    pub fn alloc_up_to(&self, bytes: usize) -> OmAllocation {
+        let granted = bytes.min(self.available());
+        self.inner.used.set(self.inner.used.get() + granted);
+        OmAllocation { budget: Rc::clone(&self.inner), bytes: granted }
+    }
+}
+
+/// RAII guard for an oblivious-memory reservation.
+#[derive(Debug)]
+pub struct OmAllocation {
+    budget: Rc<Inner>,
+    bytes: usize,
+}
+
+impl OmAllocation {
+    /// Bytes actually reserved.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Drop for OmAllocation {
+    fn drop(&mut self) {
+        self.budget.used.set(self.budget.used.get() - self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_release() {
+        let om = OmBudget::new(100);
+        assert_eq!(om.available(), 100);
+        {
+            let a = om.try_alloc(60).unwrap();
+            assert_eq!(a.bytes(), 60);
+            assert_eq!(om.available(), 40);
+            let _b = om.try_alloc(40).unwrap();
+            assert_eq!(om.available(), 0);
+        }
+        assert_eq!(om.available(), 100);
+    }
+
+    #[test]
+    fn over_allocation_rejected() {
+        let om = OmBudget::new(100);
+        let _a = om.try_alloc(80).unwrap();
+        let err = om.try_alloc(21).unwrap_err();
+        assert_eq!(err, OmError { requested: 21, available: 20 });
+    }
+
+    #[test]
+    fn alloc_up_to_clamps() {
+        let om = OmBudget::new(100);
+        let _a = om.try_alloc(90).unwrap();
+        let b = om.alloc_up_to(50);
+        assert_eq!(b.bytes(), 10);
+        assert_eq!(om.available(), 0);
+    }
+
+    #[test]
+    fn clones_share_pool() {
+        let om = OmBudget::new(100);
+        let om2 = om.clone();
+        let _a = om.try_alloc(70).unwrap();
+        assert_eq!(om2.available(), 30);
+    }
+
+    #[test]
+    fn zero_budget_grants_nothing() {
+        let om = OmBudget::new(0);
+        assert!(om.try_alloc(1).is_err());
+        assert_eq!(om.alloc_up_to(10).bytes(), 0);
+    }
+}

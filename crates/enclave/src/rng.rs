@@ -1,0 +1,82 @@
+//! In-enclave randomness.
+//!
+//! ORAM leaf reassignment and dummy-access targets need unpredictable (to
+//! the adversary) randomness that lives inside the enclave. For experiment
+//! reproducibility every source is seedable.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Deterministic, seedable RNG representing the enclave's entropy source.
+pub struct EnclaveRng {
+    rng: StdRng,
+}
+
+impl EnclaveRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.random()
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.rng.random_range(0..bound)
+    }
+
+    /// Fills a byte slice with random bytes (key/seed generation).
+    pub fn fill(&mut self, buf: &mut [u8]) {
+        self.rng.fill(buf);
+    }
+
+    /// Derives an independent child RNG (e.g. one per ORAM instance).
+    pub fn fork(&mut self) -> EnclaveRng {
+        EnclaveRng::seed_from_u64(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = EnclaveRng::seed_from_u64(42);
+        let mut b = EnclaveRng::seed_from_u64(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = EnclaveRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn forks_are_independent() {
+        let mut parent = EnclaveRng::seed_from_u64(3);
+        let mut a = parent.fork();
+        let mut b = parent.fork();
+        // Extremely unlikely to collide if independent.
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fill_changes_buffer() {
+        let mut r = EnclaveRng::seed_from_u64(9);
+        let mut buf = [0u8; 32];
+        r.fill(&mut buf);
+        assert_ne!(buf, [0u8; 32]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Bucket (de)serialization for the ORAM tree.
+//!
+//! Each slot stores `(addr, leaf, payload)`. Carrying the assigned leaf
+//! inside the (encrypted) slot lets eviction replace blocks without
+//! consulting the position map for every stash entry — only the *target*
+//! address's position is ever looked up, which keeps the number of
+//! position-map accesses per operation constant (important when the map is
+//! itself recursive).
+
+/// Address marking an empty (dummy) slot.
+pub const DUMMY_ADDR: u64 = u64::MAX;
+
+/// One slot of a bucket: a logical address, its assigned leaf, and payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slot {
+    /// Logical block address, or [`DUMMY_ADDR`].
+    pub addr: u64,
+    /// The leaf this block is currently mapped to.
+    pub leaf: u32,
+    /// Fixed-length payload.
+    pub data: Vec<u8>,
+}
+
+impl Slot {
+    /// A dummy slot of the given payload length.
+    pub fn dummy(payload_len: usize) -> Self {
+        Slot { addr: DUMMY_ADDR, leaf: 0, data: vec![0u8; payload_len] }
+    }
+
+    /// Whether the slot holds a real block.
+    pub fn is_real(&self) -> bool {
+        self.addr != DUMMY_ADDR
+    }
+}
+
+/// Per-slot serialized header size (addr + leaf).
+const SLOT_HEADER: usize = 8 + 4;
+
+/// A fixed-capacity bucket of Z slots, serialized into one sealed block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bucket {
+    /// The slots; always exactly Z entries.
+    pub slots: Vec<Slot>,
+}
+
+impl Bucket {
+    /// Serialized size of a bucket with `z` slots of `payload_len` payloads.
+    pub fn serialized_len(z: usize, payload_len: usize) -> usize {
+        z * (SLOT_HEADER + payload_len)
+    }
+
+    /// An all-dummy bucket.
+    pub fn empty(z: usize, payload_len: usize) -> Self {
+        Bucket { slots: vec![Slot::dummy(payload_len); z] }
+    }
+
+    /// Serializes the bucket into `out` (which must have the exact size).
+    pub fn serialize_into(&self, payload_len: usize, out: &mut [u8]) {
+        debug_assert_eq!(out.len(), Self::serialized_len(self.slots.len(), payload_len));
+        let mut off = 0;
+        for slot in &self.slots {
+            // Stored as addr+1 so an all-zero (freshly sealed) block parses
+            // as an all-dummy bucket.
+            let tagged = if slot.is_real() { slot.addr + 1 } else { 0 };
+            out[off..off + 8].copy_from_slice(&tagged.to_le_bytes());
+            off += 8;
+            out[off..off + 4].copy_from_slice(&slot.leaf.to_le_bytes());
+            off += 4;
+            out[off..off + payload_len].copy_from_slice(&slot.data);
+            off += payload_len;
+        }
+    }
+
+    /// Parses a bucket of `z` slots from sealed-block plaintext.
+    pub fn deserialize(bytes: &[u8], z: usize, payload_len: usize) -> Self {
+        debug_assert_eq!(bytes.len(), Self::serialized_len(z, payload_len));
+        let mut slots = Vec::with_capacity(z);
+        let mut off = 0;
+        for _ in 0..z {
+            let tagged = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+            let addr = if tagged == 0 { DUMMY_ADDR } else { tagged - 1 };
+            off += 8;
+            let leaf = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+            off += 4;
+            let data = bytes[off..off + payload_len].to_vec();
+            off += payload_len;
+            slots.push(Slot { addr, leaf, data });
+        }
+        Bucket { slots }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut b = Bucket::empty(4, 3);
+        b.slots[1] = Slot { addr: 7, leaf: 5, data: vec![1, 2, 3] };
+        b.slots[3] = Slot { addr: 0, leaf: 1, data: vec![9, 9, 9] };
+        let mut buf = vec![0u8; Bucket::serialized_len(4, 3)];
+        b.serialize_into(3, &mut buf);
+        let parsed = Bucket::deserialize(&buf, 4, 3);
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn dummy_is_not_real() {
+        assert!(!Slot::dummy(8).is_real());
+        assert!(Slot { addr: 0, leaf: 0, data: vec![] }.is_real());
+    }
+
+
+    #[test]
+    fn zeroed_block_parses_as_all_dummies() {
+        // Freshly sealed regions hold all-zero payloads; they must read as
+        // empty buckets, not as Z copies of a real block with addr 0.
+        let bytes = vec![0u8; Bucket::serialized_len(4, 8)];
+        let b = Bucket::deserialize(&bytes, 4, 8);
+        assert!(b.slots.iter().all(|s| !s.is_real()));
+    }
+
+    #[test]
+    fn serialized_len_matches() {
+        assert_eq!(Bucket::serialized_len(4, 64), 4 * 76);
+    }
+}

@@ -1,0 +1,345 @@
+//! Sealed block storage: the integrity layer of ObliDB.
+//!
+//! Everything ObliDB stores outside the enclave is encrypted and MACed
+//! (paper §3): each sealed block binds, through the AEAD's associated data,
+//!
+//! 1. **which block it is** (region + block index) — so the OS cannot
+//!    shuffle or substitute blocks,
+//! 2. **which revision it is** (a per-block counter kept *inside* the
+//!    enclave) — so the OS cannot roll a block back to an earlier state,
+//!
+//! and each region uses its own derived key, so blocks cannot migrate
+//! between tables. Any violation surfaces as
+//! [`StorageError::TamperDetected`].
+//!
+//! Layout of a sealed block: `nonce (12) ‖ ciphertext (payload) ‖ tag (16)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use oblidb_crypto::aead::{self, AeadKey, Nonce, NONCE_LEN, TAG_LEN};
+use oblidb_enclave::{Host, HostError, RegionId};
+
+/// Extra bytes a sealed block occupies beyond its plaintext payload.
+pub const SEAL_OVERHEAD: usize = NONCE_LEN + TAG_LEN;
+
+/// Errors from the sealed-storage layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageError {
+    /// The untrusted host failed the operation (bounds, unknown region...).
+    Host(HostError),
+    /// Authentication failed: the block was tampered with, moved, replayed,
+    /// or rolled back by the untrusted OS.
+    TamperDetected {
+        /// Region of the offending block.
+        region: RegionId,
+        /// Index of the offending block.
+        index: u64,
+    },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Host(e) => write!(f, "host error: {e}"),
+            StorageError::TamperDetected { region, index } => {
+                write!(f, "integrity violation at block {index} of region {region:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<HostError> for StorageError {
+    fn from(e: HostError) -> Self {
+        StorageError::Host(e)
+    }
+}
+
+/// An encrypted, integrity-protected block region in untrusted memory.
+///
+/// Trusted state (kept "inside the enclave"): the AEAD key, the per-block
+/// revision numbers, and the nonce counter. Everything else lives in the
+/// [`Host`].
+pub struct SealedRegion {
+    region: RegionId,
+    key: AeadKey,
+    payload_len: usize,
+    write_counter: u64,
+    revisions: Vec<u64>,
+    scratch: Vec<u8>,
+}
+
+impl SealedRegion {
+    /// Allocates a region of `blocks` sealed blocks, each carrying
+    /// `payload_len` plaintext bytes, and initializes every block to an
+    /// encryption of zeros so the region is uniformly unreadable from
+    /// outside and every block is readable from inside.
+    pub fn create(
+        host: &mut Host,
+        key: AeadKey,
+        blocks: usize,
+        payload_len: usize,
+    ) -> Result<Self, StorageError> {
+        let region = host.alloc_region(blocks, payload_len + SEAL_OVERHEAD);
+        let mut this = Self {
+            region,
+            key,
+            payload_len,
+            write_counter: 0,
+            revisions: vec![0; blocks],
+            scratch: vec![0u8; payload_len + SEAL_OVERHEAD],
+        };
+        let zeros = vec![0u8; payload_len];
+        for i in 0..blocks {
+            this.write(host, i as u64, &zeros)?;
+        }
+        Ok(this)
+    }
+
+    /// The underlying host region (public identity).
+    pub fn region_id(&self) -> RegionId {
+        self.region
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> u64 {
+        self.revisions.len() as u64
+    }
+
+    /// True when the region holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.revisions.is_empty()
+    }
+
+    /// Plaintext payload length per block.
+    pub fn payload_len(&self) -> usize {
+        self.payload_len
+    }
+
+    /// Reads and authenticates a block, returning its plaintext payload.
+    ///
+    /// The returned slice borrows this region's scratch buffer; copy it out
+    /// before the next storage call.
+    pub fn read(&mut self, host: &mut Host, index: u64) -> Result<&[u8], StorageError> {
+        let revision = *self
+            .revisions
+            .get(index as usize)
+            .ok_or(HostError::OutOfBounds { region: self.region, index, len: self.len() })?;
+        let sealed = host.read(self.region, index)?;
+        self.scratch.clear();
+        self.scratch.extend_from_slice(sealed);
+
+        let (nonce_bytes, rest) = self.scratch.split_at_mut(NONCE_LEN);
+        let (ciphertext, tag) = rest.split_at_mut(self.payload_len);
+        let nonce = Nonce((&*nonce_bytes).try_into().expect("nonce length"));
+        let tag: [u8; TAG_LEN] = (&*tag).try_into().expect("tag length");
+        let mut aad = [0u8; 16];
+        aad[..8].copy_from_slice(&index.to_le_bytes());
+        aad[8..].copy_from_slice(&revision.to_le_bytes());
+
+        aead::open(&self.key, &nonce, &aad, ciphertext, &tag)
+            .map_err(|_| StorageError::TamperDetected { region: self.region, index })?;
+        Ok(&self.scratch[NONCE_LEN..NONCE_LEN + self.payload_len])
+    }
+
+    /// Seals and writes a block, bumping its revision.
+    ///
+    /// Every write re-randomizes the ciphertext (fresh nonce), so a dummy
+    /// write — writing back exactly what was read — is indistinguishable
+    /// from a real one, the property all the paper's operators rely on.
+    pub fn write(
+        &mut self,
+        host: &mut Host,
+        index: u64,
+        payload: &[u8],
+    ) -> Result<(), StorageError> {
+        assert_eq!(payload.len(), self.payload_len, "payload length mismatch");
+        let len = self.len();
+        let slot = self
+            .revisions
+            .get_mut(index as usize)
+            .ok_or(HostError::OutOfBounds { region: self.region, index, len })?;
+        *slot += 1;
+        let revision = *slot;
+
+        self.write_counter += 1;
+        let nonce = Nonce::from_parts(self.region.0, self.write_counter);
+        let mut aad = [0u8; 16];
+        aad[..8].copy_from_slice(&index.to_le_bytes());
+        aad[8..].copy_from_slice(&revision.to_le_bytes());
+
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&nonce.0);
+        self.scratch.extend_from_slice(payload);
+        let ct_range = NONCE_LEN..NONCE_LEN + self.payload_len;
+        let tag = aead::seal(&self.key, &nonce, &aad, &mut self.scratch[ct_range]);
+        self.scratch.extend_from_slice(&tag);
+        host.write(self.region, index, &self.scratch)?;
+        Ok(())
+    }
+
+    /// Grows the region to `new_blocks`, sealing zeroed payloads into the
+    /// new tail.
+    pub fn grow(&mut self, host: &mut Host, new_blocks: usize) -> Result<(), StorageError> {
+        let old = self.revisions.len();
+        if new_blocks <= old {
+            return Ok(());
+        }
+        host.grow_region(self.region, new_blocks)?;
+        self.revisions.resize(new_blocks, 0);
+        let zeros = vec![0u8; self.payload_len];
+        for i in old..new_blocks {
+            self.write(host, i as u64, &zeros)?;
+        }
+        Ok(())
+    }
+
+    /// Releases the untrusted allocation.
+    pub fn free(self, host: &mut Host) {
+        host.free_region(self.region);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(blocks: usize, payload: usize) -> (Host, SealedRegion) {
+        let mut host = Host::new();
+        let region = SealedRegion::create(&mut host, AeadKey([7u8; 32]), blocks, payload).unwrap();
+        (host, region)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (mut host, mut r) = setup(4, 32);
+        let data = [0xABu8; 32];
+        r.write(&mut host, 1, &data).unwrap();
+        assert_eq!(r.read(&mut host, 1).unwrap(), &data);
+    }
+
+    #[test]
+    fn fresh_region_reads_zeros() {
+        let (mut host, mut r) = setup(3, 16);
+        assert_eq!(r.read(&mut host, 2).unwrap(), &[0u8; 16]);
+    }
+
+    #[test]
+    fn rewrites_are_rerandomized() {
+        // A dummy write (same plaintext) must change the ciphertext.
+        let (mut host, mut r) = setup(2, 16);
+        let data = [5u8; 16];
+        r.write(&mut host, 0, &data).unwrap();
+        let sealed1 = host.adversary_snapshot(r.region_id(), 0).unwrap();
+        r.write(&mut host, 0, &data).unwrap();
+        let sealed2 = host.adversary_snapshot(r.region_id(), 0).unwrap();
+        assert_ne!(sealed1, sealed2);
+        assert_eq!(r.read(&mut host, 0).unwrap(), &data);
+    }
+
+    #[test]
+    fn bit_flip_detected() {
+        let (mut host, mut r) = setup(2, 16);
+        r.write(&mut host, 0, &[1u8; 16]).unwrap();
+        let rid = r.region_id();
+        host.adversary_corrupt(rid, 0, |b| b[NONCE_LEN] ^= 1);
+        assert_eq!(
+            r.read(&mut host, 0).err(),
+            Some(StorageError::TamperDetected { region: rid, index: 0 })
+        );
+    }
+
+    #[test]
+    fn nonce_tamper_detected() {
+        let (mut host, mut r) = setup(2, 16);
+        r.write(&mut host, 0, &[1u8; 16]).unwrap();
+        host.adversary_corrupt(r.region_id(), 0, |b| b[0] ^= 1);
+        assert!(matches!(r.read(&mut host, 0), Err(StorageError::TamperDetected { .. })));
+    }
+
+    #[test]
+    fn tag_tamper_detected() {
+        let (mut host, mut r) = setup(2, 16);
+        r.write(&mut host, 0, &[1u8; 16]).unwrap();
+        host.adversary_corrupt(r.region_id(), 0, |b| {
+            let last = b.len() - 1;
+            b[last] ^= 0x80;
+        });
+        assert!(matches!(r.read(&mut host, 0), Err(StorageError::TamperDetected { .. })));
+    }
+
+    #[test]
+    fn block_shuffle_detected() {
+        // Swapping two validly sealed blocks must fail: the index is bound
+        // into the AAD.
+        let (mut host, mut r) = setup(2, 16);
+        r.write(&mut host, 0, &[1u8; 16]).unwrap();
+        r.write(&mut host, 1, &[2u8; 16]).unwrap();
+        host.adversary_swap(r.region_id(), 0, 1);
+        assert!(matches!(r.read(&mut host, 0), Err(StorageError::TamperDetected { .. })));
+        assert!(matches!(r.read(&mut host, 1), Err(StorageError::TamperDetected { .. })));
+    }
+
+    #[test]
+    fn rollback_detected() {
+        // Replaying an older (validly sealed) version of a block must fail:
+        // the revision number in the enclave has moved on.
+        let (mut host, mut r) = setup(2, 16);
+        r.write(&mut host, 0, &[1u8; 16]).unwrap();
+        let old = host.adversary_snapshot(r.region_id(), 0).unwrap();
+        r.write(&mut host, 0, &[2u8; 16]).unwrap();
+        let rid = r.region_id();
+        host.adversary_restore(rid, 0, old);
+        assert_eq!(
+            r.read(&mut host, 0).err(),
+            Some(StorageError::TamperDetected { region: rid, index: 0 })
+        );
+    }
+
+    #[test]
+    fn cross_region_block_transplant_detected() {
+        // A block sealed for one table cannot be planted into another:
+        // regions use distinct keys.
+        let mut host = Host::new();
+        let mut a = SealedRegion::create(&mut host, AeadKey([1u8; 32]), 2, 16).unwrap();
+        let mut b = SealedRegion::create(&mut host, AeadKey([2u8; 32]), 2, 16).unwrap();
+        a.write(&mut host, 0, &[9u8; 16]).unwrap();
+        let stolen = host.adversary_snapshot(a.region_id(), 0).unwrap();
+        host.adversary_restore(b.region_id(), 0, stolen);
+        assert!(matches!(b.read(&mut host, 0), Err(StorageError::TamperDetected { .. })));
+    }
+
+    #[test]
+    fn grow_preserves_and_extends() {
+        let (mut host, mut r) = setup(2, 8);
+        r.write(&mut host, 1, &[3u8; 8]).unwrap();
+        r.grow(&mut host, 5).unwrap();
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.read(&mut host, 1).unwrap(), &[3u8; 8]);
+        assert_eq!(r.read(&mut host, 4).unwrap(), &[0u8; 8]);
+    }
+
+    #[test]
+    fn sealed_block_size_is_payload_plus_overhead() {
+        let (host, r) = setup(1, 100);
+        assert_eq!(host.region_block_size(r.region_id()).unwrap(), 100 + SEAL_OVERHEAD);
+    }
+
+    #[test]
+    fn out_of_bounds_write_errors() {
+        let (mut host, mut r) = setup(2, 8);
+        assert!(matches!(r.write(&mut host, 7, &[0u8; 8]), Err(StorageError::Host(_))));
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext() {
+        let (mut host, mut r) = setup(1, 16);
+        let secret = *b"TOPSECRET_VALUE!";
+        r.write(&mut host, 0, &secret).unwrap();
+        let sealed = host.adversary_snapshot(r.region_id(), 0).unwrap();
+        // The plaintext must not appear anywhere in the sealed bytes.
+        assert!(!sealed.windows(4).any(|w| w == &secret[..4]));
+    }
+}

@@ -1,0 +1,127 @@
+//! The mixed workloads L1–L5 of paper Figure 12.
+//!
+//! | Workload | Point reads | Small reads | Large reads | Inserts | Deletes |
+//! |----------|------------|-------------|-------------|---------|---------|
+//! | L1       | 5 %        | 0 %         | 5 %         | 90 %    | 0 %     |
+//! | L2       | 0 %        | 90 %        | 0 %         | 9 %     | 1 %     |
+//! | L3       | 50 %       | 0 %         | 50 %        | 0 %     | 0 %     |
+//! | L4       | 45 %       | 0 %         | 45 %        | 5 %     | 5 %     |
+//! | L5       | 0 %        | 0 %         | 90 %        | 5 %     | 5 %     |
+//!
+//! "Point reads access 1 row, small reads access 50, and large reads
+//! access 5% of the table."
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One operation in a mixed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixOp {
+    /// Read one row by key.
+    PointRead {
+        /// Key to look up.
+        key: i64,
+    },
+    /// Read a 50-row key range.
+    SmallRead {
+        /// Range start.
+        lo: i64,
+    },
+    /// Read 5 % of the table (a contiguous key range).
+    LargeRead {
+        /// Range start.
+        lo: i64,
+    },
+    /// Insert a fresh row.
+    Insert {
+        /// New key.
+        key: i64,
+    },
+    /// Delete an existing row.
+    Delete {
+        /// Victim key.
+        key: i64,
+    },
+}
+
+/// The five workload mixes: percentages of
+/// (point, small, large, insert, delete), per Figure 12.
+pub const MIXES: [(&str, [u32; 5]); 5] = [
+    ("L1", [5, 0, 5, 90, 0]),
+    ("L2", [0, 90, 0, 9, 1]),
+    ("L3", [50, 0, 50, 0, 0]),
+    ("L4", [45, 0, 45, 5, 5]),
+    ("L5", [0, 0, 90, 5, 5]),
+];
+
+/// Small reads access this many rows (paper Figure 12 caption).
+pub const SMALL_READ_ROWS: i64 = 50;
+
+/// Generates `ops` operations of mix `mix_name` against a table whose keys
+/// initially span `[0, table_rows)`.
+pub fn generate(mix_name: &str, table_rows: i64, ops: usize, seed: u64) -> Vec<MixOp> {
+    let (_, pct) = MIXES
+        .iter()
+        .find(|(n, _)| *n == mix_name)
+        .unwrap_or_else(|| panic!("unknown mix {mix_name}"));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x111);
+    let large = (table_rows / 20).max(1);
+    let mut next_key = table_rows;
+    let mut out = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        let roll = rng.random_range(0..100u32);
+        let op = if roll < pct[0] {
+            MixOp::PointRead { key: rng.random_range(0..table_rows as u64) as i64 }
+        } else if roll < pct[0] + pct[1] {
+            let lo = rng.random_range(0..(table_rows - SMALL_READ_ROWS).max(1) as u64) as i64;
+            MixOp::SmallRead { lo }
+        } else if roll < pct[0] + pct[1] + pct[2] {
+            let lo = rng.random_range(0..(table_rows - large).max(1) as u64) as i64;
+            MixOp::LargeRead { lo }
+        } else if roll < pct[0] + pct[1] + pct[2] + pct[3] {
+            next_key += 1;
+            MixOp::Insert { key: next_key }
+        } else {
+            MixOp::Delete { key: rng.random_range(0..table_rows as u64) as i64 }
+        };
+        out.push(op);
+    }
+    out
+}
+
+/// Rows a large read touches for a table of `table_rows`.
+pub fn large_read_rows(table_rows: i64) -> i64 {
+    (table_rows / 20).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_mix_percentages() {
+        let ops = generate("L1", 10_000, 5_000, 1);
+        let inserts = ops.iter().filter(|o| matches!(o, MixOp::Insert { .. })).count();
+        let frac = inserts as f64 / ops.len() as f64;
+        assert!((0.85..0.95).contains(&frac), "L1 inserts {frac}");
+    }
+
+    #[test]
+    fn l3_is_read_only() {
+        let ops = generate("L3", 1_000, 1_000, 2);
+        assert!(ops
+            .iter()
+            .all(|o| matches!(o, MixOp::PointRead { .. } | MixOp::LargeRead { .. })));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate("L4", 100, 50, 9), generate("L4", 100, 50, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown mix")]
+    fn unknown_mix_panics() {
+        generate("L9", 100, 10, 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Analytics workload (a scaled-down Big Data Benchmark, paper §7.1):
+//! runs queries Q1–Q3 on ObliDB (flat, then with an index) and on the
+//! no-security plain engine, printing times and plans.
+//!
+//! ```sh
+//! cargo run --release --example analytics
+//! ```
+
+use oblidb::baselines::plain::PlainTable;
+use oblidb::core::predicate::{CmpOp, Predicate};
+use oblidb::core::{Database, DbConfig, StorageMethod};
+use oblidb::workloads::bdb;
+use std::time::Instant;
+
+const SCALE: usize = 20_000; // rows per table; the full benchmark uses 360k/350k
+
+fn main() {
+    println!("generating Big Data Benchmark tables at scale {SCALE}...");
+    let rankings = bdb::rankings(SCALE, 42);
+    let visits = bdb::uservisits(SCALE, SCALE, 42);
+
+    // --- ObliDB, flat storage -------------------------------------------
+    let mut db = Database::new(DbConfig::default());
+    db.create_table_with_rows(
+        "rankings",
+        bdb::rankings_schema(),
+        StorageMethod::Flat,
+        None,
+        &rankings,
+        SCALE as u64,
+    )
+    .unwrap();
+    db.create_table_with_rows(
+        "uservisits",
+        bdb::uservisits_schema(),
+        StorageMethod::Flat,
+        None,
+        &visits,
+        SCALE as u64,
+    )
+    .unwrap();
+
+    for (name, sql) in [("Q1", bdb::q1_sql()), ("Q2", bdb::q2_sql()), ("Q3", bdb::q3_sql())] {
+        let start = Instant::now();
+        let out = db.execute(&sql).unwrap();
+        println!(
+            "ObliDB/flat  {name}: {} rows in {:?} (select={:?}, join={:?})",
+            out.len(),
+            start.elapsed(),
+            out.plan.select_algo,
+            out.plan.join_algo,
+        );
+    }
+
+    // --- ObliDB with an index on pageRank: Q1 becomes an index range scan.
+    let mut db2 = Database::new(DbConfig::default());
+    db2.create_table_with_rows(
+        "rankings",
+        bdb::rankings_schema(),
+        StorageMethod::Both,
+        Some("pageRank"),
+        &rankings,
+        SCALE as u64,
+    )
+    .unwrap();
+    let start = Instant::now();
+    let out = db2.execute(&bdb::q1_sql()).unwrap();
+    println!(
+        "ObliDB/index Q1: {} rows in {:?} (used_index={})",
+        out.len(),
+        start.elapsed(),
+        out.plan.used_index
+    );
+
+    // --- Plain engine ("Spark SQL" stand-in, no security) ----------------
+    let pr = PlainTable::new(bdb::rankings_schema(), rankings.clone());
+    let start = Instant::now();
+    let pred =
+        Predicate::cmp(&pr.schema, "pageRank", CmpOp::Gt, oblidb::core::Value::Int(1000))
+            .unwrap();
+    let hits = pr.select(&pred);
+    println!("plain        Q1: {} rows in {:?}", hits.len(), start.elapsed());
+}

@@ -1,0 +1,58 @@
+//! Quickstart: create a table, insert rows, run oblivious queries.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use oblidb::core::{Database, DbConfig};
+
+fn main() {
+    // The engine simulates the enclave boundary: all table data lives
+    // sealed in "untrusted memory"; operators access it obliviously.
+    let mut db = Database::new(DbConfig::default());
+
+    db.execute("CREATE TABLE employees (id INT, dept INT, salary INT, name CHAR(16))")
+        .unwrap();
+    for (id, dept, salary, name) in [
+        (1, 10, 95_000, "ada"),
+        (2, 10, 87_000, "grace"),
+        (3, 20, 72_000, "alan"),
+        (4, 20, 78_000, "edsger"),
+        (5, 30, 103_000, "barbara"),
+    ] {
+        db.execute(&format!("INSERT INTO employees VALUES ({id}, {dept}, {salary}, '{name}')"))
+            .unwrap();
+    }
+
+    // A selection: the planner picks an oblivious algorithm based on the
+    // (already leaked) result size.
+    let out = db.execute("SELECT name, salary FROM employees WHERE salary > 80000").unwrap();
+    println!("High earners (plan: {:?}):", out.plan.select_algo.unwrap());
+    for row in out.rows() {
+        println!("  {:?} earns {:?}", row[0], row[1]);
+    }
+
+    // Aggregation fuses with selection into a single oblivious pass.
+    let out = db
+        .execute("SELECT COUNT(*), AVG(salary) FROM employees WHERE dept = 20")
+        .unwrap();
+    println!(
+        "Dept 20: {} people, avg salary {:?} (fused pass: {})",
+        out.rows()[0][0].as_int().unwrap(),
+        out.rows()[0][1],
+        out.plan.fused_aggregate
+    );
+
+    // Grouped aggregation keeps per-group accumulators in oblivious memory.
+    let out = db.execute("SELECT dept, SUM(salary) FROM employees GROUP BY dept").unwrap();
+    println!("Payroll by department:");
+    for row in out.rows() {
+        println!("  dept {:?}: {:?}", row[0], row[1]);
+    }
+
+    // Updates and deletes are single oblivious passes: every block is
+    // rewritten whether or not it matched.
+    db.execute("UPDATE employees SET salary = 110000 WHERE name = 'barbara'").unwrap();
+    let gone = db.execute("DELETE FROM employees WHERE dept = 10").unwrap();
+    println!("Deleted {} rows; {} remain.", gone.plan.output_rows, db.table_rows("employees").unwrap());
+}

@@ -1,0 +1,43 @@
+//! # ObliDB — Oblivious Query Processing for Secure Databases
+//!
+//! A full Rust reproduction of *ObliDB: Oblivious Query Processing for
+//! Secure Databases* (Eskandarian & Zaharia, VLDB 2019). This facade crate
+//! re-exports the workspace's public API; see the individual crates for the
+//! subsystem documentation:
+//!
+//! * [`crypto`] — ChaCha20-Poly1305 AEAD, SHA-256/HMAC, SipHash PRF.
+//! * [`enclave`] — the simulated enclave boundary: untrusted block memory
+//!   with access-pattern tracing and an oblivious-memory budget.
+//! * [`storage`] — sealed (encrypted + MACed + rollback-protected) block
+//!   regions.
+//! * [`oram`] — Path ORAM, non-recursive and recursive.
+//! * [`btree`] — the oblivious B+ tree stored inside Path ORAM.
+//! * [`core`] — the database engine: storage methods, oblivious operators,
+//!   query planner, SQL front-end.
+//! * [`baselines`] — the comparison systems re-implemented on the same
+//!   substrate (Opaque, plain/Spark-SQL-like, HIRB + vORAM, MySQL-like).
+//! * [`workloads`] — deterministic generators for the paper's evaluation
+//!   workloads (Big Data Benchmark, CFPB, L1–L5 mixes).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use oblidb::core::{Database, DbConfig, StorageMethod};
+//!
+//! let mut db = Database::new(DbConfig::default());
+//! db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
+//! db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+//! db.execute("INSERT INTO t VALUES (2, 20)").unwrap();
+//! let out = db.execute("SELECT v FROM t WHERE k = 2").unwrap();
+//! assert_eq!(out.rows()[0][0].as_int(), Some(20));
+//! # let _ = StorageMethod::Flat;
+//! ```
+
+pub use oblidb_baselines as baselines;
+pub use oblidb_btree as btree;
+pub use oblidb_core as core;
+pub use oblidb_crypto as crypto;
+pub use oblidb_enclave as enclave;
+pub use oblidb_oram as oram;
+pub use oblidb_storage as storage;
+pub use oblidb_workloads as workloads;

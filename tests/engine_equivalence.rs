@@ -1,0 +1,183 @@
+//! Cross-engine equivalence: ObliDB under every storage method, the
+//! Opaque-style baseline, and the plain engine must return the same
+//! answers on the same workloads. (Performance differs; answers must not.)
+
+use oblidb::baselines::opaque::OpaqueEngine;
+use oblidb::baselines::plain::PlainTable;
+use oblidb::core::exec::AggFunc;
+use oblidb::core::predicate::{CmpOp, Predicate};
+use oblidb::core::{Database, DbConfig, StorageMethod, Value};
+use oblidb::workloads::{bdb, synthetic};
+
+const N: usize = 600;
+
+fn sorted_ids(rows: &[Vec<Value>], col: usize) -> Vec<i64> {
+    let mut out: Vec<i64> = rows.iter().map(|r| r[col].as_int().unwrap()).collect();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn selection_equivalent_across_engines() {
+    let rows = synthetic::table(N, 8, 3);
+    let schema = synthetic::schema(8);
+    let pred = |s: &oblidb::core::Schema| {
+        Predicate::cmp(s, "val", CmpOp::Lt, Value::Int((N / 4) as i64)).unwrap()
+    };
+
+    // Reference: plain engine.
+    let plain = PlainTable::new(schema.clone(), rows.clone());
+    let expected = sorted_ids(&plain.select(&pred(&plain.schema)), 0);
+
+    // ObliDB under each storage method.
+    for method in [StorageMethod::Flat, StorageMethod::Indexed, StorageMethod::Both] {
+        let mut db = Database::new(DbConfig::default());
+        db.create_table_with_rows("t", schema.clone(), method, Some("id"), &rows, N as u64)
+            .unwrap();
+        let out = db
+            .execute(&format!("SELECT * FROM t WHERE val < {}", N / 4))
+            .unwrap();
+        assert_eq!(sorted_ids(out.rows(), 0), expected, "{method:?}");
+    }
+
+    // Opaque baseline.
+    let mut eng = OpaqueEngine::new(1 << 20, 9);
+    let mut t = eng.load_table(schema.clone(), &rows).unwrap();
+    let mut out = eng.select(&mut t, &pred(&schema)).unwrap();
+    let got = out.collect_rows(&mut eng.host).unwrap();
+    assert_eq!(sorted_ids(&got, 0), expected, "opaque");
+}
+
+#[test]
+fn aggregates_equivalent_across_engines() {
+    let rows = synthetic::table(N, 8, 5);
+    let schema = synthetic::schema(8);
+    let pred = Predicate::cmp(&schema, "id", CmpOp::Ge, Value::Int(100)).unwrap();
+
+    let plain = PlainTable::new(schema.clone(), rows.clone());
+    let expected_sum = plain.aggregate(AggFunc::Sum, Some(1), &pred);
+    let expected_count = plain.aggregate(AggFunc::Count, None, &pred);
+
+    let mut db = Database::new(DbConfig::default());
+    db.create_table_with_rows("t", schema.clone(), StorageMethod::Flat, None, &rows, N as u64)
+        .unwrap();
+    let out = db.execute("SELECT SUM(val), COUNT(*) FROM t WHERE id >= 100").unwrap();
+    assert_eq!(out.rows()[0][0], expected_sum);
+    assert_eq!(out.rows()[0][1], expected_count);
+
+    let mut eng = OpaqueEngine::new(1 << 20, 9);
+    let mut t = eng.load_table(schema, &rows).unwrap();
+    assert_eq!(eng.aggregate(&mut t, AggFunc::Sum, Some(1), &pred).unwrap(), expected_sum);
+}
+
+#[test]
+fn group_by_equivalent_across_engines() {
+    let schema = oblidb::core::Schema::new(vec![
+        oblidb::core::Column::new("g", oblidb::core::DataType::Int),
+        oblidb::core::Column::new("v", oblidb::core::DataType::Int),
+    ]);
+    let rows: Vec<Vec<Value>> =
+        (0..N as i64).map(|i| vec![Value::Int(i % 7), Value::Int(i)]).collect();
+
+    let plain = PlainTable::new(schema.clone(), rows.clone());
+    let expected = plain.group_aggregate(0, AggFunc::Sum, Some(1), &Predicate::True);
+
+    let mut db = Database::new(DbConfig::default());
+    db.create_table_with_rows("t", schema.clone(), StorageMethod::Flat, None, &rows, N as u64)
+        .unwrap();
+    let out = db.execute("SELECT g, SUM(v) FROM t GROUP BY g").unwrap();
+    let got: Vec<(Value, Value)> =
+        out.rows().iter().map(|r| (r[0].clone(), r[1].clone())).collect();
+    assert_eq!(got, expected);
+
+    let mut eng = OpaqueEngine::new(1 << 20, 9);
+    let mut t = eng.load_table(schema, &rows).unwrap();
+    let mut opaque_out = eng
+        .group_aggregate(&mut t, 0, AggFunc::Sum, Some(1), &Predicate::True)
+        .unwrap();
+    let mut got: Vec<(Value, Value)> = opaque_out
+        .collect_rows(&mut eng.host)
+        .unwrap()
+        .iter()
+        .map(|r| (r[0].clone(), r[1].clone()))
+        .collect();
+    got.sort_by_key(|(g, _)| g.as_int().unwrap());
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn bdb_q3_equivalent_to_plain_reference() {
+    // Scaled-down BDB Q3: join + date filter + aggregates.
+    let scale = 400;
+    let rankings = bdb::rankings(scale, 11);
+    let visits = bdb::uservisits(scale, scale, 11);
+
+    // Plain reference.
+    let pr = PlainTable::new(bdb::rankings_schema(), rankings.clone());
+    let pv = PlainTable::new(bdb::uservisits_schema(), visits.clone());
+    let filtered: Vec<Vec<Value>> = pv
+        .rows
+        .iter()
+        .filter(|r| r[3].as_int().unwrap() < bdb::Q3_DATE_CUTOFF)
+        .cloned()
+        .collect();
+    let pv_f = PlainTable::new(bdb::uservisits_schema(), filtered);
+    let joined = pr.join(0, &pv_f, 2);
+    let n_joined = joined.len();
+    let sum_rev: f64 = joined.iter().map(|r| r[7].as_float().unwrap()).sum();
+    let avg_rank: f64 =
+        joined.iter().map(|r| r[1].as_int().unwrap() as f64).sum::<f64>() / n_joined as f64;
+
+    // ObliDB.
+    let mut db = Database::new(DbConfig::default());
+    db.create_table_with_rows(
+        "rankings",
+        bdb::rankings_schema(),
+        StorageMethod::Flat,
+        None,
+        &rankings,
+        scale as u64,
+    )
+    .unwrap();
+    db.create_table_with_rows(
+        "uservisits",
+        bdb::uservisits_schema(),
+        StorageMethod::Flat,
+        None,
+        &visits,
+        scale as u64,
+    )
+    .unwrap();
+    let out = db.execute(&bdb::q3_sql()).unwrap();
+    let got_avg = out.rows()[0][0].as_float().unwrap();
+    let got_sum = out.rows()[0][1].as_float().unwrap();
+    assert!((got_avg - avg_rank).abs() < 1e-6, "avg {got_avg} vs {avg_rank}");
+    assert!((got_sum - sum_rev).abs() < 1e-3, "sum {got_sum} vs {sum_rev}");
+}
+
+#[test]
+fn mixed_mutations_keep_storages_equivalent() {
+    // Interleave inserts/updates/deletes on a Both table; flat and index
+    // reads must agree afterwards.
+    let mut db = Database::new(DbConfig::default());
+    db.execute("CREATE TABLE t (k INT, v INT) STORAGE = BOTH INDEX ON k CAPACITY 256")
+        .unwrap();
+    for i in 0..60 {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i * 2)).unwrap();
+    }
+    db.execute("DELETE FROM t WHERE k >= 50").unwrap();
+    db.execute("UPDATE t SET v = -1 WHERE k < 10").unwrap();
+    for i in 100..110 {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, 7)")).unwrap();
+    }
+
+    // Point read through the index.
+    let a = db.execute("SELECT * FROM t WHERE k = 105").unwrap();
+    assert!(a.plan.used_index);
+    assert_eq!(a.rows()[0][1], Value::Int(7));
+    // Scan through the flat copy (non-key predicate).
+    let b = db.execute("SELECT * FROM t WHERE v = -1").unwrap();
+    assert!(!b.plan.used_index);
+    assert_eq!(b.len(), 10);
+    assert_eq!(db.table_rows("t").unwrap(), 60);
+}

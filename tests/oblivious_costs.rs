@@ -1,0 +1,179 @@
+//! Cost-exactness and distributional checks: the public budget formulas
+//! must match observed behaviour exactly, and ORAM leaf choices must look
+//! uniform — the quantitative side of the obliviousness argument.
+
+use oblidb::btree::{ObTree, OpKind};
+use oblidb::crypto::aead::AeadKey;
+use oblidb::enclave::{AccessKind, EnclaveRng, Host, OmBudget, DEFAULT_OM_BYTES};
+use oblidb::oram::{PathOram, PosMapKind};
+
+/// Every tree operation performs exactly `op_budget(op)` ORAM accesses —
+/// not at most, exactly. (Each ORAM access is `2 × path_len` bucket
+/// accesses on the host.)
+#[test]
+fn tree_ops_hit_their_budgets_exactly() {
+    let mut host = Host::new();
+    let om = OmBudget::new(DEFAULT_OM_BYTES);
+    let mut tree = ObTree::new(
+        &mut host,
+        AeadKey([1u8; 32]),
+        500,
+        16,
+        8,
+        PosMapKind::Direct,
+        &om,
+        EnclaveRng::seed_from_u64(5),
+    )
+    .unwrap();
+    for i in 0..200u64 {
+        tree.insert(&mut host, (i * 5) as u128, &[0u8; 16]).unwrap();
+    }
+
+    // Bucket accesses per ORAM access: read path + write path.
+    let per_access = {
+        host.reset_stats();
+        tree.get(&mut host, 0).unwrap();
+        let total = host.stats().total_accesses();
+        assert_eq!(total % tree.op_budget(OpKind::Get), 0, "whole ORAM accesses only");
+        total / tree.op_budget(OpKind::Get)
+    };
+
+    let cases: Vec<(OpKind, Box<dyn FnMut(&mut Host, &mut ObTree)>)> = vec![
+        (
+            OpKind::Get,
+            Box::new(|h: &mut Host, t: &mut ObTree| {
+                t.get(h, 123).unwrap();
+            }),
+        ),
+        (
+            OpKind::Update,
+            Box::new(|h: &mut Host, t: &mut ObTree| {
+                t.update(h, 10, &[7u8; 16]).unwrap();
+            }),
+        ),
+        (
+            OpKind::Insert,
+            Box::new(|h: &mut Host, t: &mut ObTree| {
+                t.insert(h, 1_000_001, &[7u8; 16]).unwrap();
+            }),
+        ),
+        (
+            OpKind::Delete,
+            Box::new(|h: &mut Host, t: &mut ObTree| {
+                t.delete(h, 1_000_001).unwrap();
+            }),
+        ),
+    ];
+    for (op, mut run) in cases {
+        let budget = tree.op_budget(op);
+        host.reset_stats();
+        run(&mut host, &mut tree);
+        let observed = host.stats().total_accesses();
+        assert_eq!(
+            observed,
+            budget * per_access,
+            "{op:?}: observed {observed} accesses, budget {budget} ORAM ops x {per_access}"
+        );
+    }
+}
+
+/// ORAM reads of a single address over time must touch leaf buckets
+/// near-uniformly (leaf remapping works); a skew here would be a
+/// frequency side channel.
+#[test]
+fn oram_leaf_distribution_is_uniform() {
+    let mut host = Host::new();
+    let om = OmBudget::new(DEFAULT_OM_BYTES);
+    let mut oram = PathOram::new(
+        &mut host,
+        AeadKey([2u8; 32]),
+        64,
+        16,
+        PosMapKind::Direct,
+        &om,
+        EnclaveRng::seed_from_u64(11),
+    )
+    .unwrap();
+    oram.write(&mut host, 7, &[1u8; 16]).unwrap();
+
+    // Collect the leaf-level bucket of each access's read path.
+    let leaves = 64u64;
+    let leaf_base = leaves - 1; // complete tree: leaf level starts at 2^h - 1
+    let trials = 1280u64;
+    let mut counts = vec![0u64; leaves as usize];
+    for _ in 0..trials {
+        host.start_trace();
+        oram.read(&mut host, 7).unwrap();
+        let trace = host.take_trace();
+        let leaf = trace
+            .0
+            .iter()
+            .filter(|e| e.kind == AccessKind::Read)
+            .map(|e| e.index)
+            .find(|i| *i >= leaf_base)
+            .expect("every path reaches a leaf");
+        counts[(leaf - leaf_base) as usize] += 1;
+    }
+
+    // Chi-square against uniform: 63 dof, reject far above ~120.
+    let expected = trials as f64 / leaves as f64;
+    let chi2: f64 =
+        counts.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum();
+    assert!(chi2 < 120.0, "leaf distribution skewed: chi^2 = {chi2:.1}, counts {counts:?}");
+}
+
+/// The number of *distinct* untrusted access counts across a mixed batch
+/// of point operations is exactly the number of op types — nothing about
+/// the keys or hit/miss shows up.
+#[test]
+fn mixed_workload_shows_only_op_types() {
+    let mut host = Host::new();
+    let om = OmBudget::new(DEFAULT_OM_BYTES);
+    let mut tree = ObTree::new(
+        &mut host,
+        AeadKey([3u8; 32]),
+        400,
+        16,
+        8,
+        PosMapKind::Direct,
+        &om,
+        EnclaveRng::seed_from_u64(9),
+    )
+    .unwrap();
+    for i in 0..150u64 {
+        tree.insert(&mut host, i as u128 * 3, &[0u8; 16]).unwrap();
+    }
+    let height = tree.height();
+
+    let mut distinct = std::collections::BTreeMap::new();
+    let mut rng = EnclaveRng::seed_from_u64(1);
+    for step in 0..60u32 {
+        let key = rng.below(1000) as u128;
+        host.reset_stats();
+        let op = match step % 3 {
+            0 => {
+                tree.get(&mut host, key).unwrap();
+                "get"
+            }
+            1 => {
+                tree.update(&mut host, key, &[1u8; 16]).unwrap();
+                "update"
+            }
+            _ => {
+                tree.get(&mut host, key * 7).unwrap();
+                "get"
+            }
+        };
+        assert_eq!(tree.height(), height, "height must not drift in this test");
+        distinct
+            .entry(host.stats().total_accesses())
+            .or_insert_with(std::collections::BTreeSet::new)
+            .insert(op);
+    }
+    // Each distinct count corresponds to exactly one op type and vice
+    // versa: the access count partitions by op type only.
+    assert_eq!(distinct.len(), 2, "expected exactly get/update cost classes: {distinct:?}");
+    for ops in distinct.values() {
+        assert_eq!(ops.len(), 1, "one cost class must map to one op type");
+    }
+}
