@@ -13,7 +13,7 @@
 
 use oblidb_crypto::aead::AeadKey;
 use oblidb_crypto::SipHash24;
-use oblidb_enclave::{EnclaveRng, Host, OmBudget};
+use oblidb_enclave::{EnclaveMemory, EnclaveRng, OmBudget};
 use oblidb_oram::{OramError, PathOram, PosMapKind};
 
 /// vORAM bucket (block payload) size, as evaluated in the paper (§7.1:
@@ -65,8 +65,8 @@ fn node_capacity_entries(value_len: usize) -> usize {
 impl HirbMap {
     /// Creates a map for up to `capacity` entries of `value_len`-byte
     /// values.
-    pub fn new(
-        host: &mut Host,
+    pub fn new<M: EnclaveMemory>(
+        host: &mut M,
         key: AeadKey,
         capacity: u64,
         value_len: usize,
@@ -95,15 +95,8 @@ impl HirbMap {
         let _ = leaves_needed;
 
         let seed = rng.next_u64();
-        let oram = PathOram::new(
-            host,
-            key,
-            total_nodes,
-            VORAM_BUCKET,
-            PosMapKind::Direct,
-            om,
-            rng,
-        )?;
+        let oram =
+            PathOram::new(host, key, total_nodes, VORAM_BUCKET, PosMapKind::Direct, om, rng)?;
         Ok(HirbMap {
             oram,
             value_len,
@@ -181,9 +174,9 @@ impl HirbMap {
     /// The entry's home node: deepest level with room; entries hash to the
     /// leaf level and overflow upward is not needed because leaves are
     /// sized for the capacity. All ops touch the full path anyway (padding).
-    fn access(
+    fn access<M: EnclaveMemory>(
         &mut self,
-        host: &mut Host,
+        host: &mut M,
         key: u64,
         op: impl FnOnce(&mut Vec<(u64, Vec<u8>)>) -> bool,
     ) -> Result<bool, HirbError> {
@@ -212,7 +205,11 @@ impl HirbMap {
     }
 
     /// Point lookup.
-    pub fn get(&mut self, host: &mut Host, key: u64) -> Result<Option<Vec<u8>>, HirbError> {
+    pub fn get<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        key: u64,
+    ) -> Result<Option<Vec<u8>>, HirbError> {
         let mut found = None;
         self.access(host, key, |entries| {
             found = entries.iter().find(|(k, _)| *k == key).map(|(_, v)| v.clone());
@@ -222,7 +219,12 @@ impl HirbMap {
     }
 
     /// Insert or overwrite.
-    pub fn insert(&mut self, host: &mut Host, key: u64, value: &[u8]) -> Result<(), HirbError> {
+    pub fn insert<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        key: u64,
+        value: &[u8],
+    ) -> Result<(), HirbError> {
         assert_eq!(value.len(), self.value_len);
         let value = value.to_vec();
         let mut created = false;
@@ -243,7 +245,7 @@ impl HirbMap {
     }
 
     /// Delete; returns whether the key existed.
-    pub fn delete(&mut self, host: &mut Host, key: u64) -> Result<bool, HirbError> {
+    pub fn delete<M: EnclaveMemory>(&mut self, host: &mut M, key: u64) -> Result<bool, HirbError> {
         let mut removed = false;
         self.access(host, key, |entries| {
             let before = entries.len();
@@ -261,7 +263,7 @@ impl HirbMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use oblidb_enclave::DEFAULT_OM_BYTES;
+    use oblidb_enclave::{Host, DEFAULT_OM_BYTES};
 
     fn setup(capacity: u64) -> (Host, HirbMap) {
         let mut host = Host::new();

@@ -14,25 +14,39 @@ use oblidb_core::table::FlatTable;
 use oblidb_core::types::{Schema, Value};
 use oblidb_core::DbError;
 use oblidb_crypto::aead::AeadKey;
-use oblidb_enclave::{EnclaveRng, Host, OmBudget};
+use oblidb_enclave::{EnclaveMemory, EnclaveRng, Host, OmBudget};
 
-/// The Opaque-style engine: a host handle, an oblivious-memory budget
-/// (72 MB in the paper's evaluation), and a key source.
-pub struct OpaqueEngine {
+/// The Opaque-style engine: a memory substrate, an oblivious-memory
+/// budget (72 MB in the paper's evaluation), and a key source.
+pub struct OpaqueEngine<M: EnclaveMemory = Host> {
     /// Untrusted memory.
-    pub host: Host,
+    pub host: M,
     om: OmBudget,
     master: [u8; 32],
     counter: u64,
 }
 
-impl OpaqueEngine {
-    /// Creates an engine with the given oblivious-memory budget.
+impl OpaqueEngine<Host> {
+    /// Creates an engine with the given oblivious-memory budget over a
+    /// fresh in-memory [`Host`].
     pub fn new(om_bytes: usize, seed: u64) -> Self {
+        Self::with_memory(Host::new(), om_bytes, seed)
+    }
+}
+
+impl<M: EnclaveMemory> OpaqueEngine<M> {
+    /// Creates an engine over a caller-provided memory substrate.
+    ///
+    /// On a payload-free substrate (e.g. `CountingMemory`) the traces and
+    /// access counters of every operator are exact — output shapes here
+    /// are functions of public capacities only — but decoded results and
+    /// `num_rows` metadata are meaningless (group keys and match flags
+    /// read as zeros). Use such substrates for cost modeling only.
+    pub fn with_memory(host: M, om_bytes: usize, seed: u64) -> Self {
         let mut rng = EnclaveRng::seed_from_u64(seed);
         let mut master = [0u8; 32];
         rng.fill(&mut master);
-        OpaqueEngine { host: Host::new(), om: OmBudget::new(om_bytes), master, counter: 0 }
+        OpaqueEngine { host, om: OmBudget::new(om_bytes), master, counter: 0 }
     }
 
     fn next_key(&mut self) -> AeadKey {
@@ -68,7 +82,11 @@ impl OpaqueEngine {
     /// obliviously sort matches to the front. Always two full passes plus a
     /// sort — there is no small-result fast path (that gap is what ObliDB's
     /// planner exploits in Figure 7 Q1).
-    pub fn select(&mut self, input: &mut FlatTable, pred: &Predicate) -> Result<FlatTable, DbError> {
+    pub fn select(
+        &mut self,
+        input: &mut FlatTable,
+        pred: &Predicate,
+    ) -> Result<FlatTable, DbError> {
         let schema = input.schema().clone();
         let n = input.capacity().max(2).next_power_of_two();
         let key = self.next_key();
@@ -165,14 +183,15 @@ impl OpaqueEngine {
         drop(alloc);
 
         // Scan: emit the running group's aggregate when the key changes.
-        // One output block per input row keeps the pattern fixed.
+        // One output block per input row, plus one flush block for the
+        // final group (a boundary emit can land in block n-1, so the flush
+        // needs its own slot), keeps the pattern fixed.
         let out_schema = group_output_schema(&schema, group_col, func, agg_col);
         let out_key = self.next_key();
-        let mut out = FlatTable::create(&mut self.host, out_key, out_schema.clone(), n)?;
+        let mut out = FlatTable::create(&mut self.host, out_key, out_schema.clone(), n + 1)?;
         let out_dummy = out_schema.dummy_row();
         let mut current: Option<(Vec<u8>, Value, oblidb_core::exec::AggState)> = None;
         let mut groups = 0u64;
-        let mut write_pos = 0u64;
         for i in 0..n {
             let bytes = sorted.read_row(&mut self.host, i)?;
             let mut emit: Option<Vec<u8>> = None;
@@ -194,18 +213,21 @@ impl OpaqueEngine {
                 }
             }
             match emit {
-                Some(row) => out.write_row(&mut self.host, write_pos, &row)?,
-                None => out.write_row(&mut self.host, write_pos, &out_dummy)?,
+                Some(row) => out.write_row(&mut self.host, i, &row)?,
+                None => out.write_row(&mut self.host, i, &out_dummy)?,
             }
-            write_pos += 1;
         }
-        // Flush the last group into the final block (one extra write; its
-        // presence depends only on whether any row matched, i.e. |R| > 0).
-        if let Some((_, v, state)) = current.take() {
-            let row = out_schema.encode_row(&[v, state.finish(func)])?;
-            out.write_row(&mut self.host, n - 1, &row)?;
-            groups += 1;
-        }
+        // Flush the last group into the extra block. Written
+        // unconditionally (dummy when no group is open) so the transcript
+        // is always exactly n + 1 output writes.
+        let flush = match current.take() {
+            Some((_, v, state)) => {
+                groups += 1;
+                out_schema.encode_row(&[v, state.finish(func)])?
+            }
+            None => out_dummy.clone(),
+        };
+        out.write_row(&mut self.host, n, &flush)?;
         sorted.free(&mut self.host);
         out.set_num_rows(groups);
         out.set_insert_cursor(out.capacity());
@@ -288,8 +310,7 @@ mod tests {
         for cutoff in [2i64, 12] {
             let mut eng = OpaqueEngine::new(1 << 16, 7);
             let mut t = eng.load_table(schema(), &rows(16)).unwrap();
-            let pred =
-                Predicate::cmp(t.schema(), "id", CmpOp::Lt, Value::Int(cutoff)).unwrap();
+            let pred = Predicate::cmp(t.schema(), "id", CmpOp::Lt, Value::Int(cutoff)).unwrap();
             eng.host.start_trace();
             eng.select(&mut t, &pred).unwrap();
             traces.push(eng.host.take_trace());
@@ -301,9 +322,8 @@ mod tests {
     fn group_aggregate_matches_plain() {
         let mut eng = OpaqueEngine::new(1 << 20, 7);
         let mut t = eng.load_table(schema(), &rows(20)).unwrap();
-        let mut out = eng
-            .group_aggregate(&mut t, 1, AggFunc::Sum, Some(0), &Predicate::True)
-            .unwrap();
+        let mut out =
+            eng.group_aggregate(&mut t, 1, AggFunc::Sum, Some(0), &Predicate::True).unwrap();
         let mut got = out.collect_rows(&mut eng.host).unwrap();
         got.sort_by_key(|r| r[0].as_int().unwrap());
         // Groups 0..4 of ids 0..20 step 4: sums 40,45,50,55.
@@ -314,13 +334,33 @@ mod tests {
     }
 
     #[test]
+    fn group_aggregate_keeps_group_emitted_in_final_block() {
+        // Regression: with the table full to its power-of-two capacity and
+        // the last sorted row opening a new group, the final-group flush
+        // must not overwrite the group emitted at the last loop block.
+        let mut eng = OpaqueEngine::new(1 << 20, 7);
+        let rows: Vec<Vec<Value>> =
+            (0..16).map(|i| vec![Value::Int(i), Value::Int(i64::from(i >= 15))]).collect();
+        let mut t = eng.load_table(schema(), &rows).unwrap();
+        let mut out =
+            eng.group_aggregate(&mut t, 1, AggFunc::Count, None, &Predicate::True).unwrap();
+        let mut got = out.collect_rows(&mut eng.host).unwrap();
+        got.sort_by_key(|r| r[0].as_int().unwrap());
+        assert_eq!(
+            got,
+            vec![vec![Value::Int(0), Value::Int(15)], vec![Value::Int(1), Value::Int(1)]]
+        );
+    }
+
+    #[test]
     fn join_works() {
         let mut eng = OpaqueEngine::new(1 << 20, 7);
-        let s1 = Schema::new(vec![Column::new("k", DataType::Int), Column::new("a", DataType::Int)]);
-        let s2 = Schema::new(vec![Column::new("k", DataType::Int), Column::new("b", DataType::Int)]);
+        let s1 =
+            Schema::new(vec![Column::new("k", DataType::Int), Column::new("a", DataType::Int)]);
+        let s2 =
+            Schema::new(vec![Column::new("k", DataType::Int), Column::new("b", DataType::Int)]);
         let r1: Vec<Vec<Value>> = (0..6).map(|i| vec![Value::Int(i), Value::Int(i)]).collect();
-        let r2: Vec<Vec<Value>> =
-            (0..12).map(|i| vec![Value::Int(i % 6), Value::Int(i)]).collect();
+        let r2: Vec<Vec<Value>> = (0..12).map(|i| vec![Value::Int(i % 6), Value::Int(i)]).collect();
         let mut t1 = eng.load_table(s1, &r1).unwrap();
         let mut t2 = eng.load_table(s2, &r2).unwrap();
         let out = eng.join(&mut t1, 0, &mut t2, 0).unwrap();

@@ -30,11 +30,7 @@ impl PlainTable {
 
     /// Filter.
     pub fn select(&self, pred: &Predicate) -> Vec<Row> {
-        self.rows
-            .iter()
-            .filter(|r| pred.eval(&self.schema, &self.encode(r)))
-            .cloned()
-            .collect()
+        self.rows.iter().filter(|r| pred.eval(&self.schema, &self.encode(r))).cloned().collect()
     }
 
     /// Aggregate with optional predicate.
@@ -119,10 +115,8 @@ mod tests {
     use oblidb_core::types::{Column, DataType};
 
     fn table() -> PlainTable {
-        let schema = Schema::new(vec![
-            Column::new("id", DataType::Int),
-            Column::new("v", DataType::Int),
-        ]);
+        let schema =
+            Schema::new(vec![Column::new("id", DataType::Int), Column::new("v", DataType::Int)]);
         let rows = (0..10i64).map(|i| vec![Value::Int(i), Value::Int(i % 3)]).collect();
         PlainTable::new(schema, rows)
     }

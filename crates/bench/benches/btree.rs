@@ -1,7 +1,8 @@
-//! Criterion micro-benchmarks for the oblivious B+ tree: padded point-op
+//! Micro-benchmarks (criterion-style, self-hosted harness) for the oblivious B+ tree: padded point-op
 //! costs vs table size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oblidb_bench::harness::{BenchmarkId, Criterion};
+use oblidb_bench::{criterion_group, criterion_main};
 use oblidb_btree::ObTree;
 use oblidb_crypto::aead::AeadKey;
 use oblidb_enclave::{EnclaveRng, Host, OmBudget};

@@ -1,7 +1,8 @@
-//! Criterion micro-benchmarks for the crypto substrate: the per-block
+//! Micro-benchmarks (criterion-style, self-hosted harness) for the crypto substrate: the per-block
 //! sealing costs that dominate every oblivious operator.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oblidb_bench::harness::{BenchmarkId, Criterion, Throughput};
+use oblidb_bench::{criterion_group, criterion_main};
 use oblidb_crypto::aead::{open, seal, AeadKey, Nonce};
 use oblidb_crypto::{sha256, SipHash24};
 

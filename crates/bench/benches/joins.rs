@@ -1,6 +1,7 @@
-//! Criterion micro-benchmarks for the three oblivious join algorithms.
+//! Micro-benchmarks (criterion-style, self-hosted harness) for the three oblivious join algorithms.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oblidb_bench::harness::{BenchmarkId, Criterion};
+use oblidb_bench::{criterion_group, criterion_main};
 use oblidb_core::exec::{hash_join, sort_merge_join, SortMergeVariant};
 use oblidb_core::table::FlatTable;
 use oblidb_crypto::aead::AeadKey;
@@ -25,8 +26,7 @@ fn bench_joins(c: &mut Criterion) {
             let om = OmBudget::new(om_rows * t1.row_len());
             b.iter(|| {
                 let out =
-                    hash_join(&mut host, &om, &mut t1, 0, &mut t2, 0, AeadKey([9u8; 32]))
-                        .unwrap();
+                    hash_join(&mut host, &om, &mut t1, 0, &mut t2, 0, AeadKey([9u8; 32])).unwrap();
                 out.free(&mut host);
             });
         });

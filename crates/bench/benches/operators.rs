@@ -1,7 +1,8 @@
-//! Criterion micro-benchmarks for the oblivious SELECT algorithms and
+//! Micro-benchmarks (criterion-style, self-hosted harness) for the oblivious SELECT algorithms and
 //! aggregation, at fixed size and selectivity.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oblidb_bench::harness::{BenchmarkId, Criterion};
+use oblidb_bench::{criterion_group, criterion_main};
 use oblidb_core::planner::SelectAlgo;
 use oblidb_core::{Database, DbConfig, StorageMethod};
 use oblidb_workloads::synthetic;
@@ -33,15 +34,11 @@ fn bench_selects(c: &mut Criterion) {
         SelectAlgo::Hash,
         SelectAlgo::Naive,
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("algo", format!("{algo:?}")),
-            &algo,
-            |b, &algo| {
-                let mut db = db();
-                db.config_mut().planner.force_select = Some(algo);
-                b.iter(|| std::hint::black_box(db.execute(&sql).unwrap()));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("algo", format!("{algo:?}")), &algo, |b, &algo| {
+            let mut db = db();
+            db.config_mut().planner.force_select = Some(algo);
+            b.iter(|| std::hint::black_box(db.execute(&sql).unwrap()));
+        });
     }
     group.finish();
 }

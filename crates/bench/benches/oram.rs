@@ -1,7 +1,8 @@
-//! Criterion micro-benchmarks for Path ORAM: per-access cost vs capacity,
+//! Micro-benchmarks (criterion-style, self-hosted harness) for Path ORAM: per-access cost vs capacity,
 //! direct vs recursive position maps.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oblidb_bench::harness::{BenchmarkId, Criterion};
+use oblidb_bench::{criterion_group, criterion_main};
 use oblidb_crypto::aead::AeadKey;
 use oblidb_enclave::{EnclaveRng, Host, OmBudget};
 use oblidb_oram::{PathOram, PosMapKind};

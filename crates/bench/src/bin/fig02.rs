@@ -40,10 +40,8 @@ fn main() {
     let point_read: OpFn = |db, n| accesses(db, &format!("SELECT * FROM t WHERE id = {}", n / 2));
     let large_read: OpFn = |db, _| accesses(db, "SELECT * FROM t WHERE val >= 0");
     let insert: OpFn = |db, n| insert_accesses(db, (n as i64) * 10);
-    let update: OpFn =
-        |db, n| accesses(db, &format!("UPDATE t SET val = 1 WHERE id = {}", n / 2));
-    let delete: OpFn =
-        |db, n| accesses(db, &format!("DELETE FROM t WHERE id = {}", n / 2));
+    let update: OpFn = |db, n| accesses(db, &format!("UPDATE t SET val = 1 WHERE id = {}", n / 2));
+    let delete: OpFn = |db, n| accesses(db, &format!("DELETE FROM t WHERE id = {}", n / 2));
 
     let ops: [(&str, OpFn, &str, &str); 5] = [
         ("point read", point_read, "O(N)", "O(log2 N)"),
@@ -55,10 +53,7 @@ fn main() {
 
     for (name, op, paper_flat, paper_idx) in ops {
         for method in [StorageMethod::Flat, StorageMethod::Indexed] {
-            let mut cells: Vec<String> = vec![
-                name.to_string(),
-                format!("{method:?}"),
-            ];
+            let mut cells: Vec<String> = vec![name.to_string(), format!("{method:?}")];
             let mut counts = Vec::new();
             for &n in &sizes {
                 let mut db = synthetic_db(n, method, 42);

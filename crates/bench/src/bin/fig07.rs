@@ -29,11 +29,8 @@ fn run_oblidb(rankings: &[Vec<Value>], visits: &[Vec<Value>], indexed: bool) -> 
     // The paper disables the Continuous algorithm when comparing with
     // Opaque, to equalize leakage.
     db.config_mut().planner.enable_continuous = false;
-    let (method, index_col) = if indexed {
-        (StorageMethod::Both, Some("pageRank"))
-    } else {
-        (StorageMethod::Flat, None)
-    };
+    let (method, index_col) =
+        if indexed { (StorageMethod::Both, Some("pageRank")) } else { (StorageMethod::Flat, None) };
     db.create_table_with_rows(
         "rankings",
         bdb::rankings_schema(),
@@ -84,9 +81,7 @@ fn run_opaque(rankings: &[Vec<Value>], visits: &[Vec<Value>]) -> Timings {
     out.free(&mut eng.host);
 
     let start = Instant::now();
-    let out = eng
-        .group_aggregate(&mut tv, 1, AggFunc::Sum, Some(4), &Predicate::True)
-        .unwrap();
+    let out = eng.group_aggregate(&mut tv, 1, AggFunc::Sum, Some(4), &Predicate::True).unwrap();
     let q2 = start.elapsed();
     out.free(&mut eng.host);
 
@@ -132,8 +127,7 @@ fn run_plain(rankings: &[Vec<Value>], visits: &[Vec<Value>]) -> Timings {
     let filtered = PlainTable::new(pv.schema.clone(), pv.select(&date_pred));
     let joined = pr.join(0, &filtered, 2);
     let n = joined.len().max(1) as f64;
-    let _avg: f64 =
-        joined.iter().map(|r| r[1].as_int().unwrap() as f64).sum::<f64>() / n;
+    let _avg: f64 = joined.iter().map(|r| r[1].as_int().unwrap() as f64).sum::<f64>() / n;
     let q3 = start.elapsed();
 
     Timings { q1, q2, q3 }
@@ -158,7 +152,14 @@ fn main() {
 
     let mut report = Report::new(
         format!("Figure 7 — Big Data Benchmark ({n_r}/{n_v} rows)"),
-        &["query", "Opaque", "ObliDB flat", "ObliDB index", "plain (no sec)", "ObliDB-idx vs Opaque"],
+        &[
+            "query",
+            "Opaque",
+            "ObliDB flat",
+            "ObliDB index",
+            "plain (no sec)",
+            "ObliDB-idx vs Opaque",
+        ],
     );
     for (q, o, f, i, p) in [
         ("Q1 (select)", opaque.q1, flat.q1, indexed.q1, plain.q1),

@@ -95,11 +95,8 @@ fn main() {
     for db in [&mut flat_db, &mut idx_db] {
         let start = Instant::now();
         for i in 0..reps {
-            db.insert(
-                "t",
-                &[Value::Int(n as i64 * 2 + i), Value::Int(0), Value::Text("x".into())],
-            )
-            .unwrap();
+            db.insert("t", &[Value::Int(n as i64 * 2 + i), Value::Int(0), Value::Text("x".into())])
+                .unwrap();
         }
         times.push(start.elapsed() / reps as u32);
     }

@@ -23,10 +23,7 @@ fn main() {
     for &n in &sizes {
         println!("bulk-loading indexed table of {n} rows ...");
         let rows = synthetic::table(n, 8, 3);
-        let mut db = Database::new(DbConfig {
-            om_bytes: 256 * 1024 * 1024,
-            ..DbConfig::default()
-        });
+        let mut db = Database::new(DbConfig { om_bytes: 256 * 1024 * 1024, ..DbConfig::default() });
         db.create_table_with_rows(
             "t",
             synthetic::schema(8),
@@ -48,11 +45,8 @@ fn main() {
 
         let start = Instant::now();
         for i in 0..reps {
-            db.insert(
-                "t",
-                &[Value::Int(2 * n as i64 + i), Value::Int(0), Value::Text("x".into())],
-            )
-            .unwrap();
+            db.insert("t", &[Value::Int(2 * n as i64 + i), Value::Int(0), Value::Text("x".into())])
+                .unwrap();
         }
         let insert_t = start.elapsed() / reps as u32;
 

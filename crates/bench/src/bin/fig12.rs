@@ -24,18 +24,12 @@ fn run_mix(mix: &str, n: usize, ops: usize, method: StorageMethod) -> f64 {
                 db.execute(&format!("SELECT * FROM t WHERE id = {key}")).unwrap();
             }
             MixOp::SmallRead { lo } => {
-                db.execute(&format!(
-                    "SELECT * FROM t WHERE id >= {lo} AND id < {}",
-                    lo + small
-                ))
-                .unwrap();
+                db.execute(&format!("SELECT * FROM t WHERE id >= {lo} AND id < {}", lo + small))
+                    .unwrap();
             }
             MixOp::LargeRead { lo } => {
-                db.execute(&format!(
-                    "SELECT * FROM t WHERE id >= {lo} AND id < {}",
-                    lo + large
-                ))
-                .unwrap();
+                db.execute(&format!("SELECT * FROM t WHERE id >= {lo} AND id < {}", lo + large))
+                    .unwrap();
             }
             MixOp::Insert { key } => {
                 db.insert("t", &[Value::Int(*key), Value::Int(0), Value::Text("x".into())])

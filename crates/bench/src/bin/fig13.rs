@@ -36,7 +36,16 @@ fn main() {
 
     let mut report = Report::new(
         format!("Figure 13 — planner effectiveness ({n}-row table)"),
-        &["scenario", "Hash", "Small", "Large", "Continuous", "planner pick", "pick time", "pick vs Hash"],
+        &[
+            "scenario",
+            "Hash",
+            "Small",
+            "Large",
+            "Continuous",
+            "planner pick",
+            "pick time",
+            "pick vs Hash",
+        ],
     );
 
     for (name, sql, contiguous) in scenarios {

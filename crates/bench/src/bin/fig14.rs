@@ -23,14 +23,9 @@ use oblidb_enclave::{Host, OmBudget};
 use oblidb_workloads::synthetic;
 use std::time::{Duration, Instant};
 
-fn load(
-    host: &mut Host,
-    rows: &[Vec<Value>],
-    seed: u8,
-) -> FlatTable {
+fn load(host: &mut Host, rows: &[Vec<Value>], seed: u8) -> FlatTable {
     let schema = synthetic::schema(8);
-    let encoded: Vec<Vec<u8>> =
-        rows.iter().map(|r| schema.encode_row(r).unwrap()).collect();
+    let encoded: Vec<Vec<u8>> = rows.iter().map(|r| schema.encode_row(r).unwrap()).collect();
     FlatTable::from_encoded_rows(host, AeadKey([seed; 32]), schema, &encoded, rows.len() as u64)
         .unwrap()
 }
@@ -46,17 +41,10 @@ fn run_cell(n1: usize, n2: usize, om_rows: usize, algo: JoinAlgo) -> Duration {
     let start = Instant::now();
     let out = match algo {
         JoinAlgo::Hash => hash_join(&mut host, &om, &mut t1, 0, &mut t2, 0, key).unwrap(),
-        JoinAlgo::Opaque => sort_merge_join(
-            &mut host,
-            &om,
-            &mut t1,
-            0,
-            &mut t2,
-            0,
-            key,
-            SortMergeVariant::Opaque,
-        )
-        .unwrap(),
+        JoinAlgo::Opaque => {
+            sort_merge_join(&mut host, &om, &mut t1, 0, &mut t2, 0, key, SortMergeVariant::Opaque)
+                .unwrap()
+        }
         JoinAlgo::ZeroOm => {
             // Same *bytes* of plain enclave scratch as the OM column, in
             // union-row units (paper: the 0-OM join speeds up with enclave
@@ -99,15 +87,11 @@ fn main() {
                 let hash_t = run_cell(n1, n2, om, JoinAlgo::Hash);
                 let opaque_t = run_cell(n1, n2, om, JoinAlgo::Opaque);
                 let zero_t = run_cell(n1, n2, om, JoinAlgo::ZeroOm);
-                let fastest = [
-                    ("Hash", hash_t),
-                    ("Opaque", opaque_t),
-                    ("0-OM", zero_t),
-                ]
-                .into_iter()
-                .min_by_key(|(_, t)| *t)
-                .unwrap()
-                .0;
+                let fastest = [("Hash", hash_t), ("Opaque", opaque_t), ("0-OM", zero_t)]
+                    .into_iter()
+                    .min_by_key(|(_, t)| *t)
+                    .unwrap()
+                    .0;
                 // What the planner would pick given this budget.
                 let row_len = synthetic::schema(8).row_len();
                 let budget = OmBudget::new(om * row_len);

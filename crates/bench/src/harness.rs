@@ -1,0 +1,232 @@
+//! A minimal, dependency-free stand-in for the subset of the `criterion`
+//! API the micro-benchmarks use (the workspace builds offline, so the real
+//! crate is unavailable). Timing is wall-clock with adaptive batching:
+//! each sample runs enough iterations to cover ~1 ms, and the report
+//! prints mean and best sample per benchmark, plus throughput when set.
+//!
+//! If criterion is ever vendored, the bench files migrate by switching
+//! `use oblidb_bench::harness::…` back to `use criterion::…`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark configuration and entry point (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name}");
+        BenchmarkGroup { criterion: self, throughput: None }
+    }
+}
+
+/// Throughput annotation for a group (mirrors `criterion::Throughput`).
+#[derive(Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Two-part benchmark id (mirrors `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter into one label.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId { label: format!("{name}/{param}") }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in the report.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs a benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion.sample_size);
+        f(&mut b, input);
+        b.report(&id.label, self.throughput);
+        self
+    }
+
+    /// Runs a benchmark without inputs.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.criterion.sample_size);
+        f(&mut b);
+        b.report(name, self.throughput);
+        self
+    }
+
+    /// Ends the group (report is emitted incrementally).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times one benchmark body (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+/// Minimum time one sample should cover, to dominate timer resolution.
+const TARGET_SAMPLE: Duration = Duration::from_millis(1);
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher { sample_size, samples: Vec::new(), iters_per_sample: 1 }
+    }
+
+    /// Times `f`, batching fast bodies so each sample is measurable.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: find a batch size covering the target sample time.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE || batch >= 1 << 20 {
+                break;
+            }
+            batch = if elapsed.is_zero() {
+                batch * 16
+            } else {
+                let scale = TARGET_SAMPLE.as_nanos() / elapsed.as_nanos().max(1) + 1;
+                (batch * scale as u64).clamp(batch + 1, batch * 16)
+            };
+        }
+        self.iters_per_sample = batch;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("  {label}: no samples");
+            return;
+        }
+        let per_iter = |d: Duration| d.as_secs_f64() / self.iters_per_sample as f64;
+        let total: f64 = self.samples.iter().map(|d| per_iter(*d)).sum();
+        let mean = total / self.samples.len() as f64;
+        let best = self.samples.iter().map(|d| per_iter(*d)).fold(f64::INFINITY, f64::min);
+        let tp = match throughput {
+            Some(Throughput::Bytes(b)) => {
+                format!("  {:>8.1} MiB/s", b as f64 / mean / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!(
+            "  {label}: mean {} best {} ({} samples x {} iters){tp}",
+            fmt_secs(mean),
+            fmt_secs(best),
+            self.samples.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+fn fmt_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if secs >= 1e-3 {
+        format!("{:.3}ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3}µs", secs * 1e6)
+    } else {
+        format!("{:.1}ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group runner (mirrors `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut c = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::harness::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_batches_and_reports() {
+        let mut b = Bencher::new(3);
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.iters_per_sample >= 1);
+        b.report("smoke", Some(Throughput::Bytes(64)));
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert!(fmt_secs(2.0).ends_with('s'));
+        assert!(fmt_secs(2e-3).ends_with("ms"));
+        assert!(fmt_secs(2e-6).ends_with("µs"));
+        assert!(fmt_secs(2e-9).ends_with("ns"));
+    }
+}

@@ -46,11 +46,8 @@ impl Report {
         println!("{}", header.join("  "));
         println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
         for row in &self.rows {
-            let line: Vec<String> = row
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{c:<w$}", w = widths[i]))
-                .collect();
+            let line: Vec<String> =
+                row.iter().enumerate().map(|(i, c)| format!("{c:<w$}", w = widths[i])).collect();
             println!("{}", line.join("  "));
         }
     }

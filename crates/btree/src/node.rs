@@ -25,10 +25,7 @@ impl InternalNode {
     /// entry with `min_key <= key`, or 0 if the key sorts before all
     /// entries (the leftmost subtree absorbs small keys).
     pub fn route(&self, key: u128) -> usize {
-        match self.entries.iter().rposition(|&(min, _)| min <= key) {
-            Some(i) => i,
-            None => 0,
-        }
+        self.entries.iter().rposition(|&(min, _)| min <= key).unwrap_or_default()
     }
 
     /// Inserts a fence entry keeping order.

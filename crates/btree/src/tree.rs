@@ -30,7 +30,7 @@
 //! count used to size the ORAM.
 
 use oblidb_crypto::aead::AeadKey;
-use oblidb_enclave::{EnclaveRng, Host, OmBudget};
+use oblidb_enclave::{EnclaveMemory, EnclaveRng, OmBudget};
 use oblidb_oram::{OramError, PathOram, PosMapKind};
 
 use crate::node::{InternalNode, LeafNode, Node, NIL};
@@ -178,8 +178,8 @@ impl ObTree {
     /// Creates an empty tree with a fixed record capacity.
     ///
     /// The ORAM position map (8 bytes per node) is charged against `om`.
-    pub fn new(
-        host: &mut Host,
+    pub fn new<M: EnclaveMemory>(
+        host: &mut M,
         key: AeadKey,
         max_records: u64,
         payload_len: usize,
@@ -269,7 +269,12 @@ impl ObTree {
         Ok(a)
     }
 
-    fn ctx_read(&mut self, host: &mut Host, ctx: &mut OpCtx, addr: u64) -> Result<usize, ObTreeError> {
+    fn ctx_read<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        ctx: &mut OpCtx,
+        addr: u64,
+    ) -> Result<usize, ObTreeError> {
         if let Some(idx) = ctx.find(addr) {
             return Ok(idx);
         }
@@ -281,7 +286,12 @@ impl ObTree {
     }
 
     /// Writes back dirty nodes and pads with dummy accesses to `budget`.
-    fn finish(&mut self, host: &mut Host, ctx: OpCtx, budget: u64) -> Result<(), ObTreeError> {
+    fn finish<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        ctx: OpCtx,
+        budget: u64,
+    ) -> Result<(), ObTreeError> {
         let mut writes = 0u64;
         for (addr, node, dirty) in &ctx.entries {
             if *dirty {
@@ -303,9 +313,9 @@ impl ObTree {
     /// Descends from the root to the leaf that is the predecessor-or-equal
     /// of `key` (or the catch-all minimum leaf when `key` sorts below a
     /// stale fence). Returns (path of internal ctx indices, leaf ctx index).
-    fn descend(
+    fn descend<M: EnclaveMemory>(
         &mut self,
-        host: &mut Host,
+        host: &mut M,
         ctx: &mut OpCtx,
         key: u128,
     ) -> Result<(Vec<usize>, usize), ObTreeError> {
@@ -323,7 +333,11 @@ impl ObTree {
     }
 
     /// Point lookup. The miss case performs the same accesses as a hit.
-    pub fn get(&mut self, host: &mut Host, key: u128) -> Result<Option<Vec<u8>>, ObTreeError> {
+    pub fn get<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        key: u128,
+    ) -> Result<Option<Vec<u8>>, ObTreeError> {
         let budget = self.op_budget(OpKind::Get);
         let mut ctx = OpCtx::new();
         let (_, leaf_idx) = self.descend(host, &mut ctx, key)?;
@@ -338,7 +352,12 @@ impl ObTree {
     }
 
     /// Overwrites the payload of `key` if present; returns whether it was.
-    pub fn update(&mut self, host: &mut Host, key: u128, payload: &[u8]) -> Result<bool, ObTreeError> {
+    pub fn update<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        key: u128,
+        payload: &[u8],
+    ) -> Result<bool, ObTreeError> {
         assert_eq!(payload.len(), self.payload_len, "payload length");
         let budget = self.op_budget(OpKind::Update);
         let mut ctx = OpCtx::new();
@@ -354,7 +373,12 @@ impl ObTree {
     /// Inserts `key`. If the key already exists its payload is overwritten
     /// (composite keys make this case rare in ObliDB). Returns `true` when
     /// a new record was created.
-    pub fn insert(&mut self, host: &mut Host, key: u128, payload: &[u8]) -> Result<bool, ObTreeError> {
+    pub fn insert<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        key: u128,
+        payload: &[u8],
+    ) -> Result<bool, ObTreeError> {
         assert_eq!(payload.len(), self.payload_len, "payload length");
         if self.len >= self.max_records {
             return Err(ObTreeError::CapacityExceeded);
@@ -447,7 +471,11 @@ impl ObTree {
 
     /// Deletes `key`; returns whether it was present. Misses perform the
     /// same number of ORAM accesses as hits.
-    pub fn delete(&mut self, host: &mut Host, key: u128) -> Result<bool, ObTreeError> {
+    pub fn delete<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        key: u128,
+    ) -> Result<bool, ObTreeError> {
         let budget = self.op_budget(OpKind::Delete);
         let mut ctx = OpCtx::new();
         let (path, leaf_idx) = self.descend(host, &mut ctx, key)?;
@@ -487,7 +515,12 @@ impl ObTree {
     /// Restores the min-occupancy invariant (≥ fanout/2 entries in non-root
     /// internal nodes) by borrowing from or merging with a sibling,
     /// cascading upward; collapses single-child roots.
-    fn rebalance_up(&mut self, host: &mut Host, ctx: &mut OpCtx, path: &[usize]) -> Result<(), ObTreeError> {
+    fn rebalance_up<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        ctx: &mut OpCtx,
+        path: &[usize],
+    ) -> Result<(), ObTreeError> {
         let min_fill = (self.fanout / 2).max(2);
         for level in (1..path.len()).rev() {
             let idx = path[level];
@@ -562,9 +595,9 @@ impl ObTree {
     /// ends). The total access count is `h + 2 + limit`; `limit` is chosen
     /// by the query planner and is part of the leaked result-size
     /// information (paper §4.1, "Selection over Indexes").
-    pub fn range(
+    pub fn range<M: EnclaveMemory>(
         &mut self,
-        host: &mut Host,
+        host: &mut M,
         lo: u128,
         hi: u128,
         limit: u64,
@@ -612,7 +645,10 @@ impl ObTree {
     }
 
     /// Full scan in key order via the leaf chain (`len + h + 2` accesses).
-    pub fn scan_chain(&mut self, host: &mut Host) -> Result<Vec<(u128, Vec<u8>)>, ObTreeError> {
+    pub fn scan_chain<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+    ) -> Result<Vec<(u128, Vec<u8>)>, ObTreeError> {
         self.range(host, 0, u128::MAX, self.len)
     }
 
@@ -623,9 +659,9 @@ impl ObTree {
     /// of the segment of the database scanned in the index"), counted as
     /// part of the intermediate-table sizes. Which keys were scanned stays
     /// hidden.
-    pub fn range_leaky(
+    pub fn range_leaky<M: EnclaveMemory>(
         &mut self,
-        host: &mut Host,
+        host: &mut M,
         lo: u128,
         hi: u128,
     ) -> Result<Vec<(u128, Vec<u8>)>, ObTreeError> {
@@ -637,9 +673,9 @@ impl ObTree {
     /// whether an index range is small enough to beat a flat scan without
     /// paying for a full walk; the abort point is a public function of the
     /// (leaked) table size.
-    pub fn range_leaky_capped(
+    pub fn range_leaky_capped<M: EnclaveMemory>(
         &mut self,
-        host: &mut Host,
+        host: &mut M,
         lo: u128,
         hi: u128,
         cap: u64,
@@ -697,9 +733,9 @@ impl ObTree {
     /// as dummy blocks with no security consequences). The callback sees
     /// `Some((key, payload))` for real records and `None` for every other
     /// slot, in a fixed data-independent order.
-    pub fn scan_structure(
+    pub fn scan_structure<M: EnclaveMemory>(
         &mut self,
-        host: &mut Host,
+        host: &mut M,
         mut f: impl FnMut(Option<(u128, &[u8])>),
     ) -> Result<(), ObTreeError> {
         let payload_len = self.payload_len;
@@ -719,8 +755,8 @@ impl ObTree {
 
     /// Builds a tree from records pre-sorted by key (pre-deployment bulk
     /// load; see DESIGN.md §7). Much faster than repeated `insert`.
-    pub fn bulk_load(
-        host: &mut Host,
+    pub fn bulk_load<M: EnclaveMemory>(
+        host: &mut M,
         key: AeadKey,
         items: &[(u128, Vec<u8>)],
         max_records: u64,
@@ -784,15 +820,15 @@ impl ObTree {
 
         let next_fresh = nodes.len() as u64;
         assert!(next_fresh <= capacity_nodes, "bulk load exceeded node capacity");
-        let blocks: Vec<Vec<u8>> = nodes.iter().map(|nd| nd.serialize(fanout, payload_len)).collect();
+        let blocks: Vec<Vec<u8>> =
+            nodes.iter().map(|nd| nd.serialize(fanout, payload_len)).collect();
         drop(nodes);
         // The ORAM must span the full node capacity so later inserts fit;
         // pad with Free blocks.
         let mut all_blocks = blocks;
         all_blocks.resize(capacity_nodes as usize, Node::Free.serialize(fanout, payload_len));
 
-        let oram =
-            PathOram::with_contents(host, key, &all_blocks, block_len, pos_kind, om, rng)?;
+        let oram = PathOram::with_contents(host, key, &all_blocks, block_len, pos_kind, om, rng)?;
 
         Ok(Self {
             oram,
@@ -810,7 +846,7 @@ impl ObTree {
     }
 
     /// Releases untrusted memory.
-    pub fn free(self, host: &mut Host) {
+    pub fn free<M: EnclaveMemory>(self, host: &mut M) {
         self.oram.free(host);
     }
 }
@@ -818,6 +854,7 @@ impl ObTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oblidb_enclave::Host;
     use oblidb_enclave::DEFAULT_OM_BYTES;
 
     fn setup(max_records: u64) -> (Host, ObTree) {
@@ -1029,7 +1066,8 @@ mod tests {
     fn bulk_load_matches_incremental() {
         let mut host = Host::new();
         let om = OmBudget::new(DEFAULT_OM_BYTES);
-        let items: Vec<(u128, Vec<u8>)> = (0..200u64).map(|i| (i as u128 * 2, payload(i))).collect();
+        let items: Vec<(u128, Vec<u8>)> =
+            (0..200u64).map(|i| (i as u128 * 2, payload(i))).collect();
         let mut tree = ObTree::bulk_load(
             &mut host,
             AeadKey([3u8; 32]),

@@ -1,12 +1,14 @@
 //! Property-based model test: the oblivious B+ tree must behave exactly
 //! like `std::collections::BTreeMap` under arbitrary operation sequences,
 //! while keeping its per-operation ORAM access counts key-independent.
+//!
+//! Cases are generated from a seeded [`EnclaveRng`] (the workspace is
+//! dependency-free, so no proptest); failures print the offending case.
 
 use oblidb_btree::{ObTree, OpKind};
 use oblidb_crypto::aead::AeadKey;
 use oblidb_enclave::{EnclaveRng, Host, OmBudget, DEFAULT_OM_BYTES};
 use oblidb_oram::PosMapKind;
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
@@ -18,21 +20,26 @@ enum Op {
     Range(u8, u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        any::<u8>().prop_map(Op::Delete),
-        any::<u8>().prop_map(Op::Get),
-        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Update(k, v)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
-    ]
+fn rand_op(rng: &mut EnclaveRng) -> Op {
+    let k = rng.below(256) as u8;
+    let v = rng.below(256) as u8;
+    match rng.below(5) {
+        0 => Op::Insert(k, v),
+        1 => Op::Delete(k),
+        2 => Op::Get(k),
+        3 => Op::Update(k, v),
+        _ => Op::Range(k.min(v), k.max(v)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+#[test]
+fn matches_btreemap_model() {
+    let mut rng = EnclaveRng::seed_from_u64(0xB7EE);
+    for case in 0..48 {
+        let ops: Vec<Op> = {
+            let n = 1 + rng.below(119) as usize;
+            (0..n).map(|_| rand_op(&mut rng)).collect()
+        };
         let mut host = Host::new();
         let om = OmBudget::new(DEFAULT_OM_BYTES);
         let mut tree = ObTree::new(
@@ -48,25 +55,29 @@ proptest! {
         .unwrap();
         let mut model: BTreeMap<u128, Vec<u8>> = BTreeMap::new();
 
-        for op in ops {
-            match op {
+        for op in &ops {
+            match *op {
                 Op::Insert(k, v) => {
                     let created = tree.insert(&mut host, k as u128, &[v; 4]).unwrap();
                     let existed = model.insert(k as u128, vec![v; 4]).is_some();
-                    prop_assert_eq!(created, !existed);
+                    assert_eq!(created, !existed, "case {case}: {op:?}");
                 }
                 Op::Delete(k) => {
                     let deleted = tree.delete(&mut host, k as u128).unwrap();
-                    prop_assert_eq!(deleted, model.remove(&(k as u128)).is_some());
+                    assert_eq!(deleted, model.remove(&(k as u128)).is_some(), "case {case}");
                 }
                 Op::Get(k) => {
                     let got = tree.get(&mut host, k as u128).unwrap();
-                    prop_assert_eq!(got.as_deref(), model.get(&(k as u128)).map(|v| v.as_slice()));
+                    assert_eq!(
+                        got.as_deref(),
+                        model.get(&(k as u128)).map(|v| v.as_slice()),
+                        "case {case}: {op:?}"
+                    );
                 }
                 Op::Update(k, v) => {
                     let updated = tree.update(&mut host, k as u128, &[v; 4]).unwrap();
                     let present = model.contains_key(&(k as u128));
-                    prop_assert_eq!(updated, present);
+                    assert_eq!(updated, present, "case {case}: {op:?}");
                     if present {
                         model.insert(k as u128, vec![v; 4]);
                     }
@@ -81,15 +92,22 @@ proptest! {
                         .iter()
                         .map(|(k, _)| *k)
                         .collect();
-                    prop_assert_eq!(got, expected);
+                    assert_eq!(got, expected, "case {case}: {op:?}");
                 }
             }
-            prop_assert_eq!(tree.len(), model.len() as u64);
+            assert_eq!(tree.len(), model.len() as u64, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn access_counts_depend_only_on_height_and_op(keys in proptest::collection::vec(any::<u8>(), 2..40)) {
+#[test]
+fn access_counts_depend_only_on_height_and_op() {
+    let mut rng = EnclaveRng::seed_from_u64(0xACC);
+    for case in 0..12 {
+        let keys: Vec<u8> = {
+            let n = 2 + rng.below(38) as usize;
+            (0..n).map(|_| rng.below(256) as u8).collect()
+        };
         let mut host = Host::new();
         let om = OmBudget::new(DEFAULT_OM_BYTES);
         let mut tree = ObTree::new(
@@ -113,11 +131,11 @@ proptest! {
             tree.get(&mut host, probe).unwrap();
             counts.insert(host.stats().total_accesses());
         }
-        prop_assert_eq!(counts.len(), 1);
+        assert_eq!(counts.len(), 1, "case {case}: {keys:?}");
         // And the observed count matches the public budget formula.
         host.reset_stats();
         tree.get(&mut host, 42).unwrap();
         let per_access = host.stats().total_accesses() / tree.op_budget(OpKind::Get);
-        prop_assert!(per_access >= 1);
+        assert!(per_access >= 1, "case {case}");
     }
 }

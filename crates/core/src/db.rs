@@ -8,7 +8,7 @@
 //! (§2.3).
 
 use oblidb_crypto::aead::AeadKey;
-use oblidb_enclave::{EnclaveRng, Host, OmBudget, Trace, DEFAULT_OM_BYTES};
+use oblidb_enclave::{EnclaveMemory, EnclaveRng, Host, OmBudget, Trace, DEFAULT_OM_BYTES};
 
 use crate::error::DbError;
 use crate::exec::{self, AggFunc, SortMergeVariant};
@@ -121,9 +121,13 @@ impl QueryOutput {
     }
 }
 
-/// The database engine.
-pub struct Database {
-    host: Host,
+/// The database engine, generic over its untrusted memory substrate.
+///
+/// `M` is the [`EnclaveMemory`] backing every table region: [`Host`] (the
+/// default, stores sealed blocks in memory) or any other implementor —
+/// e.g. [`oblidb_enclave::CountingMemory`] for payload-free cost modeling.
+pub struct Database<M: EnclaveMemory = Host> {
+    host: M,
     om: OmBudget,
     rng: EnclaveRng,
     master_key: [u8; 32],
@@ -133,14 +137,26 @@ pub struct Database {
     wal: Option<crate::wal::Wal>,
 }
 
-impl Database {
-    /// Creates an empty database.
+impl Database<Host> {
+    /// Creates an empty database over a fresh in-memory [`Host`].
     pub fn new(config: DbConfig) -> Self {
+        Self::with_memory(Host::new(), config)
+    }
+}
+
+impl<M: EnclaveMemory> Database<M> {
+    /// Creates an empty database over a caller-provided memory substrate.
+    ///
+    /// Payload-free substrates (e.g. `CountingMemory`) support flat
+    /// storage with padding mode or a forced size-oblivious select;
+    /// adaptive planning and indexed storage return typed errors there,
+    /// since both depend on payload contents.
+    pub fn with_memory(host: M, config: DbConfig) -> Self {
         let mut rng = EnclaveRng::seed_from_u64(config.seed);
         let mut master_key = [0u8; 32];
         rng.fill(&mut master_key);
         let mut db = Database {
-            host: Host::new(),
+            host,
             om: OmBudget::new(config.om_bytes),
             rng,
             master_key,
@@ -163,7 +179,20 @@ impl Database {
     /// (empty when WAL is off).
     pub fn wal_records(&mut self) -> Result<Vec<String>, DbError> {
         match &mut self.wal {
-            Some(w) => w.records(&mut self.host),
+            Some(w) => {
+                // Log records live in payloads; a payload-free substrate
+                // would decode zeroed blocks into empty statements and
+                // recovery would silently no-op. Refuse loudly, like every
+                // other payload-dependent read path.
+                if !self.host.retains_payloads() {
+                    return Err(DbError::Unsupported(
+                        "WAL recovery requires a payload-retaining EnclaveMemory \
+                         (log records live in block payloads)"
+                            .into(),
+                    ));
+                }
+                w.records(&mut self.host)
+            }
             None => Ok(Vec::new()),
         }
     }
@@ -177,6 +206,23 @@ impl Database {
             self.execute(stmt)?;
         }
         Ok(())
+    }
+
+    /// Unpadded GROUP BY sizes its output by the group count, which is
+    /// decoded from block payloads — unavailable on a payload-free
+    /// substrate, where the trace would silently diverge from the real
+    /// engine. Padding mode sizes by the (public) configured maximum, so
+    /// it stays exact. Mirrors `require_payloads` for indexed storage.
+    fn require_payloads_for_group_by(&self) -> Result<(), DbError> {
+        if self.host.retains_payloads() || self.config.padding.is_some() {
+            Ok(())
+        } else {
+            Err(DbError::Unsupported(
+                "GROUP BY on a payload-free EnclaveMemory substrate requires padding \
+                 mode (the unpadded output size is payload-derived)"
+                    .into(),
+            ))
+        }
     }
 
     /// Fresh derived key for a new region/table.
@@ -194,9 +240,9 @@ impl Database {
         &mut self.config
     }
 
-    /// The untrusted host — exposed so tests and experiments can record
-    /// and inspect access-pattern traces.
-    pub fn host_mut(&mut self) -> &mut Host {
+    /// The untrusted memory substrate — exposed so tests and experiments
+    /// can record and inspect access-pattern traces.
+    pub fn host_mut(&mut self) -> &mut M {
         &mut self.host
     }
 
@@ -257,9 +303,8 @@ impl Database {
                 )?)
             }
             StorageMethod::Both => {
-                let col = index_on.ok_or(DbError::Unsupported(
-                    "BOTH storage requires INDEX ON <col>".into(),
-                ))?;
+                let col = index_on
+                    .ok_or(DbError::Unsupported("BOTH storage requires INDEX ON <col>".into()))?;
                 let key_col = schema.col(col)?;
                 let fk = self.next_key();
                 let flat = FlatTable::create(&mut self.host, fk, schema.clone(), capacity)?;
@@ -273,7 +318,16 @@ impl Database {
                     capacity,
                     &self.om,
                     rng,
-                )?;
+                );
+                // Don't leak the flat region if the index half fails
+                // (deterministic on payload-free substrates).
+                let indexed = match indexed {
+                    Ok(i) => i,
+                    Err(e) => {
+                        flat.free(&mut self.host);
+                        return Err(e);
+                    }
+                };
                 TableStorage::Both { flat, indexed }
             }
         };
@@ -328,9 +382,8 @@ impl Database {
                 )?)
             }
             StorageMethod::Both => {
-                let col = index_on.ok_or(DbError::Unsupported(
-                    "BOTH storage requires INDEX ON <col>".into(),
-                ))?;
+                let col = index_on
+                    .ok_or(DbError::Unsupported("BOTH storage requires INDEX ON <col>".into()))?;
                 let key_col = schema.col(col)?;
                 let fk = self.next_key();
                 let flat = FlatTable::from_encoded_rows(
@@ -342,7 +395,7 @@ impl Database {
                 )?;
                 let ik = self.next_key();
                 let rng = self.rng.fork();
-                let indexed = IndexedTable::from_encoded_rows(
+                let indexed = match IndexedTable::from_encoded_rows(
                     &mut self.host,
                     ik,
                     schema,
@@ -351,7 +404,13 @@ impl Database {
                     cap,
                     &self.om,
                     rng,
-                )?;
+                ) {
+                    Ok(i) => i,
+                    Err(e) => {
+                        flat.free(&mut self.host);
+                        return Err(e);
+                    }
+                };
                 TableStorage::Both { flat, indexed }
             }
         };
@@ -452,10 +511,7 @@ impl Database {
         let statement = sql::parse(query)?;
         // WAL: log mutations before executing them (paper §3). One sealed
         // append per mutation; no data-dependent pattern.
-        if matches!(
-            statement,
-            Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_)
-        ) {
+        if matches!(statement, Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_)) {
             if let Some(wal) = &mut self.wal {
                 wal.append(&mut self.host, query)?;
             }
@@ -463,10 +519,7 @@ impl Database {
         match statement {
             Statement::Create(c) => {
                 let schema = Schema::new(
-                    c.columns
-                        .iter()
-                        .map(|cd| Column::new(cd.name.clone(), cd.dtype))
-                        .collect(),
+                    c.columns.iter().map(|cd| Column::new(cd.name.clone(), cd.dtype)).collect(),
                 );
                 let cap = c.capacity.unwrap_or(DEFAULT_CAPACITY);
                 self.create_table(&c.name, schema, c.storage, c.index_on.as_deref(), cap)?;
@@ -542,6 +595,7 @@ impl Database {
                 }
             }
             if let Some(g) = &s.group_by {
+                self.require_payloads_for_group_by()?;
                 let (func, agg_col) = single_agg(&agg_items)?;
                 let group_col = current.schema().col(g)?;
                 let agg_col = agg_col.map(|c| current.schema().col(&c)).transpose()?;
@@ -605,6 +659,7 @@ impl Database {
 
         // Grouped aggregation (fused with the WHERE filter).
         if let Some(g) = &s.group_by {
+            self.require_payloads_for_group_by()?;
             let (agg_items, _) = split_projection(&s.projection);
             let (func, agg_col) = single_agg(&agg_items)?;
             let group_col = schema.col(g)?;
@@ -654,9 +709,7 @@ impl Database {
                 let (func, col_name) = item;
                 let col = col_name.as_ref().map(|c| schema.col(c)).transpose()?;
                 let v = match &mut input {
-                    InputRef::Owned(t) => {
-                        exec::aggregate(&mut self.host, t, *func, col, &pred)?
-                    }
+                    InputRef::Owned(t) => exec::aggregate(&mut self.host, t, *func, col, &pred)?,
                     InputRef::Stored(i) => {
                         let (_, storage) = &mut self.tables[*i];
                         let f = storage.flat_mut().expect("stored input is flat");
@@ -678,13 +731,8 @@ impl Database {
             );
             let key = self.next_key();
             let encoded = out_schema.encode_row(&states)?;
-            let mut out = FlatTable::from_encoded_rows(
-                &mut self.host,
-                key,
-                out_schema,
-                &[encoded],
-                1,
-            )?;
+            let mut out =
+                FlatTable::from_encoded_rows(&mut self.host, key, out_schema, &[encoded], 1)?;
             out.set_num_rows(1);
             return Ok(out);
         }
@@ -695,8 +743,7 @@ impl Database {
             InputRef::Owned(t) => {
                 // Index already materialized the range; apply the full
                 // predicate over T′ (paper §4.1, Selection over Indexes).
-                let result = self.owned_select_stage(t, &pred, plan)?;
-                result
+                self.owned_select_stage(t, &pred, plan)?
             }
             InputRef::Stored(i) => {
                 let i = *i;
@@ -718,16 +765,7 @@ impl Database {
         let rng = self.rng.fork();
         let (_, storage) = &mut self.tables[idx];
         let f = storage.flat_mut().expect("stored input is flat");
-        run_planned_select(
-            &mut self.host,
-            &self.om,
-            f,
-            pred,
-            key,
-            rng,
-            &self.config,
-            plan,
-        )
+        run_planned_select(&mut self.host, &self.om, f, pred, key, rng, &self.config, plan)
     }
 
     /// Runs the planned select over an owned intermediate.
@@ -763,14 +801,10 @@ impl Database {
         pred: &Predicate,
         plan: &mut PlanInfo,
     ) -> Result<InputRef, DbError> {
-        let has_flat = matches!(
-            &self.tables[idx].1,
-            TableStorage::Flat(_) | TableStorage::Both { .. }
-        );
-        let has_index = matches!(
-            &self.tables[idx].1,
-            TableStorage::Indexed(_) | TableStorage::Both { .. }
-        );
+        let has_flat =
+            matches!(&self.tables[idx].1, TableStorage::Flat(_) | TableStorage::Both { .. });
+        let has_index =
+            matches!(&self.tables[idx].1, TableStorage::Indexed(_) | TableStorage::Both { .. });
 
         let index_range = pred.index_range().filter(|(col, lo, hi)| {
             let key_col = match &self.tables[idx].1 {
@@ -783,7 +817,9 @@ impl Database {
                     && matches!(hi, crate::predicate::Bound::Unbounded))
         });
 
-        if has_index && index_range.is_some() && self.config.padding.is_none() {
+        if let Some((_, lo, hi)) =
+            index_range.filter(|_| has_index && self.config.padding.is_none())
+        {
             // Probe the index with a capped range walk. The cap is the
             // match count beyond which a flat scan is cheaper: an index
             // chain read costs ≈ 2·(path length) bucket accesses of 4-slot
@@ -801,7 +837,6 @@ impl Database {
             } else {
                 u64::MAX
             };
-            let (_, lo, hi) = index_range.expect("checked above");
             let key = self.next_key();
             let (_, storage) = &mut self.tables[idx];
             let index = storage.indexed_mut().expect("has index");
@@ -839,6 +874,17 @@ impl Database {
         join: &sql::JoinClause,
         plan: &mut PlanInfo,
     ) -> Result<(FlatTable, bool), DbError> {
+        // Adaptive join choice consumes num_rows, which is payload-derived
+        // after a pushed-down filter — refuse loudly on payload-free
+        // substrates unless the operator is pinned, mirroring the select
+        // and GROUP BY guards.
+        if !self.host.retains_payloads() && self.config.planner.force_join.is_none() {
+            return Err(DbError::Unsupported(
+                "joins on a payload-free EnclaveMemory substrate require a pinned \
+                 operator: set planner.force_join"
+                    .into(),
+            ));
+        }
         let li = self.table_index(&s.table)?;
         let ri = self.table_index(&join.table)?;
         let ls = self.tables[li].1.schema().clone();
@@ -870,27 +916,15 @@ impl Database {
         let n1 = left.num_rows();
         let n2 = right.num_rows();
         let union_row = 18 + left.row_len().max(right.row_len());
-        let algo = planner::choose_join(
-            n1,
-            n2,
-            left.row_len(),
-            union_row,
-            &self.om,
-            &self.config.planner,
-        );
+        let algo =
+            planner::choose_join(n1, n2, left.row_len(), union_row, &self.om, &self.config.planner);
         plan.join_algo = Some(algo);
 
         let key = self.next_key();
         let out = match algo {
-            JoinAlgo::Hash => exec::hash_join(
-                &mut self.host,
-                &self.om,
-                &mut left,
-                lc,
-                &mut right,
-                rc,
-                key,
-            )?,
+            JoinAlgo::Hash => {
+                exec::hash_join(&mut self.host, &self.om, &mut left, lc, &mut right, rc, key)?
+            }
             JoinAlgo::Opaque => exec::sort_merge_join(
                 &mut self.host,
                 &self.om,
@@ -909,9 +943,7 @@ impl Database {
                 &mut right,
                 rc,
                 key,
-                SortMergeVariant::ZeroOm {
-                    scratch_rows: self.config.zero_om_scratch_rows,
-                },
+                SortMergeVariant::ZeroOm { scratch_rows: self.config.zero_om_scratch_rows },
             )?,
         };
         left.free(&mut self.host);
@@ -1007,7 +1039,7 @@ enum InputRef {
 }
 
 impl InputRef {
-    fn free(self, db: &mut Database) {
+    fn free<M: EnclaveMemory>(self, db: &mut Database<M>) {
         if let InputRef::Owned(t) = self {
             t.free(&mut db.host);
         }
@@ -1018,8 +1050,8 @@ impl InputRef {
 /// (paper §4.1 + §5). In padding mode the planner is skipped: the Hash
 /// operator runs with the configured padded output size (§2.3).
 #[allow(clippy::too_many_arguments)]
-fn run_planned_select(
-    host: &mut Host,
+fn run_planned_select<M: EnclaveMemory>(
+    host: &mut M,
     om: &OmBudget,
     input: &mut FlatTable,
     pred: &Predicate,
@@ -1034,14 +1066,22 @@ fn run_planned_select(
         return Ok(out);
     }
 
+    // Every remaining plan except the forced Large algorithm shapes its
+    // trace from scan statistics, and statistics live in payloads. On a
+    // payload-free substrate (cost modeling) those stats read as zero, so
+    // planning would silently diverge from the real engine — refuse loudly
+    // instead, mirroring `require_payloads` for indexed storage.
+    if !host.retains_payloads() && config.planner.force_select != Some(SelectAlgo::Large) {
+        return Err(DbError::Unsupported(
+            "payload-free EnclaveMemory substrates need a size-oblivious plan: \
+             set padding mode or force_select = Some(SelectAlgo::Large)"
+                .into(),
+        ));
+    }
+
     let stats: SelectStats = planner::scan_stats(host, input, pred)?;
-    let algo = planner::choose_select(
-        stats,
-        input.num_rows(),
-        input.row_len(),
-        om,
-        &config.planner,
-    );
+    let algo =
+        planner::choose_select(stats, input.num_rows(), input.row_len(), om, &config.planner);
     plan.select_algo = Some(algo);
     let out = match algo {
         SelectAlgo::Small => exec::select_small(host, om, input, pred, out_key, stats.matches)?,
@@ -1062,7 +1102,11 @@ fn run_planned_select(
 }
 
 /// One oblivious copy pass.
-fn copy_flat(host: &mut Host, input: &mut FlatTable, key: AeadKey) -> Result<FlatTable, DbError> {
+fn copy_flat<M: EnclaveMemory>(
+    host: &mut M,
+    input: &mut FlatTable,
+    key: AeadKey,
+) -> Result<FlatTable, DbError> {
     let mut out = FlatTable::create(host, key, input.schema().clone(), input.capacity())?;
     for i in 0..input.capacity() {
         let bytes = input.read_row(host, i)?;
@@ -1087,15 +1131,11 @@ fn split_projection(p: &Projection) -> (Vec<(AggFunc, Option<String>)>, Vec<Stri
     (aggs, cols)
 }
 
-fn single_agg(
-    aggs: &[(AggFunc, Option<String>)],
-) -> Result<(AggFunc, Option<String>), DbError> {
+fn single_agg(aggs: &[(AggFunc, Option<String>)]) -> Result<(AggFunc, Option<String>), DbError> {
     match aggs {
         [one] => Ok(one.clone()),
         [] => Err(DbError::Unsupported("GROUP BY requires exactly one aggregate".into())),
-        _ => Err(DbError::Unsupported(
-            "GROUP BY supports exactly one aggregate per query".into(),
-        )),
+        _ => Err(DbError::Unsupported("GROUP BY supports exactly one aggregate per query".into())),
     }
 }
 
@@ -1134,14 +1174,10 @@ fn project(
         let _ = agg_items;
         return Ok((schema, rows));
     }
-    let indices: Vec<usize> =
-        col_items.iter().map(|c| schema.col(c)).collect::<Result<_, _>>()?;
-    let out_schema =
-        Schema::new(indices.iter().map(|&i| schema.columns[i].clone()).collect());
-    let out_rows = rows
-        .into_iter()
-        .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
-        .collect();
+    let indices: Vec<usize> = col_items.iter().map(|c| schema.col(c)).collect::<Result<_, _>>()?;
+    let out_schema = Schema::new(indices.iter().map(|&i| schema.columns[i].clone()).collect());
+    let out_rows =
+        rows.into_iter().map(|r| indices.iter().map(|&i| r[i].clone()).collect()).collect();
     Ok((out_schema, out_rows))
 }
 
@@ -1165,12 +1201,7 @@ mod tests {
         ))
         .unwrap();
         for i in 0..20i64 {
-            db.execute(&format!(
-                "INSERT INTO people VALUES ({i}, {}, 'p{}')",
-                20 + i,
-                i
-            ))
-            .unwrap();
+            db.execute(&format!("INSERT INTO people VALUES ({i}, {}, 'p{}')", 20 + i, i)).unwrap();
         }
     }
 
@@ -1229,7 +1260,9 @@ mod tests {
         let mut db = db();
         setup_people(&mut db, StorageMethod::Flat);
         let out = db
-            .execute("SELECT COUNT(*), SUM(age), MIN(age), MAX(age), AVG(age) FROM people WHERE id < 10")
+            .execute(
+                "SELECT COUNT(*), SUM(age), MIN(age), MAX(age), AVG(age) FROM people WHERE id < 10",
+            )
             .unwrap();
         assert!(out.plan.fused_aggregate);
         assert_eq!(out.rows()[0][0], Value::Int(10));
@@ -1310,13 +1343,10 @@ mod tests {
             db.execute(&format!("INSERT INTO r VALUES ({u}, {})", u * 10)).unwrap();
         }
         for i in 0..24 {
-            db.execute(&format!("INSERT INTO v VALUES ({}, {}, {})", i % 8, i, i % 4))
-                .unwrap();
+            db.execute(&format!("INSERT INTO v VALUES ({}, {}, {})", i % 8, i, i % 4)).unwrap();
         }
         // Push-down filter on v only.
-        let out = db
-            .execute("SELECT * FROM r JOIN v ON r.url = v.dest WHERE day = 1")
-            .unwrap();
+        let out = db.execute("SELECT * FROM r JOIN v ON r.url = v.dest WHERE day = 1").unwrap();
         assert_eq!(out.len(), 6);
         // Grouped aggregation over a join: matching dests are {1, 5}, so
         // two rank groups with revenue sums 1+9+17 and 5+13+21.
@@ -1363,10 +1393,7 @@ mod tests {
             db.config_mut().planner.enable_continuous = false;
             db.start_trace();
             let out = db
-                .execute(&format!(
-                    "SELECT * FROM people WHERE id >= {lo} AND id < {}",
-                    lo + 4
-                ))
+                .execute(&format!("SELECT * FROM people WHERE id >= {lo} AND id < {}", lo + 4))
                 .unwrap();
             assert_eq!(out.len(), 4);
             db.take_trace()
@@ -1411,7 +1438,13 @@ mod tests {
             Err(DbError::TypeMismatch(_))
         ));
         assert!(matches!(
-            db.create_table("u", Schema::new(vec![Column::new("x", DataType::Int)]), StorageMethod::Indexed, None, 8),
+            db.create_table(
+                "u",
+                Schema::new(vec![Column::new("x", DataType::Int)]),
+                StorageMethod::Indexed,
+                None,
+                8
+            ),
             Err(DbError::Unsupported(_))
         ));
     }
@@ -1419,10 +1452,8 @@ mod tests {
     #[test]
     fn bulk_load_constructor() {
         let mut db = db();
-        let schema = Schema::new(vec![
-            Column::new("id", DataType::Int),
-            Column::new("v", DataType::Int),
-        ]);
+        let schema =
+            Schema::new(vec![Column::new("id", DataType::Int), Column::new("v", DataType::Int)]);
         let rows: Vec<Vec<Value>> =
             (0..100i64).map(|i| vec![Value::Int(i), Value::Int(i * 2)]).collect();
         db.create_table_with_rows("bulk", schema, StorageMethod::Both, Some("id"), &rows, 200)
@@ -1437,12 +1468,7 @@ mod tests {
     fn forced_operators() {
         let mut db = db();
         setup_people(&mut db, StorageMethod::Flat);
-        for algo in [
-            SelectAlgo::Small,
-            SelectAlgo::Large,
-            SelectAlgo::Hash,
-            SelectAlgo::Naive,
-        ] {
+        for algo in [SelectAlgo::Small, SelectAlgo::Large, SelectAlgo::Hash, SelectAlgo::Naive] {
             db.config_mut().planner.force_select = Some(algo);
             let out = db.execute("SELECT * FROM people WHERE id < 6").unwrap();
             assert_eq!(out.plan.select_algo, Some(algo));

@@ -8,7 +8,7 @@
 //! intermediate filtered table.
 
 use oblidb_crypto::aead::AeadKey;
-use oblidb_enclave::{Host, OmBudget};
+use oblidb_enclave::{EnclaveMemory, OmBudget};
 
 use crate::error::DbError;
 use crate::predicate::Predicate;
@@ -61,11 +61,11 @@ impl AggState {
             }
             Value::Text(_) => {}
         }
-        let better_min = self.min.as_ref().map_or(true, |m| v.cmp_total(m).is_lt());
+        let better_min = self.min.as_ref().is_none_or(|m| v.cmp_total(m).is_lt());
         if better_min {
             self.min = Some(v.clone());
         }
-        let better_max = self.max.as_ref().map_or(true, |m| v.cmp_total(m).is_gt());
+        let better_max = self.max.as_ref().is_none_or(|m| v.cmp_total(m).is_gt());
         if better_max {
             self.max = Some(v.clone());
         }
@@ -118,8 +118,8 @@ impl Default for AggState {
 /// Fused select+aggregate (paper §4.2): one pass over T, folding matching
 /// rows into the accumulator. Leaks only |T| — the filtered intermediate
 /// size never materializes. `col = None` means COUNT(*)-style counting.
-pub fn aggregate(
-    host: &mut Host,
+pub fn aggregate<M: EnclaveMemory>(
+    host: &mut M,
     input: &mut FlatTable,
     func: AggFunc,
     col: Option<usize>,
@@ -143,8 +143,8 @@ pub fn aggregate(
 /// table in oblivious memory (hash-bucketed by the group value). Output is
 /// one row per group, sorted by group value for determinism, in a flat
 /// table of exactly `#groups` rows (#groups is result-size leakage).
-pub fn group_aggregate(
-    host: &mut Host,
+pub fn group_aggregate<M: EnclaveMemory>(
+    host: &mut M,
     om: &OmBudget,
     input: &mut FlatTable,
     group_col: usize,
@@ -161,8 +161,8 @@ pub fn group_aggregate(
 /// the true group count (§7.2 pads "to the maximum supported number of
 /// groups"), hiding it.
 #[allow(clippy::too_many_arguments)]
-pub fn group_aggregate_padded(
-    host: &mut Host,
+pub fn group_aggregate_padded<M: EnclaveMemory>(
+    host: &mut M,
     om: &OmBudget,
     input: &mut FlatTable,
     group_col: usize,
@@ -239,6 +239,7 @@ pub fn group_aggregate_padded(
 mod tests {
     use super::*;
     use crate::predicate::CmpOp;
+    use oblidb_enclave::Host;
     use oblidb_enclave::DEFAULT_OM_BYTES;
 
     fn schema() -> Schema {
@@ -271,8 +272,7 @@ mod tests {
 
     #[test]
     fn plain_aggregates() {
-        let (mut host, mut t) =
-            build(&[(1, 10, 1.0), (1, 20, 2.0), (2, 30, 3.0), (2, 40, 4.5)]);
+        let (mut host, mut t) = build(&[(1, 10, 1.0), (1, 20, 2.0), (2, 30, 3.0), (2, 40, 4.5)]);
         assert_eq!(
             aggregate(&mut host, &mut t, AggFunc::Count, None, &Predicate::True).unwrap(),
             Value::Int(4)
@@ -297,8 +297,7 @@ mod tests {
 
     #[test]
     fn fused_predicate_filters() {
-        let (mut host, mut t) =
-            build(&[(1, 10, 0.0), (1, 20, 0.0), (2, 30, 0.0), (2, 40, 0.0)]);
+        let (mut host, mut t) = build(&[(1, 10, 0.0), (1, 20, 0.0), (2, 30, 0.0), (2, 40, 0.0)]);
         let pred = Predicate::cmp(t.schema(), "grp", CmpOp::Eq, Value::Int(2)).unwrap();
         assert_eq!(
             aggregate(&mut host, &mut t, AggFunc::Sum, Some(1), &pred).unwrap(),
@@ -349,8 +348,7 @@ mod tests {
 
     #[test]
     fn group_by_with_predicate_and_avg() {
-        let (mut host, mut t) =
-            build(&[(1, 10, 0.0), (1, 30, 0.0), (2, 100, 0.0), (1, -100, 0.0)]);
+        let (mut host, mut t) = build(&[(1, 10, 0.0), (1, 30, 0.0), (2, 100, 0.0), (1, -100, 0.0)]);
         let om = OmBudget::new(DEFAULT_OM_BYTES);
         let pred = Predicate::cmp(t.schema(), "v", CmpOp::Gt, Value::Int(0)).unwrap();
         let mut out = group_aggregate(
@@ -417,9 +415,9 @@ mod tests {
         )
         .unwrap();
         let rows = out.collect_rows(&mut host).unwrap();
-        assert_eq!(rows, vec![
-            vec![Value::Int(5), Value::Int(2)],
-            vec![Value::Int(9), Value::Int(1)],
-        ]);
+        assert_eq!(
+            rows,
+            vec![vec![Value::Int(5), Value::Int(2)], vec![Value::Int(9), Value::Int(1)],]
+        );
     }
 }

@@ -18,7 +18,7 @@
 
 use oblidb_crypto::aead::AeadKey;
 use oblidb_crypto::SipHash24;
-use oblidb_enclave::{Host, OmBudget};
+use oblidb_enclave::{EnclaveMemory, OmBudget};
 
 use crate::error::DbError;
 use crate::table::FlatTable;
@@ -49,8 +49,8 @@ fn join_rows(out_len: usize, r1: &[u8], r2: &[u8]) -> Vec<u8> {
 /// Oblivious hash join (paper §4.3). Complexity O(|T1|·|T2| / S); the
 /// output data structure holds one block per probe:
 /// `ceil(|T1| / chunk) · |T2|` blocks.
-pub fn hash_join(
-    host: &mut Host,
+pub fn hash_join<M: EnclaveMemory>(
+    host: &mut M,
     om: &OmBudget,
     t1: &mut FlatTable,
     c1: usize,
@@ -129,8 +129,8 @@ pub enum SortMergeVariant {
 /// Oblivious sort-merge join for foreign-key joins: T1 is the primary
 /// side (unique join keys), T2 the foreign side. Output structure size is
 /// the padded union size; real rows number at most |T2|.
-pub fn sort_merge_join(
-    host: &mut Host,
+pub fn sort_merge_join<M: EnclaveMemory>(
+    host: &mut M,
     om: &OmBudget,
     t1: &mut FlatTable,
     c1: usize,
@@ -146,10 +146,8 @@ pub fn sort_merge_join(
 
     // Union row layout: [used][tag][key u128][padded original row].
     let payload = s1.row_len().max(s2.row_len());
-    let union_schema = Schema::new(vec![Column::new(
-        "u",
-        crate::types::DataType::Text(1 + 16 + payload),
-    )]);
+    let union_schema =
+        Schema::new(vec![Column::new("u", crate::types::DataType::Text(1 + 16 + payload))]);
     let union_len = union_schema.row_len();
     let n = (t1.capacity() + t2.capacity()).max(2).next_power_of_two();
     let union_key = AeadKey(oblidb_crypto::derive_key(&out_key.0, b"join-union"));
@@ -261,6 +259,7 @@ pub fn sort_merge_join(
 mod tests {
     use super::*;
     use crate::types::{DataType, Value};
+    use oblidb_enclave::Host;
     use oblidb_enclave::DEFAULT_OM_BYTES;
 
     fn schema1() -> Schema {
@@ -271,8 +270,8 @@ mod tests {
         Schema::new(vec![Column::new("fk", DataType::Int), Column::new("b", DataType::Int)])
     }
 
-    fn build(
-        host: &mut Host,
+    fn build<M: EnclaveMemory>(
+        host: &mut M,
         schema: Schema,
         rows: &[(i64, i64)],
         seed: u8,
@@ -299,7 +298,7 @@ mod tests {
         out
     }
 
-    fn extract(host: &mut Host, out: &mut FlatTable) -> Vec<(i64, i64, i64, i64)> {
+    fn extract<M: EnclaveMemory>(host: &mut M, out: &mut FlatTable) -> Vec<(i64, i64, i64, i64)> {
         let mut rows: Vec<(i64, i64, i64, i64)> = out
             .collect_rows(host)
             .unwrap()
@@ -423,9 +422,7 @@ mod tests {
             FlatTable::from_encoded_rows(&mut host, AeadKey([1u8; 32]), s1, &r1, 3).unwrap();
         let mut t2 =
             FlatTable::from_encoded_rows(&mut host, AeadKey([2u8; 32]), s2, &r2, 4).unwrap();
-        for variant in
-            [SortMergeVariant::Opaque, SortMergeVariant::ZeroOm { scratch_rows: 2 }]
-        {
+        for variant in [SortMergeVariant::Opaque, SortMergeVariant::ZeroOm { scratch_rows: 2 }] {
             let out = sort_merge_join(
                 &mut host,
                 &om,
@@ -524,7 +521,6 @@ mod tests {
     #[allow(non_snake_case)]
     fn Predicate_on_b(joined: &FlatTable) -> crate::predicate::Predicate {
         use crate::predicate::CmpOp;
-        crate::predicate::Predicate::cmp(joined.schema(), "t2.b", CmpOp::Ge, Value::Int(3))
-            .unwrap()
+        crate::predicate::Predicate::cmp(joined.schema(), "t2.b", CmpOp::Ge, Value::Int(3)).unwrap()
     }
 }

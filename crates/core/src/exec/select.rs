@@ -8,7 +8,7 @@
 
 use oblidb_crypto::aead::AeadKey;
 use oblidb_crypto::SipHash24;
-use oblidb_enclave::{EnclaveRng, Host, OmBudget};
+use oblidb_enclave::{EnclaveMemory, EnclaveRng, OmBudget};
 use oblidb_oram::{PathOram, PosMapKind};
 
 use crate::error::DbError;
@@ -24,8 +24,8 @@ pub const HASH_SLOTS: usize = 5;
 /// oblivious memory; the buffer is flushed to R after each pass. Fast when
 /// R fits in a few enclave-fulls. Uses whatever oblivious memory is
 /// available; a smaller budget only means more passes.
-pub fn select_small(
-    host: &mut Host,
+pub fn select_small<M: EnclaveMemory>(
+    host: &mut M,
     om: &OmBudget,
     input: &mut FlatTable,
     pred: &Predicate,
@@ -73,8 +73,8 @@ pub fn select_small(
 /// Large (Figure 4B): copy T to R, then one pass over R clearing
 /// unselected rows (dummy writes for selected ones). Fast when R contains
 /// almost all of T. Uses no oblivious memory.
-pub fn select_large(
-    host: &mut Host,
+pub fn select_large<M: EnclaveMemory>(
+    host: &mut M,
     input: &mut FlatTable,
     pred: &Predicate,
     out_key: AeadKey,
@@ -108,8 +108,8 @@ pub fn select_large(
 /// `i mod |R|` of R (real write if selected, dummy otherwise). Choosing
 /// this algorithm leaks that the result was contiguous (§4.1); it can be
 /// disabled. Uses no oblivious memory.
-pub fn select_continuous(
-    host: &mut Host,
+pub fn select_continuous<M: EnclaveMemory>(
+    host: &mut M,
     input: &mut FlatTable,
     pred: &Predicate,
     out_key: AeadKey,
@@ -148,8 +148,8 @@ fn hash_positions(h1: &SipHash24, h2: &SipHash24, i: u64, buckets: u64) -> (u64,
 /// *index*, not content) to two buckets of R with [`HASH_SLOTS`] slots
 /// each; all ten slots are read and rewritten per input row — one of them
 /// possibly with the real row. Uses no oblivious memory.
-pub fn select_hash(
-    host: &mut Host,
+pub fn select_hash<M: EnclaveMemory>(
+    host: &mut M,
     input: &mut FlatTable,
     pred: &Predicate,
     out_key: AeadKey,
@@ -211,8 +211,8 @@ pub fn select_hash(
 /// the true match count — so two queries of any selectivity produce
 /// identical transcripts. Costs `ceil(pad/buf)` passes over T plus `pad`
 /// output writes.
-pub fn select_padded(
-    host: &mut Host,
+pub fn select_padded<M: EnclaveMemory>(
+    host: &mut M,
     om: &OmBudget,
     input: &mut FlatTable,
     pred: &Predicate,
@@ -267,8 +267,8 @@ pub fn select_padded(
 /// per input row (real write or dummy), then copy the ORAM out to flat
 /// storage. Costs O(N log N) and 4|R| bytes of oblivious memory for the
 /// position map; every other algorithm beats it (Figure 3).
-pub fn select_naive(
-    host: &mut Host,
+pub fn select_naive<M: EnclaveMemory>(
+    host: &mut M,
     om: &OmBudget,
     input: &mut FlatTable,
     pred: &Predicate,
@@ -311,6 +311,7 @@ mod tests {
     use crate::planner::SelectAlgo;
     use crate::predicate::CmpOp;
     use crate::types::{Column, DataType, Value};
+    use oblidb_enclave::Host;
     use oblidb_enclave::DEFAULT_OM_BYTES;
 
     fn schema() -> Schema {
@@ -320,17 +321,16 @@ mod tests {
     fn build(n: i64) -> (Host, FlatTable) {
         let s = schema();
         let mut host = Host::new();
-        let rows: Vec<Vec<u8>> = (0..n)
-            .map(|i| s.encode_row(&[Value::Int(i), Value::Int(i * 10)]).unwrap())
-            .collect();
+        let rows: Vec<Vec<u8>> =
+            (0..n).map(|i| s.encode_row(&[Value::Int(i), Value::Int(i * 10)]).unwrap()).collect();
         let t = FlatTable::from_encoded_rows(&mut host, AeadKey([1u8; 32]), s, &rows, n as u64)
             .unwrap();
         (host, t)
     }
 
-    fn run(
+    fn run<M: EnclaveMemory>(
         algo: SelectAlgo,
-        host: &mut Host,
+        host: &mut M,
         t: &mut FlatTable,
         pred: &Predicate,
         out_rows: u64,
@@ -340,25 +340,17 @@ mod tests {
         match algo {
             SelectAlgo::Small => select_small(host, &om, t, pred, key, out_rows).unwrap(),
             SelectAlgo::Large => select_large(host, t, pred, key).unwrap(),
-            SelectAlgo::Continuous => {
-                select_continuous(host, t, pred, key, out_rows).unwrap()
-            }
+            SelectAlgo::Continuous => select_continuous(host, t, pred, key, out_rows).unwrap(),
             SelectAlgo::Hash => select_hash(host, t, pred, key, out_rows).unwrap(),
-            SelectAlgo::Naive => select_naive(
-                host,
-                &om,
-                t,
-                pred,
-                key,
-                out_rows,
-                EnclaveRng::seed_from_u64(3),
-            )
-            .unwrap(),
+            SelectAlgo::Naive => {
+                select_naive(host, &om, t, pred, key, out_rows, EnclaveRng::seed_from_u64(3))
+                    .unwrap()
+            }
             SelectAlgo::Padded => select_padded(host, &om, t, pred, key, out_rows).unwrap(),
         }
     }
 
-    fn ids(host: &mut Host, t: &mut FlatTable) -> Vec<i64> {
+    fn ids<M: EnclaveMemory>(host: &mut M, t: &mut FlatTable) -> Vec<i64> {
         let mut out: Vec<i64> =
             t.collect_rows(host).unwrap().iter().map(|r| r[0].as_int().unwrap()).collect();
         out.sort_unstable();
@@ -429,8 +421,7 @@ mod tests {
         let (mut host, mut t) = build(30);
         let om = OmBudget::new(2 * t.row_len());
         let pred = Predicate::cmp(t.schema(), "id", CmpOp::Lt, Value::Int(9)).unwrap();
-        let mut out =
-            select_small(&mut host, &om, &mut t, &pred, AeadKey([7u8; 32]), 9).unwrap();
+        let mut out = select_small(&mut host, &om, &mut t, &pred, AeadKey([7u8; 32]), 9).unwrap();
         assert_eq!(ids(&mut host, &mut out), (0..9).collect::<Vec<i64>>());
     }
 

@@ -15,7 +15,7 @@
 //! Every compare-exchange reads both blocks and rewrites both (fresh
 //! encryptions), hiding whether a swap occurred.
 
-use oblidb_enclave::Host;
+use oblidb_enclave::EnclaveMemory;
 
 use crate::error::DbError;
 use crate::table::FlatTable;
@@ -24,8 +24,8 @@ use crate::table::FlatTable;
 /// power of two (pad with dummy rows keyed `u128::MAX`). `chunk_rows` is
 /// the number of rows the enclave may buffer (≥ 1); larger buffers replace
 /// network passes with in-enclave sorts of aligned chunks.
-pub fn bitonic_sort(
-    host: &mut Host,
+pub fn bitonic_sort<M: EnclaveMemory>(
+    host: &mut M,
     table: &mut FlatTable,
     n: u64,
     key: impl Fn(&[u8]) -> u128,
@@ -42,8 +42,8 @@ pub fn bitonic_sort(
 /// * `oblivious_local = true` — an in-memory bitonic network, as the 0-OM
 ///   join uses for chunks in ordinary enclave memory, paying extra CPU to
 ///   stay data-oblivious even against in-enclave timing.
-pub fn bitonic_sort_with(
-    host: &mut Host,
+pub fn bitonic_sort_with<M: EnclaveMemory>(
+    host: &mut M,
     table: &mut FlatTable,
     n: u64,
     key: impl Fn(&[u8]) -> u128,
@@ -101,8 +101,8 @@ pub fn bitonic_sort_with(
 }
 
 /// One strided compare-exchange pass over the whole span.
-fn element_pass(
-    host: &mut Host,
+fn element_pass<M: EnclaveMemory>(
+    host: &mut M,
     table: &mut FlatTable,
     n: u64,
     j: u64,
@@ -160,8 +160,8 @@ fn sort_in_memory(rows: &mut [(u128, Vec<u8>)], oblivious: bool) {
 }
 
 /// Loads an aligned chunk, fully sorts it in enclave memory, stores it.
-fn local_sort(
-    host: &mut Host,
+fn local_sort<M: EnclaveMemory>(
+    host: &mut M,
     table: &mut FlatTable,
     start: u64,
     len: u64,
@@ -186,8 +186,8 @@ fn local_sort(
 
 /// Loads an aligned chunk and applies the remaining network strides
 /// (len/2 … 1) in enclave memory — the in-enclave acceleration of §4.3.
-fn local_merge(
-    host: &mut Host,
+fn local_merge<M: EnclaveMemory>(
+    host: &mut M,
     table: &mut FlatTable,
     start: u64,
     len: u64,
@@ -225,6 +225,7 @@ mod tests {
     use crate::types::{Column, DataType, Schema, Value};
     use oblidb_crypto::aead::AeadKey;
     use oblidb_enclave::EnclaveRng;
+    use oblidb_enclave::Host;
 
     fn key_fn(schema: &Schema) -> impl Fn(&[u8]) -> u128 + '_ {
         move |bytes| {
@@ -241,16 +242,15 @@ mod tests {
     fn build(values: &[i64], capacity: u64) -> (Host, FlatTable) {
         let schema = Schema::new(vec![Column::new("k", DataType::Int)]);
         let mut host = Host::new();
-        let rows: Vec<Vec<u8>> = values
-            .iter()
-            .map(|v| schema.encode_row(&[Value::Int(*v)]).unwrap())
-            .collect();
-        let t = FlatTable::from_encoded_rows(&mut host, AeadKey([1u8; 32]), schema, &rows, capacity)
-            .unwrap();
+        let rows: Vec<Vec<u8>> =
+            values.iter().map(|v| schema.encode_row(&[Value::Int(*v)]).unwrap()).collect();
+        let t =
+            FlatTable::from_encoded_rows(&mut host, AeadKey([1u8; 32]), schema, &rows, capacity)
+                .unwrap();
         (host, t)
     }
 
-    fn sorted_values(host: &mut Host, t: &mut FlatTable, n: u64) -> Vec<i64> {
+    fn sorted_values<M: EnclaveMemory>(host: &mut M, t: &mut FlatTable, n: u64) -> Vec<i64> {
         let mut out = Vec::new();
         for i in 0..n {
             let bytes = t.read_row(host, i).unwrap();

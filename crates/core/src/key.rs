@@ -70,12 +70,7 @@ mod tests {
     fn f64_order_preserved() {
         let vals = [f64::NEG_INFINITY, -10.5, -0.0, 0.0, 1.0e-9, 2.5, f64::INFINITY];
         for w in vals.windows(2) {
-            assert!(
-                order_u64_from_f64(w[0]) <= order_u64_from_f64(w[1]),
-                "{} !<= {}",
-                w[0],
-                w[1]
-            );
+            assert!(order_u64_from_f64(w[0]) <= order_u64_from_f64(w[1]), "{} !<= {}", w[0], w[1]);
         }
         assert!(order_u64_from_f64(-1.0) < order_u64_from_f64(1.0));
     }

@@ -6,7 +6,7 @@
 //! preliminary scan has a fixed access pattern — read every row once — so
 //! the only leakage optimization adds is the final algorithm choice.
 
-use oblidb_enclave::{Host, OmBudget};
+use oblidb_enclave::{EnclaveMemory, OmBudget};
 
 use crate::error::DbError;
 use crate::predicate::Predicate;
@@ -90,8 +90,8 @@ impl Default for PlannerConfig {
 /// The planner's preliminary scan: reads every row once, updating
 /// statistics inside the enclave. Fixed access pattern; "often for free"
 /// because operators need |R| before allocating output anyway (§5).
-pub fn scan_stats(
-    host: &mut Host,
+pub fn scan_stats<M: EnclaveMemory>(
+    host: &mut M,
     input: &mut FlatTable,
     pred: &Predicate,
 ) -> Result<SelectStats, DbError> {
@@ -227,6 +227,7 @@ mod tests {
     use crate::predicate::CmpOp;
     use crate::types::{Column, DataType, Value};
     use oblidb_crypto::aead::AeadKey;
+    use oblidb_enclave::Host;
 
     fn schema() -> Schema {
         Schema::new(vec![Column::new("id", DataType::Int)])
@@ -235,11 +236,9 @@ mod tests {
     fn build(n: i64) -> (Host, FlatTable) {
         let s = schema();
         let mut host = Host::new();
-        let rows: Vec<Vec<u8>> =
-            (0..n).map(|i| s.encode_row(&[Value::Int(i)]).unwrap()).collect();
-        let t =
-            FlatTable::from_encoded_rows(&mut host, AeadKey([1u8; 32]), s, &rows, n as u64)
-                .unwrap();
+        let rows: Vec<Vec<u8>> = (0..n).map(|i| s.encode_row(&[Value::Int(i)]).unwrap()).collect();
+        let t = FlatTable::from_encoded_rows(&mut host, AeadKey([1u8; 32]), s, &rows, n as u64)
+            .unwrap();
         (host, t)
     }
 

@@ -63,7 +63,12 @@ pub enum Predicate {
 
 impl Predicate {
     /// Convenience: `column <op> value` by name.
-    pub fn cmp(schema: &Schema, col: &str, op: CmpOp, value: Value) -> Result<Self, crate::DbError> {
+    pub fn cmp(
+        schema: &Schema,
+        col: &str,
+        op: CmpOp,
+        value: Value,
+    ) -> Result<Self, crate::DbError> {
         Ok(Predicate::Cmp { col: schema.col(col)?, op, value })
     }
 
@@ -129,19 +134,20 @@ impl Bound {
         match (&a, &b) {
             (Bound::Unbounded, _) => b,
             (_, Bound::Unbounded) => a,
-            (Bound::Inclusive(x) | Bound::Exclusive(x), Bound::Inclusive(y) | Bound::Exclusive(y)) => {
-                match x.cmp_total(y) {
-                    Ordering::Greater => a,
-                    Ordering::Less => b,
-                    Ordering::Equal => {
-                        if matches!(a, Bound::Exclusive(_)) {
-                            a
-                        } else {
-                            b
-                        }
+            (
+                Bound::Inclusive(x) | Bound::Exclusive(x),
+                Bound::Inclusive(y) | Bound::Exclusive(y),
+            ) => match x.cmp_total(y) {
+                Ordering::Greater => a,
+                Ordering::Less => b,
+                Ordering::Equal => {
+                    if matches!(a, Bound::Exclusive(_)) {
+                        a
+                    } else {
+                        b
                     }
                 }
-            }
+            },
         }
     }
 
@@ -149,19 +155,20 @@ impl Bound {
         match (&a, &b) {
             (Bound::Unbounded, _) => b,
             (_, Bound::Unbounded) => a,
-            (Bound::Inclusive(x) | Bound::Exclusive(x), Bound::Inclusive(y) | Bound::Exclusive(y)) => {
-                match x.cmp_total(y) {
-                    Ordering::Less => a,
-                    Ordering::Greater => b,
-                    Ordering::Equal => {
-                        if matches!(a, Bound::Exclusive(_)) {
-                            a
-                        } else {
-                            b
-                        }
+            (
+                Bound::Inclusive(x) | Bound::Exclusive(x),
+                Bound::Inclusive(y) | Bound::Exclusive(y),
+            ) => match x.cmp_total(y) {
+                Ordering::Less => a,
+                Ordering::Greater => b,
+                Ordering::Equal => {
+                    if matches!(a, Bound::Exclusive(_)) {
+                        a
+                    } else {
+                        b
                     }
                 }
-            }
+            },
         }
     }
 }
@@ -172,10 +179,7 @@ mod tests {
     use crate::types::{Column, DataType};
 
     fn schema() -> Schema {
-        Schema::new(vec![
-            Column::new("id", DataType::Int),
-            Column::new("name", DataType::Text(8)),
-        ])
+        Schema::new(vec![Column::new("id", DataType::Int), Column::new("name", DataType::Text(8))])
     }
 
     fn row(id: i64, name: &str) -> Vec<u8> {

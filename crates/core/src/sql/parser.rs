@@ -8,8 +8,8 @@ use crate::types::{DataType, Value};
 
 use super::ast::ast_pred::PredExpr;
 use super::ast::{
-    Assignment, ColumnDef, CreateTable, Delete, Insert, JoinClause, Projection, Select,
-    SelectItem, Statement, Update,
+    Assignment, ColumnDef, CreateTable, Delete, Insert, JoinClause, Projection, Select, SelectItem,
+    Statement, Update,
 };
 use super::lexer::{tokenize, Token};
 
@@ -115,9 +115,7 @@ impl Parser {
                 self.expect_sym("(")?;
                 let n = match self.next()? {
                     Token::Int(v) if v > 0 => v as usize,
-                    other => {
-                        return Err(DbError::Sql(format!("expected width, found {other:?}")))
-                    }
+                    other => return Err(DbError::Sql(format!("expected width, found {other:?}"))),
                 };
                 self.expect_sym(")")?;
                 Ok(DataType::Text(n))
@@ -207,11 +205,7 @@ impl Parser {
                 let name = self.ident()?;
                 if let Some(func) = Self::agg_func(&name) {
                     if self.eat_sym("(") {
-                        let col = if self.eat_sym("*") {
-                            None
-                        } else {
-                            Some(self.ident()?)
-                        };
+                        let col = if self.eat_sym("*") { None } else { Some(self.ident()?) };
                         self.expect_sym(")")?;
                         items.push(SelectItem::Aggregate { func, col });
                     } else {
@@ -239,12 +233,13 @@ impl Parser {
             // Attribute the sides by prefix when qualified; otherwise take
             // them in order (FROM-side first).
             let strip = |s: &str| s.rsplit('.').next().unwrap_or(s).to_string();
-            let (left_col, right_col) =
-                if b.starts_with(&format!("{table}.")) || a.starts_with(&format!("{join_table}.")) {
-                    (strip(&b), strip(&a))
-                } else {
-                    (strip(&a), strip(&b))
-                };
+            let (left_col, right_col) = if b.starts_with(&format!("{table}."))
+                || a.starts_with(&format!("{join_table}."))
+            {
+                (strip(&b), strip(&a))
+            } else {
+                (strip(&a), strip(&b))
+            };
             Some(JoinClause { table: join_table, left_col, right_col })
         } else {
             None
@@ -387,18 +382,13 @@ mod tests {
         let stmt = parse("INSERT INTO t VALUES (1, 'bob', 2.5)").unwrap();
         let Statement::Insert(i) = stmt else { panic!() };
         assert_eq!(i.table, "t");
-        assert_eq!(
-            i.values,
-            vec![Value::Int(1), Value::Text("bob".into()), Value::Float(2.5)]
-        );
+        assert_eq!(i.values, vec![Value::Int(1), Value::Text("bob".into()), Value::Float(2.5)]);
     }
 
     #[test]
     fn select_star_where() {
-        let stmt = parse(
-            "SELECT * FROM Checkins WHERE uid = 3172 AND date > '2018-01-01'",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT * FROM Checkins WHERE uid = 3172 AND date > '2018-01-01'").unwrap();
         let Statement::Select(s) = stmt else { panic!() };
         assert_eq!(s.table, "Checkins");
         assert!(matches!(s.projection, Projection::Star));
@@ -407,26 +397,21 @@ mod tests {
 
     #[test]
     fn select_aggregates_group_by() {
-        let stmt =
-            parse("SELECT grp, SUM(v), COUNT(*) FROM t WHERE v > 0 GROUP BY grp").unwrap();
+        let stmt = parse("SELECT grp, SUM(v), COUNT(*) FROM t WHERE v > 0 GROUP BY grp").unwrap();
         let Statement::Select(s) = stmt else { panic!() };
         let Projection::Items(items) = &s.projection else { panic!() };
         assert_eq!(items.len(), 3);
         assert_eq!(items[0], SelectItem::Column("grp".into()));
-        assert_eq!(
-            items[1],
-            SelectItem::Aggregate { func: AggFunc::Sum, col: Some("v".into()) }
-        );
+        assert_eq!(items[1], SelectItem::Aggregate { func: AggFunc::Sum, col: Some("v".into()) });
         assert_eq!(items[2], SelectItem::Aggregate { func: AggFunc::Count, col: None });
         assert_eq!(s.group_by.as_deref(), Some("grp"));
     }
 
     #[test]
     fn select_join() {
-        let stmt = parse(
-            "SELECT * FROM R JOIN UV ON R.pageURL = UV.destURL WHERE UV.adRevenue > 0.5",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT * FROM R JOIN UV ON R.pageURL = UV.destURL WHERE UV.adRevenue > 0.5")
+                .unwrap();
         let Statement::Select(s) = stmt else { panic!() };
         let j = s.join.unwrap();
         assert_eq!(j.table, "UV");

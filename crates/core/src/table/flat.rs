@@ -9,7 +9,7 @@
 //! nothing beyond the table size, which grows observably anyway.
 
 use oblidb_crypto::aead::AeadKey;
-use oblidb_enclave::Host;
+use oblidb_enclave::EnclaveMemory;
 use oblidb_storage::SealedRegion;
 
 use crate::error::DbError;
@@ -29,8 +29,8 @@ pub struct FlatTable {
 
 impl FlatTable {
     /// Allocates an empty table of `capacity` rows.
-    pub fn create(
-        host: &mut Host,
+    pub fn create<M: EnclaveMemory>(
+        host: &mut M,
         key: AeadKey,
         schema: Schema,
         capacity: u64,
@@ -41,8 +41,8 @@ impl FlatTable {
     }
 
     /// Bulk-creates a table from encoded rows (pre-deployment load).
-    pub fn from_encoded_rows(
-        host: &mut Host,
+    pub fn from_encoded_rows<M: EnclaveMemory>(
+        host: &mut M,
         key: AeadKey,
         schema: Schema,
         rows: &[Vec<u8>],
@@ -84,12 +84,17 @@ impl FlatTable {
     }
 
     /// Reads block `i`, returning the decrypted row bytes.
-    pub fn read_row(&mut self, host: &mut Host, i: u64) -> Result<Vec<u8>, DbError> {
+    pub fn read_row<M: EnclaveMemory>(&mut self, host: &mut M, i: u64) -> Result<Vec<u8>, DbError> {
         Ok(self.store.read(host, i)?.to_vec())
     }
 
     /// Writes block `i`.
-    pub fn write_row(&mut self, host: &mut Host, i: u64, bytes: &[u8]) -> Result<(), DbError> {
+    pub fn write_row<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        i: u64,
+        bytes: &[u8],
+    ) -> Result<(), DbError> {
         self.store.write(host, i, bytes)?;
         Ok(())
     }
@@ -116,7 +121,11 @@ impl FlatTable {
     /// Oblivious insert (paper §3.1): one pass over the whole table; the
     /// first unused block gets the real write, every other block gets a
     /// dummy re-encryption. Leaks only the table size.
-    pub fn insert_oblivious(&mut self, host: &mut Host, values: &[Value]) -> Result<(), DbError> {
+    pub fn insert_oblivious<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        values: &[Value],
+    ) -> Result<(), DbError> {
         let encoded = self.schema.encode_row(values)?;
         let mut placed = false;
         for i in 0..self.capacity() {
@@ -139,7 +148,11 @@ impl FlatTable {
     /// Constant-time insert (paper §3.1): writes directly at the cursor.
     /// Safe for tables with few deletions; leaks only the insertion count,
     /// which the adversary learns from table growth anyway.
-    pub fn insert_fast(&mut self, host: &mut Host, values: &[Value]) -> Result<(), DbError> {
+    pub fn insert_fast<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        values: &[Value],
+    ) -> Result<(), DbError> {
         let encoded = self.schema.encode_row(values)?;
         if self.insert_cursor >= self.capacity() {
             return Err(DbError::TableFull("flat table".into()));
@@ -153,9 +166,9 @@ impl FlatTable {
     /// Oblivious UPDATE (paper §3.1): one pass; matching rows are
     /// rewritten with the assignments applied, others get dummy writes.
     /// Returns the number of rows changed.
-    pub fn update_where(
+    pub fn update_where<M: EnclaveMemory>(
         &mut self,
-        host: &mut Host,
+        host: &mut M,
         pred: &Predicate,
         assignments: &[(usize, Value)],
     ) -> Result<u64, DbError> {
@@ -179,7 +192,11 @@ impl FlatTable {
 
     /// Oblivious DELETE (paper §3.1): one pass; matching rows are marked
     /// unused and overwritten with dummy data, others get dummy writes.
-    pub fn delete_where(&mut self, host: &mut Host, pred: &Predicate) -> Result<u64, DbError> {
+    pub fn delete_where<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        pred: &Predicate,
+    ) -> Result<u64, DbError> {
         let dummy = self.schema.dummy_row();
         let mut removed = 0;
         for i in 0..self.capacity() {
@@ -197,10 +214,14 @@ impl FlatTable {
 
     /// Copies this table into a larger allocation (paper §3: capacity "can
     /// be increased later by copying to a new, larger table").
-    pub fn grow(&mut self, host: &mut Host, key: AeadKey, new_capacity: u64) -> Result<(), DbError> {
+    pub fn grow<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        key: AeadKey,
+        new_capacity: u64,
+    ) -> Result<(), DbError> {
         assert!(new_capacity >= self.capacity());
-        let mut bigger =
-            SealedRegion::create(host, key, new_capacity as usize, self.row_len())?;
+        let mut bigger = SealedRegion::create(host, key, new_capacity as usize, self.row_len())?;
         for i in 0..self.capacity() {
             let bytes = self.store.read(host, i)?.to_vec();
             bigger.write(host, i, &bytes)?;
@@ -211,7 +232,7 @@ impl FlatTable {
     }
 
     /// Decodes every used row (full scan — the only oblivious way out).
-    pub fn collect_rows(&mut self, host: &mut Host) -> Result<Vec<Row>, DbError> {
+    pub fn collect_rows<M: EnclaveMemory>(&mut self, host: &mut M) -> Result<Vec<Row>, DbError> {
         let mut out = Vec::with_capacity(self.num_rows as usize);
         for i in 0..self.capacity() {
             let bytes = self.store.read(host, i)?;
@@ -223,7 +244,7 @@ impl FlatTable {
     }
 
     /// Releases untrusted memory.
-    pub fn free(self, host: &mut Host) {
+    pub fn free<M: EnclaveMemory>(self, host: &mut M) {
         self.store.free(host);
     }
 }
@@ -233,7 +254,8 @@ mod tests {
     use super::*;
     use crate::predicate::CmpOp;
     use crate::types::{Column, DataType};
-    use oblidb_enclave::{AccessKind, Host};
+    use oblidb_enclave::AccessKind;
+    use oblidb_enclave::Host;
 
     fn schema() -> Schema {
         Schema::new(vec![Column::new("id", DataType::Int), Column::new("v", DataType::Int)])
@@ -296,10 +318,7 @@ mod tests {
         t.insert_fast(&mut host, &vrow(1, 1)).unwrap();
         t.insert_fast(&mut host, &vrow(2, 2)).unwrap();
         assert!(matches!(t.insert_fast(&mut host, &vrow(3, 3)), Err(DbError::TableFull(_))));
-        assert!(matches!(
-            t.insert_oblivious(&mut host, &vrow(3, 3)),
-            Err(DbError::TableFull(_))
-        ));
+        assert!(matches!(t.insert_oblivious(&mut host, &vrow(3, 3)), Err(DbError::TableFull(_))));
     }
 
     #[test]

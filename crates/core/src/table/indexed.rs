@@ -8,7 +8,7 @@
 
 use oblidb_btree::{ObTree, ObTreeError};
 use oblidb_crypto::aead::AeadKey;
-use oblidb_enclave::{EnclaveRng, Host, OmBudget};
+use oblidb_enclave::{EnclaveMemory, EnclaveRng, OmBudget};
 use oblidb_oram::PosMapKind;
 
 use crate::error::DbError;
@@ -43,11 +43,28 @@ fn key_range(lo: &Bound, hi: &Bound) -> (u128, u128) {
     (k_lo, k_hi)
 }
 
+/// The oblivious B+ tree keeps its routing state (node kinds, child
+/// pointers, key separators) in block payloads, so it cannot run over a
+/// payload-free substrate like `CountingMemory` — reads would parse
+/// zeroed nodes. Flat tables and raw ORAM cost-model fine; indexed
+/// storage needs a payload-retaining memory.
+fn require_payloads<M: EnclaveMemory>(host: &M) -> Result<(), DbError> {
+    if host.retains_payloads() {
+        Ok(())
+    } else {
+        Err(DbError::Unsupported(
+            "indexed storage requires a payload-retaining EnclaveMemory \
+             (B+ tree routing state lives in block payloads)"
+                .into(),
+        ))
+    }
+}
+
 impl IndexedTable {
     /// Creates an empty indexed table. The index ORAM's position map is
     /// charged to `om` (8 bytes per node, paper §3.3).
-    pub fn create(
-        host: &mut Host,
+    pub fn create<M: EnclaveMemory>(
+        host: &mut M,
         tree_key: AeadKey,
         schema: Schema,
         key_col: usize,
@@ -55,6 +72,7 @@ impl IndexedTable {
         om: &OmBudget,
         rng: EnclaveRng,
     ) -> Result<Self, DbError> {
+        require_payloads(host)?;
         let payload_len = schema.row_len();
         let tree = ObTree::new(
             host,
@@ -70,8 +88,8 @@ impl IndexedTable {
     }
 
     /// Bulk-loads from encoded rows (pre-deployment load).
-    pub fn from_encoded_rows(
-        host: &mut Host,
+    pub fn from_encoded_rows<M: EnclaveMemory>(
+        host: &mut M,
         tree_key: AeadKey,
         schema: Schema,
         key_col: usize,
@@ -89,6 +107,7 @@ impl IndexedTable {
             })
             .collect();
         items.sort_by_key(|(k, _)| *k);
+        require_payloads(host)?;
         let payload_len = schema.row_len();
         let tree = ObTree::bulk_load(
             host,
@@ -131,7 +150,11 @@ impl IndexedTable {
 
     /// Inserts a row; every insert costs the same padded number of ORAM
     /// accesses (paper §3.2).
-    pub fn insert(&mut self, host: &mut Host, values: &[Value]) -> Result<u64, DbError> {
+    pub fn insert<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        values: &[Value],
+    ) -> Result<u64, DbError> {
         let encoded = self.schema.encode_row(values)?;
         let rowid = self.next_rowid;
         self.next_rowid += 1;
@@ -147,9 +170,9 @@ impl IndexedTable {
     /// flat intermediate table T′ (paper §4.1, Selection over Indexes).
     /// Leaks the scanned segment size — counted as an intermediate table
     /// size.
-    pub fn range_to_flat(
+    pub fn range_to_flat<M: EnclaveMemory>(
         &mut self,
-        host: &mut Host,
+        host: &mut M,
         out_key: AeadKey,
         lo: &Bound,
         hi: &Bound,
@@ -164,9 +187,9 @@ impl IndexedTable {
     /// tables this way: small ranges come out of the index at index cost;
     /// large ones fall back to the flat scan, having leaked only that the
     /// range exceeded a public, size-derived threshold.
-    pub fn range_to_flat_capped(
+    pub fn range_to_flat_capped<M: EnclaveMemory>(
         &mut self,
-        host: &mut Host,
+        host: &mut M,
         out_key: AeadKey,
         lo: &Bound,
         hi: &Bound,
@@ -187,7 +210,11 @@ impl IndexedTable {
     /// Deletes rows matching `pred`, using the index range when the
     /// predicate allows it and a full chain scan otherwise. Returns the
     /// count (leaked as a result size).
-    pub fn delete_where(&mut self, host: &mut Host, pred: &Predicate) -> Result<u64, DbError> {
+    pub fn delete_where<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        pred: &Predicate,
+    ) -> Result<u64, DbError> {
         let victims = self.matching_keys(host, pred)?;
         let n = victims.len() as u64;
         for k in victims {
@@ -198,9 +225,9 @@ impl IndexedTable {
 
     /// Updates rows matching `pred`. Key-column changes are delete+insert
     /// (the composite key moves); other columns update in place.
-    pub fn update_where(
+    pub fn update_where<M: EnclaveMemory>(
         &mut self,
-        host: &mut Host,
+        host: &mut M,
         pred: &Predicate,
         assignments: &[(usize, Value)],
     ) -> Result<u64, DbError> {
@@ -225,13 +252,17 @@ impl IndexedTable {
         Ok(n)
     }
 
-    fn matching_keys(&mut self, host: &mut Host, pred: &Predicate) -> Result<Vec<u128>, DbError> {
+    fn matching_keys<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        pred: &Predicate,
+    ) -> Result<Vec<u128>, DbError> {
         Ok(self.matching_rows(host, pred)?.into_iter().map(|(k, _)| k).collect())
     }
 
-    fn matching_rows(
+    fn matching_rows<M: EnclaveMemory>(
         &mut self,
-        host: &mut Host,
+        host: &mut M,
         pred: &Predicate,
     ) -> Result<Vec<(u128, Vec<u8>)>, DbError> {
         let (k_lo, k_hi) = match pred.index_range() {
@@ -239,18 +270,15 @@ impl IndexedTable {
             _ => (0, u128::MAX),
         };
         let hits = self.tree.range_leaky(host, k_lo, k_hi)?;
-        Ok(hits
-            .into_iter()
-            .filter(|(_, bytes)| pred.eval(&self.schema, bytes))
-            .collect())
+        Ok(hits.into_iter().filter(|(_, bytes)| pred.eval(&self.schema, bytes)).collect())
     }
 
     /// Scans the physical index structure linearly "as if flat"
     /// (paper §3.2), feeding every slot — record or dummy — to `f` in a
     /// data-independent order.
-    pub fn scan_structure(
+    pub fn scan_structure<M: EnclaveMemory>(
         &mut self,
-        host: &mut Host,
+        host: &mut M,
         f: impl FnMut(Option<(u128, &[u8])>),
     ) -> Result<(), DbError> {
         self.tree.scan_structure(host, f)?;
@@ -258,7 +286,7 @@ impl IndexedTable {
     }
 
     /// Releases untrusted memory.
-    pub fn free(self, host: &mut Host) {
+    pub fn free<M: EnclaveMemory>(self, host: &mut M) {
         self.tree.free(host);
     }
 }
@@ -268,6 +296,7 @@ mod tests {
     use super::*;
     use crate::predicate::CmpOp;
     use crate::types::{Column, DataType};
+    use oblidb_enclave::Host;
     use oblidb_enclave::DEFAULT_OM_BYTES;
 
     fn schema() -> Schema {
@@ -346,12 +375,8 @@ mod tests {
                 &Bound::Exclusive(Value::Int(7)),
             )
             .unwrap();
-        let ids: Vec<i64> = flat
-            .collect_rows(&mut host)
-            .unwrap()
-            .iter()
-            .map(|r| r[0].as_int().unwrap())
-            .collect();
+        let ids: Vec<i64> =
+            flat.collect_rows(&mut host).unwrap().iter().map(|r| r[0].as_int().unwrap()).collect();
         assert_eq!(ids, vec![4, 5, 6]);
         let mut all = t
             .range_to_flat(&mut host, AeadKey([8u8; 32]), &Bound::Unbounded, &Bound::Unbounded)
@@ -429,8 +454,7 @@ mod tests {
         let mut host = Host::new();
         let om = OmBudget::new(DEFAULT_OM_BYTES);
         let s = schema();
-        let rows: Vec<Vec<u8>> =
-            (0..40i64).map(|i| s.encode_row(&vrow(i, i)).unwrap()).collect();
+        let rows: Vec<Vec<u8>> = (0..40i64).map(|i| s.encode_row(&vrow(i, i)).unwrap()).collect();
         let mut t = IndexedTable::from_encoded_rows(
             &mut host,
             AeadKey([4u8; 32]),

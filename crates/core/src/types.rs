@@ -203,7 +203,9 @@ impl Schema {
     pub fn decode_col(&self, bytes: &[u8], idx: usize) -> Value {
         let off = self.col_offset(idx);
         match self.columns[idx].dtype {
-            DataType::Int => Value::Int(i64::from_le_bytes(bytes[off..off + 8].try_into().unwrap())),
+            DataType::Int => {
+                Value::Int(i64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()))
+            }
             DataType::Float => {
                 Value::Float(f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()))
             }

@@ -14,7 +14,7 @@
 //! half; full transactions remain out of scope, as in the paper).
 
 use oblidb_crypto::aead::AeadKey;
-use oblidb_enclave::Host;
+use oblidb_enclave::EnclaveMemory;
 use oblidb_storage::SealedRegion;
 
 use crate::error::DbError;
@@ -48,7 +48,11 @@ pub struct Wal {
 
 impl Wal {
     /// Creates an empty log.
-    pub fn create(host: &mut Host, key: AeadKey, config: WalConfig) -> Result<Self, DbError> {
+    pub fn create<M: EnclaveMemory>(
+        host: &mut M,
+        key: AeadKey,
+        config: WalConfig,
+    ) -> Result<Self, DbError> {
         assert!(config.block_bytes > 2, "block must fit the length header");
         let store =
             SealedRegion::create(host, key, config.capacity.max(1) as usize, config.block_bytes)?;
@@ -67,7 +71,11 @@ impl Wal {
 
     /// Appends one statement, before its mutation executes. Exactly one
     /// sealed write — no data-dependent access pattern.
-    pub fn append(&mut self, host: &mut Host, statement: &str) -> Result<(), DbError> {
+    pub fn append<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        statement: &str,
+    ) -> Result<(), DbError> {
         let bytes = statement.as_bytes();
         if bytes.len() > self.block_bytes - 2 {
             return Err(DbError::Unsupported(format!(
@@ -91,7 +99,7 @@ impl Wal {
     }
 
     /// Decrypts and returns every logged statement, oldest first.
-    pub fn records(&mut self, host: &mut Host) -> Result<Vec<String>, DbError> {
+    pub fn records<M: EnclaveMemory>(&mut self, host: &mut M) -> Result<Vec<String>, DbError> {
         let mut out = Vec::with_capacity(self.len as usize);
         for i in 0..self.len {
             let bytes = self.store.read(host, i)?;
@@ -104,7 +112,7 @@ impl Wal {
     }
 
     /// Releases untrusted memory.
-    pub fn free(self, host: &mut Host) {
+    pub fn free<M: EnclaveMemory>(self, host: &mut M) {
         self.store.free(host);
     }
 }
@@ -112,15 +120,13 @@ impl Wal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oblidb_enclave::Host;
 
     fn setup() -> (Host, Wal) {
         let mut host = Host::new();
-        let wal = Wal::create(
-            &mut host,
-            AeadKey([3u8; 32]),
-            WalConfig { block_bytes: 64, capacity: 2 },
-        )
-        .unwrap();
+        let wal =
+            Wal::create(&mut host, AeadKey([3u8; 32]), WalConfig { block_bytes: 64, capacity: 2 })
+                .unwrap();
         (host, wal)
     }
 

@@ -1,6 +1,9 @@
 //! Property-based testing of the oblivious operators: under arbitrary
 //! data and predicates, every algorithm must agree with a plain reference
 //! implementation, and equal-leakage runs must produce equal traces.
+//!
+//! The case generator is a seeded [`EnclaveRng`] loop (the workspace is
+//! dependency-free, so no proptest); failures print the offending case.
 
 use oblidb_core::exec::{self, AggFunc, SortMergeVariant};
 use oblidb_core::planner::SelectAlgo;
@@ -9,7 +12,8 @@ use oblidb_core::table::FlatTable;
 use oblidb_core::types::{Column, DataType, Schema, Value};
 use oblidb_crypto::aead::AeadKey;
 use oblidb_enclave::{EnclaveRng, Host, OmBudget, DEFAULT_OM_BYTES};
-use proptest::prelude::*;
+
+const CASES: usize = 40;
 
 fn schema() -> Schema {
     Schema::new(vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)])
@@ -32,20 +36,18 @@ struct PredSpec {
     value: i64,
 }
 
-fn pred_strategy() -> impl Strategy<Value = PredSpec> {
-    (
-        0usize..2,
-        prop_oneof![
-            Just(CmpOp::Eq),
-            Just(CmpOp::Ne),
-            Just(CmpOp::Lt),
-            Just(CmpOp::Le),
-            Just(CmpOp::Gt),
-            Just(CmpOp::Ge)
-        ],
-        -20i64..20,
-    )
-        .prop_map(|(col, op, value)| PredSpec { col, op, value })
+fn rand_rows(rng: &mut EnclaveRng, min: usize, max: usize) -> Vec<(i64, i64)> {
+    let n = min + rng.below((max - min) as u64) as usize;
+    (0..n).map(|_| (rng.int_in(-20, 20), rng.int_in(-20, 20))).collect()
+}
+
+fn rand_pred(rng: &mut EnclaveRng) -> PredSpec {
+    let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+    PredSpec {
+        col: rng.below(2) as usize,
+        op: ops[rng.below(ops.len() as u64) as usize],
+        value: rng.int_in(-20, 20),
+    }
 }
 
 fn to_pred(spec: &PredSpec) -> Predicate {
@@ -85,22 +87,15 @@ fn collect_pairs(host: &mut Host, t: &mut FlatTable) -> Vec<(i64, i64)> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// Every select algorithm returns exactly the reference filter result.
-    #[test]
-    fn select_algorithms_match_reference(
-        rows in proptest::collection::vec((-20i64..20, -20i64..20), 1..60),
-        spec in pred_strategy(),
-    ) {
+/// Every select algorithm returns exactly the reference filter result.
+#[test]
+fn select_algorithms_match_reference() {
+    let mut rng = EnclaveRng::seed_from_u64(0x5E1EC7);
+    for case in 0..CASES {
+        let rows = rand_rows(&mut rng, 1, 60);
+        let spec = rand_pred(&mut rng);
         let expected = reference_filter(&rows, &spec);
-        for algo in [
-            SelectAlgo::Small,
-            SelectAlgo::Large,
-            SelectAlgo::Hash,
-            SelectAlgo::Naive,
-        ] {
+        for algo in [SelectAlgo::Small, SelectAlgo::Large, SelectAlgo::Hash, SelectAlgo::Naive] {
             let mut host = Host::new();
             let om = OmBudget::new(DEFAULT_OM_BYTES);
             let mut t = build(&mut host, &rows);
@@ -111,9 +106,7 @@ proptest! {
                 SelectAlgo::Small => {
                     exec::select_small(&mut host, &om, &mut t, &pred, key, out_rows).unwrap()
                 }
-                SelectAlgo::Large => {
-                    exec::select_large(&mut host, &mut t, &pred, key).unwrap()
-                }
+                SelectAlgo::Large => exec::select_large(&mut host, &mut t, &pred, key).unwrap(),
                 SelectAlgo::Hash => {
                     exec::select_hash(&mut host, &mut t, &pred, key, out_rows).unwrap()
                 }
@@ -129,17 +122,23 @@ proptest! {
                 .unwrap(),
                 _ => unreachable!(),
             };
-            prop_assert_eq!(collect_pairs(&mut host, &mut out), expected.clone(), "{:?}", algo);
+            assert_eq!(
+                collect_pairs(&mut host, &mut out),
+                expected,
+                "case {case}: {algo:?} on {rows:?} with {spec:?}"
+            );
         }
     }
+}
 
-    /// The padded select returns the reference result for any pad ≥ |R|.
-    #[test]
-    fn padded_select_matches_reference(
-        rows in proptest::collection::vec((-20i64..20, -20i64..20), 1..50),
-        spec in pred_strategy(),
-        extra in 0u64..20,
-    ) {
+/// The padded select returns the reference result for any pad ≥ |R|.
+#[test]
+fn padded_select_matches_reference() {
+    let mut rng = EnclaveRng::seed_from_u64(0x9AD);
+    for case in 0..CASES {
+        let rows = rand_rows(&mut rng, 1, 50);
+        let spec = rand_pred(&mut rng);
+        let extra = rng.below(20);
         let expected = reference_filter(&rows, &spec);
         let mut host = Host::new();
         let om = OmBudget::new(DEFAULT_OM_BYTES);
@@ -154,41 +153,59 @@ proptest! {
             pad,
         )
         .unwrap();
-        prop_assert!(out.capacity() >= pad.max(1));
-        prop_assert_eq!(collect_pairs(&mut host, &mut out), expected);
+        assert!(out.capacity() >= pad.max(1), "case {case}");
+        assert_eq!(
+            collect_pairs(&mut host, &mut out),
+            expected,
+            "case {case}: {rows:?} with {spec:?} pad {pad}"
+        );
     }
+}
 
-    /// Aggregates agree with a plain fold, for any predicate.
-    #[test]
-    fn aggregates_match_reference(
-        rows in proptest::collection::vec((-20i64..20, -20i64..20), 1..60),
-        spec in pred_strategy(),
-    ) {
+/// Aggregates agree with a plain fold, for any predicate.
+#[test]
+fn aggregates_match_reference() {
+    let mut rng = EnclaveRng::seed_from_u64(0xA66);
+    for case in 0..CASES {
+        let rows = rand_rows(&mut rng, 1, 60);
+        let spec = rand_pred(&mut rng);
         let matching = reference_filter(&rows, &spec);
         let mut host = Host::new();
         let mut t = build(&mut host, &rows);
         let pred = to_pred(&spec);
 
         let count = exec::aggregate(&mut host, &mut t, AggFunc::Count, None, &pred).unwrap();
-        prop_assert_eq!(count, Value::Int(matching.len() as i64));
+        assert_eq!(count, Value::Int(matching.len() as i64), "case {case}");
 
         let sum = exec::aggregate(&mut host, &mut t, AggFunc::Sum, Some(1), &pred).unwrap();
-        prop_assert_eq!(sum, Value::Int(matching.iter().map(|(_, b)| b).sum::<i64>()));
+        assert_eq!(sum, Value::Int(matching.iter().map(|(_, b)| b).sum::<i64>()), "case {case}");
 
         if !matching.is_empty() {
             let min = exec::aggregate(&mut host, &mut t, AggFunc::Min, Some(0), &pred).unwrap();
-            prop_assert_eq!(min, Value::Int(matching.iter().map(|(a, _)| *a).min().unwrap()));
+            assert_eq!(
+                min,
+                Value::Int(matching.iter().map(|(a, _)| *a).min().unwrap()),
+                "case {case}"
+            );
         }
     }
+}
 
-    /// All three joins agree with a nested-loop reference on arbitrary
-    /// (possibly non-FK) key distributions — T1 keys are deduplicated to
-    /// preserve the FK precondition of the sort-merge variants.
-    #[test]
-    fn joins_match_reference(
-        t1_keys in proptest::collection::btree_set(-10i64..10, 1..12),
-        t2 in proptest::collection::vec((-10i64..10, 0i64..100), 0..30),
-    ) {
+/// All three joins agree with a nested-loop reference on arbitrary
+/// (possibly non-FK) key distributions — T1 keys are deduplicated to
+/// preserve the FK precondition of the sort-merge variants.
+#[test]
+fn joins_match_reference() {
+    let mut rng = EnclaveRng::seed_from_u64(0x101);
+    for case in 0..CASES {
+        let t1_keys: std::collections::BTreeSet<i64> = {
+            let n = 1 + rng.below(11) as usize;
+            (0..n).map(|_| rng.int_in(-10, 10)).collect()
+        };
+        let t2: Vec<(i64, i64)> = {
+            let n = rng.below(30) as usize;
+            (0..n).map(|_| (rng.int_in(-10, 10), rng.int_in(0, 100))).collect()
+        };
         let t1: Vec<(i64, i64)> = t1_keys.iter().map(|k| (*k, k * 2)).collect();
         let mut expected = Vec::new();
         for (k1, v1) in &t1 {
@@ -200,7 +217,11 @@ proptest! {
         }
         expected.sort_unstable();
 
-        for variant in [None, Some(SortMergeVariant::Opaque), Some(SortMergeVariant::ZeroOm { scratch_rows: 2 })] {
+        for variant in [
+            None,
+            Some(SortMergeVariant::Opaque),
+            Some(SortMergeVariant::ZeroOm { scratch_rows: 2 }),
+        ] {
             let mut host = Host::new();
             let om = OmBudget::new(4096);
             let mut left = build(&mut host, &t1);
@@ -208,47 +229,62 @@ proptest! {
             let key = AeadKey([9u8; 32]);
             let mut out = match variant {
                 None => exec::hash_join(&mut host, &om, &mut left, 0, &mut right, 0, key).unwrap(),
-                Some(v) => exec::sort_merge_join(
-                    &mut host, &om, &mut left, 0, &mut right, 0, key, v,
-                ).unwrap(),
+                Some(v) => {
+                    exec::sort_merge_join(&mut host, &om, &mut left, 0, &mut right, 0, key, v)
+                        .unwrap()
+                }
             };
             let mut got: Vec<(i64, i64, i64, i64)> = out
                 .collect_rows(&mut host)
                 .unwrap()
                 .iter()
-                .map(|r| (
-                    r[0].as_int().unwrap(),
-                    r[1].as_int().unwrap(),
-                    r[2].as_int().unwrap(),
-                    r[3].as_int().unwrap(),
-                ))
+                .map(|r| {
+                    (
+                        r[0].as_int().unwrap(),
+                        r[1].as_int().unwrap(),
+                        r[2].as_int().unwrap(),
+                        r[3].as_int().unwrap(),
+                    )
+                })
                 .collect();
             got.sort_unstable();
-            prop_assert_eq!(got, expected.clone(), "{:?}", variant);
+            assert_eq!(got, expected, "case {case}: {variant:?}");
         }
     }
+}
 
-    /// Bitonic sort equals std sort for any data and chunk size.
-    #[test]
-    fn bitonic_matches_std_sort(
-        values in proptest::collection::vec(-1000i64..1000, 1..64),
-        chunk in 1usize..70,
-    ) {
+/// Bitonic sort equals std sort for any data and chunk size.
+#[test]
+fn bitonic_matches_std_sort() {
+    let mut rng = EnclaveRng::seed_from_u64(0xB170);
+    for case in 0..CASES {
+        let values: Vec<i64> = {
+            let n = 1 + rng.below(63) as usize;
+            (0..n).map(|_| rng.int_in(-1000, 1000)).collect()
+        };
+        let chunk = 1 + rng.below(69) as usize;
         let mut host = Host::new();
         let rows: Vec<(i64, i64)> = values.iter().map(|v| (*v, 0)).collect();
         let mut t = build(&mut host, &rows);
         let n = (values.len() as u64).max(2).next_power_of_two();
         t.grow(&mut host, AeadKey([2u8; 32]), n).unwrap();
         let s = t.schema().clone();
-        exec::bitonic_sort(&mut host, &mut t, n, move |bytes| {
-            if !Schema::row_used(bytes) {
-                return u128::MAX;
-            }
-            match s.decode_col(bytes, 0) {
-                Value::Int(v) => oblidb_core::key::order_u64_from_i64(v) as u128,
-                _ => 0,
-            }
-        }, chunk).unwrap();
+        exec::bitonic_sort(
+            &mut host,
+            &mut t,
+            n,
+            move |bytes| {
+                if !Schema::row_used(bytes) {
+                    return u128::MAX;
+                }
+                match s.decode_col(bytes, 0) {
+                    Value::Int(v) => oblidb_core::key::order_u64_from_i64(v) as u128,
+                    _ => 0,
+                }
+            },
+            chunk,
+        )
+        .unwrap();
 
         let mut got = Vec::new();
         for i in 0..n {
@@ -259,48 +295,51 @@ proptest! {
         }
         let mut expected = values.clone();
         expected.sort_unstable();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}: chunk {chunk}");
     }
+}
 
-    /// Trace-equality, property-tested: two datasets with the same size
-    /// and match count produce identical adversary transcripts under every
-    /// deterministic select algorithm.
-    #[test]
-    fn equal_leakage_implies_equal_traces(
-        n in 4usize..32,
-        k in 1usize..4,
-        shift in 0usize..2,
-    ) {
-        let k = k.min(n);
-        // Dataset A: first k rows match (value 1); dataset B: last k rows.
-        let data_a: Vec<(i64, i64)> =
-            (0..n).map(|i| (i as i64, i64::from(i < k))).collect();
-        let data_b: Vec<(i64, i64)> =
-            (0..n).map(|i| (i as i64 + shift as i64, i64::from(i >= n - k))).collect();
-        for algo in [SelectAlgo::Small, SelectAlgo::Large, SelectAlgo::Hash] {
-            let mut traces = Vec::new();
-            for data in [&data_a, &data_b] {
-                let mut host = Host::new();
-                let om = OmBudget::new(DEFAULT_OM_BYTES);
-                let mut t = build(&mut host, data);
-                let pred = Predicate::Cmp { col: 1, op: CmpOp::Eq, value: Value::Int(1) };
-                host.start_trace();
-                let key = AeadKey([9u8; 32]);
-                match algo {
-                    SelectAlgo::Small => {
-                        exec::select_small(&mut host, &om, &mut t, &pred, key, k as u64).unwrap();
+/// Trace-equality, property-tested: two datasets with the same size and
+/// match count produce identical adversary transcripts under every
+/// deterministic select algorithm.
+#[test]
+fn equal_leakage_implies_equal_traces() {
+    for n in (4usize..32).step_by(3) {
+        for k in 1usize..4 {
+            for shift in 0usize..2 {
+                let k = k.min(n);
+                // Dataset A: first k rows match (value 1); dataset B: last k.
+                let data_a: Vec<(i64, i64)> =
+                    (0..n).map(|i| (i as i64, i64::from(i < k))).collect();
+                let data_b: Vec<(i64, i64)> =
+                    (0..n).map(|i| (i as i64 + shift as i64, i64::from(i >= n - k))).collect();
+                for algo in [SelectAlgo::Small, SelectAlgo::Large, SelectAlgo::Hash] {
+                    let mut traces = Vec::new();
+                    for data in [&data_a, &data_b] {
+                        let mut host = Host::new();
+                        let om = OmBudget::new(DEFAULT_OM_BYTES);
+                        let mut t = build(&mut host, data);
+                        let pred = Predicate::Cmp { col: 1, op: CmpOp::Eq, value: Value::Int(1) };
+                        host.start_trace();
+                        let key = AeadKey([9u8; 32]);
+                        match algo {
+                            SelectAlgo::Small => {
+                                exec::select_small(&mut host, &om, &mut t, &pred, key, k as u64)
+                                    .unwrap();
+                            }
+                            SelectAlgo::Large => {
+                                exec::select_large(&mut host, &mut t, &pred, key).unwrap();
+                            }
+                            SelectAlgo::Hash => {
+                                exec::select_hash(&mut host, &mut t, &pred, key, k as u64).unwrap();
+                            }
+                            _ => unreachable!(),
+                        }
+                        traces.push(host.take_trace());
                     }
-                    SelectAlgo::Large => {
-                        exec::select_large(&mut host, &mut t, &pred, key).unwrap();
-                    }
-                    SelectAlgo::Hash => {
-                        exec::select_hash(&mut host, &mut t, &pred, key, k as u64).unwrap();
-                    }
-                    _ => unreachable!(),
+                    assert_eq!(traces[0], traces[1], "n={n} k={k} shift={shift} {algo:?}");
                 }
-                traces.push(host.take_trace());
             }
-            prop_assert_eq!(&traces[0], &traces[1], "{:?}", algo);
         }
     }
 }

@@ -108,12 +108,9 @@ mod tests {
         for (i, b) in key.iter_mut().enumerate() {
             *b = 0x80 + i as u8;
         }
-        let nonce = Nonce([
-            0x07, 0x00, 0x00, 0x00, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47,
-        ]);
-        let aad: [u8; 12] = [
-            0x50, 0x51, 0x52, 0x53, 0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7,
-        ];
+        let nonce = Nonce([0x07, 0x00, 0x00, 0x00, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47]);
+        let aad: [u8; 12] =
+            [0x50, 0x51, 0x52, 0x53, 0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7];
         let mut plaintext = *b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
         let tag = seal(&AeadKey(key), &nonce, &aad, &mut plaintext);
         let expected_tag: [u8; 16] = [
@@ -125,8 +122,8 @@ mod tests {
         assert_eq!(
             &plaintext[..16],
             &[
-                0xd3, 0x1a, 0x8d, 0x34, 0x64, 0x8e, 0x60, 0xdb, 0x7b, 0x86, 0xaf, 0xbc, 0x53,
-                0xef, 0x7e, 0xc2
+                0xd3, 0x1a, 0x8d, 0x34, 0x64, 0x8e, 0x60, 0xdb, 0x7b, 0x86, 0xaf, 0xbc, 0x53, 0xef,
+                0x7e, 0xc2
             ]
         );
     }
@@ -174,10 +171,7 @@ mod tests {
         let key = AeadKey([1u8; 32]);
         let mut data = vec![9u8; 32];
         let tag = seal(&key, &Nonce::from_parts(0, 1), b"", &mut data);
-        assert_eq!(
-            open(&key, &Nonce::from_parts(0, 2), b"", &mut data, &tag),
-            Err(AeadError)
-        );
+        assert_eq!(open(&key, &Nonce::from_parts(0, 2), b"", &mut data, &tag), Err(AeadError));
     }
 
     #[test]

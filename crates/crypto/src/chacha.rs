@@ -110,9 +110,7 @@ mod tests {
         for (i, b) in key.iter_mut().enumerate() {
             *b = i as u8;
         }
-        let nonce = [
-            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
-        ];
+        let nonce = [0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00];
         let cipher = ChaCha20::new(&key, &nonce);
         let mut out = [0u8; BLOCK_LEN];
         cipher.block(1, &mut out);

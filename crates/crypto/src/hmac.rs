@@ -42,20 +42,14 @@ mod tests {
     fn rfc4231_tc1() {
         let key = [0x0bu8; 20];
         let mac = hmac_sha256(&key, b"Hi There");
-        assert_eq!(
-            hex(&mac),
-            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
-        );
+        assert_eq!(hex(&mac), "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
     }
 
     /// RFC 4231 test case 2.
     #[test]
     fn rfc4231_tc2() {
         let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
-        assert_eq!(
-            hex(&mac),
-            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
-        );
+        assert_eq!(hex(&mac), "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
     }
 
     /// RFC 4231 test case 3: 0xaa * 20 key, 0xdd * 50 data.
@@ -64,10 +58,7 @@ mod tests {
         let key = [0xaau8; 20];
         let data = [0xddu8; 50];
         let mac = hmac_sha256(&key, &data);
-        assert_eq!(
-            hex(&mac),
-            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
-        );
+        assert_eq!(hex(&mac), "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
     }
 
     #[test]

@@ -88,15 +88,19 @@ mod tests {
     #[allow(deprecated)]
     fn matches_std_reference() {
         let keys = [(0u64, 0u64), (1, 2), (0xdead_beef, 0xcafe_babe), (u64::MAX, 42)];
-        let messages: Vec<Vec<u8>> = (0..32usize)
-            .map(|n| (0..n).map(|i| (i * 7 + 3) as u8).collect())
-            .collect();
+        let messages: Vec<Vec<u8>> =
+            (0..32usize).map(|n| (0..n).map(|i| (i * 7 + 3) as u8).collect()).collect();
         for &(k0, k1) in &keys {
             let ours = SipHash24::new(k0, k1);
             for msg in &messages {
                 let mut std_hasher = std::hash::SipHasher::new_with_keys(k0, k1);
                 std_hasher.write(msg);
-                assert_eq!(ours.hash(msg), std_hasher.finish(), "key ({k0},{k1}) len {}", msg.len());
+                assert_eq!(
+                    ours.hash(msg),
+                    std_hasher.finish(),
+                    "key ({k0},{k1}) len {}",
+                    msg.len()
+                );
             }
         }
     }

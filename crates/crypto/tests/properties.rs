@@ -1,96 +1,122 @@
 //! Property-based tests for the crypto substrate: round-trips for all
 //! sizes, and tamper detection for *any* single-bit corruption anywhere in
 //! a sealed block.
+//!
+//! Cases are generated from a seeded [`EnclaveRng`] (the workspace is
+//! dependency-free, so no proptest).
 
 use oblidb_crypto::aead::{open, seal, AeadKey, Nonce};
 use oblidb_crypto::{hmac_sha256, sha256};
-use proptest::prelude::*;
+use oblidb_enclave::EnclaveRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn rand_vec(rng: &mut EnclaveRng, min: usize, max: usize) -> Vec<u8> {
+    let n = min as u64 + rng.below((max - min) as u64);
+    rng.random_bytes(n as usize)
+}
 
-    #[test]
-    fn aead_roundtrip_any_payload(
-        key in any::<[u8; 32]>(),
-        epoch in any::<u32>(),
-        counter in any::<u64>(),
-        aad in proptest::collection::vec(any::<u8>(), 0..64),
-        payload in proptest::collection::vec(any::<u8>(), 0..512),
-    ) {
-        let key = AeadKey(key);
-        let nonce = Nonce::from_parts(epoch, counter);
+#[test]
+fn aead_roundtrip_any_payload() {
+    let mut rng = EnclaveRng::seed_from_u64(0xAEAD);
+    for case in 0..64 {
+        let mut key_bytes = [0u8; 32];
+        rng.fill(&mut key_bytes);
+        let key = AeadKey(key_bytes);
+        let nonce = Nonce::from_parts(rng.next_u64() as u32, rng.next_u64());
+        let aad = rand_vec(&mut rng, 0, 64);
+        let payload = rand_vec(&mut rng, 0, 512);
+
         let mut buf = payload.clone();
         let tag = seal(&key, &nonce, &aad, &mut buf);
         if !payload.is_empty() {
-            prop_assert_ne!(&buf, &payload, "ciphertext must differ from plaintext");
+            assert_ne!(&buf, &payload, "case {case}: ciphertext must differ from plaintext");
         }
         open(&key, &nonce, &aad, &mut buf, &tag).unwrap();
-        prop_assert_eq!(buf, payload);
+        assert_eq!(buf, payload, "case {case}");
     }
+}
 
-    #[test]
-    fn any_bit_flip_is_detected(
-        payload in proptest::collection::vec(any::<u8>(), 1..128),
-        flip_byte in any::<prop::sample::Index>(),
-        flip_bit in 0u8..8,
-    ) {
+#[test]
+fn any_bit_flip_is_detected() {
+    let mut rng = EnclaveRng::seed_from_u64(0xF11);
+    for case in 0..64 {
+        let payload = rand_vec(&mut rng, 1, 128);
+        let idx = rng.below(payload.len() as u64) as usize;
+        let flip_bit = rng.below(8) as u8;
+
         let key = AeadKey([9u8; 32]);
         let nonce = Nonce::from_parts(1, 2);
         let mut buf = payload.clone();
         let tag = seal(&key, &nonce, b"aad", &mut buf);
-        let idx = flip_byte.index(buf.len());
         buf[idx] ^= 1 << flip_bit;
-        prop_assert!(open(&key, &nonce, b"aad", &mut buf, &tag).is_err());
+        assert!(
+            open(&key, &nonce, b"aad", &mut buf, &tag).is_err(),
+            "case {case}: byte {idx} bit {flip_bit}"
+        );
     }
+}
 
-    #[test]
-    fn any_tag_flip_is_detected(
-        payload in proptest::collection::vec(any::<u8>(), 0..64),
-        flip_byte in 0usize..16,
-        flip_bit in 0u8..8,
-    ) {
+#[test]
+fn any_tag_flip_is_detected() {
+    let mut rng = EnclaveRng::seed_from_u64(0x7A6);
+    for case in 0..64 {
+        let payload = rand_vec(&mut rng, 0, 64);
+        let flip_byte = rng.below(16) as usize;
+        let flip_bit = rng.below(8) as u8;
+
         let key = AeadKey([9u8; 32]);
         let nonce = Nonce::from_parts(1, 2);
         let mut buf = payload;
         let mut tag = seal(&key, &nonce, b"", &mut buf);
         tag[flip_byte] ^= 1 << flip_bit;
-        prop_assert!(open(&key, &nonce, b"", &mut buf, &tag).is_err());
+        assert!(
+            open(&key, &nonce, b"", &mut buf, &tag).is_err(),
+            "case {case}: tag byte {flip_byte} bit {flip_bit}"
+        );
     }
+}
 
-    #[test]
-    fn nonces_never_produce_equal_ciphertexts(
-        payload in proptest::collection::vec(any::<u8>(), 16..64),
-        c1 in any::<u64>(),
-        c2 in any::<u64>(),
-    ) {
-        prop_assume!(c1 != c2);
+#[test]
+fn nonces_never_produce_equal_ciphertexts() {
+    let mut rng = EnclaveRng::seed_from_u64(0x40);
+    for case in 0..64 {
+        let payload = rand_vec(&mut rng, 16, 64);
+        let c1 = rng.next_u64();
+        let c2 = rng.next_u64();
+        if c1 == c2 {
+            continue;
+        }
         let key = AeadKey([5u8; 32]);
         let mut a = payload.clone();
         let mut b = payload;
         seal(&key, &Nonce::from_parts(0, c1), b"", &mut a);
         seal(&key, &Nonce::from_parts(0, c2), b"", &mut b);
-        prop_assert_ne!(a, b);
+        assert_ne!(a, b, "case {case}");
     }
+}
 
-    #[test]
-    fn sha256_incremental_equals_oneshot(
-        data in proptest::collection::vec(any::<u8>(), 0..300),
-        split in any::<prop::sample::Index>(),
-    ) {
-        let s = if data.is_empty() { 0 } else { split.index(data.len()) };
+#[test]
+fn sha256_incremental_equals_oneshot() {
+    let mut rng = EnclaveRng::seed_from_u64(0x5A);
+    for case in 0..64 {
+        let data = rand_vec(&mut rng, 0, 300);
+        let s = if data.is_empty() { 0 } else { rng.below(data.len() as u64) as usize };
         let mut h = oblidb_crypto::sha256::Sha256::new();
         h.update(&data[..s]);
         h.update(&data[s..]);
-        prop_assert_eq!(h.finish(), sha256(&data));
+        assert_eq!(h.finish(), sha256(&data), "case {case}: split {s} of {}", data.len());
     }
+}
 
-    #[test]
-    fn hmac_distinguishes_keys_and_messages(
-        k1 in proptest::collection::vec(any::<u8>(), 1..64),
-        k2 in proptest::collection::vec(any::<u8>(), 1..64),
-        msg in proptest::collection::vec(any::<u8>(), 0..64),
-    ) {
-        prop_assume!(k1 != k2);
-        prop_assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg));
+#[test]
+fn hmac_distinguishes_keys_and_messages() {
+    let mut rng = EnclaveRng::seed_from_u64(0x34);
+    for case in 0..64 {
+        let k1 = rand_vec(&mut rng, 1, 64);
+        let k2 = rand_vec(&mut rng, 1, 64);
+        let msg = rand_vec(&mut rng, 0, 64);
+        if k1 == k2 {
+            continue;
+        }
+        assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg), "case {case}");
     }
 }

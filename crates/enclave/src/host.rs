@@ -236,10 +236,11 @@ impl Host {
             });
         }
         let len = r.blocks.len() as u64;
-        let slot = r
-            .blocks
-            .get_mut(index as usize)
-            .ok_or(HostError::OutOfBounds { region, index, len })?;
+        let slot = r.blocks.get_mut(index as usize).ok_or(HostError::OutOfBounds {
+            region,
+            index,
+            len,
+        })?;
         match slot {
             Some(existing) => existing.copy_from_slice(data),
             None => *slot = Some(data.to_vec().into_boxed_slice()),

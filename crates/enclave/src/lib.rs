@@ -8,11 +8,19 @@
 //!
 //! This crate models exactly that boundary:
 //!
-//! * [`Host`] is the untrusted world: a set of block-granular memory
-//!   regions. Every read/write crosses the boundary and can be recorded in
-//!   an [`AccessEvent`] trace — the simulation analogue of the adversary's
-//!   view in the paper's Appendix A security theorem. Tests assert *trace
-//!   equality* across runs with different data to verify obliviousness.
+//! * [`EnclaveMemory`] is the abstract block-store seam every engine layer
+//!   is written against: alloc/free/grow/read/write plus stats and traces.
+//!   Implementors decide where blocks actually live.
+//! * [`Host`] is the default untrusted world: a set of block-granular
+//!   memory regions. Every read/write crosses the boundary and can be
+//!   recorded in an [`AccessEvent`] trace — the simulation analogue of the
+//!   adversary's view in the paper's Appendix A security theorem. Tests
+//!   assert *trace equality* across runs with different data to verify
+//!   obliviousness.
+//! * [`CountingMemory`] is a payload-free implementor: it tracks region
+//!   shapes, counters and traces but stores no data — a fast cost model
+//!   for capacity planning (oblivious access patterns are
+//!   payload-independent, so its counts equal [`Host`]'s).
 //! * [`OmBudget`] accounts for the limited *oblivious memory* available
 //!   inside the enclave (20 MB in the paper's evaluation). Position maps and
 //!   operator buffers must fit in it; operators degrade gracefully (more
@@ -24,10 +32,12 @@
 #![warn(missing_docs)]
 
 mod host;
+mod memory;
 mod om;
 mod rng;
 
 pub use host::{AccessEvent, AccessKind, Host, HostError, HostStats, RegionId, Trace};
+pub use memory::{CountingMemory, EnclaveMemory};
 pub use om::{OmAllocation, OmBudget, OmError};
 pub use rng::EnclaveRng;
 

@@ -1,0 +1,354 @@
+//! The block-store seam every layer of the engine is written against.
+//!
+//! ObliDB's trusted code never cares *where* untrusted blocks live — only
+//! that each boundary crossing is observable. [`EnclaveMemory`] captures
+//! exactly the surface the engine needs (allocate / free / grow / read /
+//! write / stats / trace), so the same operators run unchanged over the
+//! in-memory [`Host`], the payload-free [`CountingMemory`] cost model, and
+//! — in later iterations — disk-backed or sharded backends.
+
+use crate::host::{AccessEvent, AccessKind, Host, HostError, HostStats, RegionId, Trace};
+
+/// Abstract untrusted block memory, as seen from inside the enclave.
+///
+/// Everything the engine does to the outside world goes through this trait;
+/// region identity, block indices and access direction are public (the
+/// adversary's view), payload bytes are sealed before they arrive here.
+///
+/// Implementors: [`Host`] (stores sealed payloads, the default substrate)
+/// and [`CountingMemory`] (drops payloads, counts accesses — a fast cost
+/// model). Code generic over `M: EnclaveMemory` must keep its *access
+/// pattern* independent of payload contents; that is the obliviousness
+/// property the test suite asserts via trace equality.
+pub trait EnclaveMemory {
+    /// Allocates a region of `blocks` blocks, each `block_size` bytes.
+    ///
+    /// Allocation size is public (the paper leaks data-structure sizes).
+    fn alloc_region(&mut self, blocks: usize, block_size: usize) -> RegionId;
+
+    /// Frees a region (e.g. an intermediate table that was consumed).
+    fn free_region(&mut self, region: RegionId);
+
+    /// Grows a region to `new_blocks` blocks (growth is public).
+    fn grow_region(&mut self, region: RegionId, new_blocks: usize) -> Result<(), HostError>;
+
+    /// Number of blocks in a region.
+    fn region_len(&self, region: RegionId) -> Result<u64, HostError>;
+
+    /// The sealed-block size of a region.
+    fn region_block_size(&self, region: RegionId) -> Result<usize, HostError>;
+
+    /// Reads a sealed block. Observable by the adversary.
+    fn read(&mut self, region: RegionId, index: u64) -> Result<&[u8], HostError>;
+
+    /// Writes a sealed block. Observable by the adversary.
+    fn write(&mut self, region: RegionId, index: u64, data: &[u8]) -> Result<(), HostError>;
+
+    /// Starts recording accesses (clearing any previous recording).
+    fn start_trace(&mut self);
+
+    /// Stops recording and returns the transcript.
+    fn take_trace(&mut self) -> Trace;
+
+    /// Whether a trace is being recorded.
+    fn tracing(&self) -> bool;
+
+    /// Aggregate statistics since the last [`EnclaveMemory::reset_stats`].
+    fn stats(&self) -> HostStats;
+
+    /// Zeroes the aggregate counters.
+    fn reset_stats(&mut self);
+
+    /// Whether reads return the payload bytes that were written.
+    ///
+    /// `true` for real substrates. [`CountingMemory`] returns `false`: it
+    /// discards payloads, so the sealed-storage layer skips decryption and
+    /// synthesizes zeroed plaintext instead of failing authentication.
+    /// Oblivious code paths have payload-independent access patterns, so
+    /// access counts and trace shapes are preserved.
+    fn retains_payloads(&self) -> bool {
+        true
+    }
+}
+
+impl EnclaveMemory for Host {
+    fn alloc_region(&mut self, blocks: usize, block_size: usize) -> RegionId {
+        Host::alloc_region(self, blocks, block_size)
+    }
+
+    fn free_region(&mut self, region: RegionId) {
+        Host::free_region(self, region)
+    }
+
+    fn grow_region(&mut self, region: RegionId, new_blocks: usize) -> Result<(), HostError> {
+        Host::grow_region(self, region, new_blocks)
+    }
+
+    fn region_len(&self, region: RegionId) -> Result<u64, HostError> {
+        Host::region_len(self, region)
+    }
+
+    fn region_block_size(&self, region: RegionId) -> Result<usize, HostError> {
+        Host::region_block_size(self, region)
+    }
+
+    fn read(&mut self, region: RegionId, index: u64) -> Result<&[u8], HostError> {
+        Host::read(self, region, index)
+    }
+
+    fn write(&mut self, region: RegionId, index: u64, data: &[u8]) -> Result<(), HostError> {
+        Host::write(self, region, index, data)
+    }
+
+    fn start_trace(&mut self) {
+        Host::start_trace(self)
+    }
+
+    fn take_trace(&mut self) -> Trace {
+        Host::take_trace(self)
+    }
+
+    fn tracing(&self) -> bool {
+        Host::tracing(self)
+    }
+
+    fn stats(&self) -> HostStats {
+        Host::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        Host::reset_stats(self)
+    }
+}
+
+struct CountingRegion {
+    block_size: usize,
+    blocks: u64,
+    /// One bit per block: whether it was ever written. Keeps the
+    /// [`HostError::EmptyBlock`] contract identical to [`Host`] without
+    /// storing payloads.
+    written: Vec<u64>,
+}
+
+impl CountingRegion {
+    fn new(blocks: u64, block_size: usize) -> Self {
+        CountingRegion { block_size, blocks, written: vec![0; blocks.div_ceil(64) as usize] }
+    }
+
+    fn is_written(&self, index: u64) -> bool {
+        self.written[(index / 64) as usize] & (1 << (index % 64)) != 0
+    }
+
+    fn mark_written(&mut self, index: u64) {
+        self.written[(index / 64) as usize] |= 1 << (index % 64);
+    }
+}
+
+/// A payload-free [`EnclaveMemory`]: tracks region shapes, access counts
+/// and (optionally) the full trace, but never copies a payload byte.
+///
+/// Reads return a zeroed scratch slice of the region's block size; writes
+/// are bounds- and size-checked, then dropped (only a written bit per
+/// block is kept, so unwritten reads fail with the same
+/// [`HostError::EmptyBlock`] as [`Host`]). For structures whose access
+/// pattern is independent of substrate payloads — flat tables, scan
+/// operators, direct-posmap ORAM — driving them over `CountingMemory`
+/// yields exactly the trace and counters a [`Host`] run would produce,
+/// at a fraction of the cost. Recursive-posmap ORAM stores its leaf
+/// assignments *in* payloads, so there only aggregate access counts
+/// match (paths differ event-by-event). Use it for cost-model tests and
+/// capacity planning, never for data correctness.
+///
+/// Scope: flat tables, raw ORAM and scan operators cost-model exactly;
+/// structures that route through payload contents (the oblivious B+
+/// tree, so `Indexed`/`Both` storage) refuse payload-free substrates
+/// with a typed error.
+#[derive(Default)]
+pub struct CountingMemory {
+    regions: Vec<Option<CountingRegion>>,
+    trace: Option<Vec<AccessEvent>>,
+    stats: HostStats,
+    scratch: Vec<u8>,
+}
+
+impl CountingMemory {
+    /// Creates an empty counting memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn region(&self, region: RegionId) -> Result<&CountingRegion, HostError> {
+        self.regions
+            .get(region.0 as usize)
+            .and_then(|r| r.as_ref())
+            .ok_or(HostError::UnknownRegion(region))
+    }
+
+    fn record(&mut self, region: RegionId, index: u64, kind: AccessKind) {
+        if let Some(t) = &mut self.trace {
+            t.push(AccessEvent { region, index, kind });
+        }
+    }
+}
+
+impl EnclaveMemory for CountingMemory {
+    fn alloc_region(&mut self, blocks: usize, block_size: usize) -> RegionId {
+        let id = RegionId(self.regions.len() as u32);
+        self.regions.push(Some(CountingRegion::new(blocks as u64, block_size)));
+        id
+    }
+
+    fn free_region(&mut self, region: RegionId) {
+        if let Some(slot) = self.regions.get_mut(region.0 as usize) {
+            *slot = None;
+        }
+    }
+
+    fn grow_region(&mut self, region: RegionId, new_blocks: usize) -> Result<(), HostError> {
+        let r = self
+            .regions
+            .get_mut(region.0 as usize)
+            .and_then(|r| r.as_mut())
+            .ok_or(HostError::UnknownRegion(region))?;
+        r.blocks = r.blocks.max(new_blocks as u64);
+        r.written.resize(r.blocks.div_ceil(64) as usize, 0);
+        Ok(())
+    }
+
+    fn region_len(&self, region: RegionId) -> Result<u64, HostError> {
+        Ok(self.region(region)?.blocks)
+    }
+
+    fn region_block_size(&self, region: RegionId) -> Result<usize, HostError> {
+        Ok(self.region(region)?.block_size)
+    }
+
+    fn read(&mut self, region: RegionId, index: u64) -> Result<&[u8], HostError> {
+        self.record(region, index, AccessKind::Read);
+        let r = self
+            .regions
+            .get(region.0 as usize)
+            .and_then(|r| r.as_ref())
+            .ok_or(HostError::UnknownRegion(region))?;
+        if index >= r.blocks {
+            return Err(HostError::OutOfBounds { region, index, len: r.blocks });
+        }
+        if !r.is_written(index) {
+            // Same contract as `Host`: the attempt is traced (above), but
+            // the read fails and the success counters stay untouched.
+            return Err(HostError::EmptyBlock(region, index));
+        }
+        let block_size = r.block_size;
+        self.stats.reads += 1;
+        self.stats.bytes_read += block_size as u64;
+        // The scratch is only ever zeroed; resize covers changing sizes.
+        self.scratch.resize(block_size, 0);
+        Ok(&self.scratch[..block_size])
+    }
+
+    fn write(&mut self, region: RegionId, index: u64, data: &[u8]) -> Result<(), HostError> {
+        self.record(region, index, AccessKind::Write);
+        let r = self
+            .regions
+            .get_mut(region.0 as usize)
+            .and_then(|r| r.as_mut())
+            .ok_or(HostError::UnknownRegion(region))?;
+        if data.len() != r.block_size {
+            return Err(HostError::BlockSizeMismatch {
+                region,
+                expected: r.block_size,
+                got: data.len(),
+            });
+        }
+        if index >= r.blocks {
+            return Err(HostError::OutOfBounds { region, index, len: r.blocks });
+        }
+        r.mark_written(index);
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    fn start_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    fn take_trace(&mut self) -> Trace {
+        Trace(self.trace.take().unwrap_or_default())
+    }
+
+    fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    fn stats(&self) -> HostStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = HostStats::default();
+    }
+
+    fn retains_payloads(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_memory_counts_without_storing() {
+        let mut m = CountingMemory::new();
+        let r = EnclaveMemory::alloc_region(&mut m, 4, 8);
+        m.write(r, 1, &[7u8; 8]).unwrap();
+        assert_eq!(m.read(r, 1).unwrap(), &[0u8; 8], "payloads are dropped");
+        let s = m.stats();
+        assert_eq!((s.reads, s.writes), (1, 1));
+        assert_eq!((s.bytes_read, s.bytes_written), (8, 8));
+    }
+
+    #[test]
+    fn counting_memory_traces_like_host() {
+        let mut h = Host::new();
+        let mut m = CountingMemory::new();
+        let rh = EnclaveMemory::alloc_region(&mut h, 4, 8);
+        let rm = EnclaveMemory::alloc_region(&mut m, 4, 8);
+        EnclaveMemory::start_trace(&mut h);
+        m.start_trace();
+        for i in 0..4 {
+            EnclaveMemory::write(&mut h, rh, i, &[1u8; 8]).unwrap();
+            m.write(rm, i, &[1u8; 8]).unwrap();
+            EnclaveMemory::read(&mut h, rh, i).unwrap();
+            m.read(rm, i).unwrap();
+        }
+        assert_eq!(EnclaveMemory::take_trace(&mut h), m.take_trace());
+    }
+
+    #[test]
+    fn counting_memory_checks_bounds_and_sizes() {
+        let mut m = CountingMemory::new();
+        let r = EnclaveMemory::alloc_region(&mut m, 2, 8);
+        assert!(matches!(m.write(r, 5, &[0u8; 8]), Err(HostError::OutOfBounds { .. })));
+        assert!(matches!(m.write(r, 0, &[0u8; 7]), Err(HostError::BlockSizeMismatch { .. })));
+        assert_eq!(m.read(r, 1), Err(HostError::EmptyBlock(r, 1)), "unwritten reads fail as Host");
+        m.free_region(r);
+        assert_eq!(m.read(r, 0), Err(HostError::UnknownRegion(r)));
+    }
+
+    #[test]
+    fn counting_memory_grow_extends_bounds() {
+        let mut m = CountingMemory::new();
+        let r = EnclaveMemory::alloc_region(&mut m, 2, 4);
+        EnclaveMemory::grow_region(&mut m, r, 10).unwrap();
+        assert_eq!(EnclaveMemory::region_len(&m, r).unwrap(), 10);
+        m.write(r, 9, &[0u8; 4]).unwrap();
+    }
+
+    #[test]
+    fn host_retains_payloads_counting_does_not() {
+        assert!(EnclaveMemory::retains_payloads(&Host::new()));
+        assert!(!CountingMemory::new().retains_payloads());
+    }
+}

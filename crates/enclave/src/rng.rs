@@ -2,35 +2,90 @@
 //!
 //! ORAM leaf reassignment and dummy-access targets need unpredictable (to
 //! the adversary) randomness that lives inside the enclave. For experiment
-//! reproducibility every source is seedable.
-
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+//! reproducibility every source is seedable: the generator is a
+//! self-contained xoshiro256** (Blackman & Vigna), seeded through
+//! splitmix64, so the whole workspace is dependency-free. The simulation
+//! only needs statistical quality plus determinism under a seed; a real SGX
+//! deployment would swap in RDRAND-backed entropy behind the same API.
 
 /// Deterministic, seedable RNG representing the enclave's entropy source.
 pub struct EnclaveRng {
-    rng: StdRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl EnclaveRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        let mut s = seed;
+        Self {
+            state: [splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s)],
+        }
     }
 
-    /// Uniform `u64`.
+    /// Uniform `u64` (xoshiro256** step).
     pub fn next_u64(&mut self) -> u64 {
-        self.rng.random()
+        let [s0, s1, s2, s3] = self.state;
+        let out = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut n = [s0, s1, s2, s3];
+        n[2] ^= n[0];
+        n[3] ^= n[1];
+        n[1] ^= n[2];
+        n[0] ^= n[3];
+        n[2] ^= t;
+        n[3] = n[3].rotate_left(45);
+        self.state = n;
+        out
     }
 
     /// Uniform value in `[0, bound)`. `bound` must be nonzero.
+    ///
+    /// Uses rejection sampling (Lemire-style threshold) so the output is
+    /// exactly uniform — ORAM leaf choice must not be biased.
     pub fn below(&mut self, bound: u64) -> u64 {
-        self.rng.random_range(0..bound)
+        assert!(bound > 0, "below(0) is meaningless");
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let (lo, hi) = {
+                let wide = (x as u128) * (bound as u128);
+                (wide as u64, (wide >> 64) as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
     }
 
     /// Fills a byte slice with random bytes (key/seed generation).
     pub fn fill(&mut self, buf: &mut [u8]) {
-        self.rng.fill(buf);
+        for chunk in buf.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)` — the sampler the workspace's
+    /// property tests share (workload generators use the richer
+    /// range-typed wrapper in `oblidb-workloads`).
+    pub fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range");
+        lo + self.below((hi - lo) as u64) as i64
+    }
+
+    /// A fresh buffer of `len` uniform random bytes.
+    pub fn random_bytes(&mut self, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        self.fill(&mut v);
+        v
     }
 
     /// Derives an independent child RNG (e.g. one per ORAM instance).
@@ -58,6 +113,16 @@ mod tests {
         for _ in 0..1000 {
             assert!(r.below(7) < 7);
         }
+    }
+
+    #[test]
+    fn below_covers_range() {
+        let mut r = EnclaveRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

@@ -111,7 +111,6 @@ mod tests {
         assert!(Slot { addr: 0, leaf: 0, data: vec![] }.is_real());
     }
 
-
     #[test]
     fn zeroed_block_parses_as_all_dummies() {
         // Freshly sealed regions hold all-zero payloads; they must read as

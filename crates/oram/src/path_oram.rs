@@ -1,7 +1,7 @@
 //! The Path ORAM protocol (Stefanov et al., CCS'13) as used by ObliDB.
 
 use oblidb_crypto::aead::AeadKey;
-use oblidb_enclave::{EnclaveRng, Host, OmBudget, OmError};
+use oblidb_enclave::{EnclaveMemory, EnclaveRng, OmBudget, OmError};
 use oblidb_storage::{SealedRegion, StorageError};
 
 use crate::bucket::{Bucket, Slot};
@@ -91,7 +91,12 @@ enum PositionMap {
 impl PositionMap {
     /// Returns the current leaf for `addr` and atomically installs
     /// `new_leaf`.
-    fn get_and_set(&mut self, host: &mut Host, addr: u64, new_leaf: u32) -> Result<u32, OramError> {
+    fn get_and_set<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        addr: u64,
+        new_leaf: u32,
+    ) -> Result<u32, OramError> {
         match self {
             PositionMap::Direct { map, .. } => {
                 let slot = &mut map[addr as usize];
@@ -139,8 +144,8 @@ fn next_pow2(x: u64) -> u64 {
 impl PathOram {
     /// Creates an empty ORAM for `capacity` logical blocks of
     /// `payload_len` bytes. The position map is charged to `om`.
-    pub fn new(
-        host: &mut Host,
+    pub fn new<M: EnclaveMemory>(
+        host: &mut M,
         key: AeadKey,
         capacity: u64,
         payload_len: usize,
@@ -241,9 +246,9 @@ impl PathOram {
 
     /// The core protocol: read a path, mutate the target, evict, write the
     /// path back.
-    fn access(
+    fn access<M: EnclaveMemory>(
         &mut self,
-        host: &mut Host,
+        host: &mut M,
         addr: u64,
         new_data: Option<&[u8]>,
     ) -> Result<Vec<u8>, OramError> {
@@ -265,7 +270,8 @@ impl PathOram {
             }
             None => {
                 // Never-written address: materialize zeros (or new data).
-                let data = new_data.map(<[u8]>::to_vec).unwrap_or_else(|| vec![0u8; self.payload_len]);
+                let data =
+                    new_data.map(<[u8]>::to_vec).unwrap_or_else(|| vec![0u8; self.payload_len]);
                 self.stash.push(Slot { addr, leaf: new_leaf, data: data.clone() });
                 data
             }
@@ -277,7 +283,11 @@ impl PathOram {
         Ok(out)
     }
 
-    fn read_path_into_stash(&mut self, host: &mut Host, leaf: u64) -> Result<(), OramError> {
+    fn read_path_into_stash<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        leaf: u64,
+    ) -> Result<(), OramError> {
         for level in 0..self.levels {
             let idx = self.path_bucket(leaf, level);
             let plaintext = self.store.read(host, idx)?;
@@ -291,7 +301,7 @@ impl PathOram {
         Ok(())
     }
 
-    fn evict_path(&mut self, host: &mut Host, leaf: u64) -> Result<(), OramError> {
+    fn evict_path<M: EnclaveMemory>(&mut self, host: &mut M, leaf: u64) -> Result<(), OramError> {
         // Greedy eviction from the deepest level up: place each stash block
         // in the deepest bucket on this path that also lies on the block's
         // own path.
@@ -316,19 +326,28 @@ impl PathOram {
     }
 
     /// Oblivious read of logical block `addr`.
-    pub fn read(&mut self, host: &mut Host, addr: u64) -> Result<Vec<u8>, OramError> {
+    pub fn read<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        addr: u64,
+    ) -> Result<Vec<u8>, OramError> {
         self.access(host, addr, None)
     }
 
     /// Oblivious write of logical block `addr`.
-    pub fn write(&mut self, host: &mut Host, addr: u64, data: &[u8]) -> Result<(), OramError> {
+    pub fn write<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        addr: u64,
+        data: &[u8],
+    ) -> Result<(), OramError> {
         assert_eq!(data.len(), self.payload_len, "payload length mismatch");
         self.access(host, addr, Some(data)).map(|_| ())
     }
 
     /// A dummy access: indistinguishable from a real one (paper §3.2 pads
     /// B+ tree operations with these to reach worst-case access counts).
-    pub fn dummy_access(&mut self, host: &mut Host) -> Result<(), OramError> {
+    pub fn dummy_access<M: EnclaveMemory>(&mut self, host: &mut M) -> Result<(), OramError> {
         let leaf = self.rng.below(self.leaves);
         self.read_path_into_stash(host, leaf)?;
         self.stats.stash_peak = self.stats.stash_peak.max(self.stash.len());
@@ -342,9 +361,9 @@ impl PathOram {
     /// dummy or real, so callers can do data-independent per-slot work —
     /// this is how an indexed table is scanned "as if flat" (paper §3.2:
     /// internal nodes and ORAM dummies are treated as dummy blocks).
-    pub fn scan_slots(
+    pub fn scan_slots<M: EnclaveMemory>(
         &mut self,
-        host: &mut Host,
+        host: &mut M,
         mut f: impl FnMut(&Slot),
     ) -> Result<(), OramError> {
         for idx in 0..self.bucket_count() {
@@ -362,8 +381,8 @@ impl PathOram {
 
     /// Bulk-loads contents at creation time (pre-deployment loading; see
     /// DESIGN.md §7). `items[i]` becomes logical block `i`.
-    pub fn with_contents(
-        host: &mut Host,
+    pub fn with_contents<M: EnclaveMemory>(
+        host: &mut M,
         key: AeadKey,
         items: &[Vec<u8>],
         payload_len: usize,
@@ -410,7 +429,7 @@ impl PathOram {
     }
 
     /// Releases untrusted memory.
-    pub fn free(self, host: &mut Host) {
+    pub fn free<M: EnclaveMemory>(self, host: &mut M) {
         match self.posmap {
             PositionMap::Recursive { inner, .. } => inner.free(host),
             PositionMap::Direct { .. } => {}
@@ -422,6 +441,7 @@ impl PathOram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oblidb_enclave::Host;
     use oblidb_enclave::{AccessKind, DEFAULT_OM_BYTES};
     use std::collections::HashMap;
 
@@ -570,11 +590,7 @@ mod tests {
             let addr = rng.below(256);
             oram.read(&mut host, addr).unwrap();
         }
-        assert!(
-            oram.stats().stash_peak < 120,
-            "stash peak {} too large",
-            oram.stats().stash_peak
-        );
+        assert!(oram.stats().stash_peak < 120, "stash peak {} too large", oram.stats().stash_peak);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 #![warn(missing_docs)]
 
 use oblidb_crypto::aead::{self, AeadKey, Nonce, NONCE_LEN, TAG_LEN};
-use oblidb_enclave::{Host, HostError, RegionId};
+use oblidb_enclave::{EnclaveMemory, HostError, RegionId};
 
 /// Extra bytes a sealed block occupies beyond its plaintext payload.
 pub const SEAL_OVERHEAD: usize = NONCE_LEN + TAG_LEN;
@@ -76,8 +76,8 @@ impl SealedRegion {
     /// `payload_len` plaintext bytes, and initializes every block to an
     /// encryption of zeros so the region is uniformly unreadable from
     /// outside and every block is readable from inside.
-    pub fn create(
-        host: &mut Host,
+    pub fn create<M: EnclaveMemory>(
+        host: &mut M,
         key: AeadKey,
         blocks: usize,
         payload_len: usize,
@@ -122,12 +122,27 @@ impl SealedRegion {
     ///
     /// The returned slice borrows this region's scratch buffer; copy it out
     /// before the next storage call.
-    pub fn read(&mut self, host: &mut Host, index: u64) -> Result<&[u8], StorageError> {
-        let revision = *self
-            .revisions
-            .get(index as usize)
-            .ok_or(HostError::OutOfBounds { region: self.region, index, len: self.len() })?;
+    pub fn read<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        index: u64,
+    ) -> Result<&[u8], StorageError> {
+        let revision = *self.revisions.get(index as usize).ok_or(HostError::OutOfBounds {
+            region: self.region,
+            index,
+            len: self.len(),
+        })?;
+        let retains = host.retains_payloads();
         let sealed = host.read(self.region, index)?;
+        if !retains {
+            // Payload-free substrate (e.g. `CountingMemory`): the boundary
+            // crossing above is what the cost model observes; synthesize
+            // zeroed plaintext in place of decryption. Oblivious callers'
+            // access patterns are payload-independent, so counts match.
+            self.scratch.clear();
+            self.scratch.resize(NONCE_LEN + self.payload_len, 0);
+            return Ok(&self.scratch[NONCE_LEN..NONCE_LEN + self.payload_len]);
+        }
         self.scratch.clear();
         self.scratch.extend_from_slice(sealed);
 
@@ -149,22 +164,33 @@ impl SealedRegion {
     /// Every write re-randomizes the ciphertext (fresh nonce), so a dummy
     /// write — writing back exactly what was read — is indistinguishable
     /// from a real one, the property all the paper's operators rely on.
-    pub fn write(
+    pub fn write<M: EnclaveMemory>(
         &mut self,
-        host: &mut Host,
+        host: &mut M,
         index: u64,
         payload: &[u8],
     ) -> Result<(), StorageError> {
         assert_eq!(payload.len(), self.payload_len, "payload length mismatch");
         let len = self.len();
-        let slot = self
-            .revisions
-            .get_mut(index as usize)
-            .ok_or(HostError::OutOfBounds { region: self.region, index, len })?;
+        let slot = self.revisions.get_mut(index as usize).ok_or(HostError::OutOfBounds {
+            region: self.region,
+            index,
+            len,
+        })?;
         *slot += 1;
         let revision = *slot;
 
         self.write_counter += 1;
+        if !host.retains_payloads() {
+            // Payload-free substrate: the block is dropped on arrival, so
+            // sealing it would only burn AEAD cycles (the dominant cost in
+            // every operator). Ship a zeroed sealed-size buffer; revision
+            // and counter bookkeeping above stay identical.
+            self.scratch.clear();
+            self.scratch.resize(self.payload_len + SEAL_OVERHEAD, 0);
+            host.write(self.region, index, &self.scratch)?;
+            return Ok(());
+        }
         let nonce = Nonce::from_parts(self.region.0, self.write_counter);
         let mut aad = [0u8; 16];
         aad[..8].copy_from_slice(&index.to_le_bytes());
@@ -182,7 +208,11 @@ impl SealedRegion {
 
     /// Grows the region to `new_blocks`, sealing zeroed payloads into the
     /// new tail.
-    pub fn grow(&mut self, host: &mut Host, new_blocks: usize) -> Result<(), StorageError> {
+    pub fn grow<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        new_blocks: usize,
+    ) -> Result<(), StorageError> {
         let old = self.revisions.len();
         if new_blocks <= old {
             return Ok(());
@@ -197,7 +227,7 @@ impl SealedRegion {
     }
 
     /// Releases the untrusted allocation.
-    pub fn free(self, host: &mut Host) {
+    pub fn free<M: EnclaveMemory>(self, host: &mut M) {
         host.free_region(self.region);
     }
 }
@@ -205,6 +235,7 @@ impl SealedRegion {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oblidb_enclave::Host;
 
     fn setup(blocks: usize, payload: usize) -> (Host, SealedRegion) {
         let mut host = Host::new();

@@ -1,23 +1,25 @@
 //! Property-based tests for sealed storage: a random sequence of writes
 //! must read back exactly (model check against a plain map), and any
 //! adversarial mutation of any block must be detected.
+//!
+//! Cases are generated from a seeded [`EnclaveRng`] (the workspace is
+//! dependency-free, so no proptest).
 
 use oblidb_crypto::aead::AeadKey;
-use oblidb_enclave::Host;
+use oblidb_enclave::{EnclaveRng, Host};
 use oblidb_storage::{SealedRegion, StorageError};
-use proptest::prelude::*;
 use std::collections::HashMap;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_writes_read_back(
-        ops in proptest::collection::vec((0u64..16, any::<u8>()), 1..80),
-    ) {
+#[test]
+fn random_writes_read_back() {
+    let mut rng = EnclaveRng::seed_from_u64(0x57);
+    for case in 0..48 {
+        let ops: Vec<(u64, u8)> = {
+            let n = 1 + rng.below(79) as usize;
+            (0..n).map(|_| (rng.below(16), rng.below(256) as u8)).collect()
+        };
         let mut host = Host::new();
-        let mut region =
-            SealedRegion::create(&mut host, AeadKey([1u8; 32]), 16, 8).unwrap();
+        let mut region = SealedRegion::create(&mut host, AeadKey([1u8; 32]), 16, 8).unwrap();
         let mut model: HashMap<u64, [u8; 8]> = HashMap::new();
         for (idx, byte) in ops {
             let payload = [byte; 8];
@@ -26,54 +28,57 @@ proptest! {
         }
         for i in 0..16u64 {
             let expected = model.get(&i).copied().unwrap_or([0u8; 8]);
-            prop_assert_eq!(region.read(&mut host, i).unwrap(), &expected);
+            assert_eq!(region.read(&mut host, i).unwrap(), &expected, "case {case} block {i}");
         }
     }
+}
 
-    #[test]
-    fn any_corruption_is_detected(
-        writes in proptest::collection::vec((0u64..8, any::<u8>()), 1..20),
-        victim in 0u64..8,
-        offset in any::<prop::sample::Index>(),
-        bit in 0u8..8,
-    ) {
+#[test]
+fn any_corruption_is_detected() {
+    let mut rng = EnclaveRng::seed_from_u64(0xC0);
+    for case in 0..48 {
+        let writes: Vec<(u64, u8)> = {
+            let n = 1 + rng.below(19) as usize;
+            (0..n).map(|_| (rng.below(8), rng.below(256) as u8)).collect()
+        };
+        let victim = rng.below(8);
+        let offset_seed = rng.next_u64();
+        let bit = rng.below(8) as u8;
+
         let mut host = Host::new();
-        let mut region =
-            SealedRegion::create(&mut host, AeadKey([1u8; 32]), 8, 16).unwrap();
+        let mut region = SealedRegion::create(&mut host, AeadKey([1u8; 32]), 8, 16).unwrap();
         for (idx, byte) in writes {
             region.write(&mut host, idx, &[byte; 16]).unwrap();
         }
         let mut corrupted_len = 0;
         host.adversary_corrupt(region.region_id(), victim, |b| {
             corrupted_len = b.len();
-            let i = offset.index(b.len());
+            let i = (offset_seed % b.len() as u64) as usize;
             b[i] ^= 1 << bit;
         });
-        prop_assert!(corrupted_len > 0);
-        let tampered = matches!(
-            region.read(&mut host, victim),
-            Err(StorageError::TamperDetected { .. })
-        );
-        prop_assert!(tampered);
+        assert!(corrupted_len > 0, "case {case}");
+        let tampered =
+            matches!(region.read(&mut host, victim), Err(StorageError::TamperDetected { .. }));
+        assert!(tampered, "case {case}: victim {victim} bit {bit}");
     }
+}
 
-    #[test]
-    fn any_rollback_is_detected(
-        idx in 0u64..8,
-        first in any::<u8>(),
-        second in any::<u8>(),
-    ) {
+#[test]
+fn any_rollback_is_detected() {
+    let mut rng = EnclaveRng::seed_from_u64(0xB0);
+    for case in 0..48 {
+        let idx = rng.below(8);
+        let first = rng.below(256) as u8;
+        let second = rng.below(256) as u8;
+
         let mut host = Host::new();
-        let mut region =
-            SealedRegion::create(&mut host, AeadKey([1u8; 32]), 8, 8).unwrap();
+        let mut region = SealedRegion::create(&mut host, AeadKey([1u8; 32]), 8, 8).unwrap();
         region.write(&mut host, idx, &[first; 8]).unwrap();
         let stale = host.adversary_snapshot(region.region_id(), idx).unwrap();
         region.write(&mut host, idx, &[second; 8]).unwrap();
         host.adversary_restore(region.region_id(), idx, stale);
-        let rolled_back = matches!(
-            region.read(&mut host, idx),
-            Err(StorageError::TamperDetected { .. })
-        );
-        prop_assert!(rolled_back);
+        let rolled_back =
+            matches!(region.read(&mut host, idx), Err(StorageError::TamperDetected { .. }));
+        assert!(rolled_back, "case {case}: idx {idx}");
     }
 }

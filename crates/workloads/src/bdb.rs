@@ -17,9 +17,8 @@
 //! `ipPrefix8` pre-computes `SUBSTR(sourceIP, 1, 8)` — Q2's group key —
 //! since the engine's SQL subset has no string functions.
 
+use crate::rng::StdRng;
 use oblidb_core::types::{Column, DataType, Schema, Value};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Paper row count for RANKINGS.
 pub const RANKINGS_ROWS: usize = 360_000;
@@ -68,11 +67,7 @@ pub fn rankings(n: usize, seed: u64) -> Vec<Vec<Value>> {
             } else {
                 rng.random_range(1..=1000)
             };
-            vec![
-                Value::Text(url(i)),
-                Value::Int(rank),
-                Value::Int(rng.random_range(1..60)),
-            ]
+            vec![Value::Text(url(i)), Value::Int(rank), Value::Int(rng.random_range(1..60))]
         })
         .collect()
 }
@@ -140,10 +135,7 @@ mod tests {
     #[test]
     fn q1_selectivity_close_to_bdb() {
         let rows = rankings(100_000, 7);
-        let hits = rows
-            .iter()
-            .filter(|r| r[1].as_int().unwrap() > Q1_PAGERANK_CUTOFF)
-            .count();
+        let hits = rows.iter().filter(|r| r[1].as_int().unwrap() > Q1_PAGERANK_CUTOFF).count();
         let frac = hits as f64 / rows.len() as f64;
         assert!((0.001..0.005).contains(&frac), "selectivity {frac}");
     }
@@ -151,10 +143,7 @@ mod tests {
     #[test]
     fn q3_date_selectivity_about_a_third() {
         let rows = uservisits(20_000, 1000, 7);
-        let hits = rows
-            .iter()
-            .filter(|r| r[3].as_int().unwrap() < Q3_DATE_CUTOFF)
-            .count();
+        let hits = rows.iter().filter(|r| r[3].as_int().unwrap() < Q3_DATE_CUTOFF).count();
         let frac = hits as f64 / rows.len() as f64;
         assert!((0.28..0.40).contains(&frac), "selectivity {frac}");
     }

@@ -1,9 +1,8 @@
 //! The CFPB consumer-complaints table used by the padding-mode experiment
 //! (paper §7.2, "Impact of padding mode"): 107 000 rows, padded to 200 000.
 
+use crate::rng::StdRng;
 use oblidb_core::types::{Column, DataType, Schema, Value};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Paper row count.
 pub const CFPB_ROWS: usize = 107_000;
@@ -21,8 +20,7 @@ pub fn schema() -> Schema {
     ])
 }
 
-const STATES: [&str; 12] =
-    ["CA", "TX", "NY", "FL", "IL", "PA", "OH", "GA", "NC", "MI", "WA", "MA"];
+const STATES: [&str; 12] = ["CA", "TX", "NY", "FL", "IL", "PA", "OH", "GA", "NC", "MI", "WA", "MA"];
 
 /// Generates `n` complaint rows.
 pub fn complaints(n: usize, seed: u64) -> Vec<Vec<Value>> {

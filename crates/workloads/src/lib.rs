@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod rng;
+
 pub mod bdb;
 pub mod cfpb;
 pub mod mixes;

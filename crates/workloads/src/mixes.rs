@@ -11,8 +11,7 @@
 //! "Point reads access 1 row, small reads access 50, and large reads
 //! access 5% of the table."
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::StdRng;
 
 /// One operation in a mixed workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,9 +108,7 @@ mod tests {
     #[test]
     fn l3_is_read_only() {
         let ops = generate("L3", 1_000, 1_000, 2);
-        assert!(ops
-            .iter()
-            .all(|o| matches!(o, MixOp::PointRead { .. } | MixOp::LargeRead { .. })));
+        assert!(ops.iter().all(|o| matches!(o, MixOp::PointRead { .. } | MixOp::LargeRead { .. })));
     }
 
     #[test]

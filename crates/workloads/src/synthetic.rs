@@ -2,9 +2,8 @@
 //! 11, 13, 14): a sequential key column, a shuffled payload column, and a
 //! width filler so row sizes match realistic records.
 
+use crate::rng::StdRng;
 use oblidb_core::types::{Column, DataType, Schema, Value};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Schema: `id INT` (sequential, 0..n), `val INT` (uniform), `pad CHAR(w)`.
 pub fn schema(pad_width: usize) -> Schema {

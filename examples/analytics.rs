@@ -76,8 +76,7 @@ fn main() {
     let pr = PlainTable::new(bdb::rankings_schema(), rankings.clone());
     let start = Instant::now();
     let pred =
-        Predicate::cmp(&pr.schema, "pageRank", CmpOp::Gt, oblidb::core::Value::Int(1000))
-            .unwrap();
+        Predicate::cmp(&pr.schema, "pageRank", CmpOp::Gt, oblidb::core::Value::Int(1000)).unwrap();
     let hits = pr.select(&pred);
     println!("plain        Q1: {} rows in {:?}", hits.len(), start.elapsed());
 }

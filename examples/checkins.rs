@@ -18,14 +18,12 @@ fn build_db() -> Database {
     // Disable the Continuous algorithm: its choice leaks continuity, and
     // we want byte-identical transcripts across these two queries.
     db.config_mut().planner.enable_continuous = false;
-    db.execute("CREATE TABLE Checkins (uid INT, day INT, direction INT) CAPACITY 512")
-        .unwrap();
+    db.execute("CREATE TABLE Checkins (uid INT, day INT, direction INT) CAPACITY 512").unwrap();
     // 400 check-in events for 200 employees over 2 days.
     for i in 0..400 {
         let uid = 3000 + (i % 200);
         let day = i / 200;
-        db.execute(&format!("INSERT INTO Checkins VALUES ({uid}, {day}, {})", i % 2))
-            .unwrap();
+        db.execute(&format!("INSERT INTO Checkins VALUES ({uid}, {day}, {})", i % 2)).unwrap();
     }
     db
 }

@@ -53,6 +53,8 @@ fn main() {
         counts.push(accesses);
     }
     assert_eq!(counts[0], counts[1], "padded transcripts must match");
-    println!("\nslowdown is the price of hiding the result size (paper §7.2 \
-              reports 2.4x for selects at ~2x padding).");
+    println!(
+        "\nslowdown is the price of hiding the result size (paper §7.2 \
+              reports 2.4x for selects at ~2x padding)."
+    );
 }

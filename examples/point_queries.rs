@@ -61,5 +61,10 @@ fn main() {
     // leaked (paper §4.1) as part of the result size.
     let start = Instant::now();
     let out = db.execute("SELECT * FROM t WHERE id >= 1000 AND id < 1050").unwrap();
-    println!("range of {} rows: {:?} (used_index={})", out.len(), start.elapsed(), out.plan.used_index);
+    println!(
+        "range of {} rows: {:?} (used_index={})",
+        out.len(),
+        start.elapsed(),
+        out.plan.used_index
+    );
 }

@@ -11,8 +11,7 @@ fn main() {
     // sealed in "untrusted memory"; operators access it obliviously.
     let mut db = Database::new(DbConfig::default());
 
-    db.execute("CREATE TABLE employees (id INT, dept INT, salary INT, name CHAR(16))")
-        .unwrap();
+    db.execute("CREATE TABLE employees (id INT, dept INT, salary INT, name CHAR(16))").unwrap();
     for (id, dept, salary, name) in [
         (1, 10, 95_000, "ada"),
         (2, 10, 87_000, "grace"),
@@ -33,9 +32,7 @@ fn main() {
     }
 
     // Aggregation fuses with selection into a single oblivious pass.
-    let out = db
-        .execute("SELECT COUNT(*), AVG(salary) FROM employees WHERE dept = 20")
-        .unwrap();
+    let out = db.execute("SELECT COUNT(*), AVG(salary) FROM employees WHERE dept = 20").unwrap();
     println!(
         "Dept 20: {} people, avg salary {:?} (fused pass: {})",
         out.rows()[0][0].as_int().unwrap(),
@@ -54,5 +51,9 @@ fn main() {
     // rewritten whether or not it matched.
     db.execute("UPDATE employees SET salary = 110000 WHERE name = 'barbara'").unwrap();
     let gone = db.execute("DELETE FROM employees WHERE dept = 10").unwrap();
-    println!("Deleted {} rows; {} remain.", gone.plan.output_rows, db.table_rows("employees").unwrap());
+    println!(
+        "Deleted {} rows; {} remain.",
+        gone.plan.output_rows,
+        db.table_rows("employees").unwrap()
+    );
 }

@@ -34,9 +34,7 @@ fn selection_equivalent_across_engines() {
         let mut db = Database::new(DbConfig::default());
         db.create_table_with_rows("t", schema.clone(), method, Some("id"), &rows, N as u64)
             .unwrap();
-        let out = db
-            .execute(&format!("SELECT * FROM t WHERE val < {}", N / 4))
-            .unwrap();
+        let out = db.execute(&format!("SELECT * FROM t WHERE val < {}", N / 4)).unwrap();
         assert_eq!(sorted_ids(out.rows(), 0), expected, "{method:?}");
     }
 
@@ -92,9 +90,8 @@ fn group_by_equivalent_across_engines() {
 
     let mut eng = OpaqueEngine::new(1 << 20, 9);
     let mut t = eng.load_table(schema, &rows).unwrap();
-    let mut opaque_out = eng
-        .group_aggregate(&mut t, 0, AggFunc::Sum, Some(1), &Predicate::True)
-        .unwrap();
+    let mut opaque_out =
+        eng.group_aggregate(&mut t, 0, AggFunc::Sum, Some(1), &Predicate::True).unwrap();
     let mut got: Vec<(Value, Value)> = opaque_out
         .collect_rows(&mut eng.host)
         .unwrap()
@@ -115,12 +112,8 @@ fn bdb_q3_equivalent_to_plain_reference() {
     // Plain reference.
     let pr = PlainTable::new(bdb::rankings_schema(), rankings.clone());
     let pv = PlainTable::new(bdb::uservisits_schema(), visits.clone());
-    let filtered: Vec<Vec<Value>> = pv
-        .rows
-        .iter()
-        .filter(|r| r[3].as_int().unwrap() < bdb::Q3_DATE_CUTOFF)
-        .cloned()
-        .collect();
+    let filtered: Vec<Vec<Value>> =
+        pv.rows.iter().filter(|r| r[3].as_int().unwrap() < bdb::Q3_DATE_CUTOFF).cloned().collect();
     let pv_f = PlainTable::new(bdb::uservisits_schema(), filtered);
     let joined = pr.join(0, &pv_f, 2);
     let n_joined = joined.len();
@@ -160,8 +153,7 @@ fn mixed_mutations_keep_storages_equivalent() {
     // Interleave inserts/updates/deletes on a Both table; flat and index
     // reads must agree afterwards.
     let mut db = Database::new(DbConfig::default());
-    db.execute("CREATE TABLE t (k INT, v INT) STORAGE = BOTH INDEX ON k CAPACITY 256")
-        .unwrap();
+    db.execute("CREATE TABLE t (k INT, v INT) STORAGE = BOTH INDEX ON k CAPACITY 256").unwrap();
     for i in 0..60 {
         db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i * 2)).unwrap();
     }

@@ -21,10 +21,7 @@ fn setup() -> Database {
 const TABLE_REGION: RegionId = RegionId(0);
 
 fn is_tamper(err: DbError) -> bool {
-    matches!(
-        err,
-        DbError::Storage(oblidb::storage::StorageError::TamperDetected { .. })
-    )
+    matches!(err, DbError::Storage(oblidb::storage::StorageError::TamperDetected { .. }))
 }
 
 #[test]
@@ -80,10 +77,8 @@ fn index_tamper_detected_through_oram() {
         oblidb::core::Column::new("k", oblidb::core::DataType::Int),
         oblidb::core::Column::new("v", oblidb::core::DataType::Int),
     ]);
-    let rows: Vec<Vec<Value>> =
-        (0..64i64).map(|i| vec![Value::Int(i), Value::Int(i)]).collect();
-    db.create_table_with_rows("t", schema, StorageMethod::Indexed, Some("k"), &rows, 64)
-        .unwrap();
+    let rows: Vec<Vec<Value>> = (0..64i64).map(|i| vec![Value::Int(i), Value::Int(i)]).collect();
+    db.create_table_with_rows("t", schema, StorageMethod::Indexed, Some("k"), &rows, 64).unwrap();
     // Corrupt one ORAM bucket; a point query reads random paths, so
     // corrupt the root bucket (index 0), which every path includes.
     db.host_mut().adversary_corrupt(TABLE_REGION, 0, |b| b[15] ^= 0x80);

@@ -117,8 +117,7 @@ fn oram_leaf_distribution_is_uniform() {
 
     // Chi-square against uniform: 63 dof, reject far above ~120.
     let expected = trials as f64 / leaves as f64;
-    let chi2: f64 =
-        counts.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum();
+    let chi2: f64 = counts.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum();
     assert!(chi2 < 120.0, "leaf distribution skewed: chi^2 = {chi2:.1}, counts {counts:?}");
 }
 

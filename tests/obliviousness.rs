@@ -15,8 +15,7 @@ fn fresh_db(rows: &[(i64, i64)], method: StorageMethod) -> Database {
     ]);
     let values: Vec<Vec<Value>> =
         rows.iter().map(|(k, v)| vec![Value::Int(*k), Value::Int(*v)]).collect();
-    db.create_table_with_rows("t", schema, method, Some("k"), &values, rows.len() as u64)
-        .unwrap();
+    db.create_table_with_rows("t", schema, method, Some("k"), &values, rows.len() as u64).unwrap();
     db
 }
 
@@ -97,8 +96,7 @@ fn join_trace_depends_only_on_sizes() {
             db.execute(&format!("INSERT INTO a VALUES ({}, {i})", i + offset)).unwrap();
         }
         for i in 0..24 {
-            db.execute(&format!("INSERT INTO b VALUES ({}, {i})", (i % 8) + offset * 3))
-                .unwrap();
+            db.execute(&format!("INSERT INTO b VALUES ({}, {i})", (i % 8) + offset * 3)).unwrap();
         }
         db.start_trace();
         let out = db.execute("SELECT * FROM a JOIN b ON a.k = b.k").unwrap();
