@@ -174,6 +174,13 @@ impl HirbMap {
     /// The entry's home node: deepest level with room; entries hash to the
     /// leaf level and overflow upward is not needed because leaves are
     /// sized for the capacity. All ops touch the full path anyway (padding).
+    ///
+    /// Each of the `height` node touches is one full (padded) ORAM access —
+    /// that per-op count is HIRB's cost model and must not shrink. Since
+    /// the underlying Path ORAM fetches and evicts a whole bucket path per
+    /// boundary crossing, every 4 KB node access costs two crossings
+    /// instead of `2 × path_len`, which is where Figure 9's crypto volume
+    /// (not its access count) gets cheaper.
     fn access<M: EnclaveMemory>(
         &mut self,
         host: &mut M,
@@ -325,6 +332,21 @@ mod tests {
         map.delete(&mut host, 12345).unwrap(); // miss
         let del_miss = host.stats().total_accesses();
         assert_eq!(ins, del_miss);
+    }
+
+    #[test]
+    fn each_padded_node_access_is_two_crossings() {
+        // HIRB's cost model: a get touches the full path twice (reads,
+        // then padded write-backs) — 2·height ORAM accesses, each of
+        // which batches its bucket path into one crossing per direction.
+        let (mut host, mut map) = setup(200);
+        map.insert(&mut host, 1, &[0u8; 64]).unwrap();
+        host.reset_stats();
+        map.get(&mut host, 1).unwrap();
+        let s = host.stats();
+        let oram_accesses = 2 * map.height() as u64;
+        assert_eq!(s.crossings, 2 * oram_accesses);
+        assert!(s.total_accesses() > s.crossings, "paths span multiple buckets");
     }
 
     #[test]

@@ -92,18 +92,9 @@ impl<M: EnclaveMemory> OpaqueEngine<M> {
         let key = self.next_key();
         let mut out = FlatTable::create(&mut self.host, key, schema.clone(), n)?;
 
-        // Pass 1: copy with non-matching rows cleared.
-        let dummy = schema.dummy_row();
-        let mut matches = 0u64;
-        for i in 0..input.capacity() {
-            let bytes = input.read_row(&mut self.host, i)?;
-            if Schema::row_used(&bytes) && pred.eval(&schema, &bytes) {
-                out.write_row(&mut self.host, i, &bytes)?;
-                matches += 1;
-            } else {
-                out.write_row(&mut self.host, i, &dummy)?;
-            }
-        }
+        // Pass 1: copy with non-matching rows cleared, in batched runs.
+        let matches =
+            copy_filtered(&mut self.host, input, &mut out, &schema, |b| pred.eval(&schema, b))?;
 
         // Pass 2: oblivious sort to compact matches to the front (dummies
         // carry the maximal key).
@@ -151,18 +142,11 @@ impl<M: EnclaveMemory> OpaqueEngine<M> {
         let group_off = schema.col_offset(group_col);
         let group_w = schema.columns[group_col].dtype.width();
 
-        // Copy with non-matching rows cleared, then sort by group key.
+        // Copy with non-matching rows cleared (batched), then sort by
+        // group key.
         let copy_key = self.next_key();
         let mut sorted = FlatTable::create(&mut self.host, copy_key, schema.clone(), n)?;
-        let dummy = schema.dummy_row();
-        for i in 0..input.capacity() {
-            let bytes = input.read_row(&mut self.host, i)?;
-            if Schema::row_used(&bytes) && pred.eval(&schema, &bytes) {
-                sorted.write_row(&mut self.host, i, &bytes)?;
-            } else {
-                sorted.write_row(&mut self.host, i, &dummy)?;
-            }
-        }
+        copy_filtered(&mut self.host, input, &mut sorted, &schema, |b| pred.eval(&schema, b))?;
         let chunk = self.sort_chunk_rows(schema.row_len());
         let alloc = self.om.alloc_up_to(chunk * schema.row_len());
         exec::bitonic_sort(
@@ -185,37 +169,48 @@ impl<M: EnclaveMemory> OpaqueEngine<M> {
         // Scan: emit the running group's aggregate when the key changes.
         // One output block per input row, plus one flush block for the
         // final group (a boundary emit can land in block n-1, so the flush
-        // needs its own slot), keeps the pattern fixed.
+        // needs its own slot), keeps the pattern fixed. Reads and writes
+        // stream in batched runs.
         let out_schema = group_output_schema(&schema, group_col, func, agg_col);
         let out_key = self.next_key();
         let mut out = FlatTable::create(&mut self.host, out_key, out_schema.clone(), n + 1)?;
         let out_dummy = out_schema.dummy_row();
         let mut current: Option<(Vec<u8>, Value, oblidb_core::exec::AggState)> = None;
         let mut groups = 0u64;
-        for i in 0..n {
-            let bytes = sorted.read_row(&mut self.host, i)?;
-            let mut emit: Option<Vec<u8>> = None;
-            if Schema::row_used(&bytes) {
-                let gkey = bytes[group_off..group_off + group_w].to_vec();
-                let gval = schema.decode_col(&bytes, group_col);
-                let boundary = current.as_ref().is_none_or(|(k, _, _)| *k != gkey);
-                if boundary {
-                    if let Some((_, v, state)) = current.take() {
-                        emit = Some(out_schema.encode_row(&[v, state.finish(func)])?);
-                        groups += 1;
+        let row_len = schema.row_len();
+        let chunk = sorted.io_chunk_rows();
+        let mut out_buf: Vec<u8> = Vec::with_capacity(chunk * out_schema.row_len());
+        let mut start = 0u64;
+        while start < n {
+            let count = chunk.min((n - start) as usize);
+            let in_rows = sorted.read_rows(&mut self.host, start, count)?;
+            out_buf.clear();
+            for bytes in in_rows.chunks_exact(row_len) {
+                let mut emit: Option<Vec<u8>> = None;
+                if Schema::row_used(bytes) {
+                    let gkey = bytes[group_off..group_off + group_w].to_vec();
+                    let gval = schema.decode_col(bytes, group_col);
+                    let boundary = current.as_ref().is_none_or(|(k, _, _)| *k != gkey);
+                    if boundary {
+                        if let Some((_, v, state)) = current.take() {
+                            emit = Some(out_schema.encode_row(&[v, state.finish(func)])?);
+                            groups += 1;
+                        }
+                        current = Some((gkey, gval, oblidb_core::exec::AggState::new()));
                     }
-                    current = Some((gkey, gval, oblidb_core::exec::AggState::new()));
+                    let state = &mut current.as_mut().expect("set above").2;
+                    match agg_col {
+                        Some(c) => state.add(&schema.decode_col(bytes, c)),
+                        None => state.add(&Value::Int(1)),
+                    }
                 }
-                let state = &mut current.as_mut().expect("set above").2;
-                match agg_col {
-                    Some(c) => state.add(&schema.decode_col(&bytes, c)),
-                    None => state.add(&Value::Int(1)),
+                match emit {
+                    Some(row) => out_buf.extend_from_slice(&row),
+                    None => out_buf.extend_from_slice(&out_dummy),
                 }
             }
-            match emit {
-                Some(row) => out.write_row(&mut self.host, i, &row)?,
-                None => out.write_row(&mut self.host, i, &out_dummy)?,
-            }
+            out.write_rows(&mut self.host, start, &out_buf)?;
+            start += count as u64;
         }
         // Flush the last group into the extra block. Written
         // unconditionally (dummy when no group is open) so the transcript
@@ -255,6 +250,40 @@ impl<M: EnclaveMemory> OpaqueEngine<M> {
             SortMergeVariant::Opaque,
         )
     }
+}
+
+/// Batched filtered copy: every block of `input` is read and every block
+/// of `out` written (matching rows verbatim, others as dummies), in
+/// chunked runs of one crossing per direction. Returns the match count.
+fn copy_filtered<M: EnclaveMemory>(
+    host: &mut M,
+    input: &mut FlatTable,
+    out: &mut FlatTable,
+    schema: &Schema,
+    mut matches: impl FnMut(&[u8]) -> bool,
+) -> Result<u64, DbError> {
+    let dummy = schema.dummy_row();
+    let row_len = schema.row_len();
+    let chunk = input.io_chunk_rows();
+    let cap = input.capacity();
+    let mut buf: Vec<u8> = Vec::with_capacity(chunk * row_len);
+    let mut kept = 0u64;
+    let mut start = 0u64;
+    while start < cap {
+        let n = chunk.min((cap - start) as usize);
+        buf.clear();
+        buf.extend_from_slice(input.read_rows(host, start, n)?);
+        for bytes in buf.chunks_exact_mut(row_len) {
+            if Schema::row_used(bytes) && matches(bytes) {
+                kept += 1;
+            } else {
+                bytes.copy_from_slice(&dummy);
+            }
+        }
+        out.write_rows(host, start, &buf)?;
+        start += n as u64;
+    }
+    Ok(kept)
 }
 
 fn group_output_schema(

@@ -5,6 +5,8 @@ use oblidb_bench::harness::{BenchmarkId, Criterion, Throughput};
 use oblidb_bench::{criterion_group, criterion_main};
 use oblidb_crypto::aead::{open, seal, AeadKey, Nonce};
 use oblidb_crypto::{sha256, SipHash24};
+use oblidb_enclave::Host;
+use oblidb_storage::SealedRegion;
 
 fn bench_aead(c: &mut Criterion) {
     let mut group = c.benchmark_group("aead");
@@ -50,9 +52,51 @@ fn bench_hashing(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-block vs. batched sealed I/O through the whole enclave boundary
+/// (SealedRegion over Host): the amortization every operator now rides on.
+/// The host prices each transition at ~an SGX OCALL (see
+/// `bin/batch_io.rs` for the calibration, and for the free-crossing
+/// baseline where the two paths tie at pure AEAD cost).
+fn bench_sealed_io(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sealed_io (sgx-priced crossings)");
+    const BLOCKS: usize = 128;
+    const SGX_CROSSING_SPINS: u32 = 250;
+    for size in [64usize, 1024] {
+        group.throughput(Throughput::Bytes((BLOCKS * size) as u64));
+        let mut host = Host::new();
+        host.set_crossing_cost(SGX_CROSSING_SPINS);
+        let mut region = SealedRegion::create(&mut host, AeadKey([7u8; 32]), BLOCKS, size).unwrap();
+        let payloads = vec![0xCDu8; BLOCKS * size];
+        group.bench_with_input(BenchmarkId::new("write_per_block", size), &size, |b, &size| {
+            b.iter(|| {
+                for i in 0..BLOCKS {
+                    region.write(&mut host, i as u64, &payloads[i * size..(i + 1) * size]).unwrap();
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("write_batched", size), &size, |b, _| {
+            b.iter(|| region.write_batch(&mut host, 0, &payloads).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("read_per_block", size), &size, |b, _| {
+            b.iter(|| {
+                for i in 0..BLOCKS {
+                    std::hint::black_box(region.read(&mut host, i as u64).unwrap());
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("read_batched", size), &size, |b, _| {
+            b.iter(|| {
+                let payloads = region.read_batch(&mut host, 0, BLOCKS).unwrap();
+                std::hint::black_box(payloads.len());
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_aead, bench_hashing
+    targets = bench_aead, bench_hashing, bench_sealed_io
 }
 criterion_main!(benches);

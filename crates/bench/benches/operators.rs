@@ -56,9 +56,48 @@ fn bench_aggregates(c: &mut Criterion) {
     group.finish();
 }
 
+/// The capacity-loop scan every operator is built from: per-block row
+/// reads vs the batched streaming path, over an SGX-priced boundary.
+fn bench_scan_batching(c: &mut Criterion) {
+    use oblidb_core::table::FlatTable;
+    use oblidb_core::types::Schema;
+    use oblidb_crypto::aead::AeadKey;
+    use oblidb_enclave::Host;
+
+    let mut group = c.benchmark_group("scan_io (sgx-priced crossings)");
+    let schema = synthetic::schema(8);
+    let rows = synthetic::table(N, 8, 5);
+    let encoded: Vec<Vec<u8>> = rows.iter().map(|r| schema.encode_row(r).unwrap()).collect();
+    let mut host = Host::new();
+    host.set_crossing_cost(250);
+    let mut table =
+        FlatTable::from_encoded_rows(&mut host, AeadKey([1u8; 32]), schema, &encoded, N as u64)
+            .unwrap();
+    group.bench_function("per_block", |b| {
+        b.iter(|| {
+            let mut used = 0u64;
+            for i in 0..table.capacity() {
+                let bytes = table.read_row(&mut host, i).unwrap();
+                used += u64::from(Schema::row_used(&bytes));
+            }
+            std::hint::black_box(used);
+        })
+    });
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            let mut used = 0u64;
+            table
+                .for_each_row(&mut host, |_, bytes| used += u64::from(Schema::row_used(bytes)))
+                .unwrap();
+            std::hint::black_box(used);
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_selects, bench_aggregates
+    targets = bench_selects, bench_aggregates, bench_scan_batching
 }
 criterion_main!(benches);

@@ -15,16 +15,26 @@ pub struct Criterion {
     sample_size: usize,
 }
 
+/// True when `OBLIDB_BENCH_SMOKE` is set: every benchmark body runs once
+/// per sample with no calibration, so `cargo bench` becomes a fast
+/// compile-and-run smoke check (used in CI to keep the bench crate from
+/// rotting).
+pub fn smoke_mode() -> bool {
+    std::env::var_os("OBLIDB_BENCH_SMOKE").is_some()
+}
+
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Criterion { sample_size: if smoke_mode() { 1 } else { 20 } }
     }
 }
 
 impl Criterion {
-    /// Number of timed samples per benchmark.
+    /// Number of timed samples per benchmark (ignored in smoke mode).
     pub fn sample_size(mut self, n: usize) -> Self {
-        self.sample_size = n.max(2);
+        if !smoke_mode() {
+            self.sample_size = n.max(2);
+        }
         self
     }
 
@@ -109,6 +119,16 @@ impl Bencher {
 
     /// Times `f`, batching fast bodies so each sample is measurable.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if smoke_mode() {
+            self.iters_per_sample = 1;
+            self.samples.clear();
+            for _ in 0..self.sample_size {
+                let start = Instant::now();
+                std::hint::black_box(f());
+                self.samples.push(start.elapsed());
+            }
+            return;
+        }
         // Calibration: find a batch size covering the target sample time.
         let mut batch = 1u64;
         loop {

@@ -67,9 +67,104 @@ impl Report {
     }
 }
 
+/// One per-block vs. batched measurement for the perf trajectory.
+#[derive(Debug, Clone)]
+pub struct BatchComparison {
+    /// Case label, e.g. `"read/4096B"`.
+    pub name: String,
+    /// Blocks moved per measured operation.
+    pub blocks: usize,
+    /// Mean seconds for the per-block loop.
+    pub per_block_s: f64,
+    /// Mean seconds for the batched call.
+    pub batched_s: f64,
+}
+
+impl BatchComparison {
+    /// Wall-clock speedup of the batched path.
+    pub fn speedup(&self) -> f64 {
+        self.per_block_s / self.batched_s.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Writes `BENCH_<name>.json` (hand-rolled JSON — the workspace is
+/// dependency-free) with a stable schema the perf trajectory can diff:
+/// `{"bench": name, "results": [{name, blocks, per_block_s, batched_s,
+/// speedup}, …]}`. Returns the path written.
+pub fn write_batch_json(
+    dir: &std::path::Path,
+    name: &str,
+    results: &[BatchComparison],
+) -> std::io::Result<std::path::PathBuf> {
+    let mut out = String::new();
+    out.push_str(&format!("{{\n  \"bench\": {},\n  \"results\": [\n", json_str(name)));
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"blocks\": {}, \"per_block_s\": {:.9}, \"batched_s\": {:.9}, \"speedup\": {:.3}}}{}\n",
+            json_str(&r.name),
+            r.blocks,
+            r.per_block_s,
+            r.batched_s,
+            r.speedup(),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// JSON string quoting per RFC 8259: escape quotes, backslashes, and
+/// control characters; everything else (including non-ASCII) passes
+/// through unescaped, which valid JSON allows.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batch_json_schema_is_stable() {
+        let dir = std::env::temp_dir();
+        let rows = vec![
+            BatchComparison {
+                name: "read/64B".into(),
+                blocks: 256,
+                per_block_s: 2e-3,
+                batched_s: 1e-3,
+            },
+            BatchComparison {
+                name: "write/64B".into(),
+                blocks: 256,
+                per_block_s: 3e-3,
+                batched_s: 1e-3,
+            },
+        ];
+        let path = write_batch_json(&dir, "batch_io_test", &rows).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"bench\": \"batch_io_test\""));
+        assert!(body.contains("\"per_block_s\": 0.002000000"));
+        assert!(body.contains("\"speedup\": 2.000"));
+        assert!(body.trim_end().ends_with('}'));
+        std::fs::remove_file(path).unwrap();
+    }
 
     #[test]
     fn builds_and_renders() {

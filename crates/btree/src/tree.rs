@@ -755,6 +755,12 @@ impl ObTree {
 
     /// Builds a tree from records pre-sorted by key (pre-deployment bulk
     /// load; see DESIGN.md §7). Much faster than repeated `insert`.
+    ///
+    /// Node addresses are assigned contiguously level by level (sentinel,
+    /// then the leaf run, then each internal level bottom-up), so the
+    /// whole serialized tree streams into the backing ORAM through its
+    /// batched contiguous bulk-write path — a handful of boundary
+    /// crossings where per-bucket sealing paid one per node.
     pub fn bulk_load<M: EnclaveMemory>(
         host: &mut M,
         key: AeadKey,
@@ -1091,6 +1097,38 @@ mod tests {
         assert_eq!(tree.get(&mut host, 0).unwrap(), None);
         let keys: Vec<u128> = tree.scan_chain(&mut host).unwrap().iter().map(|(k, _)| *k).collect();
         assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn bulk_load_batches_bucket_writes() {
+        let mut host = Host::new();
+        let om = OmBudget::new(DEFAULT_OM_BYTES);
+        let items: Vec<(u128, Vec<u8>)> = (0..200u64).map(|i| (i as u128, payload(i))).collect();
+        host.reset_stats();
+        let tree = ObTree::bulk_load(
+            &mut host,
+            AeadKey([3u8; 32]),
+            &items,
+            400,
+            8,
+            4,
+            PosMapKind::Direct,
+            &om,
+            EnclaveRng::seed_from_u64(5),
+        )
+        .unwrap();
+        let s = host.stats();
+        assert!(
+            s.writes >= tree.oram_stats().accesses.max(1000),
+            "every bucket of the node-capacity tree is sealed ({} writes)",
+            s.writes
+        );
+        assert!(
+            s.crossings * 16 <= s.writes,
+            "contiguous level layout must batch bucket writes: {} crossings for {} writes",
+            s.crossings,
+            s.writes
+        );
     }
 
     #[test]

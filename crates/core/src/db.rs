@@ -1108,9 +1108,14 @@ fn copy_flat<M: EnclaveMemory>(
     key: AeadKey,
 ) -> Result<FlatTable, DbError> {
     let mut out = FlatTable::create(host, key, input.schema().clone(), input.capacity())?;
-    for i in 0..input.capacity() {
-        let bytes = input.read_row(host, i)?;
-        out.write_row(host, i, &bytes)?;
+    let chunk = input.io_chunk_rows();
+    let cap = input.capacity();
+    let mut start = 0u64;
+    while start < cap {
+        let n = chunk.min((cap - start) as usize);
+        let bytes = input.read_rows(host, start, n)?;
+        out.write_rows(host, start, bytes)?;
+        start += n as u64;
     }
     out.set_num_rows(input.num_rows());
     out.set_insert_cursor(input.capacity());

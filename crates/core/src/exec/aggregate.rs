@@ -127,15 +127,14 @@ pub fn aggregate<M: EnclaveMemory>(
 ) -> Result<Value, DbError> {
     let schema = input.schema().clone();
     let mut state = AggState::new();
-    for i in 0..input.capacity() {
-        let bytes = input.read_row(host, i)?;
-        if Schema::row_used(&bytes) && pred.eval(&schema, &bytes) {
+    input.for_each_row(host, |_, bytes| {
+        if Schema::row_used(bytes) && pred.eval(&schema, bytes) {
             match col {
-                Some(c) => state.add(&schema.decode_col(&bytes, c)),
+                Some(c) => state.add(&schema.decode_col(bytes, c)),
                 None => state.add(&Value::Int(1)),
             }
         }
-    }
+    })?;
     Ok(state.finish(func))
 }
 
@@ -186,19 +185,24 @@ pub fn group_aggregate_padded<M: EnclaveMemory>(
 
     let mut groups: HashMap<Vec<u8>, AggState> = HashMap::new();
     let off = schema.col_offset(group_col);
-    for i in 0..input.capacity() {
-        let bytes = input.read_row(host, i)?;
-        if Schema::row_used(&bytes) && pred.eval(&schema, &bytes) {
-            let key = bytes[off..off + group_width].to_vec();
-            if !groups.contains_key(&key) && groups.len() >= group_limit {
-                return Err(DbError::TooManyGroups { limit: group_limit });
-            }
-            let state = groups.entry(key).or_default();
-            match agg_col {
-                Some(c) => state.add(&schema.decode_col(&bytes, c)),
-                None => state.add(&Value::Int(1)),
-            }
+    let mut overflow = false;
+    input.for_each_row(host, |_, bytes| {
+        if overflow || !Schema::row_used(bytes) || !pred.eval(&schema, bytes) {
+            return;
         }
+        let key = bytes[off..off + group_width].to_vec();
+        if !groups.contains_key(&key) && groups.len() >= group_limit {
+            overflow = true;
+            return;
+        }
+        let state = groups.entry(key).or_default();
+        match agg_col {
+            Some(c) => state.add(&schema.decode_col(bytes, c)),
+            None => state.add(&Value::Int(1)),
+        }
+    })?;
+    if overflow {
+        return Err(DbError::TooManyGroups { limit: group_limit });
     }
 
     // Deterministic output order: sort by encoded group key.
@@ -216,20 +220,33 @@ pub fn group_aggregate_padded<M: EnclaveMemory>(
     let capacity = pad_groups.unwrap_or(n).max(n).max(1);
     let mut out = FlatTable::create(host, out_key, out_schema.clone(), capacity)?;
     // Decode the group value through a scratch row so Text padding rules
-    // match the input encoding.
+    // match the input encoding. Output rows (groups, then the dummy pad up
+    // to the public capacity) stream out in contiguous batched runs.
     let mut scratch = schema.dummy_row();
+    let dummy = out_schema.dummy_row();
+    let out_len = out_schema.row_len();
+    let chunk = out.io_chunk_rows();
+    let mut buf: Vec<u8> = Vec::with_capacity(chunk * out_len);
+    let mut flushed = 0u64;
     for (i, (key_bytes, state)) in entries.iter().enumerate() {
         scratch[off..off + group_width].copy_from_slice(key_bytes);
         let group_value = schema.decode_col(&scratch, group_col);
-        let row = out_schema.encode_row(&[group_value, state.finish(func)])?;
-        out.write_row(host, i as u64, &row)?;
+        buf.extend_from_slice(&out_schema.encode_row(&[group_value, state.finish(func)])?);
+        if buf.len() >= chunk * out_len {
+            out.write_rows(host, flushed, &buf)?;
+            flushed = i as u64 + 1;
+            buf.clear();
+        }
     }
-    // Pad the remaining slots with dummy writes so the write count is the
-    // (public) capacity, not the group count.
-    let dummy = out_schema.dummy_row();
     for i in n..capacity {
-        out.write_row(host, i, &dummy)?;
+        buf.extend_from_slice(&dummy);
+        if buf.len() >= chunk * out_len {
+            out.write_rows(host, flushed, &buf)?;
+            flushed = i + 1;
+            buf.clear();
+        }
     }
+    out.write_rows(host, flushed, &buf)?;
     out.set_num_rows(n);
     out.set_insert_cursor(capacity);
     Ok(out)

@@ -74,37 +74,57 @@ pub fn hash_join<M: EnclaveMemory>(
     let mut out = FlatTable::create(host, out_key, out_schema.clone(), passes * t2.capacity())?;
     let dummy = out_schema.dummy_row();
 
+    let row1 = s1.row_len();
+    let row2 = s2.row_len();
+    let io_chunk = t2.io_chunk_rows();
     let mut matches = 0u64;
     let mut out_pos = 0u64;
+    let mut out_buf: Vec<u8> = Vec::with_capacity(io_chunk * out_len);
     for pass in 0..passes {
         let lo = pass * chunk;
         let hi = (lo + chunk).min(t1.capacity());
-        // Build the in-enclave hash table from this chunk of T1.
+        // Build the in-enclave hash table from this chunk of T1, streaming
+        // the (contiguous) chunk in io-sized batched runs so the region
+        // scratch stays bounded — the hash table itself is what the OM
+        // budget pays for.
         let mut build: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
-        for i in lo..hi {
-            let bytes = t1.read_row(host, i)?;
-            if Schema::row_used(&bytes) {
-                build.insert(col_bytes(&s1, &bytes, c1), bytes);
-            }
-        }
-        // Probe every row of T2; each probe writes exactly one output
-        // block (paper: "After each check, a row is written to the next
-        // block of an output table").
-        for j in 0..t2.capacity() {
-            let bytes = t2.read_row(host, j)?;
-            let hit = if Schema::row_used(&bytes) {
-                build.get(&col_bytes(&s2, &bytes, c2))
-            } else {
-                None
-            };
-            match hit {
-                Some(r1) => {
-                    out.write_row(host, out_pos, &join_rows(out_len, r1, &bytes))?;
-                    matches += 1;
+        let build_io = t1.io_chunk_rows();
+        let mut at = lo;
+        while at < hi {
+            let n = build_io.min((hi - at) as usize);
+            let data = t1.read_rows(host, at, n)?;
+            for bytes in data.chunks_exact(row1) {
+                if Schema::row_used(bytes) {
+                    build.insert(col_bytes(&s1, bytes, c1), bytes.to_vec());
                 }
-                None => out.write_row(host, out_pos, &dummy)?,
             }
-            out_pos += 1;
+            at += n as u64;
+        }
+        // Probe every row of T2; each probe emits exactly one output block
+        // (paper: "After each check, a row is written to the next block of
+        // an output table") — reads and writes move in batched runs.
+        let mut start = 0u64;
+        while start < t2.capacity() {
+            let n = io_chunk.min((t2.capacity() - start) as usize);
+            let probes = t2.read_rows(host, start, n)?;
+            out_buf.clear();
+            for bytes in probes.chunks_exact(row2) {
+                let hit = if Schema::row_used(bytes) {
+                    build.get(&col_bytes(&s2, bytes, c2))
+                } else {
+                    None
+                };
+                match hit {
+                    Some(r1) => {
+                        out_buf.extend_from_slice(&join_rows(out_len, r1, bytes));
+                        matches += 1;
+                    }
+                    None => out_buf.extend_from_slice(&dummy),
+                }
+            }
+            out.write_rows(host, out_pos, &out_buf)?;
+            out_pos += n as u64;
+            start += n as u64;
         }
     }
     out.set_num_rows(matches);
@@ -174,23 +194,31 @@ pub fn sort_merge_join<M: EnclaveMemory>(
     };
 
     // Fill the union table: T1 then T2 then dummies (all positions get one
-    // write; the fill pattern is size-determined).
+    // write; the fill pattern is size-determined). Both sides stream in
+    // batched runs: one read crossing from the source, one write crossing
+    // into the union, per chunk.
     let mut pos = 0u64;
-    for i in 0..t1.capacity() {
-        let bytes = t1.read_row(host, i)?;
-        let used = Schema::row_used(&bytes);
-        let h = hasher.hash(&col_bytes(&s1, &bytes, c1));
-        let packed = pack(used, 0, h, &bytes);
-        union.write_row(host, pos, &packed)?;
-        pos += 1;
-    }
-    for j in 0..t2.capacity() {
-        let bytes = t2.read_row(host, j)?;
-        let used = Schema::row_used(&bytes);
-        let h = hasher.hash(&col_bytes(&s2, &bytes, c2));
-        let packed = pack(used, 1, h, &bytes);
-        union.write_row(host, pos, &packed)?;
-        pos += 1;
+    let mut pack_buf: Vec<u8> = Vec::new();
+    for side in 0..2u8 {
+        let (table, schema, col): (&mut FlatTable, &Schema, usize) =
+            if side == 0 { (&mut *t1, &s1, c1) } else { (&mut *t2, &s2, c2) };
+        let row_len = schema.row_len();
+        let chunk = table.io_chunk_rows();
+        let cap = table.capacity();
+        let mut start = 0u64;
+        while start < cap {
+            let count = chunk.min((cap - start) as usize);
+            let data = table.read_rows(host, start, count)?;
+            pack_buf.clear();
+            for bytes in data.chunks_exact(row_len) {
+                let used = Schema::row_used(bytes);
+                let h = hasher.hash(&col_bytes(schema, bytes, col));
+                pack_buf.extend_from_slice(&pack(used, side, h, bytes));
+            }
+            union.write_rows(host, pos, &pack_buf)?;
+            pos += count as u64;
+            start += count as u64;
+        }
     }
 
     // Oblivious sort by key; dummies (key MAX) sink to the end.
@@ -218,36 +246,46 @@ pub fn sort_merge_join<M: EnclaveMemory>(
         oblivious_local,
     )?;
 
-    // Merge scan: one read of the union and one output write per position.
+    // Merge scan: one read of the union and one output write per position,
+    // both in batched runs.
     let mut out = FlatTable::create(host, out_key, out_schema.clone(), n)?;
     let dummy = out_schema.dummy_row();
     let mut current_primary: Option<(Vec<u8>, Vec<u8>)> = None; // (key bytes, row)
     let mut matches = 0u64;
-    for i in 0..n {
-        let bytes = union.read_row(host, i)?;
-        let used = bytes[0] == 1;
-        let tag = bytes[1];
-        let row = &bytes[18..];
-        let mut emit: Option<Vec<u8>> = None;
-        if used && tag == 0 {
-            let r1 = &row[..s1.row_len()];
-            current_primary = Some((col_bytes(&s1, r1, c1), r1.to_vec()));
-        } else if used && tag == 1 {
-            let r2 = &row[..s2.row_len()];
-            if let Some((pk, pr)) = &current_primary {
-                // Verify true equality — hash adjacency is not trusted.
-                if *pk == col_bytes(&s2, r2, c2) {
-                    emit = Some(join_rows(out_len, pr, r2));
+    let merge_chunk = union.io_chunk_rows();
+    let mut out_buf: Vec<u8> = Vec::with_capacity(merge_chunk * out_len);
+    let mut start = 0u64;
+    while start < n {
+        let count = merge_chunk.min((n - start) as usize);
+        let data = union.read_rows(host, start, count)?;
+        out_buf.clear();
+        for bytes in data.chunks_exact(union_len) {
+            let used = bytes[0] == 1;
+            let tag = bytes[1];
+            let row = &bytes[18..];
+            let mut emit: Option<Vec<u8>> = None;
+            if used && tag == 0 {
+                let r1 = &row[..s1.row_len()];
+                current_primary = Some((col_bytes(&s1, r1, c1), r1.to_vec()));
+            } else if used && tag == 1 {
+                let r2 = &row[..s2.row_len()];
+                if let Some((pk, pr)) = &current_primary {
+                    // Verify true equality — hash adjacency is not trusted.
+                    if *pk == col_bytes(&s2, r2, c2) {
+                        emit = Some(join_rows(out_len, pr, r2));
+                    }
                 }
             }
-        }
-        match emit {
-            Some(joined) => {
-                out.write_row(host, i, &joined)?;
-                matches += 1;
+            match emit {
+                Some(joined) => {
+                    out_buf.extend_from_slice(&joined);
+                    matches += 1;
+                }
+                None => out_buf.extend_from_slice(&dummy),
             }
-            None => out.write_row(host, i, &dummy)?,
         }
+        out.write_rows(host, start, &out_buf)?;
+        start += count as u64;
     }
     out.set_num_rows(matches);
     out.set_insert_cursor(out.capacity());

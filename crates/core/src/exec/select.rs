@@ -46,24 +46,21 @@ pub fn select_small<M: EnclaveMemory>(
     for pass in 0..passes {
         let window_lo = pass * buf_rows;
         let window_hi = (window_lo + buf_rows).min(out_rows);
-        let mut buffer: Vec<Vec<u8>> = Vec::with_capacity((window_hi - window_lo) as usize);
+        let mut buffer: Vec<u8> = Vec::with_capacity((window_hi - window_lo) as usize * row_len);
         let mut seen = 0u64;
-        // One full pass over T; matches numbered [window_lo, window_hi)
-        // go to the enclave buffer.
-        for i in 0..input.capacity() {
-            let bytes = input.read_row(host, i)?;
-            if Schema::row_used(&bytes) && pred.eval(&schema, &bytes) {
+        // One full batched pass over T; matches numbered
+        // [window_lo, window_hi) go to the enclave buffer.
+        input.for_each_row(host, |_, bytes| {
+            if Schema::row_used(bytes) && pred.eval(&schema, bytes) {
                 if seen >= window_lo && seen < window_hi {
-                    buffer.push(bytes);
+                    buffer.extend_from_slice(bytes);
                 }
                 seen += 1;
             }
-        }
-        // Flush the buffer to R.
-        for bytes in &buffer {
-            out.write_row(host, written, bytes)?;
-            written += 1;
-        }
+        })?;
+        // Flush the buffer to R: the window is contiguous, one crossing.
+        out.write_rows(host, written, &buffer)?;
+        written += (buffer.len() / row_len) as u64;
     }
     out.set_num_rows(written);
     out.set_insert_cursor(written);
@@ -81,22 +78,36 @@ pub fn select_large<M: EnclaveMemory>(
 ) -> Result<FlatTable, DbError> {
     let schema = input.schema().clone();
     let mut out = FlatTable::create(host, out_key, schema.clone(), input.capacity())?;
-    // Copy pass: data-independent.
-    for i in 0..input.capacity() {
-        let bytes = input.read_row(host, i)?;
-        out.write_row(host, i, &bytes)?;
+    // Copy pass: data-independent, one chunk per crossing each way.
+    let row_len = schema.row_len();
+    let chunk = input.io_chunk_rows();
+    let cap = input.capacity();
+    let mut start = 0u64;
+    let mut buf = Vec::with_capacity(chunk * row_len);
+    while start < cap {
+        let n = chunk.min((cap - start) as usize);
+        let bytes = input.read_rows(host, start, n)?;
+        out.write_rows(host, start, bytes)?;
+        start += n as u64;
     }
-    // Clear pass: every block read and rewritten (cleared or dummy).
+    // Clear pass: every block read and rewritten (cleared or dummy),
+    // chunk by chunk.
     let dummy = schema.dummy_row();
     let mut kept = 0u64;
-    for i in 0..out.capacity() {
-        let bytes = out.read_row(host, i)?;
-        if Schema::row_used(&bytes) && pred.eval(&schema, &bytes) {
-            out.write_row(host, i, &bytes)?;
-            kept += 1;
-        } else {
-            out.write_row(host, i, &dummy)?;
+    start = 0;
+    while start < cap {
+        let n = chunk.min((cap - start) as usize);
+        buf.clear();
+        buf.extend_from_slice(out.read_rows(host, start, n)?);
+        for bytes in buf.chunks_exact_mut(row_len) {
+            if Schema::row_used(bytes) && pred.eval(&schema, bytes) {
+                kept += 1;
+            } else {
+                bytes.copy_from_slice(&dummy);
+            }
         }
+        out.write_rows(host, start, &buf)?;
+        start += n as u64;
     }
     out.set_num_rows(kept);
     out.set_insert_cursor(out.capacity());
@@ -119,19 +130,37 @@ pub fn select_continuous<M: EnclaveMemory>(
     let r = out_rows.max(1);
     let mut out = FlatTable::create(host, out_key, schema.clone(), r)?;
     let mut matched = 0u64;
-    for i in 0..input.capacity() {
-        let bytes = input.read_row(host, i)?;
-        let pos = i % r;
-        let selected = Schema::row_used(&bytes) && pred.eval(&schema, &bytes);
-        // Uniform read-modify-write of R[pos]: a dummy write rewrites the
-        // current contents so earlier real writes survive wraparound.
-        let current = out.read_row(host, pos)?;
-        if selected && matched < out_rows {
-            out.write_row(host, pos, &bytes)?;
-            matched += 1;
-        } else {
-            out.write_row(host, pos, &current)?;
+    let row_len = schema.row_len();
+    let chunk = input.io_chunk_rows();
+    let cap = input.capacity();
+    let mut run_buf = Vec::new();
+    let mut start = 0u64;
+    while start < cap {
+        let n = chunk.min((cap - start) as usize);
+        let in_rows = input.read_rows(host, start, n)?;
+        // Uniform read-modify-write of R[i mod r], batched per wraparound
+        // segment: positions stay contiguous (and distinct) until the next
+        // wrap, so each segment is one read crossing and one write
+        // crossing. Dummy writes rewrite current contents so earlier real
+        // writes survive the wraparound.
+        let mut off = 0usize;
+        while off < n {
+            let pos0 = (start + off as u64) % r;
+            let run = (n - off).min((r - pos0) as usize);
+            run_buf.clear();
+            run_buf.extend_from_slice(out.read_rows(host, pos0, run)?);
+            for j in 0..run {
+                let bytes = &in_rows[(off + j) * row_len..(off + j + 1) * row_len];
+                let selected = Schema::row_used(bytes) && pred.eval(&schema, bytes);
+                if selected && matched < out_rows {
+                    run_buf[j * row_len..(j + 1) * row_len].copy_from_slice(bytes);
+                    matched += 1;
+                }
+            }
+            out.write_rows(host, pos0, &run_buf)?;
+            off += run;
         }
+        start += n as u64;
     }
     out.set_num_rows(matched);
     out.set_insert_cursor(out.capacity());
@@ -173,33 +202,53 @@ pub fn select_hash<M: EnclaveMemory>(
         u64::from_le_bytes(d2[8..16].try_into().unwrap()),
     );
 
+    let row_len = schema.row_len();
+    let chunk = input.io_chunk_rows();
+    let cap = input.capacity();
     let mut written = 0u64;
-    for i in 0..input.capacity() {
-        let bytes = input.read_row(host, i)?;
-        let selected = Schema::row_used(&bytes) && pred.eval(&schema, &bytes);
-        let (b1, b2) = hash_positions(&h1, &h2, i, buckets);
-        let mut placed = !selected;
-        // Exactly 10 accesses to R per row of T, 5 per hash function.
-        for bucket in [b1, b2] {
+    let mut slot_buf = Vec::new();
+    let mut positions = Vec::with_capacity(2 * HASH_SLOTS);
+    let mut start = 0u64;
+    while start < cap {
+        let n = chunk.min((cap - start) as usize);
+        let in_rows = input.read_rows(host, start, n)?;
+        for (off, bytes) in in_rows.chunks_exact(row_len).enumerate() {
+            let i = start + off as u64;
+            let selected = Schema::row_used(bytes) && pred.eval(&schema, bytes);
+            let (b1, b2) = hash_positions(&h1, &h2, i, buckets);
+            // The (public, index-derived) candidate slots: 5 per hash
+            // function, deduplicated when both functions pick the same
+            // bucket. One gather crossing in, one scatter crossing out —
+            // where the per-block path paid ten of each.
+            positions.clear();
             for slot in 0..HASH_SLOTS as u64 {
-                let pos = bucket * HASH_SLOTS as u64 + slot;
-                let current = out.read_row(host, pos)?;
-                if !placed && !Schema::row_used(&current) {
-                    out.write_row(host, pos, &bytes)?;
-                    placed = true;
-                } else {
-                    out.write_row(host, pos, &current)?;
+                positions.push(b1 * HASH_SLOTS as u64 + slot);
+            }
+            if b2 != b1 {
+                for slot in 0..HASH_SLOTS as u64 {
+                    positions.push(b2 * HASH_SLOTS as u64 + slot);
                 }
             }
+            slot_buf.clear();
+            slot_buf.extend_from_slice(out.read_rows_at(host, &positions)?);
+            let mut placed = !selected;
+            for current in slot_buf.chunks_exact_mut(row_len) {
+                if !placed && !Schema::row_used(current) {
+                    current.copy_from_slice(bytes);
+                    placed = true;
+                }
+            }
+            out.write_rows_at(host, &positions, &slot_buf)?;
+            if !placed {
+                // All candidate slots full — cryptographically unlikely
+                // with 5|R| slots and two choices (Azar et al.).
+                return Err(DbError::HashSelectOverflow);
+            }
+            if selected {
+                written += 1;
+            }
         }
-        if !placed {
-            // All ten candidate slots full — cryptographically unlikely
-            // with 5|R| slots and two choices (Azar et al.).
-            return Err(DbError::HashSelectOverflow);
-        }
-        if selected {
-            written += 1;
-        }
+        start += n as u64;
     }
     out.set_num_rows(written);
     out.set_insert_cursor(out.capacity());
@@ -234,29 +283,25 @@ pub fn select_padded<M: EnclaveMemory>(
     for pass in 0..passes {
         let window_lo = pass * buf_rows;
         let window_hi = (window_lo + buf_rows).min(pad);
-        let mut buffer: Vec<Vec<u8>> = Vec::with_capacity((window_hi - window_lo) as usize);
+        let mut buffer: Vec<u8> = Vec::with_capacity((window_hi - window_lo) as usize * row_len);
         let mut seen = 0u64;
-        for i in 0..input.capacity() {
-            let bytes = input.read_row(host, i)?;
-            if Schema::row_used(&bytes) && pred.eval(&schema, &bytes) {
+        input.for_each_row(host, |_, bytes| {
+            if Schema::row_used(bytes) && pred.eval(&schema, bytes) {
                 if seen >= window_lo && seen < window_hi {
-                    buffer.push(bytes);
+                    buffer.extend_from_slice(bytes);
                 }
                 seen += 1;
             }
-        }
+        })?;
         // Flush exactly the window size: real rows then dummies, so the
-        // write count is the padded bound whatever matched.
-        for slot in 0..(window_hi - window_lo) {
-            match buffer.get(slot as usize) {
-                Some(bytes) => {
-                    out.write_row(host, out_pos, bytes)?;
-                    written += 1;
-                }
-                None => out.write_row(host, out_pos, &dummy)?,
-            }
-            out_pos += 1;
+        // write count is the padded bound whatever matched — one batched
+        // crossing per window.
+        written += (buffer.len() / row_len) as u64;
+        while buffer.len() < (window_hi - window_lo) as usize * row_len {
+            buffer.extend_from_slice(&dummy);
         }
+        out.write_rows(host, out_pos, &buffer)?;
+        out_pos += window_hi - window_lo;
     }
     out.set_num_rows(written);
     out.set_insert_cursor(pad);
@@ -283,22 +328,40 @@ pub fn select_naive<M: EnclaveMemory>(
         PathOram::new(host, oram_key, out_rows.max(1), row_len, PosMapKind::Direct, om, rng)?;
 
     let mut written = 0u64;
-    for i in 0..input.capacity() {
-        let bytes = input.read_row(host, i)?;
-        if Schema::row_used(&bytes) && pred.eval(&schema, &bytes) && written < out_rows {
-            oram.write(host, written, &bytes)?;
-            written += 1;
-        } else {
-            oram.dummy_access(host)?;
+    let chunk = input.io_chunk_rows();
+    let cap = input.capacity();
+    let mut start = 0u64;
+    while start < cap {
+        let n = chunk.min((cap - start) as usize);
+        let data = input.read_rows(host, start, n)?;
+        // One ORAM operation per input row; the input side is batched, the
+        // ORAM side batches internally (whole path per crossing).
+        for bytes in data.chunks_exact(row_len) {
+            if Schema::row_used(bytes) && pred.eval(&schema, bytes) && written < out_rows {
+                oram.write(host, written, bytes)?;
+                written += 1;
+            } else {
+                oram.dummy_access(host)?;
+            }
         }
+        start += n as u64;
     }
 
-    // Copy the ORAM contents to the flat output format.
+    // Copy the ORAM contents to the flat output format, flushing output
+    // rows in contiguous batched runs.
     let mut out = FlatTable::create(host, out_key, schema, out_rows.max(1))?;
+    let mut flush: Vec<u8> = Vec::with_capacity(chunk * row_len);
+    let mut flush_start = 0u64;
     for addr in 0..out_rows {
         let bytes = oram.read(host, addr)?;
-        out.write_row(host, addr, &bytes)?;
+        flush.extend_from_slice(&bytes);
+        if flush.len() >= chunk * row_len {
+            out.write_rows(host, flush_start, &flush)?;
+            flush_start = addr + 1;
+            flush.clear();
+        }
     }
+    out.write_rows(host, flush_start, &flush)?;
     out.set_num_rows(written);
     out.set_insert_cursor(out_rows);
     oram.free(host);

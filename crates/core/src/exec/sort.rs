@@ -57,15 +57,7 @@ pub fn bitonic_sort_with<M: EnclaveMemory>(
 
     // Whole span fits in the enclave buffer: one load-sort-store.
     if m >= n {
-        let mut rows: Vec<(u128, Vec<u8>)> = Vec::with_capacity(n as usize);
-        for i in 0..n {
-            let bytes = table.read_row(host, i)?;
-            rows.push((key(&bytes), bytes));
-        }
-        sort_in_memory(&mut rows, oblivious_local);
-        for (i, (_, bytes)) in rows.iter().enumerate() {
-            table.write_row(host, i as u64, bytes)?;
-        }
+        local_sort(host, table, 0, n, true, oblivious_local, &key)?;
         return Ok(());
     }
 
@@ -100,7 +92,9 @@ pub fn bitonic_sort_with<M: EnclaveMemory>(
     Ok(())
 }
 
-/// One strided compare-exchange pass over the whole span.
+/// One strided compare-exchange pass over the whole span. Each
+/// compare-exchange fetches its (index-determined) block pair in one
+/// gather crossing and writes it back in one scatter crossing.
 fn element_pass<M: EnclaveMemory>(
     host: &mut M,
     table: &mut FlatTable,
@@ -109,24 +103,24 @@ fn element_pass<M: EnclaveMemory>(
     k: u64,
     key: &impl Fn(&[u8]) -> u128,
 ) -> Result<(), DbError> {
+    let row_len = table.row_len();
+    let mut pair = Vec::with_capacity(2 * row_len);
     for i in 0..n {
         let l = i ^ j;
         if l <= i {
             continue;
         }
         let ascending = (i & k) == 0;
-        let a = table.read_row(host, i)?;
-        let b = table.read_row(host, l)?;
-        let swap = (key(&a) > key(&b)) == ascending;
+        pair.clear();
+        pair.extend_from_slice(table.read_rows_at(host, &[i, l])?);
+        let (a, b) = pair.split_at_mut(row_len);
+        let swap = (key(a) > key(b)) == ascending;
         // Both blocks are always rewritten; the adversary cannot tell a
         // swap from a hold.
         if swap {
-            table.write_row(host, i, &b)?;
-            table.write_row(host, l, &a)?;
-        } else {
-            table.write_row(host, i, &a)?;
-            table.write_row(host, l, &b)?;
+            a.swap_with_slice(b);
         }
+        table.write_rows_at(host, &[i, l], &pair)?;
     }
     Ok(())
 }
@@ -159,7 +153,8 @@ fn sort_in_memory(rows: &mut [(u128, Vec<u8>)], oblivious: bool) {
     }
 }
 
-/// Loads an aligned chunk, fully sorts it in enclave memory, stores it.
+/// Loads an aligned chunk (batched), fully sorts it in enclave memory,
+/// stores it back (batched).
 fn local_sort<M: EnclaveMemory>(
     host: &mut M,
     table: &mut FlatTable,
@@ -169,19 +164,39 @@ fn local_sort<M: EnclaveMemory>(
     oblivious: bool,
     key: &impl Fn(&[u8]) -> u128,
 ) -> Result<(), DbError> {
-    let mut rows: Vec<(u128, Vec<u8>)> = Vec::with_capacity(len as usize);
-    for i in start..start + len {
-        let bytes = table.read_row(host, i)?;
-        rows.push((key(&bytes), bytes));
-    }
+    let mut rows = load_chunk(host, table, start, len, key)?;
     sort_in_memory(&mut rows, oblivious);
     if !ascending {
         rows.reverse();
     }
-    for (off, (_, bytes)) in rows.iter().enumerate() {
-        table.write_row(host, start + off as u64, bytes)?;
+    store_chunk(host, table, start, &rows)
+}
+
+/// Batched load of rows `[start, start + len)` with their sort keys.
+fn load_chunk<M: EnclaveMemory>(
+    host: &mut M,
+    table: &mut FlatTable,
+    start: u64,
+    len: u64,
+    key: &impl Fn(&[u8]) -> u128,
+) -> Result<Vec<(u128, Vec<u8>)>, DbError> {
+    let row_len = table.row_len();
+    let data = table.read_rows(host, start, len as usize)?;
+    Ok(data.chunks_exact(row_len).map(|bytes| (key(bytes), bytes.to_vec())).collect())
+}
+
+/// Batched store of a sorted chunk back to `[start, start + rows.len())`.
+fn store_chunk<M: EnclaveMemory>(
+    host: &mut M,
+    table: &mut FlatTable,
+    start: u64,
+    rows: &[(u128, Vec<u8>)],
+) -> Result<(), DbError> {
+    let mut buf = Vec::with_capacity(rows.len() * table.row_len());
+    for (_, bytes) in rows {
+        buf.extend_from_slice(bytes);
     }
-    Ok(())
+    table.write_rows(host, start, &buf)
 }
 
 /// Loads an aligned chunk and applies the remaining network strides
@@ -194,11 +209,7 @@ fn local_merge<M: EnclaveMemory>(
     ascending: bool,
     key: &impl Fn(&[u8]) -> u128,
 ) -> Result<(), DbError> {
-    let mut rows: Vec<(u128, Vec<u8>)> = Vec::with_capacity(len as usize);
-    for i in start..start + len {
-        let bytes = table.read_row(host, i)?;
-        rows.push((key(&bytes), bytes));
-    }
+    let mut rows = load_chunk(host, table, start, len, key)?;
     let n = len as usize;
     let mut j = n / 2;
     while j >= 1 {
@@ -213,10 +224,7 @@ fn local_merge<M: EnclaveMemory>(
         }
         j /= 2;
     }
-    for (off, (_, bytes)) in rows.iter().enumerate() {
-        table.write_row(host, start + off as u64, bytes)?;
-    }
-    Ok(())
+    store_chunk(host, table, start, &rows)
 }
 
 #[cfg(test)]

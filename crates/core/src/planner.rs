@@ -99,9 +99,8 @@ pub fn scan_stats<M: EnclaveMemory>(
     let mut matches = 0u64;
     let mut runs = 0u32;
     let mut prev = false;
-    for i in 0..input.capacity() {
-        let bytes = input.read_row(host, i)?;
-        let hit = Schema::row_used(&bytes) && pred.eval(&schema, &bytes);
+    input.for_each_row(host, |_, bytes| {
+        let hit = Schema::row_used(bytes) && pred.eval(&schema, bytes);
         if hit {
             matches += 1;
             if !prev {
@@ -109,7 +108,7 @@ pub fn scan_stats<M: EnclaveMemory>(
             }
         }
         prev = hit;
-    }
+    })?;
     Ok(SelectStats { matches, continuous: runs <= 1 && matches > 0 })
 }
 

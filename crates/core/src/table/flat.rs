@@ -10,7 +10,7 @@
 
 use oblidb_crypto::aead::AeadKey;
 use oblidb_enclave::EnclaveMemory;
-use oblidb_storage::SealedRegion;
+use oblidb_storage::{batch_chunk_blocks, SealedRegion};
 
 use crate::error::DbError;
 use crate::predicate::Predicate;
@@ -50,9 +50,17 @@ impl FlatTable {
     ) -> Result<Self, DbError> {
         assert!(rows.len() as u64 <= capacity.max(1));
         let mut t = Self::create(host, key, schema, capacity)?;
-        for row in rows {
-            t.store.write(host, t.insert_cursor, row)?;
-            t.insert_cursor += 1;
+        // Batched bulk load: one crossing per chunk of contiguous rows.
+        let row_len = t.row_len();
+        let chunk = t.io_chunk_rows();
+        let mut buf = Vec::with_capacity(chunk * row_len);
+        for group in rows.chunks(chunk) {
+            buf.clear();
+            for row in group {
+                buf.extend_from_slice(row);
+            }
+            t.write_rows(host, t.insert_cursor, &buf)?;
+            t.insert_cursor += group.len() as u64;
         }
         t.num_rows = rows.len() as u64;
         Ok(t)
@@ -99,6 +107,85 @@ impl FlatTable {
         Ok(())
     }
 
+    /// The table's batched-scan chunk size in rows — a public function of
+    /// the row width only (see `oblidb_storage::batch_chunk_blocks`).
+    pub fn io_chunk_rows(&self) -> usize {
+        batch_chunk_blocks(self.row_len())
+    }
+
+    /// Reads `count` consecutive row blocks starting at `start` in one
+    /// boundary crossing per [`FlatTable::io_chunk_rows`]-sized run,
+    /// returning their concatenated decrypted bytes. The slice borrows
+    /// the table's scratch; copy out what must survive the next storage
+    /// call.
+    pub fn read_rows<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        start: u64,
+        count: usize,
+    ) -> Result<&[u8], DbError> {
+        Ok(self.store.read_batch(host, start, count)?)
+    }
+
+    /// Writes a whole number of encoded rows to consecutive blocks
+    /// starting at `start`, in one boundary crossing per
+    /// [`FlatTable::io_chunk_rows`]-sized run.
+    pub fn write_rows<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        start: u64,
+        rows: &[u8],
+    ) -> Result<(), DbError> {
+        self.store.write_batch(host, start, rows)?;
+        Ok(())
+    }
+
+    /// Streams every block (used or not) front to back in batched chunks —
+    /// one crossing per [`FlatTable::io_chunk_rows`] run — calling
+    /// `f(block index, row bytes)` for each. The access pattern is a
+    /// function of the capacity alone; this is the batched form of the
+    /// read-only capacity loop every scan operator is built from.
+    pub fn for_each_row<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        mut f: impl FnMut(u64, &[u8]),
+    ) -> Result<(), DbError> {
+        let row_len = self.row_len();
+        let chunk = self.io_chunk_rows();
+        let cap = self.capacity();
+        let mut start = 0u64;
+        while start < cap {
+            let n = chunk.min((cap - start) as usize);
+            let data = self.store.read_batch(host, start, n)?;
+            for (off, bytes) in data.chunks_exact(row_len).enumerate() {
+                f(start + off as u64, bytes);
+            }
+            start += n as u64;
+        }
+        Ok(())
+    }
+
+    /// Gather read: the row blocks at `indices`, in order, one crossing.
+    pub fn read_rows_at<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        indices: &[u64],
+    ) -> Result<&[u8], DbError> {
+        Ok(self.store.read_batch_at(host, indices)?)
+    }
+
+    /// Scatter write: encoded row `i` goes to block `indices[i]`, one
+    /// crossing.
+    pub fn write_rows_at<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        indices: &[u64],
+        rows: &[u8],
+    ) -> Result<(), DbError> {
+        self.store.write_batch_at(host, indices, rows)?;
+        Ok(())
+    }
+
     /// Sets the logical row count (used by operators that fill an output
     /// table they allocated).
     pub fn set_num_rows(&mut self, n: u64) {
@@ -128,20 +215,47 @@ impl FlatTable {
     ) -> Result<(), DbError> {
         let encoded = self.schema.encode_row(values)?;
         let mut placed = false;
-        for i in 0..self.capacity() {
-            let current = self.store.read(host, i)?.to_vec();
-            if !placed && !Schema::row_used(&current) {
-                self.store.write(host, i, &encoded)?;
+        // Chunked pass: read a run of blocks in one crossing, splice the
+        // row into the first unused slot, rewrite the whole run (fresh
+        // encryptions make the untouched rows dummy writes).
+        self.rewrite_scan(host, |row| {
+            if !placed && !Schema::row_used(row) {
+                row.copy_from_slice(&encoded);
                 placed = true;
-            } else {
-                self.store.write(host, i, &current)?;
             }
-        }
+        })?;
         if !placed {
             return Err(DbError::TableFull("flat table".into()));
         }
         self.num_rows += 1;
         self.insert_cursor = self.insert_cursor.max(self.num_rows);
+        Ok(())
+    }
+
+    /// One full batched read-modify-rewrite pass: every block is read and
+    /// rewritten in [`FlatTable::io_chunk_rows`]-sized runs (one crossing
+    /// per direction per run), with `f` applied to each row in place. The
+    /// access pattern is a function of the capacity alone.
+    fn rewrite_scan<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        mut f: impl FnMut(&mut [u8]),
+    ) -> Result<(), DbError> {
+        let row_len = self.row_len();
+        let chunk = self.io_chunk_rows();
+        let cap = self.capacity();
+        let mut buf = Vec::with_capacity(chunk * row_len);
+        let mut start = 0u64;
+        while start < cap {
+            let n = chunk.min((cap - start) as usize);
+            buf.clear();
+            buf.extend_from_slice(self.read_rows(host, start, n)?);
+            for row in buf.chunks_exact_mut(row_len) {
+                f(row);
+            }
+            self.write_rows(host, start, &buf)?;
+            start += n as u64;
+        }
         Ok(())
     }
 
@@ -173,19 +287,25 @@ impl FlatTable {
         assignments: &[(usize, Value)],
     ) -> Result<u64, DbError> {
         let mut changed = 0;
-        for i in 0..self.capacity() {
-            let bytes = self.store.read(host, i)?.to_vec();
-            if Schema::row_used(&bytes) && pred.eval(&self.schema, &bytes) {
-                let mut row = self.schema.decode_row(&bytes);
+        let schema = self.schema.clone();
+        let mut err = None;
+        self.rewrite_scan(host, |bytes| {
+            if Schema::row_used(bytes) && pred.eval(&schema, bytes) {
+                let mut row = schema.decode_row(bytes);
                 for (col, v) in assignments {
                     row[*col] = v.clone();
                 }
-                let encoded = self.schema.encode_row(&row)?;
-                self.store.write(host, i, &encoded)?;
-                changed += 1;
-            } else {
-                self.store.write(host, i, &bytes)?;
+                match schema.encode_row(&row) {
+                    Ok(encoded) => {
+                        bytes.copy_from_slice(&encoded);
+                        changed += 1;
+                    }
+                    Err(e) => err = Some(e),
+                }
             }
+        })?;
+        if let Some(e) = err {
+            return Err(e);
         }
         Ok(changed)
     }
@@ -198,16 +318,14 @@ impl FlatTable {
         pred: &Predicate,
     ) -> Result<u64, DbError> {
         let dummy = self.schema.dummy_row();
+        let schema = self.schema.clone();
         let mut removed = 0;
-        for i in 0..self.capacity() {
-            let bytes = self.store.read(host, i)?.to_vec();
-            if Schema::row_used(&bytes) && pred.eval(&self.schema, &bytes) {
-                self.store.write(host, i, &dummy)?;
+        self.rewrite_scan(host, |bytes| {
+            if Schema::row_used(bytes) && pred.eval(&schema, bytes) {
+                bytes.copy_from_slice(&dummy);
                 removed += 1;
-            } else {
-                self.store.write(host, i, &bytes)?;
             }
-        }
+        })?;
         self.num_rows -= removed;
         Ok(removed)
     }
@@ -222,9 +340,15 @@ impl FlatTable {
     ) -> Result<(), DbError> {
         assert!(new_capacity >= self.capacity());
         let mut bigger = SealedRegion::create(host, key, new_capacity as usize, self.row_len())?;
-        for i in 0..self.capacity() {
-            let bytes = self.store.read(host, i)?.to_vec();
-            bigger.write(host, i, &bytes)?;
+        // Chunked copy: one read crossing and one write crossing per run.
+        let chunk = self.io_chunk_rows();
+        let cap = self.capacity();
+        let mut start = 0u64;
+        while start < cap {
+            let n = chunk.min((cap - start) as usize);
+            let bytes = self.store.read_batch(host, start, n)?;
+            bigger.write_batch(host, start, bytes)?;
+            start += n as u64;
         }
         let old = std::mem::replace(&mut self.store, bigger);
         old.free(host);
@@ -234,11 +358,19 @@ impl FlatTable {
     /// Decodes every used row (full scan — the only oblivious way out).
     pub fn collect_rows<M: EnclaveMemory>(&mut self, host: &mut M) -> Result<Vec<Row>, DbError> {
         let mut out = Vec::with_capacity(self.num_rows as usize);
-        for i in 0..self.capacity() {
-            let bytes = self.store.read(host, i)?;
-            if Schema::row_used(bytes) {
-                out.push(self.schema.decode_row(bytes));
+        let row_len = self.row_len();
+        let chunk = self.io_chunk_rows();
+        let cap = self.capacity();
+        let mut start = 0u64;
+        while start < cap {
+            let n = chunk.min((cap - start) as usize);
+            let data = self.store.read_batch(host, start, n)?;
+            for bytes in data.chunks_exact(row_len) {
+                if Schema::row_used(bytes) {
+                    out.push(self.schema.decode_row(bytes));
+                }
             }
+            start += n as u64;
         }
         Ok(out)
     }
@@ -293,13 +425,26 @@ mod tests {
         let trace_b = host.take_trace();
         // Identical access pattern no matter the values or fill level.
         assert_eq!(trace_a, trace_b);
-        // Pattern is read-then-write per block, over all blocks.
+        // Pattern is one batched read run then one batched write run over
+        // all blocks (capacity 8 fits a single chunk), in index order.
         assert_eq!(trace_a.len(), 16);
-        for pair in trace_a.0.chunks(2) {
-            assert_eq!(pair[0].kind, AccessKind::Read);
-            assert_eq!(pair[1].kind, AccessKind::Write);
-            assert_eq!(pair[0].index, pair[1].index);
+        let (reads, writes) = trace_a.0.split_at(8);
+        for (i, (r, w)) in reads.iter().zip(writes).enumerate() {
+            assert_eq!(r.kind, AccessKind::Read);
+            assert_eq!(w.kind, AccessKind::Write);
+            assert_eq!(r.index, i as u64);
+            assert_eq!(w.index, i as u64);
         }
+    }
+
+    #[test]
+    fn oblivious_scans_batch_crossings() {
+        let (mut host, mut t) = setup(100);
+        host.reset_stats();
+        t.insert_oblivious(&mut host, &vrow(1, 10)).unwrap();
+        let s = host.stats();
+        assert_eq!(s.total_accesses(), 200, "every block read and rewritten");
+        assert_eq!(s.crossings, 2, "one batched crossing per direction");
     }
 
     #[test]

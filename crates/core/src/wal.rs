@@ -98,15 +98,22 @@ impl Wal {
         Ok(())
     }
 
-    /// Decrypts and returns every logged statement, oldest first.
+    /// Decrypts and returns every logged statement, oldest first —
+    /// recovery replay streams the log in batched chunks, one crossing per
+    /// chunk instead of one per record.
     pub fn records<M: EnclaveMemory>(&mut self, host: &mut M) -> Result<Vec<String>, DbError> {
         let mut out = Vec::with_capacity(self.len as usize);
-        for i in 0..self.len {
-            let bytes = self.store.read(host, i)?;
-            let n = u16::from_le_bytes(bytes[..2].try_into().expect("header")) as usize;
-            let text = std::str::from_utf8(&bytes[2..2 + n])
-                .map_err(|_| DbError::Unsupported("corrupt WAL record".into()))?;
-            out.push(text.to_string());
+        let mut scan = oblidb_storage::SealedScan::over(
+            0..self.len,
+            oblidb_storage::batch_chunk_blocks(self.block_bytes),
+        );
+        while let Some((_, payloads)) = scan.next_chunk(host, &mut self.store)? {
+            for bytes in payloads.chunks_exact(self.block_bytes) {
+                let n = u16::from_le_bytes(bytes[..2].try_into().expect("header")) as usize;
+                let text = std::str::from_utf8(&bytes[2..2 + n])
+                    .map_err(|_| DbError::Unsupported("corrupt WAL record".into()))?;
+                out.push(text.to_string());
+            }
         }
         Ok(out)
     }

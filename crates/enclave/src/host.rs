@@ -65,10 +65,16 @@ pub struct HostStats {
     pub bytes_read: u64,
     /// Total bytes written.
     pub bytes_written: u64,
+    /// Enclave boundary transitions. A per-block read or write costs one;
+    /// a batched call transfers any number of blocks in one. On real SGX
+    /// each transition is an OCALL-sized fixed cost, so
+    /// `crossings << reads + writes` is what batching buys.
+    pub crossings: u64,
 }
 
 impl HostStats {
-    /// Total boundary crossings.
+    /// Total block accesses (reads + writes). Block counts — not boundary
+    /// transitions; see [`HostStats::crossings`] for those.
     pub fn total_accesses(&self) -> u64 {
         self.reads + self.writes
     }
@@ -119,6 +125,20 @@ impl fmt::Display for HostError {
 
 impl std::error::Error for HostError {}
 
+/// Number of whole blocks in a batch buffer, or the mismatch error.
+/// Shared by every batched entry point (trait defaults and native
+/// implementations) so the validation cannot drift.
+pub(crate) fn batch_count(
+    region: RegionId,
+    block_size: usize,
+    data_len: usize,
+) -> Result<usize, HostError> {
+    if block_size == 0 || data_len % block_size != 0 {
+        return Err(HostError::BlockSizeMismatch { region, expected: block_size, got: data_len });
+    }
+    Ok(data_len / block_size)
+}
+
 struct Region {
     block_size: usize,
     blocks: Vec<Option<Box<[u8]>>>,
@@ -133,12 +153,34 @@ pub struct Host {
     regions: Vec<Option<Region>>,
     trace: Option<Vec<AccessEvent>>,
     stats: HostStats,
+    crossing_spins: u32,
 }
 
 impl Host {
     /// Creates an empty untrusted memory.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Sets a simulated per-crossing cost: every boundary transition
+    /// (per-block call or batched call, either direction) additionally
+    /// executes `spins` spin-loop iterations.
+    ///
+    /// On real SGX an enclave transition costs ~8,000+ cycles regardless
+    /// of payload size — the fixed cost that makes batching matter and
+    /// that an in-process simulator otherwise prices at zero. Default 0,
+    /// so unit tests and traces are unaffected; the benchmark harness
+    /// opts in to measure the amortization honestly.
+    pub fn set_crossing_cost(&mut self, spins: u32) {
+        self.crossing_spins = spins;
+    }
+
+    /// Pays for one boundary transition.
+    fn cross(stats: &mut HostStats, spins: u32) {
+        stats.crossings += 1;
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
     }
 
     /// Allocates a region of `blocks` blocks, each `block_size` bytes.
@@ -213,6 +255,7 @@ impl Host {
             .ok_or(HostError::OutOfBounds { region, index, len })?
             .as_deref()
             .ok_or(HostError::EmptyBlock(region, index))?;
+        Self::cross(&mut self.stats, self.crossing_spins);
         self.stats.reads += 1;
         self.stats.bytes_read += block.len() as u64;
         // Reborrow immutably for the return value.
@@ -245,8 +288,141 @@ impl Host {
             Some(existing) => existing.copy_from_slice(data),
             None => *slot = Some(data.to_vec().into_boxed_slice()),
         }
+        Self::cross(&mut self.stats, self.crossing_spins);
         self.stats.writes += 1;
         self.stats.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    /// Reads `count` consecutive sealed blocks starting at `start` into
+    /// `out` (cleared first), in **one** boundary crossing. The adversary
+    /// still observes every block index (one trace event per block); only
+    /// the transition cost is amortized.
+    pub fn read_blocks(
+        &mut self,
+        region: RegionId,
+        start: u64,
+        count: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), HostError> {
+        self.read_gather(region, start..start + count as u64, out)
+    }
+
+    /// Gather read: the sealed blocks at `indices` (in order), one crossing.
+    pub fn read_blocks_at(
+        &mut self,
+        region: RegionId,
+        indices: &[u64],
+        out: &mut Vec<u8>,
+    ) -> Result<(), HostError> {
+        self.read_gather(region, indices.iter().copied(), out)
+    }
+
+    fn read_gather(
+        &mut self,
+        region: RegionId,
+        indices: impl Iterator<Item = u64>,
+        out: &mut Vec<u8>,
+    ) -> Result<(), HostError> {
+        out.clear();
+        let mut crossed = false;
+        // Split borrows: trace/stats mutate while region data is read.
+        let spins = self.crossing_spins;
+        let Host { regions, trace, stats, .. } = self;
+        let r = regions
+            .get(region.0 as usize)
+            .and_then(|r| r.as_ref())
+            .ok_or(HostError::UnknownRegion(region))?;
+        let len = r.blocks.len() as u64;
+        for index in indices {
+            if let Some(t) = trace {
+                t.push(AccessEvent { region, index, kind: AccessKind::Read });
+            }
+            let block = r
+                .blocks
+                .get(index as usize)
+                .ok_or(HostError::OutOfBounds { region, index, len })?
+                .as_deref()
+                .ok_or(HostError::EmptyBlock(region, index))?;
+            if !crossed {
+                // Counted only once a block validates, exactly like the
+                // per-block path (failed accesses leave counters alone).
+                Self::cross(stats, spins);
+                crossed = true;
+            }
+            out.extend_from_slice(block);
+            stats.reads += 1;
+            stats.bytes_read += block.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` (a whole number of sealed blocks) to consecutive
+    /// indices starting at `start`, in one boundary crossing.
+    pub fn write_blocks(
+        &mut self,
+        region: RegionId,
+        start: u64,
+        data: &[u8],
+    ) -> Result<(), HostError> {
+        let block_size = self.region_block_size(region)?;
+        let count = batch_count(region, block_size, data.len())?;
+        self.write_scatter(region, start..start + count as u64, data)
+    }
+
+    /// Scatter write: one sealed block per index in `indices`, one crossing.
+    pub fn write_blocks_at(
+        &mut self,
+        region: RegionId,
+        indices: &[u64],
+        data: &[u8],
+    ) -> Result<(), HostError> {
+        let block_size = self.region_block_size(region)?;
+        let count = batch_count(region, block_size, data.len())?;
+        if count != indices.len() {
+            return Err(HostError::BlockSizeMismatch {
+                region,
+                expected: indices.len() * block_size,
+                got: data.len(),
+            });
+        }
+        self.write_scatter(region, indices.iter().copied(), data)
+    }
+
+    fn write_scatter(
+        &mut self,
+        region: RegionId,
+        indices: impl Iterator<Item = u64>,
+        data: &[u8],
+    ) -> Result<(), HostError> {
+        let mut crossed = false;
+        let spins = self.crossing_spins;
+        let Host { regions, trace, stats, .. } = self;
+        let r = regions
+            .get_mut(region.0 as usize)
+            .and_then(|r| r.as_mut())
+            .ok_or(HostError::UnknownRegion(region))?;
+        let len = r.blocks.len() as u64;
+        for (index, chunk) in indices.zip(data.chunks_exact(r.block_size)) {
+            if let Some(t) = trace {
+                t.push(AccessEvent { region, index, kind: AccessKind::Write });
+            }
+            let slot = r.blocks.get_mut(index as usize).ok_or(HostError::OutOfBounds {
+                region,
+                index,
+                len,
+            })?;
+            match slot {
+                Some(existing) => existing.copy_from_slice(chunk),
+                None => *slot = Some(chunk.to_vec().into_boxed_slice()),
+            }
+            if !crossed {
+                Self::cross(stats, spins);
+                crossed = true;
+            }
+            stats.writes += 1;
+            stats.bytes_written += chunk.len() as u64;
+        }
         Ok(())
     }
 

@@ -7,7 +7,9 @@
 //! in-memory [`Host`], the payload-free [`CountingMemory`] cost model, and
 //! — in later iterations — disk-backed or sharded backends.
 
-use crate::host::{AccessEvent, AccessKind, Host, HostError, HostStats, RegionId, Trace};
+use crate::host::{
+    batch_count, AccessEvent, AccessKind, Host, HostError, HostStats, RegionId, Trace,
+};
 
 /// Abstract untrusted block memory, as seen from inside the enclave.
 ///
@@ -43,6 +45,77 @@ pub trait EnclaveMemory {
 
     /// Writes a sealed block. Observable by the adversary.
     fn write(&mut self, region: RegionId, index: u64, data: &[u8]) -> Result<(), HostError>;
+
+    /// Reads `count` consecutive sealed blocks starting at `start` into
+    /// `out` (cleared first). The adversary observes every block index
+    /// either way; batching only amortizes the per-crossing cost, so
+    /// [`HostStats::crossings`](crate::HostStats) is the one counter where
+    /// substrates with native support differ from this per-block fallback.
+    fn read_blocks(
+        &mut self,
+        region: RegionId,
+        start: u64,
+        count: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), HostError> {
+        out.clear();
+        for i in 0..count as u64 {
+            let block = self.read(region, start + i)?;
+            out.extend_from_slice(block);
+        }
+        Ok(())
+    }
+
+    /// Gather read: the sealed blocks at `indices`, in order, into `out`
+    /// (cleared first). Used for non-contiguous batches such as an ORAM
+    /// root-to-leaf path. Same fallback semantics as
+    /// [`EnclaveMemory::read_blocks`].
+    fn read_blocks_at(
+        &mut self,
+        region: RegionId,
+        indices: &[u64],
+        out: &mut Vec<u8>,
+    ) -> Result<(), HostError> {
+        out.clear();
+        for &index in indices {
+            let block = self.read(region, index)?;
+            out.extend_from_slice(block);
+        }
+        Ok(())
+    }
+
+    /// Writes `data` — a whole number of sealed blocks — to consecutive
+    /// indices starting at `start`. Fallback: one `write` per block.
+    fn write_blocks(&mut self, region: RegionId, start: u64, data: &[u8]) -> Result<(), HostError> {
+        let block_size = self.region_block_size(region)?;
+        batch_count(region, block_size, data.len())?;
+        for (i, chunk) in data.chunks_exact(block_size).enumerate() {
+            self.write(region, start + i as u64, chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Scatter write: one sealed block from `data` per index in `indices`,
+    /// in order. Fallback: one `write` per block.
+    fn write_blocks_at(
+        &mut self,
+        region: RegionId,
+        indices: &[u64],
+        data: &[u8],
+    ) -> Result<(), HostError> {
+        let block_size = self.region_block_size(region)?;
+        if batch_count(region, block_size, data.len())? != indices.len() {
+            return Err(HostError::BlockSizeMismatch {
+                region,
+                expected: indices.len() * block_size,
+                got: data.len(),
+            });
+        }
+        for (&index, chunk) in indices.iter().zip(data.chunks_exact(block_size)) {
+            self.write(region, index, chunk)?;
+        }
+        Ok(())
+    }
 
     /// Starts recording accesses (clearing any previous recording).
     fn start_trace(&mut self);
@@ -98,6 +171,38 @@ impl EnclaveMemory for Host {
 
     fn write(&mut self, region: RegionId, index: u64, data: &[u8]) -> Result<(), HostError> {
         Host::write(self, region, index, data)
+    }
+
+    fn read_blocks(
+        &mut self,
+        region: RegionId,
+        start: u64,
+        count: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), HostError> {
+        Host::read_blocks(self, region, start, count, out)
+    }
+
+    fn read_blocks_at(
+        &mut self,
+        region: RegionId,
+        indices: &[u64],
+        out: &mut Vec<u8>,
+    ) -> Result<(), HostError> {
+        Host::read_blocks_at(self, region, indices, out)
+    }
+
+    fn write_blocks(&mut self, region: RegionId, start: u64, data: &[u8]) -> Result<(), HostError> {
+        Host::write_blocks(self, region, start, data)
+    }
+
+    fn write_blocks_at(
+        &mut self,
+        region: RegionId,
+        indices: &[u64],
+        data: &[u8],
+    ) -> Result<(), HostError> {
+        Host::write_blocks_at(self, region, indices, data)
     }
 
     fn start_trace(&mut self) {
@@ -189,6 +294,73 @@ impl CountingMemory {
             t.push(AccessEvent { region, index, kind });
         }
     }
+
+    /// Native batched gather: identical accounting to [`Host::read_blocks`]
+    /// (per-block trace events and counters, one crossing), zeroed payload.
+    fn read_gather(
+        &mut self,
+        region: RegionId,
+        indices: impl Iterator<Item = u64>,
+        out: &mut Vec<u8>,
+    ) -> Result<(), HostError> {
+        out.clear();
+        let mut crossed = false;
+        let CountingMemory { regions, trace, stats, .. } = self;
+        let r = regions
+            .get(region.0 as usize)
+            .and_then(|r| r.as_ref())
+            .ok_or(HostError::UnknownRegion(region))?;
+        for index in indices {
+            if let Some(t) = trace {
+                t.push(AccessEvent { region, index, kind: AccessKind::Read });
+            }
+            if index >= r.blocks {
+                return Err(HostError::OutOfBounds { region, index, len: r.blocks });
+            }
+            if !r.is_written(index) {
+                return Err(HostError::EmptyBlock(region, index));
+            }
+            if !crossed {
+                // Counted only once a block validates — per-block parity.
+                stats.crossings += 1;
+                crossed = true;
+            }
+            out.resize(out.len() + r.block_size, 0);
+            stats.reads += 1;
+            stats.bytes_read += r.block_size as u64;
+        }
+        Ok(())
+    }
+
+    fn write_scatter(
+        &mut self,
+        region: RegionId,
+        indices: impl Iterator<Item = u64>,
+        data: &[u8],
+    ) -> Result<(), HostError> {
+        let mut crossed = false;
+        let CountingMemory { regions, trace, stats, .. } = self;
+        let r = regions
+            .get_mut(region.0 as usize)
+            .and_then(|r| r.as_mut())
+            .ok_or(HostError::UnknownRegion(region))?;
+        for (index, chunk) in indices.zip(data.chunks_exact(r.block_size)) {
+            if let Some(t) = trace {
+                t.push(AccessEvent { region, index, kind: AccessKind::Write });
+            }
+            if index >= r.blocks {
+                return Err(HostError::OutOfBounds { region, index, len: r.blocks });
+            }
+            if !crossed {
+                stats.crossings += 1;
+                crossed = true;
+            }
+            r.mark_written(index);
+            stats.writes += 1;
+            stats.bytes_written += chunk.len() as u64;
+        }
+        Ok(())
+    }
 }
 
 impl EnclaveMemory for CountingMemory {
@@ -239,6 +411,7 @@ impl EnclaveMemory for CountingMemory {
             return Err(HostError::EmptyBlock(region, index));
         }
         let block_size = r.block_size;
+        self.stats.crossings += 1;
         self.stats.reads += 1;
         self.stats.bytes_read += block_size as u64;
         // The scratch is only ever zeroed; resize covers changing sizes.
@@ -264,9 +437,53 @@ impl EnclaveMemory for CountingMemory {
             return Err(HostError::OutOfBounds { region, index, len: r.blocks });
         }
         r.mark_written(index);
+        self.stats.crossings += 1;
         self.stats.writes += 1;
         self.stats.bytes_written += data.len() as u64;
         Ok(())
+    }
+
+    fn read_blocks(
+        &mut self,
+        region: RegionId,
+        start: u64,
+        count: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), HostError> {
+        self.read_gather(region, start..start + count as u64, out)
+    }
+
+    fn read_blocks_at(
+        &mut self,
+        region: RegionId,
+        indices: &[u64],
+        out: &mut Vec<u8>,
+    ) -> Result<(), HostError> {
+        self.read_gather(region, indices.iter().copied(), out)
+    }
+
+    fn write_blocks(&mut self, region: RegionId, start: u64, data: &[u8]) -> Result<(), HostError> {
+        let block_size = self.region(region)?.block_size;
+        let count = batch_count(region, block_size, data.len())?;
+        self.write_scatter(region, start..start + count as u64, data)
+    }
+
+    fn write_blocks_at(
+        &mut self,
+        region: RegionId,
+        indices: &[u64],
+        data: &[u8],
+    ) -> Result<(), HostError> {
+        let block_size = self.region(region)?.block_size;
+        let count = batch_count(region, block_size, data.len())?;
+        if count != indices.len() {
+            return Err(HostError::BlockSizeMismatch {
+                region,
+                expected: indices.len() * block_size,
+                got: data.len(),
+            });
+        }
+        self.write_scatter(region, indices.iter().copied(), data)
     }
 
     fn start_trace(&mut self) {
@@ -350,5 +567,80 @@ mod tests {
     fn host_retains_payloads_counting_does_not() {
         assert!(EnclaveMemory::retains_payloads(&Host::new()));
         assert!(!CountingMemory::new().retains_payloads());
+    }
+
+    #[test]
+    fn batched_io_is_one_crossing_on_both_substrates() {
+        fn drive<M: EnclaveMemory>(m: &mut M) -> (Trace, crate::HostStats) {
+            let r = m.alloc_region(8, 4);
+            m.start_trace();
+            m.reset_stats();
+            let data: Vec<u8> = (0..24).collect();
+            m.write_blocks(r, 1, &data).unwrap();
+            let mut out = Vec::new();
+            m.read_blocks(r, 1, 6, &mut out).unwrap();
+            assert_eq!(out.len(), 24);
+            m.write_blocks_at(r, &[7, 2, 0], &data[..12]).unwrap();
+            m.read_blocks_at(r, &[0, 7], &mut out).unwrap();
+            assert_eq!(out.len(), 8);
+            (m.take_trace(), m.stats())
+        }
+        let (trace_h, stats_h) = drive(&mut Host::new());
+        let (trace_c, stats_c) = drive(&mut CountingMemory::new());
+        assert_eq!(trace_h, trace_c, "batched traces must be identical across substrates");
+        assert_eq!(stats_h, stats_c);
+        assert_eq!(stats_h.crossings, 4, "one crossing per batched call");
+        assert_eq!(stats_h.reads, 8);
+        assert_eq!(stats_h.writes, 9);
+        // Per-block events are still all recorded for the adversary.
+        assert_eq!(trace_h.len(), 17);
+    }
+
+    #[test]
+    fn batched_matches_per_block_loop_except_crossings() {
+        let mut a = Host::new();
+        let mut b = Host::new();
+        let ra = EnclaveMemory::alloc_region(&mut a, 4, 2);
+        let rb = EnclaveMemory::alloc_region(&mut b, 4, 2);
+        let data = [1u8, 2, 3, 4, 5, 6];
+        EnclaveMemory::write_blocks(&mut a, ra, 0, &data).unwrap();
+        for (i, chunk) in data.chunks(2).enumerate() {
+            EnclaveMemory::write(&mut b, rb, i as u64, chunk).unwrap();
+        }
+        let mut out = Vec::new();
+        EnclaveMemory::read_blocks(&mut a, ra, 0, 3, &mut out).unwrap();
+        let mut per_block = Vec::new();
+        for i in 0..3 {
+            per_block.extend_from_slice(EnclaveMemory::read(&mut b, rb, i).unwrap());
+        }
+        assert_eq!(out, per_block, "batched read returns the same bytes");
+        let (sa, sb) = (EnclaveMemory::stats(&a), EnclaveMemory::stats(&b));
+        assert_eq!((sa.reads, sa.writes, sa.bytes_read), (sb.reads, sb.writes, sb.bytes_read));
+        assert_eq!(sa.crossings, 2);
+        assert_eq!(sb.crossings, 6);
+    }
+
+    #[test]
+    fn batched_errors_match_per_block_contract() {
+        let mut m = CountingMemory::new();
+        let r = EnclaveMemory::alloc_region(&mut m, 4, 2);
+        let mut out = Vec::new();
+        // Unwritten block inside the batch: same EmptyBlock as per-block.
+        m.write_blocks(r, 0, &[0u8; 4]).unwrap();
+        assert_eq!(m.read_blocks(r, 0, 4, &mut out), Err(HostError::EmptyBlock(r, 2)));
+        // Out of bounds inside the batch.
+        assert!(matches!(
+            m.write_blocks(r, 3, &[0u8; 4]),
+            Err(HostError::OutOfBounds { index: 4, .. })
+        ));
+        // Ragged buffers are rejected up front.
+        assert!(matches!(
+            m.write_blocks(r, 0, &[0u8; 3]),
+            Err(HostError::BlockSizeMismatch { .. })
+        ));
+        assert!(matches!(
+            m.write_blocks_at(r, &[0, 1], &[0u8; 2]),
+            Err(HostError::BlockSizeMismatch { .. })
+        ));
     }
 }

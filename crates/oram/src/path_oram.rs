@@ -2,7 +2,7 @@
 
 use oblidb_crypto::aead::AeadKey;
 use oblidb_enclave::{EnclaveMemory, EnclaveRng, OmBudget, OmError};
-use oblidb_storage::{SealedRegion, StorageError};
+use oblidb_storage::{batch_chunk_blocks, SealedRegion, SealedScan, StorageError};
 
 use crate::bucket::{Bucket, Slot};
 
@@ -135,6 +135,8 @@ pub struct PathOram {
     rng: EnclaveRng,
     stats: OramStats,
     scratch: Vec<u8>,
+    /// Reusable bucket-index list for batched path reads/writes.
+    path_buf: Vec<u64>,
 }
 
 fn next_pow2(x: u64) -> u64 {
@@ -198,6 +200,7 @@ impl PathOram {
             rng,
             stats: OramStats::default(),
             scratch: vec![0u8; bucket_len],
+            path_buf: Vec::new(),
         })
     }
 
@@ -283,14 +286,22 @@ impl PathOram {
         Ok(out)
     }
 
+    /// Reads the whole root-to-leaf path in **one** boundary crossing
+    /// (batched gather over the path's bucket indices), then unpacks every
+    /// real slot into the stash. The per-bucket trace — root first, leaf
+    /// last — is identical to the per-block loop it replaced.
     fn read_path_into_stash<M: EnclaveMemory>(
         &mut self,
         host: &mut M,
         leaf: u64,
     ) -> Result<(), OramError> {
+        self.path_buf.clear();
         for level in 0..self.levels {
-            let idx = self.path_bucket(leaf, level);
-            let plaintext = self.store.read(host, idx)?;
+            self.path_buf.push(self.path_bucket(leaf, level));
+        }
+        let bucket_len = Bucket::serialized_len(Z, self.payload_len);
+        let path = self.store.read_batch_at(host, &self.path_buf)?;
+        for plaintext in path.chunks_exact(bucket_len) {
             let bucket = Bucket::deserialize(plaintext, Z, self.payload_len);
             for slot in bucket.slots {
                 if slot.is_real() {
@@ -301,12 +312,20 @@ impl PathOram {
         Ok(())
     }
 
+    /// Rebuilds and writes back the whole path in one boundary crossing
+    /// (batched scatter, leaf to root — the same bucket order as the
+    /// per-block loop it replaced).
     fn evict_path<M: EnclaveMemory>(&mut self, host: &mut M, leaf: u64) -> Result<(), OramError> {
         // Greedy eviction from the deepest level up: place each stash block
         // in the deepest bucket on this path that also lies on the block's
         // own path.
-        for level in (0..self.levels).rev() {
+        let bucket_len = Bucket::serialized_len(Z, self.payload_len);
+        self.path_buf.clear();
+        self.scratch.clear();
+        self.scratch.resize(self.levels as usize * bucket_len, 0);
+        for (depth, level) in (0..self.levels).rev().enumerate() {
             let idx = self.path_bucket(leaf, level);
+            self.path_buf.push(idx);
             let mut bucket = Bucket::empty(Z, self.payload_len);
             let mut filled = 0;
             let mut i = 0;
@@ -319,9 +338,12 @@ impl PathOram {
                     i += 1;
                 }
             }
-            bucket.serialize_into(self.payload_len, &mut self.scratch);
-            self.store.write(host, idx, &self.scratch)?;
+            bucket.serialize_into(
+                self.payload_len,
+                &mut self.scratch[depth * bucket_len..][..bucket_len],
+            );
         }
+        self.store.write_batch_at(host, &self.path_buf, &self.scratch)?;
         Ok(())
     }
 
@@ -366,11 +388,16 @@ impl PathOram {
         host: &mut M,
         mut f: impl FnMut(&Slot),
     ) -> Result<(), OramError> {
-        for idx in 0..self.bucket_count() {
-            let plaintext = self.store.read(host, idx)?;
-            let bucket = Bucket::deserialize(plaintext, Z, self.payload_len);
-            for slot in &bucket.slots {
-                f(slot);
+        // Buckets are contiguous, so the scan streams them in batched
+        // chunks — one crossing per chunk instead of one per bucket.
+        let bucket_len = Bucket::serialized_len(Z, self.payload_len);
+        let mut scan = SealedScan::with_chunk(&self.store, batch_chunk_blocks(bucket_len));
+        while let Some((_, payloads)) = scan.next_chunk(host, &mut self.store)? {
+            for plaintext in payloads.chunks_exact(bucket_len) {
+                let bucket = Bucket::deserialize(plaintext, Z, self.payload_len);
+                for slot in &bucket.slots {
+                    f(slot);
+                }
             }
         }
         for slot in &self.stash {
@@ -420,10 +447,19 @@ impl PathOram {
             }
         }
 
-        let mut buf = vec![0u8; Bucket::serialized_len(Z, payload_len)];
-        for (idx, bucket) in tree.iter().enumerate() {
-            bucket.serialize_into(payload_len, &mut buf);
-            oram.store.write(host, idx as u64, &buf)?;
+        // Seal the finished tree in contiguous batched chunks: one
+        // crossing per chunk instead of one per bucket.
+        let bucket_len = Bucket::serialized_len(Z, payload_len);
+        let chunk = batch_chunk_blocks(bucket_len);
+        let mut buf = vec![0u8; chunk * bucket_len];
+        let mut idx = 0usize;
+        while idx < tree.len() {
+            let n = chunk.min(tree.len() - idx);
+            for (off, bucket) in tree[idx..idx + n].iter().enumerate() {
+                bucket.serialize_into(payload_len, &mut buf[off * bucket_len..][..bucket_len]);
+            }
+            oram.store.write_batch(host, idx as u64, &buf[..n * bucket_len])?;
+            idx += n;
         }
         Ok(oram)
     }
@@ -545,6 +581,21 @@ mod tests {
         for w in reads.windows(2) {
             assert!(w[1] == 2 * w[0] + 1 || w[1] == 2 * w[0] + 2, "not a tree path: {reads:?}");
         }
+    }
+
+    #[test]
+    fn access_is_two_crossings() {
+        // The whole root-to-leaf path is fetched in one batched crossing
+        // and written back in another, regardless of tree height.
+        let (mut host, mut oram, _om) = setup(256, 8, PosMapKind::Direct);
+        host.reset_stats();
+        oram.write(&mut host, 5, &[1u8; 8]).unwrap();
+        let s = host.stats();
+        assert_eq!(s.crossings, 2, "one read crossing + one write crossing per access");
+        assert_eq!(s.total_accesses(), 2 * oram.path_len() as u64);
+        host.reset_stats();
+        oram.dummy_access(&mut host).unwrap();
+        assert_eq!(host.stats().crossings, 2, "dummy accesses batch identically");
     }
 
     #[test]

@@ -13,6 +13,30 @@
 //! [`StorageError::TamperDetected`].
 //!
 //! Layout of a sealed block: `nonce (12) ‖ ciphertext (payload) ‖ tag (16)`.
+//!
+//! # Batched I/O
+//!
+//! Every access is available in two granularities: per-block
+//! ([`SealedRegion::read`] / [`SealedRegion::write`]) and batched
+//! ([`SealedRegion::read_batch`] / [`SealedRegion::write_batch`] for
+//! contiguous ranges, [`SealedRegion::read_batch_at`] /
+//! [`SealedRegion::write_batch_at`] for gather/scatter index lists such as
+//! an ORAM path). A batch seals or opens N payloads per call with **one**
+//! boundary crossing (`HostStats::crossings`), one scratch allocation, and
+//! amortized nonce/AAD setup. The per-block trace — which blocks, in which
+//! order, read or written — is identical either way; batching is purely a
+//! cost optimization and never changes the adversary's view of the access
+//! pattern.
+//!
+//! ## Chunk-size guidance
+//!
+//! [`batch_chunk_blocks`] bounds a batch to [`MAX_BATCH_BYTES`] of sealed
+//! data (clamped to [1, [`MAX_BATCH_BLOCKS`]]): large enough to amortize
+//! the crossing, small enough that the enclave-side scratch stays cache-
+//! friendly and far below any realistic oblivious-memory budget. Chunk
+//! sizes must be (and are) a function of block geometry only — never of
+//! data — so chunking cannot leak. [`SealedScan`] streams a whole region
+//! at that granularity.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +46,20 @@ use oblidb_enclave::{EnclaveMemory, HostError, RegionId};
 
 /// Extra bytes a sealed block occupies beyond its plaintext payload.
 pub const SEAL_OVERHEAD: usize = NONCE_LEN + TAG_LEN;
+
+/// Upper bound on the sealed bytes moved per batched crossing.
+pub const MAX_BATCH_BYTES: usize = 256 * 1024;
+
+/// Upper bound on the blocks moved per batched crossing.
+pub const MAX_BATCH_BLOCKS: usize = 256;
+
+/// The default batch size, in blocks, for a region with `payload_len`-byte
+/// payloads: as many sealed blocks as fit in [`MAX_BATCH_BYTES`], clamped
+/// to `[1, MAX_BATCH_BLOCKS]`. A function of block geometry only (public),
+/// never of data — chunking cannot leak.
+pub fn batch_chunk_blocks(payload_len: usize) -> usize {
+    (MAX_BATCH_BYTES / (payload_len + SEAL_OVERHEAD)).clamp(1, MAX_BATCH_BLOCKS)
+}
 
 /// Errors from the sealed-storage layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +99,7 @@ impl From<HostError> for StorageError {
 ///
 /// Trusted state (kept "inside the enclave"): the AEAD key, the per-block
 /// revision numbers, and the nonce counter. Everything else lives in the
-/// [`Host`].
+/// [`Host`](oblidb_enclave::Host).
 pub struct SealedRegion {
     region: RegionId,
     key: AeadKey,
@@ -69,13 +107,18 @@ pub struct SealedRegion {
     write_counter: u64,
     revisions: Vec<u64>,
     scratch: Vec<u8>,
+    /// Sealed-side staging buffer for batched calls (one allocation per
+    /// region, reused across batches).
+    batch: Vec<u8>,
 }
 
 impl SealedRegion {
     /// Allocates a region of `blocks` sealed blocks, each carrying
     /// `payload_len` plaintext bytes, and initializes every block to an
     /// encryption of zeros so the region is uniformly unreadable from
-    /// outside and every block is readable from inside.
+    /// outside and every block is readable from inside. Initialization is
+    /// batched: one crossing per [`batch_chunk_blocks`] chunk, and no AEAD
+    /// work at all on payload-free substrates.
     pub fn create<M: EnclaveMemory>(
         host: &mut M,
         key: AeadKey,
@@ -90,12 +133,37 @@ impl SealedRegion {
             write_counter: 0,
             revisions: vec![0; blocks],
             scratch: vec![0u8; payload_len + SEAL_OVERHEAD],
+            batch: Vec::new(),
         };
-        let zeros = vec![0u8; payload_len];
-        for i in 0..blocks {
-            this.write(host, i as u64, &zeros)?;
-        }
+        this.zero_fill(host, 0, blocks)?;
         Ok(this)
+    }
+
+    /// Seals zeros into blocks `[start, start + count)`, batched.
+    fn zero_fill<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        start: usize,
+        count: usize,
+    ) -> Result<(), StorageError> {
+        if self.payload_len == 0 {
+            // Degenerate zero-payload blocks: batch buffers cannot express
+            // them (a batch's block count is its length / payload length).
+            for i in start..start + count {
+                self.write(host, i as u64, &[])?;
+            }
+            return Ok(());
+        }
+        let chunk = batch_chunk_blocks(self.payload_len);
+        let zeros = vec![0u8; chunk.min(count) * self.payload_len];
+        let mut at = start;
+        let end = start + count;
+        while at < end {
+            let n = chunk.min(end - at);
+            self.write_batch(host, at as u64, &zeros[..n * self.payload_len])?;
+            at += n;
+        }
+        Ok(())
     }
 
     /// The underlying host region (public identity).
@@ -206,8 +274,195 @@ impl SealedRegion {
         Ok(())
     }
 
+    /// Bounds-checks a batch of indices before any crossing happens,
+    /// mirroring the per-block error (first offending index).
+    fn check_bounds(&self, indices: impl Iterator<Item = u64>) -> Result<(), StorageError> {
+        let len = self.len();
+        for index in indices {
+            if index >= len {
+                return Err(HostError::OutOfBounds { region: self.region, index, len }.into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads and authenticates `count` consecutive blocks starting at
+    /// `start`, returning their concatenated plaintext payloads
+    /// (`count × payload_len` bytes) — one boundary crossing per
+    /// [`batch_chunk_blocks`] sub-batch, so the sealed staging buffer
+    /// never exceeds [`MAX_BATCH_BYTES`] however large the range.
+    ///
+    /// The returned slice borrows this region's scratch buffer; copy what
+    /// you need before the next storage call. A tampered block fails with
+    /// [`StorageError::TamperDetected`] carrying that block's absolute
+    /// index, exactly as the per-block path would.
+    pub fn read_batch<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        start: u64,
+        count: usize,
+    ) -> Result<&[u8], StorageError> {
+        self.check_bounds((start..start + count as u64).take(count))?;
+        self.scratch.clear();
+        self.scratch.resize(count * self.payload_len, 0);
+        let retains = host.retains_payloads();
+        let chunk = batch_chunk_blocks(self.payload_len);
+        let mut at = 0usize;
+        while at < count {
+            let n = chunk.min(count - at);
+            host.read_blocks(self.region, start + at as u64, n, &mut self.batch)?;
+            if retains {
+                self.open_batch(start + at as u64, n, None, at)?;
+            }
+            at += n;
+        }
+        Ok(&self.scratch)
+    }
+
+    /// Gather variant of [`SealedRegion::read_batch`]: reads and
+    /// authenticates the blocks at `indices` (in order, one crossing) and
+    /// returns their concatenated plaintext payloads. Meant for path-scale
+    /// index lists (an ORAM path, a hash bucket pair); the staging buffer
+    /// is sized by `indices.len()`.
+    pub fn read_batch_at<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        indices: &[u64],
+    ) -> Result<&[u8], StorageError> {
+        self.check_bounds(indices.iter().copied())?;
+        self.scratch.clear();
+        self.scratch.resize(indices.len() * self.payload_len, 0);
+        host.read_blocks_at(self.region, indices, &mut self.batch)?;
+        if host.retains_payloads() {
+            self.open_batch(0, indices.len(), Some(indices), 0)?;
+        }
+        Ok(&self.scratch)
+    }
+
+    /// Opens `count` sealed blocks staged in `self.batch`, writing their
+    /// payloads into `self.scratch` starting at row `scratch_row`. Block
+    /// `i`'s absolute index is `indices[i]` when given, else `start + i`.
+    fn open_batch(
+        &mut self,
+        start: u64,
+        count: usize,
+        indices: Option<&[u64]>,
+        scratch_row: usize,
+    ) -> Result<(), StorageError> {
+        let sealed_len = self.payload_len + SEAL_OVERHEAD;
+        debug_assert_eq!(self.batch.len(), count * sealed_len);
+        for (i, sealed) in self.batch.chunks_exact_mut(sealed_len).enumerate() {
+            let index = indices.map_or(start + i as u64, |idx| idx[i]);
+            let revision = self.revisions[index as usize];
+            let (nonce_bytes, rest) = sealed.split_at_mut(NONCE_LEN);
+            let (ciphertext, tag) = rest.split_at_mut(self.payload_len);
+            let nonce = Nonce((&*nonce_bytes).try_into().expect("nonce length"));
+            let tag: [u8; TAG_LEN] = (&*tag).try_into().expect("tag length");
+            let mut aad = [0u8; 16];
+            aad[..8].copy_from_slice(&index.to_le_bytes());
+            aad[8..].copy_from_slice(&revision.to_le_bytes());
+            aead::open(&self.key, &nonce, &aad, ciphertext, &tag)
+                .map_err(|_| StorageError::TamperDetected { region: self.region, index })?;
+            let row = scratch_row + i;
+            self.scratch[row * self.payload_len..(row + 1) * self.payload_len]
+                .copy_from_slice(ciphertext);
+        }
+        Ok(())
+    }
+
+    /// Seals and writes a whole number of payloads (`payloads.len()` must
+    /// be a multiple of the payload length) to consecutive blocks starting
+    /// at `start`, bumping each revision — one boundary crossing per
+    /// [`batch_chunk_blocks`] sub-batch. Like [`SealedRegion::write`],
+    /// every block gets a fresh nonce, so batched dummy writes stay
+    /// indistinguishable from real ones.
+    pub fn write_batch<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        start: u64,
+        payloads: &[u8],
+    ) -> Result<(), StorageError> {
+        let count = self.payload_count(payloads);
+        self.check_bounds((start..start + count as u64).take(count))?;
+        let retains = host.retains_payloads();
+        let chunk = batch_chunk_blocks(self.payload_len);
+        let mut at = 0usize;
+        while at < count {
+            let n = chunk.min(count - at);
+            let slice = &payloads[at * self.payload_len..(at + n) * self.payload_len];
+            self.seal_batch(retains, start + at as u64, n, None, slice);
+            host.write_blocks(self.region, start + at as u64, &self.batch)?;
+            at += n;
+        }
+        Ok(())
+    }
+
+    /// Scatter variant of [`SealedRegion::write_batch`]: payload `i` is
+    /// sealed for block `indices[i]`.
+    pub fn write_batch_at<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        indices: &[u64],
+        payloads: &[u8],
+    ) -> Result<(), StorageError> {
+        let count = self.payload_count(payloads);
+        assert_eq!(count, indices.len(), "one payload per index");
+        self.check_bounds(indices.iter().copied())?;
+        self.seal_batch(host.retains_payloads(), 0, count, Some(indices), payloads);
+        host.write_blocks_at(self.region, indices, &self.batch)?;
+        Ok(())
+    }
+
+    fn payload_count(&self, payloads: &[u8]) -> usize {
+        assert!(
+            self.payload_len > 0 && payloads.len() % self.payload_len == 0,
+            "batch must be a whole number of payloads"
+        );
+        payloads.len() / self.payload_len
+    }
+
+    /// Seals `count` payloads into `self.batch` (or zero-fills it on a
+    /// payload-free substrate), bumping revisions and the write counter
+    /// exactly as `count` per-block writes would.
+    fn seal_batch(
+        &mut self,
+        retains: bool,
+        start: u64,
+        count: usize,
+        indices: Option<&[u64]>,
+        payloads: &[u8],
+    ) {
+        let sealed_len = self.payload_len + SEAL_OVERHEAD;
+        self.batch.clear();
+        self.batch.resize(count * sealed_len, 0);
+        for i in 0..count {
+            let index = indices.map_or(start + i as u64, |idx| idx[i]);
+            let slot = &mut self.revisions[index as usize];
+            *slot += 1;
+            let revision = *slot;
+            self.write_counter += 1;
+            if !retains {
+                // Payload-free substrate: blocks are dropped on arrival, so
+                // skip the AEAD entirely — the zeroed batch buffer above is
+                // what crosses. Revision/counter bookkeeping stays identical.
+                continue;
+            }
+            let nonce = Nonce::from_parts(self.region.0, self.write_counter);
+            let mut aad = [0u8; 16];
+            aad[..8].copy_from_slice(&index.to_le_bytes());
+            aad[8..].copy_from_slice(&revision.to_le_bytes());
+            let sealed = &mut self.batch[i * sealed_len..(i + 1) * sealed_len];
+            sealed[..NONCE_LEN].copy_from_slice(&nonce.0);
+            sealed[NONCE_LEN..NONCE_LEN + self.payload_len]
+                .copy_from_slice(&payloads[i * self.payload_len..(i + 1) * self.payload_len]);
+            let (head, tag_slot) = sealed.split_at_mut(NONCE_LEN + self.payload_len);
+            let tag = aead::seal(&self.key, &nonce, &aad, &mut head[NONCE_LEN..]);
+            tag_slot.copy_from_slice(&tag);
+        }
+    }
+
     /// Grows the region to `new_blocks`, sealing zeroed payloads into the
-    /// new tail.
+    /// new tail (batched, like [`SealedRegion::create`]).
     pub fn grow<M: EnclaveMemory>(
         &mut self,
         host: &mut M,
@@ -219,16 +474,74 @@ impl SealedRegion {
         }
         host.grow_region(self.region, new_blocks)?;
         self.revisions.resize(new_blocks, 0);
-        let zeros = vec![0u8; self.payload_len];
-        for i in old..new_blocks {
-            self.write(host, i as u64, &zeros)?;
-        }
-        Ok(())
+        self.zero_fill(host, old, new_blocks - old)
     }
 
     /// Releases the untrusted allocation.
     pub fn free<M: EnclaveMemory>(self, host: &mut M) {
         host.free_region(self.region);
+    }
+}
+
+/// A streaming cursor over a [`SealedRegion`]: yields the region's
+/// payloads front to back in chunks of a configurable block count, one
+/// boundary crossing per chunk.
+///
+/// The chunk size is fixed at construction (a public function of block
+/// geometry; see [`batch_chunk_blocks`]), so the resulting access pattern
+/// is a deterministic function of the region length alone — scans stay
+/// oblivious. Typical use:
+///
+/// ```ignore
+/// let mut scan = SealedScan::new(&region);
+/// while let Some((start, payloads)) = scan.next_chunk(host, &mut region)? {
+///     for (off, payload) in payloads.chunks_exact(region.payload_len()).enumerate() {
+///         let index = start + off as u64;
+///         // ... per-block work ...
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SealedScan {
+    next: u64,
+    end: u64,
+    chunk: usize,
+}
+
+impl SealedScan {
+    /// A cursor over all of `region`, at the default chunk size for its
+    /// payload length.
+    pub fn new(region: &SealedRegion) -> Self {
+        Self::with_chunk(region, batch_chunk_blocks(region.payload_len()))
+    }
+
+    /// A cursor over all of `region` with an explicit chunk size (blocks
+    /// per crossing, clamped to at least 1).
+    pub fn with_chunk(region: &SealedRegion, chunk: usize) -> Self {
+        SealedScan { next: 0, end: region.len(), chunk: chunk.max(1) }
+    }
+
+    /// A cursor over blocks `[start, end)` of a region.
+    pub fn over(range: std::ops::Range<u64>, chunk: usize) -> Self {
+        SealedScan { next: range.start, end: range.end, chunk: chunk.max(1) }
+    }
+
+    /// Reads the next chunk, returning `(first block index, concatenated
+    /// payloads)`, or `None` once the region is exhausted. The slice
+    /// borrows `region`'s scratch buffer.
+    pub fn next_chunk<'r, M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        region: &'r mut SealedRegion,
+    ) -> Result<Option<(u64, &'r [u8])>, StorageError> {
+        if self.next >= self.end {
+            return Ok(None);
+        }
+        let start = self.next;
+        let n = (self.chunk as u64).min(self.end - start) as usize;
+        self.next += n as u64;
+        let payloads = region.read_batch(host, start, n)?;
+        Ok(Some((start, payloads)))
     }
 }
 
@@ -362,6 +675,120 @@ mod tests {
     fn out_of_bounds_write_errors() {
         let (mut host, mut r) = setup(2, 8);
         assert!(matches!(r.write(&mut host, 7, &[0u8; 8]), Err(StorageError::Host(_))));
+    }
+
+    #[test]
+    fn batch_roundtrip_matches_per_block() {
+        let (mut host, mut r) = setup(8, 16);
+        let payloads: Vec<u8> = (0..8 * 16).map(|i| i as u8).collect();
+        r.write_batch(&mut host, 0, &payloads).unwrap();
+        assert_eq!(r.read_batch(&mut host, 0, 8).unwrap(), &payloads[..]);
+        for i in 0..8u64 {
+            let expected = &payloads[i as usize * 16..(i as usize + 1) * 16];
+            assert_eq!(r.read(&mut host, i).unwrap(), expected, "per-block read of batch write");
+        }
+    }
+
+    #[test]
+    fn batch_gather_scatter_roundtrip() {
+        let (mut host, mut r) = setup(8, 8);
+        let indices = [6u64, 1, 3];
+        let payloads: Vec<u8> = (0..24).collect();
+        r.write_batch_at(&mut host, &indices, &payloads).unwrap();
+        assert_eq!(r.read_batch_at(&mut host, &indices).unwrap(), &payloads[..]);
+        assert_eq!(r.read(&mut host, 1).unwrap(), &payloads[8..16]);
+        assert_eq!(r.read(&mut host, 0).unwrap(), &[0u8; 8], "untouched blocks stay zero");
+    }
+
+    #[test]
+    fn batch_is_one_crossing() {
+        let (mut host, mut r) = setup(16, 8);
+        host.reset_stats();
+        let payloads = vec![7u8; 16 * 8];
+        r.write_batch(&mut host, 0, &payloads).unwrap();
+        r.read_batch(&mut host, 0, 16).unwrap();
+        let s = host.stats();
+        assert_eq!((s.reads, s.writes), (16, 16));
+        assert_eq!(s.crossings, 2, "one crossing per batched call");
+    }
+
+    #[test]
+    fn create_zero_init_is_batched() {
+        let mut host = Host::new();
+        host.reset_stats();
+        let r = SealedRegion::create(&mut host, AeadKey([7u8; 32]), 100, 32).unwrap();
+        let s = host.stats();
+        assert_eq!(s.writes, 100);
+        assert_eq!(s.crossings, 1, "zero-init of 100 small blocks fits one batch");
+        drop(r);
+    }
+
+    #[test]
+    fn batch_tamper_reports_offending_index() {
+        let (mut host, mut r) = setup(8, 16);
+        r.write_batch(&mut host, 0, &[5u8; 8 * 16]).unwrap();
+        let rid = r.region_id();
+        host.adversary_corrupt(rid, 5, |b| b[NONCE_LEN] ^= 1);
+        assert_eq!(
+            r.read_batch(&mut host, 2, 6).err(),
+            Some(StorageError::TamperDetected { region: rid, index: 5 }),
+            "the tampered block's absolute index surfaces from inside the batch"
+        );
+        // Gather path reports the same absolute index.
+        assert_eq!(
+            r.read_batch_at(&mut host, &[1, 5, 7]).err(),
+            Some(StorageError::TamperDetected { region: rid, index: 5 })
+        );
+    }
+
+    #[test]
+    fn batch_rewrites_are_rerandomized() {
+        let (mut host, mut r) = setup(2, 16);
+        let data = vec![5u8; 2 * 16];
+        r.write_batch(&mut host, 0, &data).unwrap();
+        let sealed1 = host.adversary_snapshot(r.region_id(), 1).unwrap();
+        r.write_batch(&mut host, 0, &data).unwrap();
+        let sealed2 = host.adversary_snapshot(r.region_id(), 1).unwrap();
+        assert_ne!(sealed1, sealed2, "batched dummy writes re-randomize like per-block ones");
+    }
+
+    #[test]
+    fn batch_out_of_bounds_rejected_before_crossing() {
+        let (mut host, mut r) = setup(4, 8);
+        host.reset_stats();
+        assert!(matches!(r.read_batch(&mut host, 2, 4), Err(StorageError::Host(_))));
+        assert!(matches!(r.write_batch(&mut host, 3, &[0u8; 16]), Err(StorageError::Host(_))));
+        assert_eq!(host.stats().crossings, 0, "bad batches never cross");
+    }
+
+    #[test]
+    fn sealed_scan_streams_whole_region() {
+        let (mut host, mut r) = setup(10, 8);
+        for i in 0..10u64 {
+            r.write(&mut host, i, &[i as u8; 8]).unwrap();
+        }
+        let mut scan = SealedScan::with_chunk(&r, 4);
+        let mut seen = Vec::new();
+        host.reset_stats();
+        while let Some((start, payloads)) = scan.next_chunk(&mut host, &mut r).unwrap() {
+            for (off, p) in payloads.chunks_exact(8).enumerate() {
+                seen.push((start + off as u64, p[0]));
+            }
+        }
+        assert_eq!(seen, (0..10).map(|i| (i, i as u8)).collect::<Vec<_>>());
+        assert_eq!(host.stats().crossings, 3, "10 blocks in chunks of 4 = 3 crossings");
+        assert!(scan.next_chunk(&mut host, &mut r).unwrap().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn grow_zero_fills_batched() {
+        let (mut host, mut r) = setup(2, 8);
+        r.write(&mut host, 1, &[3u8; 8]).unwrap();
+        host.reset_stats();
+        r.grow(&mut host, 40).unwrap();
+        assert_eq!(host.stats().crossings, 1, "38 new blocks zero-filled in one batch");
+        assert_eq!(r.read(&mut host, 1).unwrap(), &[3u8; 8]);
+        assert_eq!(r.read(&mut host, 39).unwrap(), &[0u8; 8]);
     }
 
     #[test]
