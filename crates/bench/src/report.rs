@@ -5,6 +5,8 @@
 //! our substrate is a simulator, not the authors' SGX testbed — see
 //! EXPERIMENTS.md).
 
+use oblidb_enclave::StatsReport;
+
 /// A printable results table.
 pub struct Report {
     title: String,
@@ -115,6 +117,61 @@ pub fn write_batch_json(
     Ok(path)
 }
 
+/// One substrate × workload measurement for the substrate trajectory:
+/// wall-clock plus the uniform [`StatsReport`] counters, and the backing
+/// traffic when a cache layer absorbed part of it.
+#[derive(Debug, Clone)]
+pub struct SubstrateMeasurement {
+    /// Workload label, e.g. `"scan"`.
+    pub workload: String,
+    /// The logical access counters, named by substrate
+    /// ([`StatsReport::name`] is the substrate label).
+    pub report: StatsReport,
+    /// Mean seconds per workload iteration.
+    pub seconds: f64,
+    /// Inner-substrate crossings after cache absorption (`None` when the
+    /// substrate has no cache layer).
+    pub backing_crossings: Option<u64>,
+}
+
+/// Writes `BENCH_<name>.json` with one row per substrate × workload:
+/// `{"bench": name, "results": [{substrate, workload, seconds, reads,
+/// writes, bytes_read, bytes_written, crossings, backing_crossings?},
+/// …]}`. Returns the path written.
+pub fn write_substrate_json(
+    dir: &std::path::Path,
+    name: &str,
+    results: &[SubstrateMeasurement],
+) -> std::io::Result<std::path::PathBuf> {
+    let mut out = String::new();
+    out.push_str(&format!("{{\n  \"bench\": {},\n  \"results\": [\n", json_str(name)));
+    for (i, r) in results.iter().enumerate() {
+        let s = r.report.stats;
+        let backing = match r.backing_crossings {
+            Some(b) => format!(", \"backing_crossings\": {b}"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "    {{\"substrate\": {}, \"workload\": {}, \"seconds\": {:.9}, \"reads\": {}, \
+             \"writes\": {}, \"bytes_read\": {}, \"bytes_written\": {}, \"crossings\": {}{}}}{}\n",
+            json_str(&r.report.name),
+            json_str(&r.workload),
+            r.seconds,
+            s.reads,
+            s.writes,
+            s.bytes_read,
+            s.bytes_written,
+            s.crossings,
+            backing,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
 /// JSON string quoting per RFC 8259: escape quotes, backslashes, and
 /// control characters; everything else (including non-ASCII) passes
 /// through unescaped, which valid JSON allows.
@@ -163,6 +220,40 @@ mod tests {
         assert!(body.contains("\"per_block_s\": 0.002000000"));
         assert!(body.contains("\"speedup\": 2.000"));
         assert!(body.trim_end().ends_with('}'));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn substrate_json_schema_is_stable() {
+        let dir = std::env::temp_dir();
+        let stats = oblidb_enclave::HostStats {
+            reads: 5,
+            writes: 2,
+            bytes_read: 100,
+            bytes_written: 40,
+            crossings: 3,
+        };
+        let rows = vec![
+            SubstrateMeasurement {
+                workload: "scan".into(),
+                report: stats.report("disk"),
+                seconds: 0.5,
+                backing_crossings: None,
+            },
+            SubstrateMeasurement {
+                workload: "scan".into(),
+                report: stats.report("cached-disk"),
+                seconds: 0.25,
+                backing_crossings: Some(1),
+            },
+        ];
+        let path = write_substrate_json(&dir, "substrates_test", &rows).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"bench\": \"substrates_test\""));
+        assert!(body.contains("\"substrate\": \"disk\""));
+        assert!(body.contains("\"crossings\": 3"));
+        assert!(body.contains("\"backing_crossings\": 1"));
+        assert!(!body.contains("\"backing_crossings\": null"));
         std::fs::remove_file(path).unwrap();
     }
 

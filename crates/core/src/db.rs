@@ -208,6 +208,16 @@ impl<M: EnclaveMemory> Database<M> {
         Ok(())
     }
 
+    /// Checkpoints the engine: flushes the substrate's buffered state to
+    /// its durable medium ([`EnclaveMemory::sync`]) — write-back caches
+    /// flush dirty blocks, disk regions fsync, in-memory substrates
+    /// no-op. The WAL (when enabled) lives in host regions like every
+    /// table, so this is also the log's flush point; checkpoint *records*
+    /// and log truncation are future work (see ROADMAP).
+    pub fn checkpoint(&mut self) -> Result<(), DbError> {
+        self.host.sync().map_err(DbError::from)
+    }
+
     /// Unpadded GROUP BY sizes its output by the group count, which is
     /// decoded from block payloads — unavailable on a payload-free
     /// substrate, where the trace would silently diverge from the real
@@ -1554,6 +1564,23 @@ mod wal_tests {
             db.take_trace()
         };
         assert_eq!(run(0), run(15));
+    }
+
+    #[test]
+    fn checkpoint_is_a_noop_on_host() {
+        // In-memory substrates have nothing to flush; the checkpoint path
+        // must still exist (and add no observable accesses).
+        let mut db = Database::new(DbConfig {
+            wal: Some(crate::wal::WalConfig::default()),
+            ..DbConfig::default()
+        });
+        db.execute("CREATE TABLE t (k INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        db.start_trace();
+        db.checkpoint().unwrap();
+        assert!(db.take_trace().is_empty(), "host checkpoint adds no accesses");
+        let mut plain = Database::new(DbConfig::default());
+        plain.checkpoint().unwrap();
     }
 
     #[test]

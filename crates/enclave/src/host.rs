@@ -78,6 +78,82 @@ impl HostStats {
     pub fn total_accesses(&self) -> u64 {
         self.reads + self.writes
     }
+
+    /// Wraps these counters in a named [`StatsReport`] for uniform
+    /// rendering across substrates (bench tables, JSON rows).
+    pub fn report(self, name: impl Into<String>) -> StatsReport {
+        StatsReport { name: name.into(), stats: self }
+    }
+}
+
+impl std::ops::AddAssign for HostStats {
+    fn add_assign(&mut self, rhs: HostStats) {
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+        self.bytes_read += rhs.bytes_read;
+        self.bytes_written += rhs.bytes_written;
+        self.crossings += rhs.crossings;
+    }
+}
+
+impl std::ops::Add for HostStats {
+    type Output = HostStats;
+
+    fn add(mut self, rhs: HostStats) -> HostStats {
+        self += rhs;
+        self
+    }
+}
+
+impl std::iter::Sum for HostStats {
+    fn sum<I: Iterator<Item = HostStats>>(iter: I) -> HostStats {
+        iter.fold(HostStats::default(), |acc, s| acc + s)
+    }
+}
+
+/// Named access counters for one substrate: the uniform currency every
+/// stats-reporting surface (bench tables, `BENCH_*.json` rows, test
+/// diagnostics) uses, so per-substrate numbers always carry the same
+/// fields in the same order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsReport {
+    /// Which substrate/configuration the counters describe.
+    pub name: String,
+    /// The counters themselves.
+    pub stats: HostStats,
+}
+
+impl StatsReport {
+    /// Column headers matching [`StatsReport::cells`].
+    pub const HEADERS: [&'static str; 6] =
+        ["substrate", "reads", "writes", "bytes_read", "bytes_written", "crossings"];
+
+    /// The row cells, in [`StatsReport::HEADERS`] order.
+    pub fn cells(&self) -> Vec<String> {
+        vec![
+            self.name.clone(),
+            self.stats.reads.to_string(),
+            self.stats.writes.to_string(),
+            self.stats.bytes_read.to_string(),
+            self.stats.bytes_written.to_string(),
+            self.stats.crossings.to_string(),
+        ]
+    }
+}
+
+impl fmt::Display for StatsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: reads={} writes={} bytes_read={} bytes_written={} crossings={}",
+            self.name,
+            self.stats.reads,
+            self.stats.writes,
+            self.stats.bytes_read,
+            self.stats.bytes_written,
+            self.stats.crossings
+        )
+    }
 }
 
 /// Errors from host memory operations.
@@ -105,6 +181,11 @@ pub enum HostError {
         /// Provided buffer size.
         got: usize,
     },
+    /// The substrate's backing medium failed (disk-backed substrates;
+    /// in-memory substrates never produce it). Carries the
+    /// [`std::io::ErrorKind`] so the error stays `Copy + Eq` like every
+    /// other variant.
+    Io(std::io::ErrorKind),
 }
 
 impl fmt::Display for HostError {
@@ -119,6 +200,7 @@ impl fmt::Display for HostError {
                 f,
                 "block size mismatch in region {region:?}: expected {expected}, got {got}"
             ),
+            HostError::Io(kind) => write!(f, "backing-store I/O failure: {kind}"),
         }
     }
 }
@@ -126,9 +208,10 @@ impl fmt::Display for HostError {
 impl std::error::Error for HostError {}
 
 /// Number of whole blocks in a batch buffer, or the mismatch error.
-/// Shared by every batched entry point (trait defaults and native
-/// implementations) so the validation cannot drift.
-pub(crate) fn batch_count(
+/// Shared by every batched entry point — trait defaults, native
+/// implementations, and out-of-crate substrates — so the validation (and
+/// the exact error shape) cannot drift.
+pub fn batch_count(
     region: RegionId,
     block_size: usize,
     data_len: usize,
@@ -484,6 +567,11 @@ impl Host {
     }
 
     /// Zeroes the aggregate counters.
+    ///
+    /// The simulated crossing cost ([`Host::set_crossing_cost`]) is
+    /// *configuration*, not a counter: it survives resets, so a benchmark
+    /// can price the boundary once and reset between measurements without
+    /// silently reverting to free crossings.
     pub fn reset_stats(&mut self) {
         self.stats = HostStats::default();
     }
@@ -600,6 +688,36 @@ mod tests {
         let snap = h.adversary_snapshot(r, 0).unwrap();
         h.adversary_restore(r, 0, snap);
         assert!(h.take_trace().is_empty());
+    }
+
+    #[test]
+    fn reset_stats_preserves_crossing_cost() {
+        let mut h = Host::new();
+        h.set_crossing_cost(3);
+        let r = h.alloc_region(1, 4);
+        h.write(r, 0, &[0; 4]).unwrap();
+        h.reset_stats();
+        assert_eq!(h.stats(), HostStats::default());
+        // The configured cost is still in force: this write spins again
+        // (observable only as the config field; assert via another write
+        // still counting exactly one crossing).
+        h.write(r, 0, &[1; 4]).unwrap();
+        assert_eq!(h.stats().crossings, 1);
+        assert_eq!(h.crossing_spins, 3, "reset must not clear the crossing cost");
+    }
+
+    #[test]
+    fn stats_arithmetic_and_report() {
+        let a = HostStats { reads: 1, writes: 2, bytes_read: 3, bytes_written: 4, crossings: 5 };
+        let b =
+            HostStats { reads: 10, writes: 20, bytes_read: 30, bytes_written: 40, crossings: 50 };
+        let sum: HostStats = [a, b].into_iter().sum();
+        assert_eq!(sum, a + b);
+        assert_eq!(sum.reads, 11);
+        assert_eq!(sum.crossings, 55);
+        let report = sum.report("disk");
+        assert_eq!(report.cells().len(), StatsReport::HEADERS.len());
+        assert!(report.to_string().starts_with("disk: reads=11"));
     }
 
     #[test]

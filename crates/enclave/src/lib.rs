@@ -36,7 +36,9 @@ mod memory;
 mod om;
 mod rng;
 
-pub use host::{AccessEvent, AccessKind, Host, HostError, HostStats, RegionId, Trace};
+pub use host::{
+    batch_count, AccessEvent, AccessKind, Host, HostError, HostStats, RegionId, StatsReport, Trace,
+};
 pub use memory::{CountingMemory, EnclaveMemory};
 pub use om::{OmAllocation, OmBudget, OmError};
 pub use rng::EnclaveRng;

@@ -142,6 +142,20 @@ pub trait EnclaveMemory {
     fn retains_payloads(&self) -> bool {
         true
     }
+
+    /// Flushes any buffered state down to the substrate's durable medium.
+    ///
+    /// Durable substrates (disk-backed files) fsync; caching substrates
+    /// write back dirty blocks to their inner store and then sync it;
+    /// purely in-memory substrates ([`Host`], [`CountingMemory`]) have
+    /// nothing to flush and keep this default no-op. Called from WAL
+    /// checkpoint paths, so a checkpoint means the same thing on every
+    /// substrate. Flush writes are driven by which blocks are dirty —
+    /// state the adversary already observed being written — so syncing
+    /// adds no new leakage.
+    fn sync(&mut self) -> Result<(), HostError> {
+        Ok(())
+    }
 }
 
 impl EnclaveMemory for Host {

@@ -1,0 +1,308 @@
+//! Runtime substrate selection: one type, any backend.
+
+use std::path::PathBuf;
+
+use oblidb_enclave::{EnclaveMemory, Host, HostError, HostStats, RegionId, Trace};
+
+use crate::{CachedMemory, DiskMemory, ShardedMemory};
+
+/// Declarative substrate choice, buildable from configuration. Feed the
+/// built [`AnySubstrate`] to `Database::with_memory` (or the facade's
+/// `oblidb::database_on`) to open the same engine over any backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubstrateSpec {
+    /// In-RAM [`Host`] (the default substrate).
+    Host,
+    /// [`DiskMemory`]: `None` uses a self-cleaning temp directory, `Some`
+    /// a persistent directory.
+    Disk {
+        /// Region-file directory; `None` → self-cleaning temp dir.
+        dir: Option<PathBuf>,
+    },
+    /// [`CachedMemory`] over [`Host`] (models host-side caching without
+    /// disk latency underneath).
+    CachedHost {
+        /// Cache capacity in blocks.
+        capacity_blocks: usize,
+    },
+    /// [`CachedMemory`] over [`DiskMemory`]: the larger-than-RAM
+    /// configuration.
+    CachedDisk {
+        /// Region-file directory; `None` → self-cleaning temp dir.
+        dir: Option<PathBuf>,
+        /// Cache capacity in blocks.
+        capacity_blocks: usize,
+    },
+    /// [`ShardedMemory`] over in-RAM hosts.
+    ShardedHost {
+        /// Number of shards (≥ 1).
+        shards: usize,
+    },
+    /// [`ShardedMemory`] over disk substrates, one directory per shard
+    /// under `dir` (`None` → self-cleaning temp dirs).
+    ShardedDisk {
+        /// Parent directory for the shard directories; `None` →
+        /// self-cleaning temp dirs.
+        dir: Option<PathBuf>,
+        /// Number of shards (≥ 1).
+        shards: usize,
+    },
+}
+
+impl SubstrateSpec {
+    /// Builds the substrate this spec describes.
+    pub fn build(&self) -> std::io::Result<AnySubstrate> {
+        Ok(match self {
+            SubstrateSpec::Host => AnySubstrate::Host(Host::new()),
+            SubstrateSpec::Disk { dir } => AnySubstrate::Disk(disk(dir)?),
+            SubstrateSpec::CachedHost { capacity_blocks } => {
+                AnySubstrate::CachedHost(CachedMemory::new(Host::new(), *capacity_blocks))
+            }
+            SubstrateSpec::CachedDisk { dir, capacity_blocks } => {
+                AnySubstrate::CachedDisk(CachedMemory::new(disk(dir)?, *capacity_blocks))
+            }
+            SubstrateSpec::ShardedHost { shards } => {
+                AnySubstrate::ShardedHost(ShardedMemory::from_fn(*shards, |_| Host::new()))
+            }
+            SubstrateSpec::ShardedDisk { dir, shards } => {
+                let mut inners = Vec::with_capacity(*shards);
+                for i in 0..*shards {
+                    inners.push(match dir {
+                        Some(d) => DiskMemory::create(d.join(format!("shard-{i}")))?,
+                        None => DiskMemory::temp()?,
+                    });
+                }
+                AnySubstrate::ShardedDisk(ShardedMemory::new(inners))
+            }
+        })
+    }
+}
+
+fn disk(dir: &Option<PathBuf>) -> std::io::Result<DiskMemory> {
+    match dir {
+        Some(d) => DiskMemory::create(d),
+        None => DiskMemory::temp(),
+    }
+}
+
+/// A runtime-selected [`EnclaveMemory`]: the closed set of substrate
+/// stacks the engine ships, behind one concrete type so `Database` keeps
+/// a single instantiation per binary while the backend comes from
+/// configuration. Built by [`SubstrateSpec::build`].
+#[allow(clippy::large_enum_variant)]
+pub enum AnySubstrate {
+    /// In-RAM host.
+    Host(Host),
+    /// Disk-backed.
+    Disk(DiskMemory),
+    /// LRU cache over an in-RAM host.
+    CachedHost(CachedMemory<Host>),
+    /// LRU cache over disk.
+    CachedDisk(CachedMemory<DiskMemory>),
+    /// Round-robin shards of in-RAM hosts.
+    ShardedHost(ShardedMemory<Host>),
+    /// Round-robin shards of disk substrates.
+    ShardedDisk(ShardedMemory<DiskMemory>),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $m:ident => $body:expr) => {
+        match $self {
+            AnySubstrate::Host($m) => $body,
+            AnySubstrate::Disk($m) => $body,
+            AnySubstrate::CachedHost($m) => $body,
+            AnySubstrate::CachedDisk($m) => $body,
+            AnySubstrate::ShardedHost($m) => $body,
+            AnySubstrate::ShardedDisk($m) => $body,
+        }
+    };
+}
+
+impl AnySubstrate {
+    /// A short label for reports ("host", "disk", "cached-disk", …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AnySubstrate::Host(_) => "host",
+            AnySubstrate::Disk(_) => "disk",
+            AnySubstrate::CachedHost(_) => "cached-host",
+            AnySubstrate::CachedDisk(_) => "cached-disk",
+            AnySubstrate::ShardedHost(_) => "sharded-host",
+            AnySubstrate::ShardedDisk(_) => "sharded-disk",
+        }
+    }
+
+    /// Sets the simulated per-crossing cost on the layer that models the
+    /// enclave boundary, so substrate costs calibrate on the same axis as
+    /// [`Host::set_crossing_cost`]. For cached substrates that is the
+    /// *wrapper only*: a miss's inner fetch is a host-side cache fill,
+    /// not a second enclave transition, so the inner substrate stays at
+    /// its real (unspun) cost.
+    pub fn set_crossing_cost(&mut self, spins: u32) {
+        match self {
+            AnySubstrate::Host(h) => h.set_crossing_cost(spins),
+            AnySubstrate::Disk(d) => d.set_crossing_cost(spins),
+            AnySubstrate::CachedHost(c) => c.set_crossing_cost(spins),
+            AnySubstrate::CachedDisk(c) => c.set_crossing_cost(spins),
+            AnySubstrate::ShardedHost(s) => {
+                for i in 0..s.shard_count() {
+                    s.shard_mut(i).set_crossing_cost(spins);
+                }
+            }
+            AnySubstrate::ShardedDisk(s) => {
+                for i in 0..s.shard_count() {
+                    s.shard_mut(i).set_crossing_cost(spins);
+                }
+            }
+        }
+    }
+
+    /// Cache counters when this substrate has a cache layer.
+    pub fn cache_stats(&self) -> Option<crate::CacheStats> {
+        match self {
+            AnySubstrate::CachedHost(c) => Some(c.cache_stats()),
+            AnySubstrate::CachedDisk(c) => Some(c.cache_stats()),
+            _ => None,
+        }
+    }
+
+    /// The inner (backing) substrate's counters when this substrate has a
+    /// cache layer: the traffic that survived cache absorption.
+    pub fn backing_stats(&self) -> Option<HostStats> {
+        match self {
+            AnySubstrate::CachedHost(c) => Some(c.inner().stats()),
+            AnySubstrate::CachedDisk(c) => Some(c.inner().stats()),
+            _ => None,
+        }
+    }
+}
+
+impl EnclaveMemory for AnySubstrate {
+    fn alloc_region(&mut self, blocks: usize, block_size: usize) -> RegionId {
+        dispatch!(self, m => m.alloc_region(blocks, block_size))
+    }
+
+    fn free_region(&mut self, region: RegionId) {
+        dispatch!(self, m => m.free_region(region))
+    }
+
+    fn grow_region(&mut self, region: RegionId, new_blocks: usize) -> Result<(), HostError> {
+        dispatch!(self, m => m.grow_region(region, new_blocks))
+    }
+
+    fn region_len(&self, region: RegionId) -> Result<u64, HostError> {
+        dispatch!(self, m => m.region_len(region))
+    }
+
+    fn region_block_size(&self, region: RegionId) -> Result<usize, HostError> {
+        dispatch!(self, m => m.region_block_size(region))
+    }
+
+    fn read(&mut self, region: RegionId, index: u64) -> Result<&[u8], HostError> {
+        dispatch!(self, m => m.read(region, index))
+    }
+
+    fn write(&mut self, region: RegionId, index: u64, data: &[u8]) -> Result<(), HostError> {
+        dispatch!(self, m => m.write(region, index, data))
+    }
+
+    fn read_blocks(
+        &mut self,
+        region: RegionId,
+        start: u64,
+        count: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), HostError> {
+        dispatch!(self, m => m.read_blocks(region, start, count, out))
+    }
+
+    fn read_blocks_at(
+        &mut self,
+        region: RegionId,
+        indices: &[u64],
+        out: &mut Vec<u8>,
+    ) -> Result<(), HostError> {
+        dispatch!(self, m => m.read_blocks_at(region, indices, out))
+    }
+
+    fn write_blocks(&mut self, region: RegionId, start: u64, data: &[u8]) -> Result<(), HostError> {
+        dispatch!(self, m => m.write_blocks(region, start, data))
+    }
+
+    fn write_blocks_at(
+        &mut self,
+        region: RegionId,
+        indices: &[u64],
+        data: &[u8],
+    ) -> Result<(), HostError> {
+        dispatch!(self, m => m.write_blocks_at(region, indices, data))
+    }
+
+    fn start_trace(&mut self) {
+        dispatch!(self, m => m.start_trace())
+    }
+
+    fn take_trace(&mut self) -> Trace {
+        dispatch!(self, m => m.take_trace())
+    }
+
+    fn tracing(&self) -> bool {
+        dispatch!(self, m => m.tracing())
+    }
+
+    fn stats(&self) -> HostStats {
+        dispatch!(self, m => m.stats())
+    }
+
+    fn reset_stats(&mut self) {
+        dispatch!(self, m => m.reset_stats())
+    }
+
+    fn retains_payloads(&self) -> bool {
+        dispatch!(self, m => m.retains_payloads())
+    }
+
+    fn sync(&mut self) -> Result<(), HostError> {
+        dispatch!(self, m => m.sync())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(spec: &SubstrateSpec) {
+        let mut m = spec.build().unwrap();
+        let label = m.label();
+        let r = m.alloc_region(4, 8);
+        m.write(r, 2, &[5u8; 8]).unwrap();
+        if m.retains_payloads() {
+            assert_eq!(m.read(r, 2).unwrap(), &[5u8; 8], "{label}");
+        }
+        assert_eq!(m.stats().writes, 1, "{label}");
+        m.sync().unwrap();
+    }
+
+    #[test]
+    fn every_spec_builds_and_roundtrips() {
+        for spec in [
+            SubstrateSpec::Host,
+            SubstrateSpec::Disk { dir: None },
+            SubstrateSpec::CachedHost { capacity_blocks: 2 },
+            SubstrateSpec::CachedDisk { dir: None, capacity_blocks: 2 },
+            SubstrateSpec::ShardedHost { shards: 3 },
+            SubstrateSpec::ShardedDisk { dir: None, shards: 2 },
+        ] {
+            roundtrip(&spec);
+        }
+    }
+
+    #[test]
+    fn labels_and_cache_accessors() {
+        let m = SubstrateSpec::CachedDisk { dir: None, capacity_blocks: 4 }.build().unwrap();
+        assert_eq!(m.label(), "cached-disk");
+        assert_eq!(m.cache_stats(), Some(crate::CacheStats::default()));
+        assert_eq!(m.backing_stats(), Some(HostStats::default()));
+        let h = SubstrateSpec::Host.build().unwrap();
+        assert!(h.cache_stats().is_none());
+    }
+}

@@ -1,0 +1,562 @@
+//! A write-back LRU of hot sealed blocks over any inner substrate.
+
+use std::collections::{BTreeMap, HashMap};
+
+use oblidb_enclave::{
+    batch_count, AccessEvent, AccessKind, EnclaveMemory, HostError, HostStats, RegionId, Trace,
+};
+
+/// Cache-level counters, separate from the [`HostStats`] access counters
+/// (which describe the *logical* stream the enclave issued).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Logical accesses served from the cache.
+    pub hits: u64,
+    /// Logical accesses that had to touch the inner substrate.
+    pub misses: u64,
+    /// Blocks dropped to make room.
+    pub evictions: u64,
+    /// Dirty blocks written back to the inner substrate on eviction.
+    pub writebacks: u64,
+    /// Dirty blocks flushed by [`EnclaveMemory::sync`].
+    pub flushed: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction of all logical accesses (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    data: Vec<u8>,
+    dirty: bool,
+    tick: u64,
+}
+
+/// An LRU cache of hot sealed blocks wrapping any [`EnclaveMemory`].
+///
+/// The cache models (and later exploits) host-side caching **without
+/// weakening the trace model**: every logical block access is recorded in
+/// the wrapper's trace and [`HostStats`] exactly as a raw
+/// [`Host`](oblidb_enclave::Host) would record it — same events, same
+/// order, same counters, failed attempts included — so obliviousness
+/// tests comparing transcripts are oblivious to the cache's existence.
+/// What changes is the *inner* substrate's traffic: hits never touch it,
+/// and `inner().stats()` shows the savings (the interesting number when
+/// the inner store is [`DiskMemory`](crate::DiskMemory)).
+///
+/// Policy: write-back with per-block dirty bits. Writes update only the
+/// cache; dirty blocks reach the inner substrate on eviction or
+/// [`EnclaveMemory::sync`] (which flushes in deterministic region/index
+/// order, coalescing consecutive runs into batched inner writes, then
+/// syncs the inner substrate). Capacity is counted in blocks; a batched
+/// read larger than the capacity still completes — it just cannot retain
+/// the whole run.
+///
+/// Misses are currently fetched from the inner substrate one block at a
+/// time (preserving `Host`-exact failure ordering inside batches); run
+/// coalescing for batched misses is a planned follow-up.
+pub struct CachedMemory<M: EnclaveMemory> {
+    inner: M,
+    capacity: usize,
+    entries: HashMap<(RegionId, u64), Entry>,
+    /// LRU order: tick → key. Ticks are unique (monotone counter), so the
+    /// first entry is always the least recently used block.
+    lru: BTreeMap<u64, (RegionId, u64)>,
+    tick: u64,
+    trace: Option<Vec<AccessEvent>>,
+    stats: HostStats,
+    cache_stats: CacheStats,
+    crossing_spins: u32,
+}
+
+impl<M: EnclaveMemory> CachedMemory<M> {
+    /// Wraps `inner` with an LRU holding at most `capacity_blocks` blocks.
+    pub fn new(inner: M, capacity_blocks: usize) -> Self {
+        assert!(capacity_blocks > 0, "cache capacity must be at least one block");
+        CachedMemory {
+            inner,
+            capacity: capacity_blocks,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+            trace: None,
+            stats: HostStats::default(),
+            cache_stats: CacheStats::default(),
+            crossing_spins: 0,
+        }
+    }
+
+    /// The inner substrate (e.g. to read its stats: the backing traffic
+    /// after cache absorption).
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Mutable access to the inner substrate. Mutating blocks directly
+    /// through this bypasses the cache and can make cached copies stale —
+    /// meant for substrate-level configuration (crossing costs, traces of
+    /// backing traffic), not block I/O.
+    pub fn inner_mut(&mut self) -> &mut M {
+        &mut self.inner
+    }
+
+    /// Cache-level counters (hits/misses/evictions/writebacks/flushes).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache_stats
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Blocks currently cached.
+    pub fn cached_blocks(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Sets the simulated per-crossing cost of the *logical* boundary
+    /// (every cached or uncached access still crosses it once); see
+    /// [`Host::set_crossing_cost`](oblidb_enclave::Host::set_crossing_cost).
+    /// Preserved across [`EnclaveMemory::reset_stats`].
+    pub fn set_crossing_cost(&mut self, spins: u32) {
+        self.crossing_spins = spins;
+    }
+
+    fn cross(stats: &mut HostStats, spins: u32) {
+        stats.crossings += 1;
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn record(&mut self, region: RegionId, index: u64, kind: AccessKind) {
+        if let Some(t) = &mut self.trace {
+            t.push(AccessEvent { region, index, kind });
+        }
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Moves `key` to most-recently-used.
+    fn touch(&mut self, key: (RegionId, u64)) {
+        let tick = self.next_tick();
+        if let Some(e) = self.entries.get_mut(&key) {
+            self.lru.remove(&e.tick);
+            e.tick = tick;
+            self.lru.insert(tick, key);
+        }
+    }
+
+    /// Evicts the least-recently-used block, writing it back first if
+    /// dirty. A failed write-back leaves the entry cached (and still
+    /// dirty), so the block's only up-to-date copy is never dropped on an
+    /// inner I/O error.
+    fn evict_one(&mut self) -> Result<(), HostError> {
+        let Some((&tick, &key)) = self.lru.iter().next() else {
+            return Ok(());
+        };
+        let entry = self.entries.get(&key).expect("lru and entries agree");
+        if entry.dirty {
+            self.inner.write(key.0, key.1, &entry.data)?;
+            self.cache_stats.writebacks += 1;
+        }
+        self.lru.remove(&tick);
+        self.entries.remove(&key);
+        self.cache_stats.evictions += 1;
+        Ok(())
+    }
+
+    /// Inserts (or replaces) a cached block, evicting as needed.
+    fn install(
+        &mut self,
+        key: (RegionId, u64),
+        data: Vec<u8>,
+        dirty: bool,
+    ) -> Result<(), HostError> {
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.data = data;
+            e.dirty = e.dirty || dirty;
+            self.touch(key);
+            return Ok(());
+        }
+        if self.entries.len() >= self.capacity {
+            self.evict_one()?;
+        }
+        let tick = self.next_tick();
+        self.entries.insert(key, Entry { data, dirty, tick });
+        self.lru.insert(tick, key);
+        Ok(())
+    }
+
+    /// Ensures `key`'s block is cached (fetching from inner on a miss)
+    /// and LRU-touched; returns its payload length. Trace/bounds must be
+    /// handled by the caller.
+    fn load(&mut self, key: (RegionId, u64)) -> Result<usize, HostError> {
+        if self.entries.contains_key(&key) {
+            self.cache_stats.hits += 1;
+            self.touch(key);
+        } else {
+            let data = self.inner.read(key.0, key.1)?.to_vec();
+            self.cache_stats.misses += 1;
+            self.install(key, data, false)?;
+        }
+        Ok(self.entries[&key].data.len())
+    }
+
+    /// Shared body of the batched reads: per-block trace/validate/load
+    /// through the cache (Host's per-block contract), one logical
+    /// crossing. `region_len` is pre-fetched by the caller (Host checks
+    /// the region before recording any batch event).
+    fn read_gather(
+        &mut self,
+        region: RegionId,
+        len: u64,
+        indices: impl Iterator<Item = u64>,
+        out: &mut Vec<u8>,
+    ) -> Result<(), HostError> {
+        out.clear();
+        let mut crossed = false;
+        for index in indices {
+            self.record(region, index, AccessKind::Read);
+            if index >= len {
+                return Err(HostError::OutOfBounds { region, index, len });
+            }
+            let key = (region, index);
+            let payload = self.load(key)?;
+            if !crossed {
+                Self::cross(&mut self.stats, self.crossing_spins);
+                crossed = true;
+            }
+            out.extend_from_slice(&self.entries[&key].data);
+            self.stats.reads += 1;
+            self.stats.bytes_read += payload as u64;
+        }
+        Ok(())
+    }
+
+    /// Shared body of the batched writes: install each chunk dirty, one
+    /// logical crossing.
+    fn write_scatter(
+        &mut self,
+        region: RegionId,
+        len: u64,
+        indices: impl Iterator<Item = u64>,
+        data: &[u8],
+        block_size: usize,
+    ) -> Result<(), HostError> {
+        let mut crossed = false;
+        for (index, chunk) in indices.zip(data.chunks_exact(block_size)) {
+            self.record(region, index, AccessKind::Write);
+            if index >= len {
+                return Err(HostError::OutOfBounds { region, index, len });
+            }
+            self.install((region, index), chunk.to_vec(), true)?;
+            if !crossed {
+                Self::cross(&mut self.stats, self.crossing_spins);
+                crossed = true;
+            }
+            self.stats.writes += 1;
+            self.stats.bytes_written += block_size as u64;
+        }
+        Ok(())
+    }
+
+    /// Flushes every dirty block (region/index order, consecutive runs
+    /// coalesced into one batched inner write each) without syncing inner.
+    fn flush_dirty(&mut self) -> Result<(), HostError> {
+        let mut dirty: Vec<(RegionId, u64)> =
+            self.entries.iter().filter(|(_, e)| e.dirty).map(|(k, _)| *k).collect();
+        dirty.sort_unstable();
+        let mut i = 0;
+        while i < dirty.len() {
+            let (region, start) = dirty[i];
+            let mut run = 1;
+            while i + run < dirty.len()
+                && dirty[i + run].0 == region
+                && dirty[i + run].1 == start + run as u64
+            {
+                run += 1;
+            }
+            let mut buf = Vec::new();
+            for k in &dirty[i..i + run] {
+                buf.extend_from_slice(&self.entries[k].data);
+            }
+            self.inner.write_blocks(region, start, &buf)?;
+            for k in &dirty[i..i + run] {
+                self.entries.get_mut(k).expect("dirty key cached").dirty = false;
+                self.cache_stats.flushed += 1;
+            }
+            i += run;
+        }
+        Ok(())
+    }
+}
+
+impl<M: EnclaveMemory> EnclaveMemory for CachedMemory<M> {
+    fn alloc_region(&mut self, blocks: usize, block_size: usize) -> RegionId {
+        self.inner.alloc_region(blocks, block_size)
+    }
+
+    fn free_region(&mut self, region: RegionId) {
+        // Cached copies (dirty or clean) die with the region.
+        let keys: Vec<(RegionId, u64)> =
+            self.entries.keys().filter(|(r, _)| *r == region).copied().collect();
+        for key in keys {
+            let e = self.entries.remove(&key).expect("key just listed");
+            self.lru.remove(&e.tick);
+        }
+        self.inner.free_region(region);
+    }
+
+    fn grow_region(&mut self, region: RegionId, new_blocks: usize) -> Result<(), HostError> {
+        self.inner.grow_region(region, new_blocks)
+    }
+
+    fn region_len(&self, region: RegionId) -> Result<u64, HostError> {
+        self.inner.region_len(region)
+    }
+
+    fn region_block_size(&self, region: RegionId) -> Result<usize, HostError> {
+        self.inner.region_block_size(region)
+    }
+
+    fn read(&mut self, region: RegionId, index: u64) -> Result<&[u8], HostError> {
+        self.record(region, index, AccessKind::Read);
+        let len = self.inner.region_len(region)?;
+        if index >= len {
+            return Err(HostError::OutOfBounds { region, index, len });
+        }
+        let key = (region, index);
+        let payload = self.load(key)?;
+        Self::cross(&mut self.stats, self.crossing_spins);
+        self.stats.reads += 1;
+        self.stats.bytes_read += payload as u64;
+        Ok(&self.entries[&key].data)
+    }
+
+    fn write(&mut self, region: RegionId, index: u64, data: &[u8]) -> Result<(), HostError> {
+        self.record(region, index, AccessKind::Write);
+        let expected = self.inner.region_block_size(region)?;
+        if data.len() != expected {
+            return Err(HostError::BlockSizeMismatch { region, expected, got: data.len() });
+        }
+        let len = self.inner.region_len(region)?;
+        if index >= len {
+            return Err(HostError::OutOfBounds { region, index, len });
+        }
+        self.install((region, index), data.to_vec(), true)?;
+        Self::cross(&mut self.stats, self.crossing_spins);
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    fn read_blocks(
+        &mut self,
+        region: RegionId,
+        start: u64,
+        count: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), HostError> {
+        // Clear before the region check too: Host never leaves stale
+        // bytes in the caller's buffer, even on UnknownRegion.
+        out.clear();
+        let len = self.inner.region_len(region)?;
+        self.read_gather(region, len, start..start + count as u64, out)
+    }
+
+    fn read_blocks_at(
+        &mut self,
+        region: RegionId,
+        indices: &[u64],
+        out: &mut Vec<u8>,
+    ) -> Result<(), HostError> {
+        out.clear();
+        let len = self.inner.region_len(region)?;
+        self.read_gather(region, len, indices.iter().copied(), out)
+    }
+
+    fn write_blocks(&mut self, region: RegionId, start: u64, data: &[u8]) -> Result<(), HostError> {
+        let block_size = self.inner.region_block_size(region)?;
+        let count = batch_count(region, block_size, data.len())? as u64;
+        let len = self.inner.region_len(region)?;
+        self.write_scatter(region, len, start..start + count, data, block_size)
+    }
+
+    fn write_blocks_at(
+        &mut self,
+        region: RegionId,
+        indices: &[u64],
+        data: &[u8],
+    ) -> Result<(), HostError> {
+        let block_size = self.inner.region_block_size(region)?;
+        if batch_count(region, block_size, data.len())? != indices.len() {
+            return Err(HostError::BlockSizeMismatch {
+                region,
+                expected: indices.len() * block_size,
+                got: data.len(),
+            });
+        }
+        let len = self.inner.region_len(region)?;
+        self.write_scatter(region, len, indices.iter().copied(), data, block_size)
+    }
+
+    fn start_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    fn take_trace(&mut self) -> Trace {
+        Trace(self.trace.take().unwrap_or_default())
+    }
+
+    fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    fn stats(&self) -> HostStats {
+        self.stats
+    }
+
+    /// Zeroes both the logical [`HostStats`] and the [`CacheStats`]; the
+    /// configured crossing cost is preserved. The inner substrate's stats
+    /// are its own (`inner_mut().reset_stats()`).
+    fn reset_stats(&mut self) {
+        self.stats = HostStats::default();
+        self.cache_stats = CacheStats::default();
+    }
+
+    fn retains_payloads(&self) -> bool {
+        self.inner.retains_payloads()
+    }
+
+    fn sync(&mut self) -> Result<(), HostError> {
+        self.flush_dirty()?;
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblidb_enclave::Host;
+
+    #[test]
+    fn hits_avoid_inner_traffic() {
+        let mut m = CachedMemory::new(Host::new(), 8);
+        let r = m.alloc_region(4, 4);
+        m.write(r, 0, &[1; 4]).unwrap();
+        for _ in 0..5 {
+            assert_eq!(m.read(r, 0).unwrap(), &[1; 4]);
+        }
+        assert_eq!(m.inner().stats().total_accesses(), 0, "write-back + hits: inner untouched");
+        assert_eq!(m.cache_stats().hits, 5);
+        assert_eq!(m.stats().reads, 5, "logical stats still count every read");
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_blocks() {
+        let mut m = CachedMemory::new(Host::new(), 2);
+        let r = m.alloc_region(8, 4);
+        m.write(r, 0, &[0; 4]).unwrap();
+        m.write(r, 1, &[1; 4]).unwrap();
+        m.write(r, 2, &[2; 4]).unwrap(); // evicts block 0 → inner
+        let cs = m.cache_stats();
+        assert_eq!((cs.evictions, cs.writebacks), (1, 1));
+        assert_eq!(m.inner().stats().writes, 1);
+        // Re-reading block 0 misses and fetches the written-back copy.
+        assert_eq!(m.read(r, 0).unwrap(), &[0; 4]);
+        assert_eq!(m.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn sync_flushes_dirty_runs_batched() {
+        let mut m = CachedMemory::new(Host::new(), 16);
+        let r = m.alloc_region(8, 4);
+        m.write_blocks(r, 2, &[7u8; 12]).unwrap(); // blocks 2,3,4 dirty
+        m.write(r, 6, &[9; 4]).unwrap();
+        assert_eq!(m.inner().stats().writes, 0);
+        m.sync().unwrap();
+        let inner = m.inner().stats();
+        assert_eq!(inner.writes, 4);
+        assert_eq!(inner.crossings, 2, "one run of 3 + one single = two batched writes");
+        assert_eq!(m.cache_stats().flushed, 4);
+        m.sync().unwrap();
+        assert_eq!(m.cache_stats().flushed, 4, "clean blocks are not re-flushed");
+    }
+
+    #[test]
+    fn trace_and_stats_match_host_exactly() {
+        fn drive<M: EnclaveMemory>(m: &mut M) -> (Trace, HostStats, Vec<u8>) {
+            let r = m.alloc_region(8, 4);
+            m.start_trace();
+            m.reset_stats();
+            let data: Vec<u8> = (0..32).collect();
+            m.write_blocks(r, 0, &data).unwrap();
+            let mut out = Vec::new();
+            m.read_blocks(r, 2, 4, &mut out).unwrap();
+            m.write_blocks_at(r, &[7, 0], &data[..8]).unwrap();
+            let mut gathered = Vec::new();
+            m.read_blocks_at(r, &[7, 1, 0], &mut gathered).unwrap();
+            out.extend_from_slice(&gathered);
+            out.extend_from_slice(m.read(r, 5).unwrap());
+            (m.take_trace(), m.stats(), out)
+        }
+        let (ht, hs, hb) = drive(&mut Host::new());
+        // A tiny cache (forced evictions) must still look identical.
+        let (ct, cs, cb) = drive(&mut CachedMemory::new(Host::new(), 2));
+        assert_eq!(ht, ct, "logical trace must not betray the cache");
+        assert_eq!(hs, cs, "logical stats must not betray the cache");
+        assert_eq!(hb, cb, "payloads must round-trip through evictions");
+    }
+
+    #[test]
+    fn error_contract_matches_host() {
+        let mut m = CachedMemory::new(Host::new(), 4);
+        let r = m.alloc_region(4, 8);
+        assert_eq!(m.read(r, 0), Err(HostError::EmptyBlock(r, 0)));
+        assert!(matches!(m.write(r, 9, &[0; 8]), Err(HostError::OutOfBounds { .. })));
+        assert!(matches!(
+            m.write(r, 0, &[0; 7]),
+            Err(HostError::BlockSizeMismatch { expected: 8, got: 7, .. })
+        ));
+        m.free_region(r);
+        assert_eq!(m.read(r, 0), Err(HostError::UnknownRegion(r)));
+    }
+
+    #[test]
+    fn free_region_discards_cached_blocks() {
+        let mut m = CachedMemory::new(Host::new(), 4);
+        let r = m.alloc_region(2, 4);
+        m.write(r, 0, &[1; 4]).unwrap();
+        m.free_region(r);
+        assert_eq!(m.cached_blocks(), 0);
+        // A new region may reuse block addresses; stale data must be gone.
+        let r2 = m.alloc_region(2, 4);
+        assert_eq!(m.read(r2, 0), Err(HostError::EmptyBlock(r2, 0)));
+    }
+
+    #[test]
+    fn batch_larger_than_capacity_completes() {
+        let mut m = CachedMemory::new(Host::new(), 2);
+        let r = m.alloc_region(16, 4);
+        let data = vec![3u8; 64];
+        m.write_blocks(r, 0, &data).unwrap();
+        m.sync().unwrap();
+        let mut out = Vec::new();
+        m.read_blocks(r, 0, 16, &mut out).unwrap();
+        assert_eq!(out, data);
+        assert!(m.cache_stats().evictions > 0);
+    }
+}

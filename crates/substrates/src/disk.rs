@@ -1,0 +1,603 @@
+//! Disk-backed untrusted memory: one file per region, block-aligned.
+
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::PathBuf;
+
+use oblidb_enclave::{
+    batch_count, AccessEvent, AccessKind, EnclaveMemory, HostError, HostStats, RegionId, Trace,
+};
+
+use crate::TempDir;
+
+/// Converts an I/O failure into the substrate error taxonomy.
+fn io_err(e: std::io::Error) -> HostError {
+    HostError::Io(e.kind())
+}
+
+struct DiskRegion {
+    file: File,
+    path: PathBuf,
+    block_size: usize,
+    blocks: u64,
+    /// One bit per block: whether it was ever written. Mirrors `Host`'s
+    /// `Option<Box<[u8]>>` slots so unwritten reads fail with the same
+    /// [`HostError::EmptyBlock`]; the file itself is sparse zeros until
+    /// first write.
+    written: Vec<u64>,
+}
+
+impl DiskRegion {
+    fn is_written(&self, index: u64) -> bool {
+        self.written[(index / 64) as usize] & (1 << (index % 64)) != 0
+    }
+
+    fn mark_written(&mut self, index: u64) {
+        self.written[(index / 64) as usize] |= 1 << (index % 64);
+    }
+}
+
+/// A file-per-region [`EnclaveMemory`] substrate for datasets larger than
+/// RAM.
+///
+/// Layout: each region is one file of `blocks × block_size` bytes at a
+/// block-aligned offset (`index × block_size`), grown with `set_len` and
+/// deleted on [`EnclaveMemory::free_region`]. Batched calls map to single
+/// positioned reads/writes (`pread`/`pwrite`-style), so the engine's
+/// `read_blocks`/`write_blocks` path amortizes the syscall as well as the
+/// simulated enclave crossing; gather/scatter (`_at`) variants issue one
+/// positioned call per block but still count a single crossing.
+///
+/// Accounting is bit-compatible with [`oblidb_enclave::Host`]: the same
+/// trace events in the same order (failed attempts included), the same
+/// error precedence, the same [`HostStats`] counting — so every
+/// obliviousness test that compares transcripts passes unchanged over
+/// disk. Payload durability: [`EnclaveMemory::sync`] fsyncs every region
+/// file.
+///
+/// Construction: [`DiskMemory::create`] uses (and keeps) an explicit
+/// directory; [`DiskMemory::temp`] owns a [`TempDir`] that removes itself
+/// on drop, so tests and benches leave nothing behind.
+pub struct DiskMemory {
+    dir: PathBuf,
+    regions: Vec<Option<DiskRegion>>,
+    trace: Option<Vec<AccessEvent>>,
+    stats: HostStats,
+    crossing_spins: u32,
+    scratch: Vec<u8>,
+    /// Present when this substrate owns a self-cleaning directory.
+    _guard: Option<TempDir>,
+}
+
+impl DiskMemory {
+    /// Opens a disk substrate rooted at `dir` (created if missing). Region
+    /// files persist after drop — useful as crash artifacts and for
+    /// inspection — but **re-attaching to them is not yet supported**
+    /// (region metadata, written-block bitmaps, and the sealed layer's
+    /// revision counters live in memory; recovery goes through WAL replay
+    /// into a fresh engine). To prevent a second open from silently
+    /// truncating earlier data, this refuses a directory that already
+    /// contains region files. [`EnclaveMemory::free_region`] deletes
+    /// individual region files.
+    pub fn create(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        for entry in std::fs::read_dir(&dir)? {
+            let name = entry?.file_name();
+            if name.to_string_lossy().ends_with(".blk") {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::AlreadyExists,
+                    format!(
+                        "{} already holds region files (e.g. {:?}); reopening an existing \
+                         DiskMemory store is not supported yet — recover via WAL replay into \
+                         a fresh directory",
+                        dir.display(),
+                        name
+                    ),
+                ));
+            }
+        }
+        Ok(DiskMemory {
+            dir,
+            regions: Vec::new(),
+            trace: None,
+            stats: HostStats::default(),
+            crossing_spins: 0,
+            scratch: Vec::new(),
+            _guard: None,
+        })
+    }
+
+    /// Opens a disk substrate over a fresh self-cleaning [`TempDir`]: the
+    /// directory and every region file are removed when the substrate is
+    /// dropped.
+    pub fn temp() -> std::io::Result<Self> {
+        let guard = TempDir::new("oblidb-disk")?;
+        let mut m = Self::create(guard.path())?;
+        m._guard = Some(guard);
+        Ok(m)
+    }
+
+    /// The directory holding the region files.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    /// Sets the simulated per-crossing cost, exactly as
+    /// [`Host::set_crossing_cost`](oblidb_enclave::Host::set_crossing_cost):
+    /// every boundary transition additionally executes `spins` spin-loop
+    /// iterations. Disk already pays real I/O latency; the spin models the
+    /// SGX transition on top, so Host/disk/cached costs calibrate on the
+    /// same axis. Preserved across [`EnclaveMemory::reset_stats`].
+    pub fn set_crossing_cost(&mut self, spins: u32) {
+        self.crossing_spins = spins;
+    }
+
+    fn cross(stats: &mut HostStats, spins: u32) {
+        stats.crossings += 1;
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn region(&self, region: RegionId) -> Result<&DiskRegion, HostError> {
+        self.regions
+            .get(region.0 as usize)
+            .and_then(|r| r.as_ref())
+            .ok_or(HostError::UnknownRegion(region))
+    }
+
+    fn region_mut(&mut self, region: RegionId) -> Result<&mut DiskRegion, HostError> {
+        self.regions
+            .get_mut(region.0 as usize)
+            .and_then(|r| r.as_mut())
+            .ok_or(HostError::UnknownRegion(region))
+    }
+
+    fn record(&mut self, region: RegionId, index: u64, kind: AccessKind) {
+        if let Some(t) = &mut self.trace {
+            t.push(AccessEvent { region, index, kind });
+        }
+    }
+}
+
+impl EnclaveMemory for DiskMemory {
+    /// The trait models allocation as infallible (as it is for `Host`), so
+    /// a failure to create or size the region file — ENOSPC, lost
+    /// permissions — panics rather than surfacing [`HostError::Io`].
+    /// Making allocation fallible across all substrates is a trait-level
+    /// change deferred to the ROADMAP.
+    fn alloc_region(&mut self, blocks: usize, block_size: usize) -> RegionId {
+        let id = RegionId(self.regions.len() as u32);
+        let path = self.dir.join(format!("region-{:08}.blk", id.0));
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .expect("disk substrate: cannot create region file");
+        file.set_len((blocks * block_size) as u64)
+            .expect("disk substrate: cannot size region file");
+        self.regions.push(Some(DiskRegion {
+            file,
+            path,
+            block_size,
+            blocks: blocks as u64,
+            written: vec![0; (blocks as u64).div_ceil(64) as usize],
+        }));
+        id
+    }
+
+    fn free_region(&mut self, region: RegionId) {
+        if let Some(slot) = self.regions.get_mut(region.0 as usize) {
+            if let Some(r) = slot.take() {
+                let _ = std::fs::remove_file(&r.path);
+            }
+        }
+    }
+
+    fn grow_region(&mut self, region: RegionId, new_blocks: usize) -> Result<(), HostError> {
+        let r = self.region_mut(region)?;
+        if (new_blocks as u64) > r.blocks {
+            r.file.set_len((new_blocks * r.block_size) as u64).map_err(io_err)?;
+            r.blocks = new_blocks as u64;
+            r.written.resize(r.blocks.div_ceil(64) as usize, 0);
+        }
+        Ok(())
+    }
+
+    fn region_len(&self, region: RegionId) -> Result<u64, HostError> {
+        Ok(self.region(region)?.blocks)
+    }
+
+    fn region_block_size(&self, region: RegionId) -> Result<usize, HostError> {
+        Ok(self.region(region)?.block_size)
+    }
+
+    fn read(&mut self, region: RegionId, index: u64) -> Result<&[u8], HostError> {
+        self.record(region, index, AccessKind::Read);
+        let spins = self.crossing_spins;
+        let DiskMemory { regions, stats, scratch, .. } = self;
+        let r = regions
+            .get(region.0 as usize)
+            .and_then(|r| r.as_ref())
+            .ok_or(HostError::UnknownRegion(region))?;
+        if index >= r.blocks {
+            return Err(HostError::OutOfBounds { region, index, len: r.blocks });
+        }
+        if !r.is_written(index) {
+            // The attempt is traced (above); counters stay untouched, as
+            // on `Host`.
+            return Err(HostError::EmptyBlock(region, index));
+        }
+        scratch.resize(r.block_size, 0);
+        r.file.read_exact_at(scratch, index * r.block_size as u64).map_err(io_err)?;
+        Self::cross(stats, spins);
+        stats.reads += 1;
+        stats.bytes_read += r.block_size as u64;
+        Ok(&self.scratch[..])
+    }
+
+    fn write(&mut self, region: RegionId, index: u64, data: &[u8]) -> Result<(), HostError> {
+        self.record(region, index, AccessKind::Write);
+        let spins = self.crossing_spins;
+        let DiskMemory { regions, stats, .. } = self;
+        let r = regions
+            .get_mut(region.0 as usize)
+            .and_then(|r| r.as_mut())
+            .ok_or(HostError::UnknownRegion(region))?;
+        if data.len() != r.block_size {
+            return Err(HostError::BlockSizeMismatch {
+                region,
+                expected: r.block_size,
+                got: data.len(),
+            });
+        }
+        if index >= r.blocks {
+            return Err(HostError::OutOfBounds { region, index, len: r.blocks });
+        }
+        r.file.write_all_at(data, index * r.block_size as u64).map_err(io_err)?;
+        r.mark_written(index);
+        Self::cross(stats, spins);
+        stats.writes += 1;
+        stats.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    fn read_blocks(
+        &mut self,
+        region: RegionId,
+        start: u64,
+        count: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), HostError> {
+        out.clear();
+        let spins = self.crossing_spins;
+        let DiskMemory { regions, trace, stats, .. } = self;
+        let r = regions
+            .get(region.0 as usize)
+            .and_then(|r| r.as_ref())
+            .ok_or(HostError::UnknownRegion(region))?;
+        // Pass 1: trace and validate per block (through the failing block,
+        // as Host does), without touching the counters yet.
+        let mut failure = None;
+        for index in start..start + count as u64 {
+            if let Some(t) = trace {
+                t.push(AccessEvent { region, index, kind: AccessKind::Read });
+            }
+            if index >= r.blocks {
+                failure = Some(HostError::OutOfBounds { region, index, len: r.blocks });
+            } else if !r.is_written(index) {
+                failure = Some(HostError::EmptyBlock(region, index));
+            }
+            if failure.is_some() {
+                break;
+            }
+        }
+        // Pass 2: one positioned read of the valid run (the whole batch,
+        // or the prefix before a failure — Host also surfaces the prefix),
+        // with stats counted only for blocks actually transferred.
+        let valid = match failure {
+            None => count,
+            Some(HostError::OutOfBounds { index, .. }) | Some(HostError::EmptyBlock(_, index)) => {
+                (index - start) as usize
+            }
+            Some(_) => 0,
+        };
+        if valid > 0 {
+            out.resize(valid * r.block_size, 0);
+            r.file.read_exact_at(out, start * r.block_size as u64).map_err(io_err)?;
+            Self::cross(stats, spins);
+            stats.reads += valid as u64;
+            stats.bytes_read += (valid * r.block_size) as u64;
+        }
+        match failure {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    fn read_blocks_at(
+        &mut self,
+        region: RegionId,
+        indices: &[u64],
+        out: &mut Vec<u8>,
+    ) -> Result<(), HostError> {
+        out.clear();
+        let spins = self.crossing_spins;
+        let mut crossed = false;
+        let DiskMemory { regions, trace, stats, .. } = self;
+        let r = regions
+            .get(region.0 as usize)
+            .and_then(|r| r.as_ref())
+            .ok_or(HostError::UnknownRegion(region))?;
+        for &index in indices {
+            if let Some(t) = trace {
+                t.push(AccessEvent { region, index, kind: AccessKind::Read });
+            }
+            if index >= r.blocks {
+                return Err(HostError::OutOfBounds { region, index, len: r.blocks });
+            }
+            if !r.is_written(index) {
+                return Err(HostError::EmptyBlock(region, index));
+            }
+            if !crossed {
+                Self::cross(stats, spins);
+                crossed = true;
+            }
+            let at = out.len();
+            out.resize(at + r.block_size, 0);
+            r.file.read_exact_at(&mut out[at..], index * r.block_size as u64).map_err(io_err)?;
+            stats.reads += 1;
+            stats.bytes_read += r.block_size as u64;
+        }
+        Ok(())
+    }
+
+    fn write_blocks(&mut self, region: RegionId, start: u64, data: &[u8]) -> Result<(), HostError> {
+        let spins = self.crossing_spins;
+        let block_size = self.region_block_size(region)?;
+        let count = batch_count(region, block_size, data.len())? as u64;
+        let DiskMemory { regions, trace, stats, .. } = self;
+        let r = regions
+            .get_mut(region.0 as usize)
+            .and_then(|r| r.as_mut())
+            .ok_or(HostError::UnknownRegion(region))?;
+        // Pass 1: trace per block through the first failure, as Host does,
+        // without touching the counters yet.
+        let mut failure = None;
+        for index in start..start + count {
+            if let Some(t) = trace {
+                t.push(AccessEvent { region, index, kind: AccessKind::Write });
+            }
+            if index >= r.blocks {
+                failure = Some(HostError::OutOfBounds { region, index, len: r.blocks });
+                break;
+            }
+        }
+        // Pass 2: one positioned write of the in-bounds run (Host also
+        // writes the prefix before surfacing an out-of-bounds tail), with
+        // stats counted only after the data actually reached the file.
+        let valid = match failure {
+            None => count,
+            Some(HostError::OutOfBounds { index, .. }) => index - start,
+            Some(_) => 0,
+        } as usize;
+        if valid > 0 {
+            r.file
+                .write_all_at(&data[..valid * block_size], start * block_size as u64)
+                .map_err(io_err)?;
+            for index in start..start + valid as u64 {
+                r.mark_written(index);
+            }
+            Self::cross(stats, spins);
+            stats.writes += valid as u64;
+            stats.bytes_written += (valid * block_size) as u64;
+        }
+        match failure {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    fn write_blocks_at(
+        &mut self,
+        region: RegionId,
+        indices: &[u64],
+        data: &[u8],
+    ) -> Result<(), HostError> {
+        let spins = self.crossing_spins;
+        let block_size = self.region_block_size(region)?;
+        if batch_count(region, block_size, data.len())? != indices.len() {
+            return Err(HostError::BlockSizeMismatch {
+                region,
+                expected: indices.len() * block_size,
+                got: data.len(),
+            });
+        }
+        let mut crossed = false;
+        let DiskMemory { regions, trace, stats, .. } = self;
+        let r = regions
+            .get_mut(region.0 as usize)
+            .and_then(|r| r.as_mut())
+            .ok_or(HostError::UnknownRegion(region))?;
+        for (&index, chunk) in indices.iter().zip(data.chunks_exact(block_size)) {
+            if let Some(t) = trace {
+                t.push(AccessEvent { region, index, kind: AccessKind::Write });
+            }
+            if index >= r.blocks {
+                return Err(HostError::OutOfBounds { region, index, len: r.blocks });
+            }
+            r.file.write_all_at(chunk, index * block_size as u64).map_err(io_err)?;
+            r.mark_written(index);
+            if !crossed {
+                Self::cross(stats, spins);
+                crossed = true;
+            }
+            stats.writes += 1;
+            stats.bytes_written += block_size as u64;
+        }
+        Ok(())
+    }
+
+    fn start_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    fn take_trace(&mut self) -> Trace {
+        Trace(self.trace.take().unwrap_or_default())
+    }
+
+    fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    fn stats(&self) -> HostStats {
+        self.stats
+    }
+
+    /// Zeroes the aggregate counters; the configured crossing cost is
+    /// preserved, as on [`oblidb_enclave::Host`].
+    fn reset_stats(&mut self) {
+        self.stats = HostStats::default();
+    }
+
+    fn sync(&mut self) -> Result<(), HostError> {
+        for r in self.regions.iter().flatten() {
+            r.file.sync_data().map_err(io_err)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblidb_enclave::Host;
+
+    /// Drives the same mixed workload over any substrate and returns the
+    /// observable outcome (payloads, trace, stats).
+    fn drive<M: EnclaveMemory>(m: &mut M) -> (Vec<Vec<u8>>, Trace, HostStats) {
+        let r = m.alloc_region(8, 4);
+        m.start_trace();
+        m.reset_stats();
+        for i in 0..8u64 {
+            m.write(r, i, &[i as u8; 4]).unwrap();
+        }
+        m.grow_region(r, 12).unwrap();
+        let data: Vec<u8> = (0..16).collect();
+        m.write_blocks(r, 8, &data).unwrap();
+        m.write_blocks_at(r, &[0, 11, 3], &data[..12]).unwrap();
+        let mut out = Vec::new();
+        m.read_blocks(r, 0, 12, &mut out).unwrap();
+        let mut gathered = Vec::new();
+        m.read_blocks_at(r, &[11, 0, 5], &mut gathered).unwrap();
+        let single = m.read(r, 7).unwrap().to_vec();
+        (vec![out, gathered, single], m.take_trace(), m.stats())
+    }
+
+    #[test]
+    fn matches_host_bit_for_bit() {
+        let (host_out, host_trace, host_stats) = drive(&mut Host::new());
+        let mut disk = DiskMemory::temp().unwrap();
+        let (disk_out, disk_trace, disk_stats) = drive(&mut disk);
+        assert_eq!(host_out, disk_out, "payload bytes must round-trip identically");
+        assert_eq!(host_trace, disk_trace, "traces must be identical");
+        assert_eq!(host_stats, disk_stats, "stats must be identical");
+    }
+
+    #[test]
+    fn error_contract_matches_host() {
+        let mut m = DiskMemory::temp().unwrap();
+        let r = m.alloc_region(4, 8);
+        assert_eq!(m.read(r, 0), Err(HostError::EmptyBlock(r, 0)));
+        assert!(matches!(m.write(r, 9, &[0; 8]), Err(HostError::OutOfBounds { .. })));
+        assert!(matches!(
+            m.write(r, 0, &[0; 7]),
+            Err(HostError::BlockSizeMismatch { expected: 8, got: 7, .. })
+        ));
+        let mut out = Vec::new();
+        m.write_blocks(r, 0, &[1u8; 16]).unwrap();
+        assert_eq!(m.read_blocks(r, 0, 4, &mut out), Err(HostError::EmptyBlock(r, 2)));
+        // Host surfaces the valid prefix on a mid-batch failure; so must
+        // disk (stats for exactly those two blocks were counted above).
+        assert_eq!(out, vec![1u8; 16], "failed batch read yields the valid prefix");
+        m.free_region(r);
+        assert_eq!(m.read(r, 0), Err(HostError::UnknownRegion(r)));
+    }
+
+    #[test]
+    fn free_region_removes_file_and_temp_cleans_dir() {
+        let mut m = DiskMemory::temp().unwrap();
+        let dir = m.dir().to_path_buf();
+        let r = m.alloc_region(2, 4);
+        m.write(r, 0, &[1; 4]).unwrap();
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        m.free_region(r);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        let _r2 = m.alloc_region(2, 4);
+        drop(m);
+        assert!(!dir.exists(), "temp substrate must remove its directory");
+    }
+
+    #[test]
+    fn explicit_dir_persists_files() {
+        let guard = TempDir::new("oblidb-disk-explicit").unwrap();
+        let sub = guard.path().join("store");
+        {
+            let mut m = DiskMemory::create(&sub).unwrap();
+            let r = m.alloc_region(2, 4);
+            m.write(r, 1, &[9; 4]).unwrap();
+            m.sync().unwrap();
+        }
+        // Dropping an explicit-dir substrate keeps the files.
+        assert_eq!(std::fs::read_dir(&sub).unwrap().count(), 1);
+        let bytes = std::fs::read(sub.join("region-00000000.blk")).unwrap();
+        assert_eq!(&bytes[4..8], &[9; 4], "block 1 lives at a block-aligned offset");
+    }
+
+    #[test]
+    fn create_refuses_existing_region_files() {
+        let guard = TempDir::new("oblidb-disk-reopen").unwrap();
+        let store = guard.path().join("db");
+        {
+            let mut m = DiskMemory::create(&store).unwrap();
+            let r = m.alloc_region(2, 4);
+            m.write(r, 0, &[1; 4]).unwrap();
+        }
+        // A second open must not silently truncate the persisted files.
+        let err = match DiskMemory::create(&store) {
+            Ok(_) => panic!("reopen over existing region files must be refused"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+        let bytes = std::fs::read(store.join("region-00000000.blk")).unwrap();
+        assert_eq!(&bytes[..4], &[1; 4], "refused open leaves the data untouched");
+    }
+
+    #[test]
+    fn grow_preserves_content_and_extends_bounds() {
+        let mut m = DiskMemory::temp().unwrap();
+        let r = m.alloc_region(2, 4);
+        m.write(r, 1, &[7; 4]).unwrap();
+        m.grow_region(r, 10).unwrap();
+        assert_eq!(m.region_len(r).unwrap(), 10);
+        assert_eq!(m.read(r, 1).unwrap(), &[7; 4]);
+        m.write(r, 9, &[3; 4]).unwrap();
+        assert_eq!(m.read(r, 9).unwrap(), &[3; 4]);
+    }
+
+    #[test]
+    fn batched_ops_count_one_crossing() {
+        let mut m = DiskMemory::temp().unwrap();
+        let r = m.alloc_region(8, 4);
+        m.reset_stats();
+        m.write_blocks(r, 0, &[0u8; 32]).unwrap();
+        let mut out = Vec::new();
+        m.read_blocks(r, 0, 8, &mut out).unwrap();
+        let s = m.stats();
+        assert_eq!(s.crossings, 2);
+        assert_eq!((s.reads, s.writes), (8, 8));
+    }
+}

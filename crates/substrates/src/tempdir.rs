@@ -1,0 +1,74 @@
+//! A self-cleaning temporary directory (the workspace is dependency-free,
+//! so no `tempfile` crate).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp root that is removed (recursively)
+/// on drop. [`DiskMemory::temp`](crate::DiskMemory::temp) uses it so
+/// `cargo test` and bench runs leave no artifacts behind; tests can also
+/// use it directly for any scratch space.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh, uniquely named directory under
+    /// [`std::env::temp_dir`]. Uniqueness comes from the process id, a
+    /// process-wide counter, and the current wall clock; collisions with
+    /// leftover directories are retried.
+    pub fn new(prefix: &str) -> std::io::Result<Self> {
+        loop {
+            let nonce = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let nanos = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            let path = std::env::temp_dir()
+                .join(format!("{prefix}-{}-{nonce}-{nanos:x}", std::process::id()));
+            match std::fs::create_dir(&path) {
+                Ok(()) => return Ok(TempDir { path }),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best effort: a failed cleanup must not panic a test run.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let dir = TempDir::new("oblidb-tempdir-test").unwrap();
+        let path = dir.path().to_path_buf();
+        assert!(path.is_dir());
+        std::fs::write(path.join("f"), b"x").unwrap();
+        drop(dir);
+        assert!(!path.exists(), "drop must remove the directory and its contents");
+    }
+
+    #[test]
+    fn distinct_paths() {
+        let a = TempDir::new("oblidb-tempdir-test").unwrap();
+        let b = TempDir::new("oblidb-tempdir-test").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

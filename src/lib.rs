@@ -8,6 +8,11 @@
 //! * [`crypto`] — ChaCha20-Poly1305 AEAD, SHA-256/HMAC, SipHash PRF.
 //! * [`enclave`] — the simulated enclave boundary: untrusted block memory
 //!   with access-pattern tracing and an oblivious-memory budget.
+//! * [`substrates`] — production-shaped [`enclave::EnclaveMemory`]
+//!   backends: disk-backed ([`substrates::DiskMemory`]), LRU-cached
+//!   ([`substrates::CachedMemory`]), sharded
+//!   ([`substrates::ShardedMemory`]), plus runtime selection via
+//!   [`substrates::SubstrateSpec`] / [`substrates::AnySubstrate`].
 //! * [`storage`] — sealed (encrypted + MACed + rollback-protected) block
 //!   regions.
 //! * [`oram`] — Path ORAM, non-recursive and recursive.
@@ -40,4 +45,29 @@ pub use oblidb_crypto as crypto;
 pub use oblidb_enclave as enclave;
 pub use oblidb_oram as oram;
 pub use oblidb_storage as storage;
+pub use oblidb_substrates as substrates;
 pub use oblidb_workloads as workloads;
+
+/// Opens a [`core::Database`] over the substrate a
+/// [`substrates::SubstrateSpec`] describes — runtime backend selection
+/// with a single engine type:
+///
+/// ```
+/// use oblidb::substrates::SubstrateSpec;
+/// use oblidb::core::DbConfig;
+///
+/// // Disk-backed engine with an LRU of 4096 hot blocks, in a
+/// // self-cleaning temp directory.
+/// let spec = SubstrateSpec::CachedDisk { dir: None, capacity_blocks: 4096 };
+/// let mut db = oblidb::database_on(&spec, DbConfig::default()).unwrap();
+/// db.execute("CREATE TABLE t (k INT)").unwrap();
+/// db.execute("INSERT INTO t VALUES (7)").unwrap();
+/// assert_eq!(db.execute("SELECT * FROM t WHERE k = 7").unwrap().len(), 1);
+/// db.checkpoint().unwrap(); // flush the cache, fsync the region files
+/// ```
+pub fn database_on(
+    spec: &substrates::SubstrateSpec,
+    config: core::DbConfig,
+) -> std::io::Result<core::Database<substrates::AnySubstrate>> {
+    Ok(core::Database::with_memory(spec.build()?, config))
+}
