@@ -1,11 +1,23 @@
-//! The ObliDB database facade.
+//! The ObliDB database facade and the prepare/explain/execute lifecycle.
 //!
 //! Owns the simulated enclave state (host memory handle, oblivious-memory
-//! budget, master key, RNG) and the table catalog, and drives the
-//! query-execution pipeline: resolve → (push-down select) → join → select
-//! → aggregate/group-by → decode, with the planner picking physical
-//! operators at each step (paper §5) and an optional padding mode
-//! (§2.3).
+//! budget, master key, RNG) and the table catalog. Queries move through
+//! three explicit phases:
+//!
+//! 1. [`Database::prepare`] compiles SQL into a typed physical-plan IR
+//!    ([`crate::plan::QueryPlan`]): a tree of scan/filter/join/aggregate
+//!    nodes, each annotated with the chosen operator, padded bounds, OM
+//!    budget, and a cost estimate counted by dry-running the candidates
+//!    against `CountingMemory` and weighing them with the configured
+//!    [`crate::plan::cost::CostProfile`] (paper §5, cost-calibrated per
+//!    substrate).
+//! 2. [`PreparedStatement::explain`] renders the tree with estimated and,
+//!    post-run, actual costs; `EXPLAIN SELECT ...` does the same through
+//!    SQL.
+//! 3. [`PreparedStatement::run`] executes the tree — resolve → (push-down
+//!    select) → join → select → aggregate/group-by → decode — measuring
+//!    each node's actual access counts as it goes. [`Database::execute`]
+//!    remains as a thin prepare-then-run shim.
 
 use oblidb_crypto::aead::AeadKey;
 use oblidb_enclave::{EnclaveMemory, EnclaveRng, Host, OmBudget, Trace, DEFAULT_OM_BYTES};
@@ -13,11 +25,16 @@ use oblidb_enclave::{EnclaveMemory, EnclaveRng, Host, OmBudget, Trace, DEFAULT_O
 use crate::error::DbError;
 use crate::exec::{self, AggFunc, SortMergeVariant};
 use crate::padding::PaddingConfig;
-use crate::planner::{self, JoinAlgo, PlannerConfig, SelectAlgo, SelectStats};
+use crate::plan::cost::{self, CostProfile, JoinShape, SelectShape};
+use crate::plan::{
+    AccessPath, AggregateNode, Explain, FilterNode, GroupByNode, JoinChoice, JoinNode, NodeCost,
+    PlanAction, PlanNode, QueryPlan, ScanNode, SelectChoice, SelectPlan,
+};
+use crate::planner::{self, CostModel, JoinAlgo, PlannerConfig, SelectAlgo, SelectStats};
 use crate::predicate::Predicate;
 use crate::sql::{self, Projection, SelectItem, Statement};
 use crate::table::{FlatTable, IndexedTable, TableStorage};
-use crate::types::{Column, Row, Schema, Value};
+use crate::types::{Column, DataType, Row, Schema, Value};
 
 /// Default initial table capacity (rows) when CREATE TABLE gives none.
 pub const DEFAULT_CAPACITY: u64 = 1024;
@@ -98,6 +115,10 @@ pub struct QueryOutput {
     rows: Vec<Row>,
     /// The physical plan (the query's non-size leakage).
     pub plan: PlanInfo,
+    /// Rows changed by a mutation statement (`Some` for INSERT / UPDATE /
+    /// DELETE, `None` for reads) — the mutation result in its own right,
+    /// no longer smuggled through an empty-schema plan field.
+    pub rows_affected: Option<u64>,
 }
 
 impl QueryOutput {
@@ -117,7 +138,16 @@ impl QueryOutput {
     }
 
     fn empty(schema: Schema) -> Self {
-        QueryOutput { schema, rows: Vec::new(), plan: PlanInfo::default() }
+        QueryOutput { schema, rows: Vec::new(), plan: PlanInfo::default(), rows_affected: None }
+    }
+
+    /// A mutation result: no rows, `rows_affected` set. The count is also
+    /// mirrored into `plan.output_rows` for pre-lifecycle callers.
+    fn affected(n: u64) -> Self {
+        let mut out = QueryOutput::empty(Schema::new(Vec::new()));
+        out.rows_affected = Some(n);
+        out.plan.output_rows = n;
+        out
     }
 }
 
@@ -135,6 +165,9 @@ pub struct Database<M: EnclaveMemory = Host> {
     tables: Vec<(String, TableStorage)>,
     config: DbConfig,
     wal: Option<crate::wal::Wal>,
+    /// Bumped on every catalog or data mutation; prepared statements
+    /// re-plan transparently when their snapshot goes stale.
+    version: u64,
 }
 
 impl Database<Host> {
@@ -164,6 +197,7 @@ impl<M: EnclaveMemory> Database<M> {
             tables: Vec::new(),
             config,
             wal: None,
+            version: 0,
         };
         if let Some(wal_config) = db.config.wal {
             let key = db.next_key();
@@ -342,6 +376,7 @@ impl<M: EnclaveMemory> Database<M> {
             }
         };
         self.tables.push((name.to_string(), storage));
+        self.version += 1;
         Ok(())
     }
 
@@ -425,6 +460,7 @@ impl<M: EnclaveMemory> Database<M> {
             }
         };
         self.tables.push((name.to_string(), storage));
+        self.version += 1;
         Ok(())
     }
 
@@ -464,36 +500,44 @@ impl<M: EnclaveMemory> Database<M> {
         match storage {
             TableStorage::Flat(f) => {
                 if fast {
-                    f.insert_fast(&mut self.host, values)
+                    f.insert_fast(&mut self.host, values)?;
                 } else {
-                    f.insert_oblivious(&mut self.host, values)
+                    f.insert_oblivious(&mut self.host, values)?;
                 }
             }
-            TableStorage::Indexed(i) => i.insert(&mut self.host, values).map(|_| ()),
+            TableStorage::Indexed(i) => {
+                i.insert(&mut self.host, values)?;
+            }
             TableStorage::Both { flat, indexed } => {
                 if fast {
                     flat.insert_fast(&mut self.host, values)?;
                 } else {
                     flat.insert_oblivious(&mut self.host, values)?;
                 }
-                indexed.insert(&mut self.host, values).map(|_| ())
+                indexed.insert(&mut self.host, values)?;
             }
         }
+        // Bumped only on success: a rejected mutation changes nothing, so
+        // it must not invalidate prepared statements.
+        self.version += 1;
+        Ok(())
     }
 
     /// Deletes rows matching `pred`; returns the count (a result size).
     pub fn delete_where(&mut self, name: &str, pred: &Predicate) -> Result<u64, DbError> {
         let idx = self.table_index(name)?;
         let (_, storage) = &mut self.tables[idx];
-        match storage {
-            TableStorage::Flat(f) => f.delete_where(&mut self.host, pred),
-            TableStorage::Indexed(i) => i.delete_where(&mut self.host, pred),
+        let n = match storage {
+            TableStorage::Flat(f) => f.delete_where(&mut self.host, pred)?,
+            TableStorage::Indexed(i) => i.delete_where(&mut self.host, pred)?,
             TableStorage::Both { flat, indexed } => {
                 let n = flat.delete_where(&mut self.host, pred)?;
                 indexed.delete_where(&mut self.host, pred)?;
-                Ok(n)
+                n
             }
-        }
+        };
+        self.version += 1;
+        Ok(n)
     }
 
     /// Updates rows matching `pred`; returns the count.
@@ -505,40 +549,42 @@ impl<M: EnclaveMemory> Database<M> {
     ) -> Result<u64, DbError> {
         let idx = self.table_index(name)?;
         let (_, storage) = &mut self.tables[idx];
-        match storage {
-            TableStorage::Flat(f) => f.update_where(&mut self.host, pred, assignments),
-            TableStorage::Indexed(i) => i.update_where(&mut self.host, pred, assignments),
+        let n = match storage {
+            TableStorage::Flat(f) => f.update_where(&mut self.host, pred, assignments)?,
+            TableStorage::Indexed(i) => i.update_where(&mut self.host, pred, assignments)?,
             TableStorage::Both { flat, indexed } => {
                 let n = flat.update_where(&mut self.host, pred, assignments)?;
                 indexed.update_where(&mut self.host, pred, assignments)?;
-                Ok(n)
+                n
             }
-        }
+        };
+        self.version += 1;
+        Ok(n)
     }
 
-    /// Parses and executes one SQL statement.
+    /// Parses and executes one SQL statement — a thin compatibility shim
+    /// over the prepare → run lifecycle.
     pub fn execute(&mut self, query: &str) -> Result<QueryOutput, DbError> {
+        self.prepare(query)?.run()
+    }
+
+    /// Parses and compiles one SQL statement into a physical plan without
+    /// executing it. The returned [`PreparedStatement`] can be inspected
+    /// ([`PreparedStatement::explain`]) and run — repeatedly; it re-plans
+    /// itself transparently if the database changed in between.
+    pub fn prepare(&mut self, query: &str) -> Result<PreparedStatement<'_, M>, DbError> {
+        let plan = self.build_plan(query)?;
+        Ok(PreparedStatement { db: self, sql: query.to_string(), plan })
+    }
+
+    // ---- plan construction ------------------------------------------------
+
+    fn build_plan(&mut self, query: &str) -> Result<QueryPlan, DbError> {
         let statement = sql::parse(query)?;
-        // WAL: log mutations before executing them (paper §3). One sealed
-        // append per mutation; no data-dependent pattern.
-        if matches!(statement, Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_)) {
-            if let Some(wal) = &mut self.wal {
-                wal.append(&mut self.host, query)?;
-            }
-        }
-        match statement {
-            Statement::Create(c) => {
-                let schema = Schema::new(
-                    c.columns.iter().map(|cd| Column::new(cd.name.clone(), cd.dtype)).collect(),
-                );
-                let cap = c.capacity.unwrap_or(DEFAULT_CAPACITY);
-                self.create_table(&c.name, schema, c.storage, c.index_on.as_deref(), cap)?;
-                Ok(QueryOutput::empty(Schema::new(Vec::new())))
-            }
-            Statement::Insert(i) => {
-                self.insert(&i.table, &i.values)?;
-                Ok(QueryOutput::empty(Schema::new(Vec::new())))
-            }
+        let profile = self.config.planner.cost_model.profile();
+        let action = match statement {
+            Statement::Create(c) => PlanAction::Create(c),
+            Statement::Insert(i) => PlanAction::Insert(i),
             Statement::Update(u) => {
                 let idx = self.table_index(&u.table)?;
                 let schema = self.tables[idx].1.schema().clone();
@@ -551,10 +597,7 @@ impl<M: EnclaveMemory> Database<M> {
                     .iter()
                     .map(|a| Ok((schema.col(&a.col)?, a.value.clone())))
                     .collect::<Result<_, DbError>>()?;
-                let n = self.update_where(&u.table, &pred, &assignments)?;
-                let mut out = QueryOutput::empty(Schema::new(Vec::new()));
-                out.plan.output_rows = n;
-                Ok(out)
+                PlanAction::Update { table: u.table, assignments, pred }
             }
             Statement::Delete(d) => {
                 let idx = self.table_index(&d.table)?;
@@ -563,73 +606,464 @@ impl<M: EnclaveMemory> Database<M> {
                     Some(w) => w.resolve(&schema)?,
                     None => Predicate::True,
                 };
-                let n = self.delete_where(&d.table, &pred)?;
-                let mut out = QueryOutput::empty(Schema::new(Vec::new()));
-                out.plan.output_rows = n;
-                Ok(out)
+                PlanAction::Delete { table: d.table, pred }
             }
-            Statement::Select(s) => self.execute_select(&s),
-        }
+            Statement::Select(s) => PlanAction::Select(self.plan_select(s, &profile)?),
+            Statement::Explain(s) => PlanAction::ExplainSelect(self.plan_select(s, &profile)?),
+        };
+        Ok(QueryPlan { action, profile, version: self.version })
     }
 
-    // ---- SELECT pipeline --------------------------------------------------
-
-    /// Runs a SELECT: (optional push-down filters) → (optional join) →
-    /// (filter | fused aggregate | grouped aggregate) → decode.
-    fn execute_select(&mut self, s: &sql::Select) -> Result<QueryOutput, DbError> {
-        let mut plan = PlanInfo::default();
-
-        // Resolve aggregates from the projection.
-        let (agg_items, col_items) = split_projection(&s.projection);
+    /// Compiles a SELECT into its operator tree, choosing physical
+    /// operators wherever the input shape is already known (base flat
+    /// tables) and deferring the rest to run time.
+    fn plan_select(
+        &mut self,
+        s: sql::Select,
+        profile: &CostProfile,
+    ) -> Result<SelectPlan, DbError> {
+        let (agg_items, _) = split_projection(&s.projection);
         let has_aggs = !agg_items.is_empty();
+        let pad_groups = self.config.padding.map(|p| p.max_groups);
 
-        let mut where_consumed = s.join.is_none();
-        let mut current: FlatTable = if let Some(join) = &s.join {
-            let (t, consumed) = self.run_join(s, join, &mut plan)?;
-            where_consumed = consumed;
-            t
-        } else {
-            self.stage_base_select(s, &mut plan, has_aggs)?
-        };
-
-        // If the base stage already produced the final answer (fused
-        // aggregate or group-by handled inside), `plan.fused_aggregate`
-        // or group handling flags it via schema shape; otherwise apply
-        // remaining stages on `current`.
-        if s.join.is_some() {
-            // WHERE after the join, unless push-down already consumed it.
-            if let Some(w) = &s.where_clause {
-                if !where_consumed {
-                    let pred = w.resolve(current.schema())?;
-                    current = self.run_select_stage(current, &pred, &mut plan)?;
-                }
+        let root = if let Some(join) = &s.join {
+            // Adaptive join choice consumes num_rows, which is
+            // payload-derived after a pushed-down filter — refuse loudly on
+            // payload-free substrates unless the operator is pinned,
+            // mirroring the select and GROUP BY guards.
+            if !self.host.retains_payloads() && self.config.planner.force_join.is_none() {
+                return Err(DbError::Unsupported(
+                    "joins on a payload-free EnclaveMemory substrate require a pinned \
+                     operator: set planner.force_join"
+                        .into(),
+                ));
             }
+            let li = self.table_index(&s.table)?;
+            let ri = self.table_index(&join.table)?;
+            let ls = self.tables[li].1.schema().clone();
+            let rs = self.tables[ri].1.schema().clone();
+            let lc = ls.col(&join.left_col)?;
+            let rc = rs.col(&join.right_col)?;
+
+            // Push the WHERE down to whichever single side it resolves on.
+            let mut pushed = false;
+            let (left_pred, right_pred) = match &s.where_clause {
+                Some(w) => {
+                    if let Ok(p) = w.resolve(&ls) {
+                        pushed = true;
+                        (Some(p), None)
+                    } else if let Ok(p) = w.resolve(&rs) {
+                        pushed = true;
+                        (None, Some(p))
+                    } else {
+                        (None, None)
+                    }
+                }
+                None => (None, None),
+            };
+
+            let (left, left_shape) = self.plan_join_side(li, &s.table, left_pred, profile)?;
+            let (right, right_shape) = self.plan_join_side(ri, &join.table, right_pred, profile)?;
+
+            let om_bytes = self.om.available();
+            let renamed = ls.join(&s.table, &rs, &join.table);
+            let (choice, est) = if let Some(algo) = self.config.planner.force_join {
+                (JoinChoice::Forced(algo), None)
+            } else if let (Some((lcap, lrows)), Some((rcap, rrows))) = (left_shape, right_shape) {
+                let shape = JoinShape {
+                    left_schema: ls.clone(),
+                    left_capacity: lcap,
+                    right_schema: rs.clone(),
+                    right_capacity: rcap,
+                    om_bytes,
+                    zero_om_scratch_rows: self.config.zero_om_scratch_rows,
+                };
+                match &self.config.planner.cost_model {
+                    CostModel::Measured(_) => {
+                        let (algo, candidates) = cost::choose_join_costed(&shape, profile)?;
+                        let est = candidates.iter().find(|c| c.algo == algo).map(|c| c.cost);
+                        (JoinChoice::Chosen { algo, candidates }, est)
+                    }
+                    CostModel::ClosedForm => {
+                        let union_row = 18 + ls.row_len().max(rs.row_len());
+                        let algo = planner::choose_join(
+                            lrows,
+                            rrows,
+                            ls.row_len(),
+                            union_row,
+                            &self.om,
+                            &self.config.planner,
+                        );
+                        let est = cost::simulate_join(algo, &shape)
+                            .ok()
+                            .map(|c| NodeCost::from_stats(&c, profile));
+                        (JoinChoice::Chosen { algo, candidates: Vec::new() }, est)
+                    }
+                }
+            } else {
+                (JoinChoice::Deferred, None)
+            };
+
+            let mut top = PlanNode::Join(JoinNode {
+                left: Box::new(left),
+                right: Box::new(right),
+                left_col: lc,
+                right_col: rc,
+                choice,
+                est,
+                actual: None,
+                om_bytes,
+                renamed: renamed.clone(),
+            });
+
+            // WHERE after the join, unless push-down already consumed it.
+            if let (Some(w), false) = (&s.where_clause, pushed) {
+                let pred = w.resolve(&renamed)?;
+                let choice = match &self.config.padding {
+                    Some(pad) => SelectChoice::Padded { pad_rows: pad.pad_rows },
+                    None => SelectChoice::Deferred,
+                };
+                top = PlanNode::Filter(FilterNode {
+                    input: Box::new(top),
+                    pred,
+                    choice,
+                    est_matches: None,
+                    est: None,
+                    actual: None,
+                    om_bytes,
+                    out_key: None,
+                });
+            }
+
             if let Some(g) = &s.group_by {
                 self.require_payloads_for_group_by()?;
                 let (func, agg_col) = single_agg(&agg_items)?;
-                let group_col = current.schema().col(g)?;
-                let agg_col = agg_col.map(|c| current.schema().col(&c)).transpose()?;
-                let key = self.next_key();
-                let pad = self.config.padding.map(|p| p.max_groups);
-                let out = exec::aggregate::group_aggregate_padded(
-                    &mut self.host,
-                    &self.om,
-                    &mut current,
+                let group_col = renamed.col(g)?;
+                let agg_col = agg_col.map(|c| renamed.col(&c)).transpose()?;
+                PlanNode::GroupBy(GroupByNode {
+                    input: Box::new(top),
                     group_col,
                     func,
                     agg_col,
-                    &Predicate::True,
-                    key,
-                    pad,
-                )?;
-                current.free(&mut self.host);
-                current = out;
+                    pred: Predicate::True,
+                    pad_groups,
+                    actual: None,
+                })
             } else if has_aggs {
-                return self.finish_aggregates(current, &agg_items, &Predicate::True, plan);
+                PlanNode::Aggregate(AggregateNode {
+                    input: Box::new(top),
+                    items: agg_items,
+                    pred: Predicate::True,
+                    actual: None,
+                })
+            } else {
+                top
+            }
+        } else {
+            let idx = self.table_index(&s.table)?;
+            let schema = self.tables[idx].1.schema().clone();
+            let pred = match &s.where_clause {
+                Some(w) => w.resolve(&schema)?,
+                None => Predicate::True,
+            };
+            let scan = self.plan_scan(idx, &s.table, &pred);
+            if let Some(g) = &s.group_by {
+                self.require_payloads_for_group_by()?;
+                let (func, agg_col) = single_agg(&agg_items)?;
+                let group_col = schema.col(g)?;
+                let agg_col = agg_col.map(|c| schema.col(&c)).transpose()?;
+                PlanNode::GroupBy(GroupByNode {
+                    input: Box::new(PlanNode::Scan(scan)),
+                    group_col,
+                    func,
+                    agg_col,
+                    pred,
+                    pad_groups,
+                    actual: None,
+                })
+            } else if has_aggs {
+                PlanNode::Aggregate(AggregateNode {
+                    input: Box::new(PlanNode::Scan(scan)),
+                    items: agg_items,
+                    pred,
+                    actual: None,
+                })
+            } else {
+                self.plan_base_filter(scan, pred, profile)?
+            }
+        };
+        Ok(SelectPlan { root, stmt: s })
+    }
+
+    /// Plans one join input: a pushed-down filter over its base table or a
+    /// bare scan. Returns the node plus its estimated output shape
+    /// `(capacity, rows)` when that shape is exact at prepare time —
+    /// `None` (→ deferred join choice) when a runtime index probe could
+    /// change it.
+    fn plan_join_side(
+        &mut self,
+        idx: usize,
+        name: &str,
+        pred: Option<Predicate>,
+        profile: &CostProfile,
+    ) -> Result<(PlanNode, Option<(u64, u64)>), DbError> {
+        match pred {
+            Some(p) => {
+                let scan = self.plan_scan(idx, name, &p);
+                let exact_input = matches!(scan.access, AccessPath::Flat);
+                let node = self.plan_base_filter(scan, p, profile)?;
+                let shape = if exact_input {
+                    if let PlanNode::Filter(f) = &node {
+                        filter_output_shape(f)
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                Ok((node, shape))
+            }
+            None => {
+                let scan = self.plan_scan(idx, name, &Predicate::True);
+                let shape = match scan.access {
+                    // A bare stored table is copied as-is (one oblivious
+                    // pass), keeping its capacity and fill.
+                    AccessPath::Flat => Some((scan.capacity, scan.rows)),
+                    // Index materialization sizes the copy by the walk.
+                    _ => None,
+                };
+                Ok((PlanNode::Scan(scan), shape))
             }
         }
+    }
 
-        plan.output_rows = current.num_rows();
+    /// Decides the physical access path for a base table (paper §4.1/§5):
+    /// attempt the index when the predicate maps to a range on the indexed
+    /// column (with the public abort cap), otherwise the flat
+    /// representation.
+    fn plan_scan(&self, idx: usize, name: &str, pred: &Predicate) -> ScanNode {
+        let storage = &self.tables[idx].1;
+        let has_flat = matches!(storage, TableStorage::Flat(_) | TableStorage::Both { .. });
+        let has_index = matches!(storage, TableStorage::Indexed(_) | TableStorage::Both { .. });
+        let rows = storage.num_rows();
+        let capacity = match storage {
+            TableStorage::Flat(f) | TableStorage::Both { flat: f, .. } => f.capacity(),
+            TableStorage::Indexed(_) => rows,
+        };
+
+        let index_range = pred.index_range().filter(|(col, lo, hi)| {
+            let key_col = match storage {
+                TableStorage::Indexed(i) => i.key_col(),
+                TableStorage::Both { indexed, .. } => indexed.key_col(),
+                TableStorage::Flat(_) => return false,
+            };
+            *col == key_col
+                && !(matches!(lo, crate::predicate::Bound::Unbounded)
+                    && matches!(hi, crate::predicate::Bound::Unbounded))
+        });
+
+        let access = if let Some((_, lo, hi)) =
+            index_range.filter(|_| has_index && self.config.padding.is_none())
+        {
+            // The cap is the match count beyond which a flat scan is
+            // cheaper: an index chain read costs ≈ 2·(path length) bucket
+            // accesses of 4-slot blocks versus ~2 row accesses per
+            // flat-scanned row. Both the cap and the abort decision are
+            // functions of public sizes, so the probe leaks nothing beyond
+            // the final plan choice (§5).
+            let cap = if has_flat {
+                let height = match storage {
+                    TableStorage::Both { indexed, .. } => indexed.height() as u64,
+                    _ => 1,
+                };
+                let oram_factor = 8 * (height + 2);
+                (2 * rows.max(1)) / oram_factor.max(1)
+            } else {
+                u64::MAX
+            };
+            AccessPath::IndexRange { lo, hi, cap }
+        } else if has_flat {
+            AccessPath::Flat
+        } else {
+            AccessPath::IndexFull
+        };
+        ScanNode { table: name.to_string(), access, rows, capacity, actual: None }
+    }
+
+    /// Plans the selection stage over a base-table scan. For a flat access
+    /// path the operator is chosen here (the input shape is exact); index
+    /// candidates defer the choice to run time, when the probe has
+    /// materialized its result.
+    fn plan_base_filter(
+        &mut self,
+        scan: ScanNode,
+        pred: Predicate,
+        profile: &CostProfile,
+    ) -> Result<PlanNode, DbError> {
+        let om_bytes = self.om.available();
+        let (table_name, capacity, rows) = (scan.table.clone(), scan.capacity, scan.rows);
+        let flat_access = matches!(scan.access, AccessPath::Flat);
+        let mut node = FilterNode {
+            input: Box::new(PlanNode::Scan(scan)),
+            pred,
+            choice: SelectChoice::Deferred,
+            est_matches: None,
+            est: None,
+            actual: None,
+            om_bytes,
+            out_key: None,
+        };
+
+        if let Some(pad) = &self.config.padding {
+            let pad_rows = pad.pad_rows;
+            let out_key = self.next_key();
+            let shape = SelectShape {
+                schema: self.tables[self.table_index(&table_name)?].1.schema().clone(),
+                capacity,
+                rows,
+                matches: pad_rows,
+                continuous: false,
+                om_bytes,
+                out_key,
+            };
+            node.choice = SelectChoice::Padded { pad_rows };
+            node.est = cost::simulate_select(SelectAlgo::Padded, &shape)
+                .ok()
+                .map(|s| NodeCost::from_stats(&s, profile));
+            node.out_key = Some(crate::plan::PlanKey(out_key));
+            return Ok(PlanNode::Filter(node));
+        }
+
+        if !flat_access {
+            // The probe result shapes the stage; decide at run time.
+            return Ok(PlanNode::Filter(node));
+        }
+
+        // Every remaining plan except the forced Large algorithm shapes its
+        // trace from scan statistics, and statistics live in payloads. On a
+        // payload-free substrate (cost modeling) those stats read as zero,
+        // so planning would silently diverge from the real engine — refuse
+        // loudly instead, mirroring `require_payloads` for indexed storage.
+        if !self.host.retains_payloads()
+            && self.config.planner.force_select != Some(SelectAlgo::Large)
+        {
+            return Err(DbError::Unsupported(
+                "payload-free EnclaveMemory substrates need a size-oblivious plan: \
+                 set padding mode or force_select = Some(SelectAlgo::Large)"
+                    .into(),
+            ));
+        }
+
+        // The planner's preliminary scan (paper §5) — also supplies |R|
+        // for the operator's output sizing, so run() does not rescan.
+        let idx = self.table_index(&table_name)?;
+        let schema = self.tables[idx].1.schema().clone();
+        let stats = {
+            let (_, storage) = &mut self.tables[idx];
+            let table = storage.flat_mut().expect("flat access path");
+            planner::scan_stats(&mut self.host, table, &node.pred)?
+        };
+        let out_key = self.next_key();
+        let shape = SelectShape {
+            schema,
+            capacity,
+            rows,
+            matches: stats.matches,
+            continuous: stats.continuous,
+            om_bytes,
+            out_key,
+        };
+        let (choice, est) = choose_filter(&self.config, &shape, stats, profile)?;
+        node.choice = choice;
+        node.est = est;
+        node.est_matches = Some(stats.matches);
+        node.out_key = Some(crate::plan::PlanKey(out_key));
+        Ok(PlanNode::Filter(node))
+    }
+
+    // ---- plan execution ---------------------------------------------------
+
+    /// Executes a compiled plan, writing measured node costs back into it.
+    fn run_plan(&mut self, plan: &mut QueryPlan, query: &str) -> Result<QueryOutput, DbError> {
+        // WAL: log mutations before executing them (paper §3). One sealed
+        // append per mutation; no data-dependent pattern.
+        if matches!(
+            plan.action,
+            PlanAction::Insert(_) | PlanAction::Update { .. } | PlanAction::Delete { .. }
+        ) {
+            if let Some(wal) = &mut self.wal {
+                wal.append(&mut self.host, query)?;
+            }
+        }
+        if matches!(plan.action, PlanAction::ExplainSelect(_)) {
+            // EXPLAIN executes nothing: the result set is the rendering.
+            let rendering = Explain::of(plan);
+            let width = rendering.lines().iter().map(|l| l.len()).max().unwrap_or(0).max(1);
+            let schema = Schema::new(vec![Column::new("plan", DataType::Text(width))]);
+            let rows = rendering.lines().iter().map(|l| vec![Value::Text(l.clone())]).collect();
+            return Ok(QueryOutput {
+                schema,
+                rows,
+                plan: PlanInfo::default(),
+                rows_affected: None,
+            });
+        }
+        let QueryPlan { action, profile, .. } = plan;
+        match action {
+            PlanAction::Create(c) => {
+                let schema = Schema::new(
+                    c.columns.iter().map(|cd| Column::new(cd.name.clone(), cd.dtype)).collect(),
+                );
+                let cap = c.capacity.unwrap_or(DEFAULT_CAPACITY);
+                self.create_table(&c.name, schema, c.storage, c.index_on.as_deref(), cap)?;
+                Ok(QueryOutput::empty(Schema::new(Vec::new())))
+            }
+            PlanAction::Insert(i) => {
+                self.insert(&i.table, &i.values)?;
+                Ok(QueryOutput::affected(1))
+            }
+            PlanAction::Update { table, assignments, pred } => {
+                let n = self.update_where(table, pred, assignments)?;
+                Ok(QueryOutput::affected(n))
+            }
+            PlanAction::Delete { table, pred } => {
+                let n = self.delete_where(table, pred)?;
+                Ok(QueryOutput::affected(n))
+            }
+            PlanAction::Select(sp) => {
+                // Take the tree out of the plan so it can be mutated
+                // (actual costs, deferred choices) while `sp.stmt` and
+                // `profile` stay borrowed for the walk.
+                let mut root = std::mem::replace(
+                    &mut sp.root,
+                    PlanNode::Scan(ScanNode {
+                        table: String::new(),
+                        access: AccessPath::Flat,
+                        rows: 0,
+                        capacity: 0,
+                        actual: None,
+                    }),
+                );
+                let result = self.run_select_root(&mut root, &sp.stmt, profile);
+                sp.root = root;
+                result
+            }
+            PlanAction::ExplainSelect(_) => unreachable!("handled above"),
+        }
+    }
+
+    /// Runs a SELECT tree: operators → decode → ORDER BY / LIMIT →
+    /// projection.
+    fn run_select_root(
+        &mut self,
+        root: &mut PlanNode,
+        s: &sql::Select,
+        profile: &CostProfile,
+    ) -> Result<QueryOutput, DbError> {
+        let mut info = PlanInfo::default();
+        let mut current = self.exec_node(root, &mut info, profile)?;
+
+        info.output_rows = current.num_rows();
         let mut rows = current.collect_rows(&mut self.host)?;
         let schema = current.schema().clone();
         current.free(&mut self.host);
@@ -648,300 +1082,220 @@ impl<M: EnclaveMemory> Database<M> {
             rows.truncate(limit as usize);
         }
 
+        let (agg_items, col_items) = split_projection(&s.projection);
         let (schema, rows) = project(schema, rows, &col_items, &agg_items, s)?;
-        Ok(QueryOutput { schema, rows, plan })
+        Ok(QueryOutput { schema, rows, plan: info, rows_affected: None })
     }
 
-    /// Base-table stage for non-join queries: index or flat access, fused
-    /// aggregates, group-by, or a planned select.
-    fn stage_base_select(
+    /// Executes one operator node, returning its materialized output.
+    fn exec_node(
         &mut self,
-        s: &sql::Select,
-        plan: &mut PlanInfo,
-        has_aggs: bool,
+        node: &mut PlanNode,
+        info: &mut PlanInfo,
+        profile: &CostProfile,
     ) -> Result<FlatTable, DbError> {
-        let idx = self.table_index(&s.table)?;
-        let schema = self.tables[idx].1.schema().clone();
-        let pred = match &s.where_clause {
-            Some(w) => w.resolve(&schema)?,
-            None => Predicate::True,
+        match node {
+            PlanNode::Scan(scan) => {
+                // A bare scan only appears as a join side: materialize an
+                // owned copy (join operators consume flat inputs; a copy
+                // is one oblivious pass).
+                let input = self.exec_input(scan, info, profile)?;
+                match input {
+                    InputRef::Owned(t) => Ok(t),
+                    InputRef::Stored(i) => {
+                        let key = self.next_key();
+                        let (_, storage) = &mut self.tables[i];
+                        let f = storage.flat_mut().expect("stored input is flat");
+                        copy_flat(&mut self.host, f, key)
+                    }
+                }
+            }
+            PlanNode::Filter(f) => self.exec_filter(f, info, profile),
+            PlanNode::Join(j) => self.exec_join(j, info, profile),
+            PlanNode::Aggregate(a) => self.exec_aggregate(a, info, profile),
+            PlanNode::GroupBy(g) => self.exec_group(g, info, profile),
+        }
+    }
+
+    /// Materializes a base-table access per the planned path: the stored
+    /// flat table, or an owned table the index probe produced (with the
+    /// capped walk falling back to the flat representation, paper §4.1).
+    fn exec_input(
+        &mut self,
+        scan: &mut ScanNode,
+        info: &mut PlanInfo,
+        profile: &CostProfile,
+    ) -> Result<InputRef, DbError> {
+        let idx = self.table_index(&scan.table)?;
+        match scan.access.clone() {
+            AccessPath::Flat => Ok(InputRef::Stored(idx)),
+            AccessPath::IndexRange { lo, hi, cap } => {
+                let key = self.next_key();
+                let before = self.host.stats();
+                let (_, storage) = &mut self.tables[idx];
+                let index = storage.indexed_mut().expect("planned index access");
+                if let Some(t) = index.range_to_flat_capped(&mut self.host, key, &lo, &hi, cap)? {
+                    scan.actual =
+                        Some(NodeCost::from_stats(&(self.host.stats() - before), profile));
+                    info.used_index = true;
+                    info.intermediate_rows.push(t.num_rows());
+                    Ok(InputRef::Owned(t))
+                } else {
+                    // Probe aborted past the cap: a flat scan is cheaper.
+                    Ok(InputRef::Stored(idx))
+                }
+            }
+            AccessPath::IndexFull => {
+                let key = self.next_key();
+                let before = self.host.stats();
+                let (_, storage) = &mut self.tables[idx];
+                let index = storage.indexed_mut().expect("indexed-only");
+                let t = index.range_to_flat(
+                    &mut self.host,
+                    key,
+                    &crate::predicate::Bound::Unbounded,
+                    &crate::predicate::Bound::Unbounded,
+                )?;
+                scan.actual = Some(NodeCost::from_stats(&(self.host.stats() - before), profile));
+                info.used_index = true;
+                info.intermediate_rows.push(t.num_rows());
+                Ok(InputRef::Owned(t))
+            }
+        }
+    }
+
+    /// Executes a filter node: materialize the input, resolve a deferred
+    /// operator choice with the same cost machinery prepare uses, run the
+    /// operator, and record the measured cost.
+    fn exec_filter(
+        &mut self,
+        f: &mut FilterNode,
+        info: &mut PlanInfo,
+        profile: &CostProfile,
+    ) -> Result<FlatTable, DbError> {
+        let over_intermediate = !matches!(f.input.as_ref(), PlanNode::Scan(_));
+        let mut input = match f.input.as_mut() {
+            PlanNode::Scan(scan) => self.exec_input(scan, info, profile)?,
+            other => InputRef::Owned(self.exec_node(other, info, profile)?),
         };
 
-        // Grouped aggregation (fused with the WHERE filter).
-        if let Some(g) = &s.group_by {
-            self.require_payloads_for_group_by()?;
-            let (agg_items, _) = split_projection(&s.projection);
-            let (func, agg_col) = single_agg(&agg_items)?;
-            let group_col = schema.col(g)?;
-            let agg_col = agg_col.map(|c| schema.col(&c)).transpose()?;
-            let mut input = self.materialize_input(idx, &pred, plan)?;
-            let key = self.next_key();
-            let pad = self.config.padding.map(|p| p.max_groups);
-            let out = match &mut input {
-                InputRef::Owned(t) => exec::aggregate::group_aggregate_padded(
-                    &mut self.host,
-                    &self.om,
-                    t,
-                    group_col,
-                    func,
-                    agg_col,
-                    &pred,
-                    key,
-                    pad,
-                )?,
-                InputRef::Stored(i) => {
-                    let (_, storage) = &mut self.tables[*i];
-                    let f = storage.flat_mut().expect("stored input is flat");
-                    exec::aggregate::group_aggregate_padded(
-                        &mut self.host,
-                        &self.om,
-                        f,
-                        group_col,
-                        func,
-                        agg_col,
-                        &pred,
-                        key,
-                        pad,
-                    )?
-                }
-            };
-            input.free(self);
-            plan.fused_aggregate = true;
-            return Ok(out);
-        }
-
-        // Fused select + aggregate (paper §4.2): skip the intermediate.
-        if has_aggs {
-            let (agg_items, _) = split_projection(&s.projection);
-            let mut input = self.materialize_input(idx, &pred, plan)?;
-            let mut states = Vec::new();
-            for item in &agg_items {
-                let (func, col_name) = item;
-                let col = col_name.as_ref().map(|c| schema.col(c)).transpose()?;
-                let v = match &mut input {
-                    InputRef::Owned(t) => exec::aggregate(&mut self.host, t, *func, col, &pred)?,
-                    InputRef::Stored(i) => {
-                        let (_, storage) = &mut self.tables[*i];
-                        let f = storage.flat_mut().expect("stored input is flat");
-                        exec::aggregate(&mut self.host, f, *func, col, &pred)?
-                    }
-                };
-                states.push(v);
+        let out_key = match f.out_key {
+            Some(k) => k.0,
+            None => {
+                let k = self.next_key();
+                f.out_key = Some(crate::plan::PlanKey(k));
+                k
             }
-            input.free(self);
-            plan.fused_aggregate = true;
-            let out_schema = Schema::new(
-                agg_items
-                    .iter()
-                    .zip(&states)
-                    .map(|((func, col), v)| {
-                        Column::new(agg_name(*func, col.as_deref()), value_type(v))
-                    })
-                    .collect(),
-            );
-            let key = self.next_key();
-            let encoded = out_schema.encode_row(&states)?;
-            let mut out =
-                FlatTable::from_encoded_rows(&mut self.host, key, out_schema, &[encoded], 1)?;
-            out.set_num_rows(1);
-            return Ok(out);
-        }
+        };
+        let rng = self.rng.fork();
 
-        // Plain selection.
-        let mut input = self.materialize_input(idx, &pred, plan)?;
         let out = match &mut input {
-            InputRef::Owned(t) => {
-                // Index already materialized the range; apply the full
-                // predicate over T′ (paper §4.1, Selection over Indexes).
-                self.owned_select_stage(t, &pred, plan)?
-            }
+            InputRef::Owned(t) => run_filter_stage(
+                &mut self.host,
+                &self.om,
+                &self.config,
+                f,
+                t,
+                out_key,
+                rng,
+                profile,
+                info,
+            )?,
             InputRef::Stored(i) => {
                 let i = *i;
-                self.stored_select_stage(i, &pred, plan)?
+                let (_, storage) = &mut self.tables[i];
+                let table = storage.flat_mut().expect("stored input is flat");
+                run_filter_stage(
+                    &mut self.host,
+                    &self.om,
+                    &self.config,
+                    f,
+                    table,
+                    out_key,
+                    rng,
+                    profile,
+                    info,
+                )?
             }
         };
         input.free(self);
+        if over_intermediate {
+            info.intermediate_rows.push(out.num_rows());
+        }
         Ok(out)
     }
 
-    /// Runs the planned select over a stored flat table.
-    fn stored_select_stage(
+    /// Executes a join node over its materialized sides.
+    fn exec_join(
         &mut self,
-        idx: usize,
-        pred: &Predicate,
-        plan: &mut PlanInfo,
+        j: &mut JoinNode,
+        info: &mut PlanInfo,
+        profile: &CostProfile,
     ) -> Result<FlatTable, DbError> {
-        let key = self.next_key();
-        let rng = self.rng.fork();
-        let (_, storage) = &mut self.tables[idx];
-        let f = storage.flat_mut().expect("stored input is flat");
-        run_planned_select(&mut self.host, &self.om, f, pred, key, rng, &self.config, plan)
-    }
+        info.fused_aggregate = false;
+        let mut left = self.exec_join_side(&mut j.left, info, profile)?;
+        let mut right = self.exec_join_side(&mut j.right, info, profile)?;
 
-    /// Runs the planned select over an owned intermediate.
-    fn owned_select_stage(
-        &mut self,
-        t: &mut FlatTable,
-        pred: &Predicate,
-        plan: &mut PlanInfo,
-    ) -> Result<FlatTable, DbError> {
-        let key = self.next_key();
-        let rng = self.rng.fork();
-        run_planned_select(&mut self.host, &self.om, t, pred, key, rng, &self.config, plan)
-    }
-
-    fn run_select_stage(
-        &mut self,
-        mut input: FlatTable,
-        pred: &Predicate,
-        plan: &mut PlanInfo,
-    ) -> Result<FlatTable, DbError> {
-        let out = self.owned_select_stage(&mut input, pred, plan)?;
-        input.free(&mut self.host);
-        plan.intermediate_rows.push(out.num_rows());
-        Ok(out)
-    }
-
-    /// Picks the physical access path for a base table: the index (when
-    /// the predicate maps to a range on the indexed column and the index
-    /// is cheaper) or the flat representation.
-    fn materialize_input(
-        &mut self,
-        idx: usize,
-        pred: &Predicate,
-        plan: &mut PlanInfo,
-    ) -> Result<InputRef, DbError> {
-        let has_flat =
-            matches!(&self.tables[idx].1, TableStorage::Flat(_) | TableStorage::Both { .. });
-        let has_index =
-            matches!(&self.tables[idx].1, TableStorage::Indexed(_) | TableStorage::Both { .. });
-
-        let index_range = pred.index_range().filter(|(col, lo, hi)| {
-            let key_col = match &self.tables[idx].1 {
-                TableStorage::Indexed(i) => i.key_col(),
-                TableStorage::Both { indexed, .. } => indexed.key_col(),
-                TableStorage::Flat(_) => return false,
-            };
-            *col == key_col
-                && !(matches!(lo, crate::predicate::Bound::Unbounded)
-                    && matches!(hi, crate::predicate::Bound::Unbounded))
-        });
-
-        if let Some((_, lo, hi)) =
-            index_range.filter(|_| has_index && self.config.padding.is_none())
-        {
-            // Probe the index with a capped range walk. The cap is the
-            // match count beyond which a flat scan is cheaper: an index
-            // chain read costs ≈ 2·(path length) bucket accesses of 4-slot
-            // blocks versus ~2 row accesses per flat-scanned row. Both the
-            // cap and the abort decision are functions of public sizes, so
-            // the probe leaks nothing beyond the final plan choice (§5).
-            let cap = if has_flat {
-                let n = self.tables[idx].1.num_rows();
-                let height = match &self.tables[idx].1 {
-                    TableStorage::Both { indexed, .. } => indexed.height() as u64,
-                    _ => 1,
+        let algo = match &j.choice {
+            JoinChoice::Forced(a) => *a,
+            JoinChoice::Chosen { algo, .. } => *algo,
+            JoinChoice::Deferred => {
+                let shape = JoinShape {
+                    left_schema: left.schema().clone(),
+                    left_capacity: left.capacity(),
+                    right_schema: right.schema().clone(),
+                    right_capacity: right.capacity(),
+                    om_bytes: self.om.available(),
+                    zero_om_scratch_rows: self.config.zero_om_scratch_rows,
                 };
-                let oram_factor = 8 * (height + 2);
-                (2 * n.max(1)) / oram_factor.max(1)
-            } else {
-                u64::MAX
-            };
-            let key = self.next_key();
-            let (_, storage) = &mut self.tables[idx];
-            let index = storage.indexed_mut().expect("has index");
-            if let Some(t) = index.range_to_flat_capped(&mut self.host, key, &lo, &hi, cap)? {
-                plan.used_index = true;
-                plan.intermediate_rows.push(t.num_rows());
-                return Ok(InputRef::Owned(t));
-            }
-        }
-
-        if has_flat {
-            return Ok(InputRef::Stored(idx));
-        }
-
-        // Indexed-only table without a usable range: materialize the full
-        // range through the index (chain scan).
-        let key = self.next_key();
-        let (_, storage) = &mut self.tables[idx];
-        let index = storage.indexed_mut().expect("indexed-only");
-        let t = index.range_to_flat(
-            &mut self.host,
-            key,
-            &crate::predicate::Bound::Unbounded,
-            &crate::predicate::Bound::Unbounded,
-        )?;
-        plan.used_index = true;
-        plan.intermediate_rows.push(t.num_rows());
-        Ok(InputRef::Owned(t))
-    }
-
-    /// Join stage with single-table predicate push-down.
-    fn run_join(
-        &mut self,
-        s: &sql::Select,
-        join: &sql::JoinClause,
-        plan: &mut PlanInfo,
-    ) -> Result<(FlatTable, bool), DbError> {
-        // Adaptive join choice consumes num_rows, which is payload-derived
-        // after a pushed-down filter — refuse loudly on payload-free
-        // substrates unless the operator is pinned, mirroring the select
-        // and GROUP BY guards.
-        if !self.host.retains_payloads() && self.config.planner.force_join.is_none() {
-            return Err(DbError::Unsupported(
-                "joins on a payload-free EnclaveMemory substrate require a pinned \
-                 operator: set planner.force_join"
-                    .into(),
-            ));
-        }
-        let li = self.table_index(&s.table)?;
-        let ri = self.table_index(&join.table)?;
-        let ls = self.tables[li].1.schema().clone();
-        let rs = self.tables[ri].1.schema().clone();
-        let lc = ls.col(&join.left_col)?;
-        let rc = rs.col(&join.right_col)?;
-
-        // Push the WHERE down to whichever single side it resolves on.
-        let mut pushed = false;
-        let (left_pred, right_pred) = match &s.where_clause {
-            Some(w) => {
-                if let Ok(p) = w.resolve(&ls) {
-                    pushed = true;
-                    (Some(p), None)
-                } else if let Ok(p) = w.resolve(&rs) {
-                    pushed = true;
-                    (None, Some(p))
-                } else {
-                    (None, None)
+                j.om_bytes = shape.om_bytes;
+                match &self.config.planner.cost_model {
+                    CostModel::Measured(_) => {
+                        let (algo, candidates) = cost::choose_join_costed(&shape, profile)?;
+                        j.est = candidates.iter().find(|c| c.algo == algo).map(|c| c.cost);
+                        j.choice = JoinChoice::Chosen { algo, candidates };
+                        algo
+                    }
+                    CostModel::ClosedForm => {
+                        let union_row = 18 + left.row_len().max(right.row_len());
+                        let algo = planner::choose_join(
+                            left.num_rows(),
+                            right.num_rows(),
+                            left.row_len(),
+                            union_row,
+                            &self.om,
+                            &self.config.planner,
+                        );
+                        j.est = cost::simulate_join(algo, &shape)
+                            .ok()
+                            .map(|c| NodeCost::from_stats(&c, profile));
+                        j.choice = JoinChoice::Chosen { algo, candidates: Vec::new() };
+                        algo
+                    }
                 }
             }
-            None => (None, None),
         };
-        plan.fused_aggregate = false;
-
-        let mut left = self.join_input(li, left_pred.as_ref(), plan)?;
-        let mut right = self.join_input(ri, right_pred.as_ref(), plan)?;
-
-        let n1 = left.num_rows();
-        let n2 = right.num_rows();
-        let union_row = 18 + left.row_len().max(right.row_len());
-        let algo =
-            planner::choose_join(n1, n2, left.row_len(), union_row, &self.om, &self.config.planner);
-        plan.join_algo = Some(algo);
+        info.join_algo = Some(algo);
 
         let key = self.next_key();
+        let before = self.host.stats();
         let out = match algo {
-            JoinAlgo::Hash => {
-                exec::hash_join(&mut self.host, &self.om, &mut left, lc, &mut right, rc, key)?
-            }
+            JoinAlgo::Hash => exec::hash_join(
+                &mut self.host,
+                &self.om,
+                &mut left,
+                j.left_col,
+                &mut right,
+                j.right_col,
+                key,
+            )?,
             JoinAlgo::Opaque => exec::sort_merge_join(
                 &mut self.host,
                 &self.om,
                 &mut left,
-                lc,
+                j.left_col,
                 &mut right,
-                rc,
+                j.right_col,
                 key,
                 SortMergeVariant::Opaque,
             )?,
@@ -949,96 +1303,183 @@ impl<M: EnclaveMemory> Database<M> {
                 &mut self.host,
                 &self.om,
                 &mut left,
-                lc,
+                j.left_col,
                 &mut right,
-                rc,
+                j.right_col,
                 key,
                 SortMergeVariant::ZeroOm { scratch_rows: self.config.zero_om_scratch_rows },
             )?,
         };
+        j.actual = Some(NodeCost::from_stats(&(self.host.stats() - before), profile));
         left.free(&mut self.host);
         right.free(&mut self.host);
-        plan.intermediate_rows.push(out.num_rows());
+        info.intermediate_rows.push(out.num_rows());
 
         // Rename output columns with the real table names so WHERE/GROUP BY
         // can reference them.
         let mut out = out;
-        let renamed = ls.join(&s.table, &rs, &join.table);
-        out.rename_columns(renamed);
-
-        Ok((out, pushed))
+        out.rename_columns(j.renamed.clone());
+        Ok(out)
     }
 
-    /// Materializes one join input as an owned filtered copy (push-down) or
-    /// a plain copy of the stored flat table.
-    fn join_input(
+    /// Materializes one join side: a pushed-down filter's output, or an
+    /// owned copy of the base table.
+    fn exec_join_side(
         &mut self,
-        idx: usize,
-        pred: Option<&Predicate>,
-        plan: &mut PlanInfo,
+        node: &mut PlanNode,
+        info: &mut PlanInfo,
+        profile: &CostProfile,
     ) -> Result<FlatTable, DbError> {
-        match pred {
-            Some(p) => {
-                let mut input = self.materialize_input(idx, p, plan)?;
-                let out = match &mut input {
-                    InputRef::Owned(t) => self.owned_select_stage(t, p, plan)?,
-                    InputRef::Stored(i) => {
-                        let i = *i;
-                        self.stored_select_stage(i, p, plan)?
-                    }
-                };
-                input.free(self);
-                plan.intermediate_rows.push(out.num_rows());
+        match node {
+            PlanNode::Filter(f) => {
+                let out = self.exec_filter(f, info, profile)?;
+                info.intermediate_rows.push(out.num_rows());
                 Ok(out)
             }
-            None => {
-                // Copy the stored table (join operators consume flat
-                // inputs; a copy is one oblivious pass).
-                let key = self.next_key();
-                let mut input = self.materialize_input(idx, &Predicate::True, plan)?;
-                let out = match &mut input {
-                    InputRef::Owned(_) => {
-                        // Already an owned materialization — take it.
-                        match std::mem::replace(&mut input, InputRef::Stored(usize::MAX)) {
-                            InputRef::Owned(t) => t,
-                            InputRef::Stored(_) => unreachable!(),
-                        }
-                    }
-                    InputRef::Stored(i) => {
-                        let (_, storage) = &mut self.tables[*i];
-                        let f = storage.flat_mut().expect("stored input is flat");
-                        copy_flat(&mut self.host, f, key)?
-                    }
-                };
-                Ok(out)
-            }
+            other => self.exec_node(other, info, profile),
         }
     }
 
-    fn finish_aggregates(
+    /// Executes a fused select + aggregate node (paper §4.2): one pass per
+    /// aggregate over the input, no intermediate table.
+    fn exec_aggregate(
         &mut self,
-        mut current: FlatTable,
-        agg_items: &[(AggFunc, Option<String>)],
-        pred: &Predicate,
-        mut plan: PlanInfo,
-    ) -> Result<QueryOutput, DbError> {
-        let schema = current.schema().clone();
-        let mut values = Vec::new();
-        for (func, col_name) in agg_items {
+        a: &mut AggregateNode,
+        info: &mut PlanInfo,
+        profile: &CostProfile,
+    ) -> Result<FlatTable, DbError> {
+        let mut input = match a.input.as_mut() {
+            PlanNode::Scan(scan) => self.exec_input(scan, info, profile)?,
+            other => InputRef::Owned(self.exec_node(other, info, profile)?),
+        };
+        let schema = match &input {
+            InputRef::Owned(t) => t.schema().clone(),
+            InputRef::Stored(i) => self.tables[*i].1.schema().clone(),
+        };
+        let before = self.host.stats();
+        let mut states = Vec::new();
+        for (func, col_name) in &a.items {
             let col = col_name.as_ref().map(|c| schema.col(c)).transpose()?;
-            values.push(exec::aggregate(&mut self.host, &mut current, *func, col, pred)?);
+            let v = match &mut input {
+                InputRef::Owned(t) => exec::aggregate(&mut self.host, t, *func, col, &a.pred)?,
+                InputRef::Stored(i) => {
+                    let (_, storage) = &mut self.tables[*i];
+                    let f = storage.flat_mut().expect("stored input is flat");
+                    exec::aggregate(&mut self.host, f, *func, col, &a.pred)?
+                }
+            };
+            states.push(v);
         }
-        current.free(&mut self.host);
+        input.free(self);
+        info.fused_aggregate = true;
         let out_schema = Schema::new(
-            agg_items
+            a.items
                 .iter()
-                .zip(&values)
+                .zip(&states)
                 .map(|((func, col), v)| Column::new(agg_name(*func, col.as_deref()), value_type(v)))
                 .collect(),
         );
-        plan.fused_aggregate = true;
-        plan.output_rows = 1;
-        Ok(QueryOutput { schema: out_schema, rows: vec![values], plan })
+        let key = self.next_key();
+        let encoded = out_schema.encode_row(&states)?;
+        let mut out = FlatTable::from_encoded_rows(&mut self.host, key, out_schema, &[encoded], 1)?;
+        out.set_num_rows(1);
+        a.actual = Some(NodeCost::from_stats(&(self.host.stats() - before), profile));
+        Ok(out)
+    }
+
+    /// Executes a grouped-aggregation node (fused with its filter).
+    fn exec_group(
+        &mut self,
+        g: &mut GroupByNode,
+        info: &mut PlanInfo,
+        profile: &CostProfile,
+    ) -> Result<FlatTable, DbError> {
+        let over_base = matches!(g.input.as_ref(), PlanNode::Scan(_));
+        let mut input = match g.input.as_mut() {
+            PlanNode::Scan(scan) => self.exec_input(scan, info, profile)?,
+            other => InputRef::Owned(self.exec_node(other, info, profile)?),
+        };
+        let key = self.next_key();
+        let before = self.host.stats();
+        let out = match &mut input {
+            InputRef::Owned(t) => exec::aggregate::group_aggregate_padded(
+                &mut self.host,
+                &self.om,
+                t,
+                g.group_col,
+                g.func,
+                g.agg_col,
+                &g.pred,
+                key,
+                g.pad_groups,
+            )?,
+            InputRef::Stored(i) => {
+                let (_, storage) = &mut self.tables[*i];
+                let f = storage.flat_mut().expect("stored input is flat");
+                exec::aggregate::group_aggregate_padded(
+                    &mut self.host,
+                    &self.om,
+                    f,
+                    g.group_col,
+                    g.func,
+                    g.agg_col,
+                    &g.pred,
+                    key,
+                    g.pad_groups,
+                )?
+            }
+        };
+        g.actual = Some(NodeCost::from_stats(&(self.host.stats() - before), profile));
+        input.free(self);
+        if over_base {
+            info.fused_aggregate = true;
+        }
+        Ok(out)
+    }
+}
+
+/// A compiled statement bound to its database: phase two and three of the
+/// prepare/explain/execute lifecycle.
+///
+/// ```
+/// use oblidb_core::{Database, DbConfig};
+///
+/// let mut db = Database::new(DbConfig::default());
+/// db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
+/// db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+/// let mut stmt = db.prepare("SELECT * FROM t WHERE k = 1").unwrap();
+/// println!("{}", stmt.explain()); // estimated costs
+/// let out = stmt.run().unwrap();
+/// println!("{}", stmt.explain()); // now with actual costs
+/// assert_eq!(out.len(), 1);
+/// ```
+pub struct PreparedStatement<'db, M: EnclaveMemory> {
+    db: &'db mut Database<M>,
+    sql: String,
+    plan: QueryPlan,
+}
+
+impl<M: EnclaveMemory> PreparedStatement<'_, M> {
+    /// The compiled physical plan.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// Renders the plan tree with estimated and, after [`Self::run`],
+    /// actual per-node costs.
+    pub fn explain(&self) -> Explain {
+        Explain::of(&self.plan)
+    }
+
+    /// Executes the plan. Runnable repeatedly — a statement prepared
+    /// before the database changed re-plans itself first (sizes and
+    /// match-count statistics may have moved, and the operators size
+    /// their outputs from them).
+    pub fn run(&mut self) -> Result<QueryOutput, DbError> {
+        if self.plan.version != self.db.version {
+            self.plan = self.db.build_plan(&self.sql)?;
+        }
+        self.db.run_plan(&mut self.plan, &self.sql)
     }
 }
 
@@ -1056,23 +1497,65 @@ impl InputRef {
     }
 }
 
-/// Runs the planner and the chosen select algorithm over a flat input
-/// (paper §4.1 + §5). In padding mode the planner is skipped: the Hash
-/// operator runs with the configured padded output size (§2.3).
+/// Picks a filter operator for a fully-shaped input: forced, cost-chosen
+/// (dry-run candidates, weigh, argmin), or closed-form — shared between
+/// prepare-time and deferred run-time decisions.
+fn choose_filter(
+    config: &DbConfig,
+    shape: &SelectShape,
+    stats: SelectStats,
+    profile: &CostProfile,
+) -> Result<(SelectChoice, Option<NodeCost>), DbError> {
+    if let Some(algo) = config.planner.force_select {
+        let est =
+            cost::simulate_select(algo, shape).ok().map(|s| NodeCost::from_stats(&s, profile));
+        return Ok((SelectChoice::Forced(algo), est));
+    }
+    match &config.planner.cost_model {
+        CostModel::Measured(_) => {
+            let (algo, candidates) =
+                cost::choose_select_costed(shape, stats, &config.planner, profile)?;
+            let est = candidates.iter().find(|c| c.algo == algo).map(|c| c.cost);
+            Ok((SelectChoice::Chosen { algo, candidates }, est))
+        }
+        CostModel::ClosedForm => {
+            let om = OmBudget::new(shape.om_bytes);
+            let algo = planner::choose_select(
+                stats,
+                shape.rows,
+                shape.schema.row_len(),
+                &om,
+                &config.planner,
+            );
+            let est =
+                cost::simulate_select(algo, shape).ok().map(|s| NodeCost::from_stats(&s, profile));
+            Ok((SelectChoice::Chosen { algo, candidates: Vec::new() }, est))
+        }
+    }
+}
+
+/// Runs a filter node's selection stage over a materialized flat input
+/// (paper §4.1 + §5): resolves a deferred choice, dispatches the chosen
+/// operator, and records the measured cost into the node.
 #[allow(clippy::too_many_arguments)]
-fn run_planned_select<M: EnclaveMemory>(
+fn run_filter_stage<M: EnclaveMemory>(
     host: &mut M,
     om: &OmBudget,
+    config: &DbConfig,
+    f: &mut FilterNode,
     input: &mut FlatTable,
-    pred: &Predicate,
     out_key: AeadKey,
     rng: EnclaveRng,
-    config: &DbConfig,
-    plan: &mut PlanInfo,
+    profile: &CostProfile,
+    info: &mut PlanInfo,
 ) -> Result<FlatTable, DbError> {
-    if let Some(pad) = &config.padding {
-        plan.select_algo = Some(SelectAlgo::Padded);
-        let out = exec::select::select_padded(host, om, input, pred, out_key, pad.pad_rows)?;
+    if let SelectChoice::Padded { pad_rows } = f.choice {
+        // Padding mode: the planner is skipped; pass count and output
+        // size are fixed by the padded bound (§2.3).
+        info.select_algo = Some(SelectAlgo::Padded);
+        let before = host.stats();
+        let out = exec::select::select_padded(host, om, input, &f.pred, out_key, pad_rows)?;
+        f.actual = Some(NodeCost::from_stats(&(host.stats() - before), profile));
         return Ok(out);
     }
 
@@ -1089,26 +1572,81 @@ fn run_planned_select<M: EnclaveMemory>(
         ));
     }
 
-    let stats: SelectStats = planner::scan_stats(host, input, pred)?;
-    let algo =
-        planner::choose_select(stats, input.num_rows(), input.row_len(), om, &config.planner);
-    plan.select_algo = Some(algo);
-    let out = match algo {
-        SelectAlgo::Small => exec::select_small(host, om, input, pred, out_key, stats.matches)?,
-        SelectAlgo::Large => exec::select_large(host, input, pred, out_key)?,
-        SelectAlgo::Continuous => {
-            exec::select_continuous(host, input, pred, out_key, stats.matches)?
+    // |R| for output sizing: reuse the prepare-time preliminary scan when
+    // the plan has one (the version guard re-plans on staleness); scan now
+    // for deferred stages over fresh intermediates.
+    let stats: SelectStats = match (&f.choice, f.est_matches) {
+        (SelectChoice::Forced(_) | SelectChoice::Chosen { .. }, Some(m)) => {
+            SelectStats { matches: m, continuous: false }
         }
-        SelectAlgo::Hash => exec::select_hash(host, input, pred, out_key, stats.matches)?,
+        _ => {
+            let s = planner::scan_stats(host, input, &f.pred)?;
+            f.est_matches = Some(s.matches);
+            s
+        }
+    };
+
+    let algo = match &f.choice {
+        SelectChoice::Forced(a) => *a,
+        SelectChoice::Chosen { algo, .. } => *algo,
+        SelectChoice::Deferred => {
+            let shape = SelectShape {
+                schema: input.schema().clone(),
+                capacity: input.capacity(),
+                rows: input.num_rows(),
+                matches: stats.matches,
+                continuous: stats.continuous,
+                om_bytes: om.available(),
+                out_key,
+            };
+            f.om_bytes = shape.om_bytes;
+            let (choice, est) = choose_filter(config, &shape, stats, profile)?;
+            f.est = est;
+            f.choice = choice;
+            f.choice.algo().expect("deferred choice is resolved")
+        }
+        SelectChoice::Padded { .. } => unreachable!("handled above"),
+    };
+    info.select_algo = Some(algo);
+
+    let before = host.stats();
+    let out = match algo {
+        SelectAlgo::Small => exec::select_small(host, om, input, &f.pred, out_key, stats.matches)?,
+        SelectAlgo::Large => exec::select_large(host, input, &f.pred, out_key)?,
+        SelectAlgo::Continuous => {
+            exec::select_continuous(host, input, &f.pred, out_key, stats.matches)?
+        }
+        SelectAlgo::Hash => exec::select_hash(host, input, &f.pred, out_key, stats.matches)?,
         SelectAlgo::Naive => {
-            exec::select_naive(host, om, input, pred, out_key, stats.matches, rng)?
+            exec::select_naive(host, om, input, &f.pred, out_key, stats.matches, rng)?
         }
         SelectAlgo::Padded => {
             // Only reachable via force_select; pad to the match count.
-            exec::select::select_padded(host, om, input, pred, out_key, stats.matches)?
+            exec::select::select_padded(host, om, input, &f.pred, out_key, stats.matches)?
         }
     };
+    f.actual = Some(NodeCost::from_stats(&(host.stats() - before), profile));
     Ok(out)
+}
+
+/// Exact output shape `(capacity, rows)` of a filter whose operator and
+/// match count were pinned at prepare time — the basis for prepare-time
+/// join costing. `None` when the shape depends on runtime state.
+fn filter_output_shape(f: &FilterNode) -> Option<(u64, u64)> {
+    let input_capacity = match f.input.as_ref() {
+        PlanNode::Scan(s) => s.capacity,
+        _ => return None,
+    };
+    if let SelectChoice::Padded { pad_rows } = &f.choice {
+        return Some(((*pad_rows).max(1), *pad_rows));
+    }
+    let m = f.est_matches?;
+    let capacity = match f.choice.algo()? {
+        SelectAlgo::Large => input_capacity,
+        SelectAlgo::Hash => m.max(1) * exec::HASH_SLOTS as u64,
+        _ => m.max(1),
+    };
+    Some((capacity, m))
 }
 
 /// One oblivious copy pass.
@@ -1308,12 +1846,79 @@ mod tests {
         let mut db = db();
         setup_people(&mut db, StorageMethod::Flat);
         let out = db.execute("UPDATE people SET age = 99 WHERE id >= 15").unwrap();
-        assert_eq!(out.plan.output_rows, 5);
+        assert_eq!(out.rows_affected, Some(5));
+        assert_eq!(out.plan.output_rows, 5, "mirrored for pre-lifecycle callers");
         let check = db.execute("SELECT * FROM people WHERE age = 99").unwrap();
         assert_eq!(check.len(), 5);
+        assert_eq!(check.rows_affected, None, "reads carry no mutation count");
         let out = db.execute("DELETE FROM people WHERE age = 99").unwrap();
-        assert_eq!(out.plan.output_rows, 5);
+        assert_eq!(out.rows_affected, Some(5));
         assert_eq!(db.table_rows("people").unwrap(), 15);
+        let ins = db.execute("INSERT INTO people VALUES (99, 1, 'x')").unwrap();
+        assert_eq!(ins.rows_affected, Some(1));
+    }
+
+    #[test]
+    fn prepare_explain_run_lifecycle() {
+        let mut db = db();
+        setup_people(&mut db, StorageMethod::Flat);
+        let mut stmt = db.prepare("SELECT * FROM people WHERE id < 6").unwrap();
+        // Prepare-time plan: a cost-chosen filter with estimates, no
+        // actuals yet.
+        let filter = stmt.plan().select_root().unwrap().find_filter().unwrap();
+        assert_eq!(filter.est_matches, Some(6));
+        assert!(filter.est.is_some(), "flat base filters are costed at prepare");
+        assert!(filter.actual.is_none());
+        assert!(matches!(filter.choice, SelectChoice::Chosen { .. }));
+        let before = stmt.explain().to_string();
+        assert!(before.contains("Filter"), "{before}");
+        assert!(before.contains("candidates:"), "{before}");
+        assert!(!before.contains("act:"), "{before}");
+
+        let out = stmt.run().unwrap();
+        assert_eq!(out.len(), 6);
+        let filter = stmt.plan().select_root().unwrap().find_filter().unwrap();
+        assert!(filter.actual.is_some(), "run() writes measured costs back");
+        let after = stmt.explain().to_string();
+        assert!(after.contains("act:"), "{after}");
+    }
+
+    #[test]
+    fn prepared_statement_reruns_and_replans() {
+        let mut db = db();
+        setup_people(&mut db, StorageMethod::Flat);
+        // A prepared SELECT is rerunnable.
+        let mut stmt = db.prepare("SELECT * FROM people WHERE age >= 30").unwrap();
+        assert_eq!(stmt.run().unwrap().len(), 10);
+        assert_eq!(stmt.run().unwrap().len(), 10);
+        // A prepared mutation bumps the catalog version when run, so its
+        // second run goes through the transparent re-plan path (the
+        // statement holds the only &mut Database, so nothing else can
+        // invalidate it in between).
+        let mut ins = db.prepare("INSERT INTO people VALUES (100, 1, 'y')").unwrap();
+        ins.run().unwrap();
+        ins.run().unwrap();
+        assert_eq!(db.table_rows("people").unwrap(), 22);
+        let mut del = db.prepare("DELETE FROM people WHERE id = 100").unwrap();
+        assert_eq!(del.run().unwrap().rows_affected, Some(2));
+        assert_eq!(del.run().unwrap().rows_affected, Some(0), "re-planned, nothing left");
+    }
+
+    #[test]
+    fn explain_select_statement_renders_plan() {
+        let mut db = db();
+        setup_people(&mut db, StorageMethod::Flat);
+        let before_trace_rows = db.table_rows("people").unwrap();
+        let out = db.execute("EXPLAIN SELECT * FROM people WHERE id < 6").unwrap();
+        assert_eq!(out.schema.columns[0].name, "plan");
+        let text: Vec<String> =
+            out.rows().iter().map(|r| r[0].as_text().unwrap().to_string()).collect();
+        assert!(text[0].starts_with("Select"), "{text:?}");
+        assert!(text.iter().any(|l| l.contains("Filter")), "{text:?}");
+        assert!(text.iter().any(|l| l.contains("Scan people")), "{text:?}");
+        // EXPLAIN executes nothing.
+        assert_eq!(db.table_rows("people").unwrap(), before_trace_rows);
+        assert!(db.execute("EXPLAIN SELECT * FROM nope").is_err());
     }
 
     #[test]

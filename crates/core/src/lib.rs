@@ -29,6 +29,7 @@ pub mod error;
 pub mod exec;
 pub mod key;
 pub mod padding;
+pub mod plan;
 pub mod planner;
 pub mod predicate;
 pub mod sql;
@@ -36,8 +37,10 @@ pub mod table;
 pub mod types;
 pub mod wal;
 
-pub use db::{Database, DbConfig, PlanInfo, QueryOutput, StorageMethod};
+pub use db::{Database, DbConfig, PlanInfo, PreparedStatement, QueryOutput, StorageMethod};
 pub use error::DbError;
-pub use planner::{JoinAlgo, SelectAlgo};
+pub use plan::cost::CostProfile;
+pub use plan::{Explain, NodeCost, PlanNode, QueryPlan};
+pub use planner::{CostModel, JoinAlgo, SelectAlgo};
 pub use predicate::Predicate;
 pub use types::{Column, DataType, Row, Schema, Value};

@@ -1,0 +1,531 @@
+//! The physical-plan IR behind the prepare/explain/execute lifecycle.
+//!
+//! [`crate::Database::prepare`] compiles a SQL statement into a
+//! [`QueryPlan`]: a [`PlanNode`] tree whose operator nodes are annotated
+//! with the chosen physical algorithm ([`crate::SelectAlgo`] /
+//! [`crate::JoinAlgo`]), padded bounds, the oblivious-memory budget the
+//! choice assumed, and — where the input shape is known at prepare time —
+//! a [`NodeCost`] estimate counted by a [`cost`] dry run. Execution
+//! ([`crate::PreparedStatement::run`]) walks the tree, measures the
+//! actual per-node access counts, and writes them back, so a post-run
+//! [`Explain`] shows estimated *and* actual costs side by side.
+//!
+//! The tree is exactly the plan-shaped leakage of paper §2.3: sizes,
+//! shapes and operator choices — never payload contents.
+
+pub mod cost;
+
+use oblidb_crypto::aead::AeadKey;
+use oblidb_enclave::HostStats;
+
+use crate::exec::AggFunc;
+use crate::planner::{JoinAlgo, SelectAlgo};
+use crate::predicate::{Bound, Predicate};
+use crate::sql;
+use crate::types::Value;
+
+use cost::CostProfile;
+
+/// Pre-allocated output-region key material, redacted from Debug output
+/// (plans render in logs and EXPLAIN results; keys must not).
+#[derive(Clone, Copy)]
+pub(crate) struct PlanKey(pub(crate) AeadKey);
+
+impl std::fmt::Debug for PlanKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PlanKey(<redacted>)")
+    }
+}
+
+/// Counted cost of one plan node: blocks and crossings from a
+/// [`cost::simulate_select`]-style dry run (estimates) or a measured
+/// [`HostStats`] delta (actuals), plus the profile-weighted scalar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeCost {
+    /// Sealed blocks read.
+    pub reads: u64,
+    /// Sealed blocks written.
+    pub writes: u64,
+    /// Enclave boundary crossings.
+    pub crossings: u64,
+    /// `reads·read_block + writes·write_block + crossings·crossing` under
+    /// the plan's [`CostProfile`].
+    pub weighted: f64,
+}
+
+impl NodeCost {
+    /// Weighs counted accesses under `profile`.
+    pub fn from_stats(stats: &HostStats, profile: &CostProfile) -> Self {
+        NodeCost {
+            reads: stats.reads,
+            writes: stats.writes,
+            crossings: stats.crossings,
+            weighted: profile.weigh(stats),
+        }
+    }
+
+    /// Total block accesses (reads + writes).
+    pub fn blocks(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl std::fmt::Display for NodeCost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} crossings={} weighted={:.1}",
+            self.reads, self.writes, self.crossings, self.weighted
+        )
+    }
+}
+
+/// One costed SELECT candidate the planner considered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateCost {
+    /// The candidate operator.
+    pub algo: SelectAlgo,
+    /// Its counted, weighted cost.
+    pub cost: NodeCost,
+}
+
+/// One costed JOIN candidate the planner considered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinCandidateCost {
+    /// The candidate operator.
+    pub algo: JoinAlgo,
+    /// Its counted, weighted cost.
+    pub cost: NodeCost,
+}
+
+/// How a base table is reached.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    /// Scan the flat representation.
+    Flat,
+    /// Probe the oblivious B+ tree for a key range, capped at `cap`
+    /// materialized rows; past the cap a flat scan is cheaper and the
+    /// probe aborts back to [`AccessPath::Flat`] (paper §4.1/§5 — both
+    /// the cap and the abort are functions of public sizes).
+    IndexRange {
+        /// Range lower bound on the indexed column.
+        lo: Bound,
+        /// Range upper bound on the indexed column.
+        hi: Bound,
+        /// Match-count cap beyond which the probe aborts to a flat scan;
+        /// `u64::MAX` when the table has no flat representation.
+        cap: u64,
+    },
+    /// Materialize the full range through the index (indexed-only table,
+    /// no usable key range).
+    IndexFull,
+}
+
+/// Leaf node: one base-table access.
+#[derive(Debug, Clone)]
+pub struct ScanNode {
+    /// Table name.
+    pub table: String,
+    /// Chosen access path.
+    pub access: AccessPath,
+    /// Rows in use at prepare time (public).
+    pub rows: u64,
+    /// Allocated capacity at prepare time (public).
+    pub capacity: u64,
+    /// Measured materialization cost (index probes; `None` for flat
+    /// scans, whose cost is charged to the consuming operator).
+    pub actual: Option<NodeCost>,
+}
+
+/// How (and when) a filter stage's operator was fixed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectChoice {
+    /// Pinned by `PlannerConfig::force_select`.
+    Forced(SelectAlgo),
+    /// Padding mode: the Padded operator with this public output bound.
+    Padded {
+        /// Padded output size in rows (§2.3).
+        pad_rows: u64,
+    },
+    /// Cost-chosen at prepare time, with the candidate table.
+    Chosen {
+        /// The winning operator.
+        algo: SelectAlgo,
+        /// Every candidate the planner dry-ran, in admission order.
+        candidates: Vec<CandidateCost>,
+    },
+    /// Deferred to execution: the input is an intermediate (index
+    /// materialization or join output) whose shape only exists at run
+    /// time. Resolved by the same cost machinery, then written back.
+    Deferred,
+}
+
+impl SelectChoice {
+    /// The pinned operator, when one is already known.
+    pub fn algo(&self) -> Option<SelectAlgo> {
+        match self {
+            SelectChoice::Forced(a) | SelectChoice::Chosen { algo: a, .. } => Some(*a),
+            SelectChoice::Padded { .. } => Some(SelectAlgo::Padded),
+            SelectChoice::Deferred => None,
+        }
+    }
+}
+
+/// A planned selection stage.
+#[derive(Debug, Clone)]
+pub struct FilterNode {
+    /// Input plan.
+    pub input: Box<PlanNode>,
+    /// Resolved predicate (column indices, not names).
+    pub pred: Predicate,
+    /// The operator decision.
+    pub choice: SelectChoice,
+    /// Match count |R| from the prepare-time preliminary scan (`None`
+    /// when deferred or in padding mode).
+    pub est_matches: Option<u64>,
+    /// Dry-run cost estimate for the chosen operator.
+    pub est: Option<NodeCost>,
+    /// Measured cost, filled by `run()`.
+    pub actual: Option<NodeCost>,
+    /// Oblivious-memory budget (bytes) the choice assumed.
+    pub om_bytes: usize,
+    /// Output-region key, pre-allocated at prepare so the estimate and
+    /// the execution share the Hash operator's bucket functions.
+    pub(crate) out_key: Option<PlanKey>,
+}
+
+/// How (and when) a join stage's operator was fixed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinChoice {
+    /// Pinned by `PlannerConfig::force_join`.
+    Forced(JoinAlgo),
+    /// Cost-chosen at prepare time from the estimated input shapes.
+    Chosen {
+        /// The winning operator.
+        algo: JoinAlgo,
+        /// Every candidate the planner dry-ran.
+        candidates: Vec<JoinCandidateCost>,
+    },
+    /// Deferred to execution (an input shape depends on a runtime index
+    /// probe).
+    Deferred,
+}
+
+impl JoinChoice {
+    /// The pinned operator, when one is already known.
+    pub fn algo(&self) -> Option<JoinAlgo> {
+        match self {
+            JoinChoice::Forced(a) | JoinChoice::Chosen { algo: a, .. } => Some(*a),
+            JoinChoice::Deferred => None,
+        }
+    }
+}
+
+/// A planned join stage (left = FROM side / primary, right = foreign).
+#[derive(Debug, Clone)]
+pub struct JoinNode {
+    /// Left input plan.
+    pub left: Box<PlanNode>,
+    /// Right input plan.
+    pub right: Box<PlanNode>,
+    /// Join column index on the left schema.
+    pub left_col: usize,
+    /// Join column index on the right schema.
+    pub right_col: usize,
+    /// The operator decision.
+    pub choice: JoinChoice,
+    /// Dry-run cost estimate for the chosen operator.
+    pub est: Option<NodeCost>,
+    /// Measured cost, filled by `run()`.
+    pub actual: Option<NodeCost>,
+    /// Oblivious-memory budget (bytes) the choice assumed.
+    pub om_bytes: usize,
+    /// Output schema with table-qualified column names, applied to the
+    /// joined table so downstream WHERE / GROUP BY can reference them.
+    pub(crate) renamed: crate::types::Schema,
+}
+
+/// A fused select + aggregate stage (paper §4.2).
+#[derive(Debug, Clone)]
+pub struct AggregateNode {
+    /// Input plan.
+    pub input: Box<PlanNode>,
+    /// Aggregates to compute, in projection order.
+    pub items: Vec<(AggFunc, Option<String>)>,
+    /// Filter fused into the aggregation pass.
+    pub pred: Predicate,
+    /// Measured cost, filled by `run()`.
+    pub actual: Option<NodeCost>,
+}
+
+/// A grouped aggregation stage.
+#[derive(Debug, Clone)]
+pub struct GroupByNode {
+    /// Input plan.
+    pub input: Box<PlanNode>,
+    /// Grouping column index (on the input schema).
+    pub group_col: usize,
+    /// The single aggregate function.
+    pub func: AggFunc,
+    /// Aggregated column index, `None` for `COUNT(*)`.
+    pub agg_col: Option<usize>,
+    /// Filter fused into the grouping pass.
+    pub pred: Predicate,
+    /// Padded group-count bound when padding mode is on.
+    pub pad_groups: Option<u64>,
+    /// Measured cost, filled by `run()`.
+    pub actual: Option<NodeCost>,
+}
+
+/// One node of the physical plan.
+#[derive(Debug, Clone)]
+pub enum PlanNode {
+    /// Base-table access.
+    Scan(ScanNode),
+    /// Planned selection.
+    Filter(FilterNode),
+    /// Planned join.
+    Join(JoinNode),
+    /// Fused aggregates.
+    Aggregate(AggregateNode),
+    /// Grouped aggregation.
+    GroupBy(GroupByNode),
+}
+
+impl PlanNode {
+    /// The node's children, outermost first.
+    fn children(&self) -> Vec<&PlanNode> {
+        match self {
+            PlanNode::Scan(_) => Vec::new(),
+            PlanNode::Filter(f) => vec![&f.input],
+            PlanNode::Join(j) => vec![&j.left, &j.right],
+            PlanNode::Aggregate(a) => vec![&a.input],
+            PlanNode::GroupBy(g) => vec![&g.input],
+        }
+    }
+
+    /// Sum of the estimated weighted costs of this subtree's costed nodes.
+    pub fn estimated_weight(&self) -> f64 {
+        let own = match self {
+            PlanNode::Filter(f) => f.est.map(|c| c.weighted).unwrap_or(0.0),
+            PlanNode::Join(j) => j.est.map(|c| c.weighted).unwrap_or(0.0),
+            _ => 0.0,
+        };
+        own + self.children().iter().map(|c| c.estimated_weight()).sum::<f64>()
+    }
+
+    /// Sum of the measured weighted costs of this subtree's nodes.
+    pub fn actual_weight(&self) -> f64 {
+        let own = match self {
+            PlanNode::Scan(s) => s.actual.map(|c| c.weighted).unwrap_or(0.0),
+            PlanNode::Filter(f) => f.actual.map(|c| c.weighted).unwrap_or(0.0),
+            PlanNode::Join(j) => j.actual.map(|c| c.weighted).unwrap_or(0.0),
+            PlanNode::Aggregate(a) => a.actual.map(|c| c.weighted).unwrap_or(0.0),
+            PlanNode::GroupBy(g) => g.actual.map(|c| c.weighted).unwrap_or(0.0),
+        };
+        own + self.children().iter().map(|c| c.actual_weight()).sum::<f64>()
+    }
+
+    /// The first filter node in the subtree (pre-order), if any — the
+    /// usual subject of planner assertions in tests.
+    pub fn find_filter(&self) -> Option<&FilterNode> {
+        match self {
+            PlanNode::Filter(f) => Some(f),
+            _ => self.children().into_iter().find_map(|c| c.find_filter()),
+        }
+    }
+}
+
+/// A compiled SELECT: the operator tree plus the decode-side shape
+/// (projection, ORDER BY, LIMIT) that runs inside the enclave.
+#[derive(Debug, Clone)]
+pub struct SelectPlan {
+    /// The operator tree.
+    pub root: PlanNode,
+    /// The parsed statement (projection / order / limit at decode time).
+    pub(crate) stmt: sql::Select,
+}
+
+/// What a prepared statement will do when run.
+#[derive(Debug, Clone)]
+pub enum PlanAction {
+    /// `CREATE TABLE`.
+    Create(sql::CreateTable),
+    /// `INSERT`.
+    Insert(sql::Insert),
+    /// `UPDATE` with a resolved predicate and assignments.
+    Update {
+        /// Target table.
+        table: String,
+        /// `(column index, new value)` pairs.
+        assignments: Vec<(usize, Value)>,
+        /// Resolved row filter.
+        pred: Predicate,
+    },
+    /// `DELETE` with a resolved predicate.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Resolved row filter.
+        pred: Predicate,
+    },
+    /// `SELECT`.
+    Select(SelectPlan),
+    /// `EXPLAIN SELECT`: render the plan, execute nothing.
+    ExplainSelect(SelectPlan),
+}
+
+/// A compiled statement: the action, the cost profile its estimates were
+/// weighted with, and the catalog version it was planned against.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// What running the plan does.
+    pub action: PlanAction,
+    /// The profile used to weigh candidate and actual costs.
+    pub profile: CostProfile,
+    /// Catalog version at prepare time; a mismatch at run time triggers
+    /// transparent re-planning (sizes and statistics may have moved).
+    pub(crate) version: u64,
+}
+
+impl QueryPlan {
+    /// The SELECT operator tree, when this plan has one.
+    pub fn select_root(&self) -> Option<&PlanNode> {
+        match &self.action {
+            PlanAction::Select(s) | PlanAction::ExplainSelect(s) => Some(&s.root),
+            _ => None,
+        }
+    }
+}
+
+/// A rendered plan: estimated and (post-run) actual costs per node.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    lines: Vec<String>,
+}
+
+impl Explain {
+    /// Renders `plan` as an indented tree.
+    pub fn of(plan: &QueryPlan) -> Self {
+        let mut lines = Vec::new();
+        match &plan.action {
+            PlanAction::Create(c) => lines.push(format!("Create table {}", c.name)),
+            PlanAction::Insert(i) => lines.push(format!("Insert into {}", i.table)),
+            PlanAction::Update { table, .. } => {
+                lines.push(format!("Update {table} (oblivious rewrite pass)"))
+            }
+            PlanAction::Delete { table, .. } => {
+                lines.push(format!("Delete from {table} (oblivious rewrite pass)"))
+            }
+            PlanAction::Select(s) | PlanAction::ExplainSelect(s) => {
+                // Suppress each cost clause when no node carries it — a
+                // plan of uncosted nodes is "not estimated", not free.
+                let est = s.root.estimated_weight();
+                let act = s.root.actual_weight();
+                let mut header = format!("Select  [profile={}]", plan.profile.name);
+                if est > 0.0 {
+                    header.push_str(&format!("  est weighted cost {est:.1}"));
+                }
+                if act > 0.0 {
+                    header.push_str(&format!(", actual {act:.1}"));
+                }
+                lines.push(header);
+                render(&s.root, 1, &mut lines);
+            }
+        }
+        Explain { lines }
+    }
+
+    /// The rendered lines, one per row of output.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+}
+
+impl std::fmt::Display for Explain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for line in &self.lines {
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+fn render(node: &PlanNode, depth: usize, out: &mut Vec<String>) {
+    let pad = "  ".repeat(depth);
+    let push_costs = |out: &mut Vec<String>, est: &Option<NodeCost>, actual: &Option<NodeCost>| {
+        if let Some(c) = est {
+            out.push(format!("{pad}   est: {c}"));
+        }
+        if let Some(c) = actual {
+            out.push(format!("{pad}   act: {c}"));
+        }
+    };
+    match node {
+        PlanNode::Scan(s) => {
+            let access = match &s.access {
+                AccessPath::Flat => "flat".to_string(),
+                AccessPath::IndexRange { cap, .. } => format!("index range, abort cap {cap}"),
+                AccessPath::IndexFull => "index full scan".to_string(),
+            };
+            out.push(format!(
+                "{pad}-> Scan {} [{access}] rows={} cap={}",
+                s.table, s.rows, s.capacity
+            ));
+            push_costs(out, &None, &s.actual);
+        }
+        PlanNode::Filter(f) => {
+            let algo = match &f.choice {
+                SelectChoice::Forced(a) => format!("{a:?} (forced)"),
+                SelectChoice::Padded { pad_rows } => format!("Padded (bound {pad_rows})"),
+                SelectChoice::Chosen { algo, .. } => format!("{algo:?}"),
+                SelectChoice::Deferred => "deferred to run".to_string(),
+            };
+            let matches = f.est_matches.map(|m| format!(" est_rows={m}")).unwrap_or_default();
+            out.push(format!("{pad}-> Filter [{algo}]{matches} om={}B", f.om_bytes));
+            if let SelectChoice::Chosen { candidates, .. } = &f.choice {
+                let cells: Vec<String> = candidates
+                    .iter()
+                    .map(|c| format!("{:?}={:.1}", c.algo, c.cost.weighted))
+                    .collect();
+                out.push(format!("{pad}   candidates: {}", cells.join(" ")));
+            }
+            push_costs(out, &f.est, &f.actual);
+            render(&f.input, depth + 1, out);
+        }
+        PlanNode::Join(j) => {
+            let algo = match &j.choice {
+                JoinChoice::Forced(a) => format!("{a:?} (forced)"),
+                JoinChoice::Chosen { algo, .. } => format!("{algo:?}"),
+                JoinChoice::Deferred => "deferred to run".to_string(),
+            };
+            out.push(format!("{pad}-> Join [{algo}] om={}B", j.om_bytes));
+            if let JoinChoice::Chosen { candidates, .. } = &j.choice {
+                let cells: Vec<String> = candidates
+                    .iter()
+                    .map(|c| format!("{:?}={:.1}", c.algo, c.cost.weighted))
+                    .collect();
+                out.push(format!("{pad}   candidates: {}", cells.join(" ")));
+            }
+            push_costs(out, &j.est, &j.actual);
+            render(&j.left, depth + 1, out);
+            render(&j.right, depth + 1, out);
+        }
+        PlanNode::Aggregate(a) => {
+            let items: Vec<String> = a
+                .items
+                .iter()
+                .map(|(f, c)| format!("{f:?}({})", c.as_deref().unwrap_or("*")))
+                .collect();
+            out.push(format!("{pad}-> Aggregate [{}] (fused)", items.join(", ")));
+            push_costs(out, &None, &a.actual);
+            render(&a.input, depth + 1, out);
+        }
+        PlanNode::GroupBy(g) => {
+            let bound = g.pad_groups.map(|p| format!(" padded_groups={p}")).unwrap_or_default();
+            out.push(format!("{pad}-> GroupBy [{:?}]{bound}", g.func));
+            push_costs(out, &None, &g.actual);
+            render(&g.input, depth + 1, out);
+        }
+    }
+}

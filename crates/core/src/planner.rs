@@ -54,6 +54,32 @@ pub struct SelectStats {
     pub continuous: bool,
 }
 
+/// How the planner prices candidate operators.
+#[derive(Debug, Clone)]
+pub enum CostModel {
+    /// The closed-form access-count formulas (paper §5 as originally
+    /// reproduced). Kept for comparison and for the parity tests; the
+    /// measured model subsumes it.
+    ClosedForm,
+    /// Dry-run each candidate against a scratch
+    /// [`CountingMemory`](oblidb_enclave::CountingMemory), count blocks
+    /// and boundary crossings, and weigh them with the per-substrate
+    /// [`CostProfile`](crate::plan::cost::CostProfile) — the
+    /// cost-calibrated planner (ROADMAP).
+    Measured(crate::plan::cost::CostProfile),
+}
+
+impl CostModel {
+    /// The profile used for weighting (the closed-form model reports
+    /// costs under the default profile for explain purposes).
+    pub fn profile(&self) -> crate::plan::cost::CostProfile {
+        match self {
+            CostModel::ClosedForm => crate::plan::cost::CostProfile::default(),
+            CostModel::Measured(p) => p.clone(),
+        }
+    }
+}
+
 /// Planner tunables.
 #[derive(Debug, Clone)]
 pub struct PlannerConfig {
@@ -64,15 +90,25 @@ pub struct PlannerConfig {
     /// Fraction of the table above which Large is used ("contains almost
     /// every row", §4.1).
     pub large_threshold: f64,
-    /// Maximum Small passes before falling back to Hash. Small costs
-    /// ≈ passes·N reads vs Hash's ≈ 21·N accesses, so the break-even sits
-    /// around 16–20 passes; measured calibration in the fig13 harness.
+    /// Maximum Small passes before falling back to Hash — a
+    /// [`CostModel::ClosedForm`]-only proxy for the pass cost (Small is
+    /// ≈ passes·N reads vs Hash's ≈ 21·N accesses, break-even around
+    /// 16–20 passes; measured calibration in the fig13 harness). The
+    /// measured model prices the passes directly — block counts and
+    /// crossing weight — so it deliberately ignores this cap: on a
+    /// dear-crossing substrate, 50 cheap sequential passes legitimately
+    /// beat ~2·N crossings.
     pub small_max_passes: u64,
     /// Operator overrides ("users can also manually choose to force a
     /// particular operator", §5).
     pub force_select: Option<SelectAlgo>,
     /// Join override.
     pub force_join: Option<JoinAlgo>,
+    /// How candidates are priced. Defaults to the measured model under
+    /// the (substrate-neutral) host profile, so plan choices — which are
+    /// deliberate leakage — stay identical across substrates unless a
+    /// per-substrate profile is opted into.
+    pub cost_model: CostModel,
 }
 
 impl Default for PlannerConfig {
@@ -83,6 +119,7 @@ impl Default for PlannerConfig {
             small_max_passes: 16,
             force_select: None,
             force_join: None,
+            cost_model: CostModel::Measured(crate::plan::cost::CostProfile::host()),
         }
     }
 }

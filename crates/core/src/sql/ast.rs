@@ -17,6 +17,9 @@ pub enum Statement {
     Update(Update),
     /// `DELETE FROM ...`
     Delete(Delete),
+    /// `EXPLAIN SELECT ...` — compile and cost the plan, execute nothing;
+    /// the result set is the rendered plan, one line per row.
+    Explain(Select),
 }
 
 /// One column definition in CREATE TABLE.

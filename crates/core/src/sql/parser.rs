@@ -96,6 +96,9 @@ impl Parser {
             Statement::Update(self.update()?)
         } else if self.eat_kw("delete") {
             Statement::Delete(self.delete()?)
+        } else if self.eat_kw("explain") {
+            self.expect_kw("select")?;
+            Statement::Explain(self.select()?)
         } else {
             return Err(DbError::Sql(format!("unknown statement start: {:?}", self.peek())));
         };

@@ -105,6 +105,24 @@ impl std::ops::Add for HostStats {
     }
 }
 
+impl std::ops::Sub for HostStats {
+    type Output = HostStats;
+
+    /// Counter delta (saturating, so a reset between snapshots cannot
+    /// underflow): the access cost of the work between two
+    /// [`EnclaveMemory::stats`](crate::EnclaveMemory::stats) snapshots —
+    /// how the planner attributes measured cost to individual plan nodes.
+    fn sub(self, rhs: HostStats) -> HostStats {
+        HostStats {
+            reads: self.reads.saturating_sub(rhs.reads),
+            writes: self.writes.saturating_sub(rhs.writes),
+            bytes_read: self.bytes_read.saturating_sub(rhs.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(rhs.bytes_written),
+            crossings: self.crossings.saturating_sub(rhs.crossings),
+        }
+    }
+}
+
 impl std::iter::Sum for HostStats {
     fn sum<I: Iterator<Item = HostStats>>(iter: I) -> HostStats {
         iter.fold(HostStats::default(), |acc, s| acc + s)

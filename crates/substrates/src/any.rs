@@ -49,7 +49,145 @@ pub enum SubstrateSpec {
     },
 }
 
+/// Why a substrate spec string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseSubstrateError {
+    /// Unknown leading keyword (expected `host`, `disk`, `cached`, or
+    /// `sharded`).
+    UnknownKind(String),
+    /// `cached:`/`sharded:` wraps something that is not `host`/`disk`.
+    UnknownInner(String),
+    /// A numeric field (cache blocks, shard count) failed to parse or was
+    /// zero.
+    BadNumber {
+        /// Which field.
+        field: &'static str,
+        /// The offending text.
+        got: String,
+    },
+    /// The spec ended where more was required (e.g. `sharded:4`).
+    Incomplete(&'static str),
+}
+
+impl std::fmt::Display for ParseSubstrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseSubstrateError::UnknownKind(s) => {
+                write!(f, "unknown substrate '{s}' (expected host | disk[:dir] | cached[:blocks]:<inner> | sharded:<n>:<inner>)")
+            }
+            ParseSubstrateError::UnknownInner(s) => {
+                write!(f, "unknown inner substrate '{s}' (expected host or disk[:dir])")
+            }
+            ParseSubstrateError::BadNumber { field, got } => {
+                write!(f, "invalid {field} '{got}' (expected a positive integer)")
+            }
+            ParseSubstrateError::Incomplete(what) => write!(f, "spec is missing {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseSubstrateError {}
+
+/// Default hot-block cache capacity when a `cached:` spec names none.
+pub const DEFAULT_CACHE_BLOCKS: usize = 4096;
+
+impl std::str::FromStr for SubstrateSpec {
+    type Err = ParseSubstrateError;
+
+    /// Parses the configuration-string form used by `OBLIDB_SUBSTRATE`:
+    ///
+    /// * `host`
+    /// * `disk` | `disk:/path/to/dir`
+    /// * `cached:<inner>` | `cached:<blocks>:<inner>` — e.g.
+    ///   `cached:disk:/data`, `cached:8192:host`
+    /// * `sharded:<n>:<inner>` — e.g. `sharded:4:host`,
+    ///   `sharded:2:disk:/data`
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        fn inner_disk_dir(rest: Option<&str>) -> Option<PathBuf> {
+            rest.filter(|p| !p.is_empty()).map(PathBuf::from)
+        }
+        let (kind, rest) = match s.split_once(':') {
+            Some((k, r)) => (k, Some(r)),
+            None => (s, None),
+        };
+        match kind.trim().to_ascii_lowercase().as_str() {
+            "host" => Ok(SubstrateSpec::Host),
+            "disk" => Ok(SubstrateSpec::Disk { dir: inner_disk_dir(rest) }),
+            "cached" => {
+                let rest = rest.ok_or(ParseSubstrateError::Incomplete("an inner substrate"))?;
+                // Optional leading block count.
+                let (capacity_blocks, inner) = match rest.split_once(':') {
+                    Some((first, tail)) if first.chars().all(|c| c.is_ascii_digit()) => {
+                        let n = first.parse::<usize>().ok().filter(|n| *n > 0).ok_or(
+                            ParseSubstrateError::BadNumber {
+                                field: "cache block count",
+                                got: first.to_string(),
+                            },
+                        )?;
+                        (n, tail)
+                    }
+                    _ => (DEFAULT_CACHE_BLOCKS, rest),
+                };
+                let (ik, irest) = match inner.split_once(':') {
+                    Some((k, r)) => (k, Some(r)),
+                    None => (inner, None),
+                };
+                match ik.trim().to_ascii_lowercase().as_str() {
+                    "host" => Ok(SubstrateSpec::CachedHost { capacity_blocks }),
+                    "disk" => Ok(SubstrateSpec::CachedDisk {
+                        dir: inner_disk_dir(irest),
+                        capacity_blocks,
+                    }),
+                    other => Err(ParseSubstrateError::UnknownInner(other.to_string())),
+                }
+            }
+            "sharded" => {
+                let rest = rest.ok_or(ParseSubstrateError::Incomplete("a shard count"))?;
+                let (count, inner) = rest
+                    .split_once(':')
+                    .ok_or(ParseSubstrateError::Incomplete("an inner substrate"))?;
+                let shards = count.parse::<usize>().ok().filter(|n| *n > 0).ok_or(
+                    ParseSubstrateError::BadNumber { field: "shard count", got: count.to_string() },
+                )?;
+                let (ik, irest) = match inner.split_once(':') {
+                    Some((k, r)) => (k, Some(r)),
+                    None => (inner, None),
+                };
+                match ik.trim().to_ascii_lowercase().as_str() {
+                    "host" => Ok(SubstrateSpec::ShardedHost { shards }),
+                    "disk" => Ok(SubstrateSpec::ShardedDisk { dir: inner_disk_dir(irest), shards }),
+                    other => Err(ParseSubstrateError::UnknownInner(other.to_string())),
+                }
+            }
+            other => Err(ParseSubstrateError::UnknownKind(other.to_string())),
+        }
+    }
+}
+
 impl SubstrateSpec {
+    /// Reads the spec from the `OBLIDB_SUBSTRATE` environment variable
+    /// ([`SubstrateSpec::Host`] when unset or empty).
+    pub fn from_env() -> Result<Self, ParseSubstrateError> {
+        match std::env::var("OBLIDB_SUBSTRATE") {
+            Ok(s) if !s.trim().is_empty() => s.trim().parse(),
+            _ => Ok(SubstrateSpec::Host),
+        }
+    }
+
+    /// The substrate label this spec builds — the same string
+    /// [`AnySubstrate::label`] reports, and the conventional key for a
+    /// per-substrate cost profile (`oblidb_core::CostProfile::named`).
+    pub fn profile_name(&self) -> &'static str {
+        match self {
+            SubstrateSpec::Host => "host",
+            SubstrateSpec::Disk { .. } => "disk",
+            SubstrateSpec::CachedHost { .. } => "cached-host",
+            SubstrateSpec::CachedDisk { .. } => "cached-disk",
+            SubstrateSpec::ShardedHost { .. } => "sharded-host",
+            SubstrateSpec::ShardedDisk { .. } => "sharded-disk",
+        }
+    }
+
     /// Builds the substrate this spec describes.
     pub fn build(&self) -> std::io::Result<AnySubstrate> {
         Ok(match self {
@@ -293,6 +431,73 @@ mod tests {
             SubstrateSpec::ShardedDisk { dir: None, shards: 2 },
         ] {
             roundtrip(&spec);
+        }
+    }
+
+    #[test]
+    fn spec_parses_from_strings() {
+        let cases: Vec<(&str, SubstrateSpec)> = vec![
+            ("host", SubstrateSpec::Host),
+            ("disk", SubstrateSpec::Disk { dir: None }),
+            ("disk:/tmp/obli", SubstrateSpec::Disk { dir: Some("/tmp/obli".into()) }),
+            ("cached:host", SubstrateSpec::CachedHost { capacity_blocks: DEFAULT_CACHE_BLOCKS }),
+            ("cached:512:host", SubstrateSpec::CachedHost { capacity_blocks: 512 }),
+            (
+                "cached:disk:/data",
+                SubstrateSpec::CachedDisk {
+                    dir: Some("/data".into()),
+                    capacity_blocks: DEFAULT_CACHE_BLOCKS,
+                },
+            ),
+            ("cached:128:disk", SubstrateSpec::CachedDisk { dir: None, capacity_blocks: 128 }),
+            ("sharded:4:host", SubstrateSpec::ShardedHost { shards: 4 }),
+            (
+                "sharded:2:disk:/data",
+                SubstrateSpec::ShardedDisk { dir: Some("/data".into()), shards: 2 },
+            ),
+        ];
+        for (text, expect) in cases {
+            assert_eq!(text.parse::<SubstrateSpec>().unwrap(), expect, "{text}");
+        }
+    }
+
+    #[test]
+    fn spec_parse_errors_are_typed() {
+        assert!(matches!(
+            "floppy".parse::<SubstrateSpec>(),
+            Err(ParseSubstrateError::UnknownKind(k)) if k == "floppy"
+        ));
+        assert!(matches!(
+            "cached:tape".parse::<SubstrateSpec>(),
+            Err(ParseSubstrateError::UnknownInner(k)) if k == "tape"
+        ));
+        assert!(matches!(
+            "sharded:0:host".parse::<SubstrateSpec>(),
+            Err(ParseSubstrateError::BadNumber { field: "shard count", .. })
+        ));
+        assert!(matches!(
+            "cached:0:host".parse::<SubstrateSpec>(),
+            Err(ParseSubstrateError::BadNumber { field: "cache block count", .. })
+        ));
+        assert!(matches!(
+            "sharded:4".parse::<SubstrateSpec>(),
+            Err(ParseSubstrateError::Incomplete(_))
+        ));
+        assert!(matches!(
+            "cached".parse::<SubstrateSpec>(),
+            Err(ParseSubstrateError::Incomplete(_))
+        ));
+        // Errors render a usable hint.
+        let msg = "floppy".parse::<SubstrateSpec>().unwrap_err().to_string();
+        assert!(msg.contains("expected host | disk"), "{msg}");
+    }
+
+    #[test]
+    fn profile_names_match_labels() {
+        for text in ["host", "disk", "cached:host", "cached:disk", "sharded:2:host"] {
+            let spec: SubstrateSpec = text.parse().unwrap();
+            let built = spec.build().unwrap();
+            assert_eq!(spec.profile_name(), built.label(), "{text}");
         }
     }
 

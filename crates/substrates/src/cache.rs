@@ -60,9 +60,10 @@ struct Entry {
 /// read larger than the capacity still completes — it just cannot retain
 /// the whole run.
 ///
-/// Misses are currently fetched from the inner substrate one block at a
-/// time (preserving `Host`-exact failure ordering inside batches); run
-/// coalescing for batched misses is a planned follow-up.
+/// Consecutive misses inside a batched read are coalesced into one
+/// batched inner fetch (one inner crossing per run); a failing run is
+/// replayed per block, preserving `Host`-exact failure ordering inside
+/// batches.
 pub struct CachedMemory<M: EnclaveMemory> {
     inner: M,
     capacity: usize,
@@ -219,6 +220,15 @@ impl<M: EnclaveMemory> CachedMemory<M> {
     /// through the cache (Host's per-block contract), one logical
     /// crossing. `region_len` is pre-fetched by the caller (Host checks
     /// the region before recording any batch event).
+    ///
+    /// Consecutive cache misses are **coalesced**: a run of
+    /// block-consecutive, uncached, in-bounds indices is fetched from the
+    /// inner substrate with one batched `read_blocks` call — one inner
+    /// crossing for the whole run, where the per-block path paid one per
+    /// miss (the decisive saving when the inner store is
+    /// [`DiskMemory`](crate::DiskMemory)). A run whose batched fetch
+    /// fails is replayed per block so errors keep Host-exact ordering,
+    /// state, and identity.
     fn read_gather(
         &mut self,
         region: RegionId,
@@ -227,21 +237,87 @@ impl<M: EnclaveMemory> CachedMemory<M> {
         out: &mut Vec<u8>,
     ) -> Result<(), HostError> {
         out.clear();
+        let block_size = self.inner.region_block_size(region)?;
+        let idx: Vec<u64> = indices.collect();
         let mut crossed = false;
-        for index in indices {
+        let mut fetched = Vec::new();
+        let mut i = 0;
+        while i < idx.len() {
+            let index = idx[i];
             self.record(region, index, AccessKind::Read);
             if index >= len {
                 return Err(HostError::OutOfBounds { region, index, len });
             }
             let key = (region, index);
-            let payload = self.load(key)?;
-            if !crossed {
-                Self::cross(&mut self.stats, self.crossing_spins);
-                crossed = true;
+            if self.entries.contains_key(&key) || block_size == 0 {
+                // Hit (or a degenerate zero-size block region, which the
+                // batch buffer cannot express): the per-block path.
+                let payload = self.load(key)?;
+                if !crossed {
+                    Self::cross(&mut self.stats, self.crossing_spins);
+                    crossed = true;
+                }
+                out.extend_from_slice(&self.entries[&key].data);
+                self.stats.reads += 1;
+                self.stats.bytes_read += payload as u64;
+                i += 1;
+                continue;
             }
-            out.extend_from_slice(&self.entries[&key].data);
-            self.stats.reads += 1;
-            self.stats.bytes_read += payload as u64;
+            // Miss: extend the run while the request keeps asking for the
+            // next consecutive block and it is uncached and in bounds.
+            // (Cached blocks stop the run — they may hold dirty data the
+            // inner substrate has not seen.)
+            let mut run = 1;
+            while i + run < idx.len()
+                && idx[i + run] == index + run as u64
+                && idx[i + run] < len
+                && !self.entries.contains_key(&(region, idx[i + run]))
+            {
+                run += 1;
+            }
+            match self.inner.read_blocks(region, index, run, &mut fetched) {
+                Ok(()) => {
+                    for (j, chunk) in fetched.chunks_exact(block_size).enumerate() {
+                        let j_index = index + j as u64;
+                        if j > 0 {
+                            self.record(region, j_index, AccessKind::Read);
+                        }
+                        self.cache_stats.misses += 1;
+                        self.install((region, j_index), chunk.to_vec(), false)?;
+                        if !crossed {
+                            Self::cross(&mut self.stats, self.crossing_spins);
+                            crossed = true;
+                        }
+                        out.extend_from_slice(chunk);
+                        self.stats.reads += 1;
+                        self.stats.bytes_read += block_size as u64;
+                    }
+                    i += run;
+                }
+                Err(_) => {
+                    // The run contains a failing block. Replay the WHOLE
+                    // run per block (not just the first index, which would
+                    // rebuild ever-shorter doomed batches): blocks before
+                    // the failure load and cache exactly as the unbatched
+                    // path would, and the failing index surfaces its own
+                    // error with its trace event already recorded.
+                    for j in 0..run {
+                        let j_index = index + j as u64;
+                        if j > 0 {
+                            self.record(region, j_index, AccessKind::Read);
+                        }
+                        let payload = self.load((region, j_index))?;
+                        if !crossed {
+                            Self::cross(&mut self.stats, self.crossing_spins);
+                            crossed = true;
+                        }
+                        out.extend_from_slice(&self.entries[&(region, j_index)].data);
+                        self.stats.reads += 1;
+                        self.stats.bytes_read += payload as u64;
+                    }
+                    i += run;
+                }
+            }
         }
         Ok(())
     }
@@ -545,6 +621,95 @@ mod tests {
         // A new region may reuse block addresses; stale data must be gone.
         let r2 = m.alloc_region(2, 4);
         assert_eq!(m.read(r2, 0), Err(HostError::EmptyBlock(r2, 0)));
+    }
+
+    #[test]
+    fn batched_misses_coalesce_into_one_inner_fetch() {
+        // 16 cold blocks, written straight through to inner so the cache
+        // holds nothing: one batched read must cost ONE inner crossing,
+        // not sixteen.
+        let mut m = CachedMemory::new(Host::new(), 32);
+        let r = m.alloc_region(16, 4);
+        m.write_blocks(r, 0, &[9u8; 64]).unwrap();
+        // Fill the cache from another region so every region-r entry is
+        // evicted (written back), then sync so the cache holds only clean
+        // blocks — the measured read then pays no writeback traffic.
+        let spill = m.alloc_region(32, 4);
+        m.write_blocks(spill, 0, &[0u8; 128]).unwrap();
+        assert_eq!(m.cached_blocks(), 32, "region-r entries were evicted");
+        m.sync().unwrap();
+        m.inner_mut().reset_stats();
+        m.reset_stats();
+
+        let mut out = Vec::new();
+        m.read_blocks(r, 0, 16, &mut out).unwrap();
+        assert_eq!(out, vec![9u8; 64]);
+        let cs = m.cache_stats();
+        assert_eq!((cs.hits, cs.misses), (0, 16), "all cold");
+        assert_eq!(
+            m.inner().stats().crossings,
+            1,
+            "16 consecutive misses coalesce into one batched inner read"
+        );
+        assert_eq!(m.inner().stats().reads, 16);
+        assert_eq!(m.stats().crossings, 1, "wrapper still reports one logical crossing");
+
+        // A cached block mid-range splits the run — it may hold dirty
+        // data the inner substrate has not seen, and must be served from
+        // the cache, never refetched.
+        let mut m2 = CachedMemory::new(Host::new(), 16);
+        let r2 = m2.alloc_region(8, 4);
+        // Seed inner directly (substrate-level population the cache never
+        // saw), then dirty block 4 through the wrapper.
+        m2.inner_mut().write_blocks(r2, 0, &[1u8; 32]).unwrap();
+        m2.write(r2, 4, &[7u8; 4]).unwrap();
+        m2.inner_mut().reset_stats();
+        let mut out2 = Vec::new();
+        m2.read_blocks(r2, 0, 8, &mut out2).unwrap();
+        let mut expect = vec![1u8; 32];
+        expect[16..20].copy_from_slice(&[7u8; 4]);
+        assert_eq!(out2, expect, "the dirty cached block wins over inner");
+        let cs2 = m2.cache_stats();
+        assert_eq!((cs2.hits, cs2.misses), (1, 7));
+        assert_eq!(
+            m2.inner().stats().crossings,
+            2,
+            "runs 0..4 and 5..8 are one coalesced fetch each; the hit splits them"
+        );
+    }
+
+    #[test]
+    fn coalesced_misses_keep_host_error_contract() {
+        // Blocks 0..2 written, 2 empty, 3 written: a batched read of 0..4
+        // must fail with EmptyBlock(2) after successfully tracing 0,1,2 —
+        // exactly as Host would.
+        fn drive<M: EnclaveMemory>(m: &mut M) -> (Trace, Result<(), HostError>) {
+            let r = m.alloc_region(4, 2);
+            m.write_blocks(r, 0, &[1, 1, 2, 2]).unwrap();
+            m.write(r, 3, &[3, 3]).unwrap();
+            m.start_trace();
+            let mut out = Vec::new();
+            let res = m.read_blocks(r, 0, 4, &mut out).map(|_| ());
+            (m.take_trace(), res)
+        }
+        let (ht, hr) = drive(&mut Host::new());
+        let mut cached = CachedMemory::new(Host::new(), 8);
+        // Push the written blocks down to inner and clear the cache so the
+        // miss path (and its fallback) is what gets exercised.
+        let (ct, cr) = {
+            let r = cached.alloc_region(4, 2);
+            cached.write_blocks(r, 0, &[1, 1, 2, 2]).unwrap();
+            cached.write(r, 3, &[3, 3]).unwrap();
+            cached.sync().unwrap();
+            let spill = cached.alloc_region(8, 2);
+            cached.write_blocks(spill, 0, &[0u8; 16]).unwrap();
+            cached.start_trace();
+            let mut out = Vec::new();
+            let res = cached.read_blocks(r, 0, 4, &mut out).map(|_| ());
+            (cached.take_trace(), res)
+        };
+        assert_eq!(hr, cr, "same error, same identity");
+        assert_eq!(ht, ct, "same per-block trace up to and including the failure");
     }
 
     #[test]

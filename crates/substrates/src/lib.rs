@@ -42,7 +42,7 @@ mod disk;
 mod shard;
 mod tempdir;
 
-pub use any::{AnySubstrate, SubstrateSpec};
+pub use any::{AnySubstrate, ParseSubstrateError, SubstrateSpec, DEFAULT_CACHE_BLOCKS};
 pub use cache::{CacheStats, CachedMemory};
 pub use disk::DiskMemory;
 pub use shard::ShardedMemory;

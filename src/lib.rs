@@ -71,3 +71,22 @@ pub fn database_on(
 ) -> std::io::Result<core::Database<substrates::AnySubstrate>> {
     Ok(core::Database::with_memory(spec.build()?, config))
 }
+
+/// Like [`database_on`], but with the planner's cost model **calibrated to
+/// the substrate**: the [`core::CostProfile`] conventionally paired with
+/// the spec's label (`disk` ≫ `cached` ≫ `host` crossing weight) is
+/// installed into `config.planner.cost_model`, so the same query can
+/// legitimately pick a different physical operator here than on an
+/// in-memory engine.
+///
+/// Note this makes plan choices — deliberate, §2.3-sanctioned leakage —
+/// substrate-dependent. Use [`database_on`] when traces must be identical
+/// across substrates (the conformance suite does).
+pub fn database_on_calibrated(
+    spec: &substrates::SubstrateSpec,
+    mut config: core::DbConfig,
+) -> std::io::Result<core::Database<substrates::AnySubstrate>> {
+    config.planner.cost_model =
+        core::CostModel::Measured(core::CostProfile::named(spec.profile_name()));
+    database_on(spec, config)
+}
