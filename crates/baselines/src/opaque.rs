@@ -223,7 +223,7 @@ impl<M: EnclaveMemory> OpaqueEngine<M> {
             None => out_dummy.clone(),
         };
         out.write_row(&mut self.host, n, &flush)?;
-        sorted.free(&mut self.host);
+        sorted.free(&mut self.host)?;
         out.set_num_rows(groups);
         out.set_insert_cursor(out.capacity());
         Ok(out)

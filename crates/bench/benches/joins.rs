@@ -27,7 +27,7 @@ fn bench_joins(c: &mut Criterion) {
             b.iter(|| {
                 let out =
                     hash_join(&mut host, &om, &mut t1, 0, &mut t2, 0, AeadKey([9u8; 32])).unwrap();
-                out.free(&mut host);
+                out.free(&mut host).unwrap();
             });
         });
         group.bench_with_input(BenchmarkId::new("opaque", name), &om_rows, |b, &om_rows| {
@@ -47,7 +47,7 @@ fn bench_joins(c: &mut Criterion) {
                     SortMergeVariant::Opaque,
                 )
                 .unwrap();
-                out.free(&mut host);
+                out.free(&mut host).unwrap();
             });
         });
     }
@@ -68,7 +68,7 @@ fn bench_joins(c: &mut Criterion) {
                 SortMergeVariant::ZeroOm { scratch_rows: 64 },
             )
             .unwrap();
-            out.free(&mut host);
+            out.free(&mut host).unwrap();
         });
     });
     group.finish();

@@ -78,12 +78,12 @@ fn run_opaque(rankings: &[Vec<Value>], visits: &[Vec<Value>]) -> Timings {
     let start = Instant::now();
     let out = eng.select(&mut tr, &q1_pred).unwrap();
     let q1 = start.elapsed();
-    out.free(&mut eng.host);
+    out.free(&mut eng.host).unwrap();
 
     let start = Instant::now();
     let out = eng.group_aggregate(&mut tv, 1, AggFunc::Sum, Some(4), &Predicate::True).unwrap();
     let q2 = start.elapsed();
-    out.free(&mut eng.host);
+    out.free(&mut eng.host).unwrap();
 
     // Q3: filter visits by date (select), join, aggregate.
     let date_pred = Predicate::cmp(
@@ -99,8 +99,8 @@ fn run_opaque(rankings: &[Vec<Value>], visits: &[Vec<Value>]) -> Timings {
     let _avg = eng.aggregate(&mut joined, AggFunc::Avg, Some(1), &Predicate::True).unwrap();
     let _sum = eng.aggregate(&mut joined, AggFunc::Sum, Some(7), &Predicate::True).unwrap();
     let q3 = start.elapsed();
-    filtered.free(&mut eng.host);
-    joined.free(&mut eng.host);
+    filtered.free(&mut eng.host).unwrap();
+    joined.free(&mut eng.host).unwrap();
 
     Timings { q1, q2, q3 }
 }

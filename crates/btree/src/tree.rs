@@ -852,8 +852,9 @@ impl ObTree {
     }
 
     /// Releases untrusted memory.
-    pub fn free<M: EnclaveMemory>(self, host: &mut M) {
-        self.oram.free(host);
+    pub fn free<M: EnclaveMemory>(self, host: &mut M) -> Result<(), ObTreeError> {
+        self.oram.free(host)?;
+        Ok(())
     }
 }
 

@@ -19,6 +19,10 @@
 //!    each node's actual access counts as it goes. [`Database::execute`]
 //!    remains as a thin prepare-then-run shim.
 
+pub mod persist;
+
+use std::collections::HashMap;
+
 use oblidb_crypto::aead::AeadKey;
 use oblidb_enclave::{EnclaveMemory, EnclaveRng, Host, OmBudget, Trace, DEFAULT_OM_BYTES};
 
@@ -161,6 +165,15 @@ pub struct Database<M: EnclaveMemory = Host> {
     om: OmBudget,
     rng: EnclaveRng,
     master_key: [u8; 32],
+    /// Per-incarnation entropy folded into every derived region key:
+    /// two engine incarnations (e.g. a crash rebuild replaying only the
+    /// WAL-logged prefix of the original history) must never seal
+    /// different plaintexts under the same (key, region, nonce) triple,
+    /// and the nonce counter alone cannot guarantee that because region
+    /// ids and key counters replay deterministically. Persisted keys are
+    /// wrapped in the manifest, so reopening does not need to re-derive
+    /// them.
+    key_epoch: [u8; 16],
     key_counter: u64,
     tables: Vec<(String, TableStorage)>,
     config: DbConfig,
@@ -168,7 +181,28 @@ pub struct Database<M: EnclaveMemory = Host> {
     /// Bumped on every catalog or data mutation; prepared statements
     /// re-plan transparently when their snapshot goes stale.
     version: u64,
+    /// Compiled SELECT plans keyed by statement text, each validated
+    /// against the catalog version it was planned under — repeated
+    /// `prepare` of the same SQL skips parsing, the preliminary scan, and
+    /// dry-run costing. Any catalog/data change (version bump) makes an
+    /// entry stale; DDL included.
+    plan_cache: HashMap<String, QueryPlan>,
+    plan_cache_stats: PlanCacheStats,
 }
+
+/// Hit/miss counters for the prepared-plan cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// `prepare` calls served from the cache (same SQL, same catalog
+    /// version — no parse, no preliminary scan, no dry-run costing).
+    pub hits: u64,
+    /// `prepare` calls that compiled a plan (first sight, or stale).
+    pub misses: u64,
+}
+
+/// Cached plans beyond this are evicted stale-first (then wholesale) —
+/// a bound, not a tuning knob; plans are small.
+const PLAN_CACHE_CAP: usize = 128;
 
 impl Database<Host> {
     /// Creates an empty database over a fresh in-memory [`Host`].
@@ -180,33 +214,71 @@ impl Database<Host> {
 impl<M: EnclaveMemory> Database<M> {
     /// Creates an empty database over a caller-provided memory substrate.
     ///
+    /// Convenience wrapper over [`Database::try_with_memory`] that panics
+    /// if the substrate cannot allocate the WAL region — impossible for
+    /// in-memory substrates; use `try_with_memory` when handing over a
+    /// disk-backed substrate whose allocation can genuinely fail.
+    ///
     /// Payload-free substrates (e.g. `CountingMemory`) support flat
     /// storage with padding mode or a forced size-oblivious select;
     /// adaptive planning and indexed storage return typed errors there,
     /// since both depend on payload contents.
     pub fn with_memory(host: M, config: DbConfig) -> Self {
-        let mut rng = EnclaveRng::seed_from_u64(config.seed);
-        let mut master_key = [0u8; 32];
-        rng.fill(&mut master_key);
+        Self::try_with_memory(host, config).expect("substrate failed to allocate the WAL region")
+    }
+
+    /// Creates an empty database over a caller-provided memory substrate,
+    /// surfacing substrate allocation failure (e.g. a full disk while
+    /// creating the WAL region) as a typed error instead of panicking.
+    pub fn try_with_memory(host: M, config: DbConfig) -> Result<Self, DbError> {
+        // A fresh engine keeps the all-zero epoch: its nonce counters
+        // alone guarantee uniqueness within the incarnation, and
+        // deterministic keys under a fixed seed are part of the
+        // reproducibility contract (trace-equality tests construct
+        // parallel engines). Incarnations that *share a store* with a
+        // predecessor (reopen, crash rebuild) must use
+        // [`Database::try_with_memory_fresh_epoch`] /
+        // [`Database::open_with_memory`] instead, which randomize it.
+        Self::try_with_memory_at_epoch(host, config, [0u8; 16])
+    }
+
+    /// [`Database::try_with_memory`] with a freshly randomized key epoch:
+    /// for engines rebuilt over a store an earlier incarnation wrote
+    /// (crash recovery), where replaying a prefix of the old history
+    /// would otherwise re-derive the same region keys and nonce counters
+    /// for different plaintexts — ciphertexts the untrusted host still
+    /// holds.
+    pub fn try_with_memory_fresh_epoch(host: M, config: DbConfig) -> Result<Self, DbError> {
+        let (mut rng, _) = persist::derive_identity(config.seed);
+        let epoch = persist::fresh_key_epoch(&mut rng);
+        Self::try_with_memory_at_epoch(host, config, epoch)
+    }
+
+    fn try_with_memory_at_epoch(
+        host: M,
+        config: DbConfig,
+        key_epoch: [u8; 16],
+    ) -> Result<Self, DbError> {
+        let (rng, master_key) = persist::derive_identity(config.seed);
         let mut db = Database {
             host,
             om: OmBudget::new(config.om_bytes),
             rng,
             master_key,
+            key_epoch,
             key_counter: 0,
             tables: Vec::new(),
             config,
             wal: None,
             version: 0,
+            plan_cache: HashMap::new(),
+            plan_cache_stats: PlanCacheStats::default(),
         };
         if let Some(wal_config) = db.config.wal {
             let key = db.next_key();
-            db.wal = Some(
-                crate::wal::Wal::create(&mut db.host, key, wal_config)
-                    .expect("fresh host accepts the WAL region"),
-            );
+            db.wal = Some(crate::wal::Wal::create(&mut db.host, key, wal_config)?);
         }
-        db
+        Ok(db)
     }
 
     /// Decrypts and returns the logged mutation statements, oldest first
@@ -269,18 +341,23 @@ impl<M: EnclaveMemory> Database<M> {
         }
     }
 
-    /// Fresh derived key for a new region/table.
+    /// Fresh derived key for a new region/table: master key, incarnation
+    /// epoch, and a monotone counter — unique per region per incarnation.
     fn next_key(&mut self) -> AeadKey {
         self.key_counter += 1;
-        AeadKey(oblidb_crypto::derive_key(
-            &self.master_key,
-            format!("region:{}", self.key_counter).as_bytes(),
-        ))
+        let mut label = Vec::with_capacity(7 + 16 + 8);
+        label.extend_from_slice(b"region:");
+        label.extend_from_slice(&self.key_epoch);
+        label.extend_from_slice(&self.key_counter.to_le_bytes());
+        AeadKey(oblidb_crypto::derive_key(&self.master_key, &label))
     }
 
     /// Engine configuration (mutable, so experiments can flip planner
-    /// settings between queries).
+    /// settings between queries). Handing out the borrow drops every
+    /// cached plan: planner settings are part of what a plan was compiled
+    /// under, and the catalog version cannot see them change.
     pub fn config_mut(&mut self) -> &mut DbConfig {
+        self.plan_cache.clear();
         &mut self.config
     }
 
@@ -368,7 +445,9 @@ impl<M: EnclaveMemory> Database<M> {
                 let indexed = match indexed {
                     Ok(i) => i,
                     Err(e) => {
-                        flat.free(&mut self.host);
+                        // Best-effort cleanup; the index failure is the
+                        // error worth surfacing.
+                        let _ = flat.free(&mut self.host);
                         return Err(e);
                     }
                 };
@@ -452,7 +531,9 @@ impl<M: EnclaveMemory> Database<M> {
                 ) {
                     Ok(i) => i,
                     Err(e) => {
-                        flat.free(&mut self.host);
+                        // Best-effort cleanup; the index failure is the
+                        // error worth surfacing.
+                        let _ = flat.free(&mut self.host);
                         return Err(e);
                     }
                 };
@@ -572,9 +653,38 @@ impl<M: EnclaveMemory> Database<M> {
     /// executing it. The returned [`PreparedStatement`] can be inspected
     /// ([`PreparedStatement::explain`]) and run — repeatedly; it re-plans
     /// itself transparently if the database changed in between.
+    ///
+    /// Compiled SELECT plans are cached by statement text and validated
+    /// against the catalog version, so preparing the same SQL again with
+    /// no intervening change skips the dry-run costing entirely
+    /// ([`Database::plan_cache_stats`] counts it). Mutations are never
+    /// cached — running one bumps the version, which would invalidate the
+    /// entry immediately anyway.
     pub fn prepare(&mut self, query: &str) -> Result<PreparedStatement<'_, M>, DbError> {
+        if let Some(plan) =
+            self.plan_cache.get(query).filter(|p| p.version == self.version).cloned()
+        {
+            self.plan_cache_stats.hits += 1;
+            return Ok(PreparedStatement { db: self, sql: query.to_string(), plan });
+        }
+        self.plan_cache_stats.misses += 1;
         let plan = self.build_plan(query)?;
+        if matches!(plan.action, PlanAction::Select(_) | PlanAction::ExplainSelect(_)) {
+            if self.plan_cache.len() >= PLAN_CACHE_CAP {
+                let current = self.version;
+                self.plan_cache.retain(|_, p| p.version == current);
+                if self.plan_cache.len() >= PLAN_CACHE_CAP {
+                    self.plan_cache.clear();
+                }
+            }
+            self.plan_cache.insert(query.to_string(), plan.clone());
+        }
         Ok(PreparedStatement { db: self, sql: query.to_string(), plan })
+    }
+
+    /// Prepared-plan cache counters (hits avoid re-planning entirely).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache_stats
     }
 
     // ---- plan construction ------------------------------------------------
@@ -985,14 +1095,29 @@ impl<M: EnclaveMemory> Database<M> {
 
     /// Executes a compiled plan, writing measured node costs back into it.
     fn run_plan(&mut self, plan: &mut QueryPlan, query: &str) -> Result<QueryOutput, DbError> {
-        // WAL: log mutations before executing them (paper §3). One sealed
-        // append per mutation; no data-dependent pattern.
+        // WAL: log DDL and mutations before executing them (paper §3).
+        // One sealed append per statement, no data-dependent pattern;
+        // CREATE is logged too so crash recovery can replay a complete
+        // history without a separate schema dump. With durable appends
+        // (the default), the record is flushed to the durable medium —
+        // one region-level sync — before the statement runs: the
+        // write-*ahead* property crash recovery relies on.
         if matches!(
             plan.action,
-            PlanAction::Insert(_) | PlanAction::Update { .. } | PlanAction::Delete { .. }
+            PlanAction::Create(_)
+                | PlanAction::Insert(_)
+                | PlanAction::Update { .. }
+                | PlanAction::Delete { .. }
         ) {
             if let Some(wal) = &mut self.wal {
                 wal.append(&mut self.host, query)?;
+                // The durability policy belongs to the log itself (it is
+                // persisted and reattached with it), not to whichever
+                // config happened to reopen the store.
+                if wal.durable_appends() {
+                    let region = wal.region_id();
+                    self.host.sync_region(region)?;
+                }
             }
         }
         if matches!(plan.action, PlanAction::ExplainSelect(_)) {
@@ -1066,7 +1191,7 @@ impl<M: EnclaveMemory> Database<M> {
         info.output_rows = current.num_rows();
         let mut rows = current.collect_rows(&mut self.host)?;
         let schema = current.schema().clone();
-        current.free(&mut self.host);
+        current.free(&mut self.host)?;
 
         // ORDER BY / LIMIT run on the decoded result inside the enclave;
         // they touch no untrusted memory and add no leakage beyond the
@@ -1218,7 +1343,7 @@ impl<M: EnclaveMemory> Database<M> {
                 )?
             }
         };
-        input.free(self);
+        input.free(self)?;
         if over_intermediate {
             info.intermediate_rows.push(out.num_rows());
         }
@@ -1311,8 +1436,8 @@ impl<M: EnclaveMemory> Database<M> {
             )?,
         };
         j.actual = Some(NodeCost::from_stats(&(self.host.stats() - before), profile));
-        left.free(&mut self.host);
-        right.free(&mut self.host);
+        left.free(&mut self.host)?;
+        right.free(&mut self.host)?;
         info.intermediate_rows.push(out.num_rows());
 
         // Rename output columns with the real table names so WHERE/GROUP BY
@@ -1370,7 +1495,7 @@ impl<M: EnclaveMemory> Database<M> {
             };
             states.push(v);
         }
-        input.free(self);
+        input.free(self)?;
         info.fused_aggregate = true;
         let out_schema = Schema::new(
             a.items
@@ -1430,7 +1555,7 @@ impl<M: EnclaveMemory> Database<M> {
             }
         };
         g.actual = Some(NodeCost::from_stats(&(self.host.stats() - before), profile));
-        input.free(self);
+        input.free(self)?;
         if over_base {
             info.fused_aggregate = true;
         }
@@ -1490,10 +1615,11 @@ enum InputRef {
 }
 
 impl InputRef {
-    fn free<M: EnclaveMemory>(self, db: &mut Database<M>) {
+    fn free<M: EnclaveMemory>(self, db: &mut Database<M>) -> Result<(), DbError> {
         if let InputRef::Owned(t) = self {
-            t.free(&mut db.host);
+            t.free(&mut db.host)?;
         }
+        Ok(())
     }
 }
 
@@ -2109,6 +2235,42 @@ mod tests {
     }
 
     #[test]
+    fn plan_cache_hits_skip_replanning_and_invalidate_on_change() {
+        let mut db = db();
+        setup_people(&mut db, StorageMethod::Flat);
+        let q = "SELECT * FROM people WHERE id < 6";
+        assert_eq!(db.prepare(q).unwrap().run().unwrap().len(), 6);
+        let after_first = db.plan_cache_stats();
+        assert_eq!(after_first.hits, 0);
+
+        // Same SQL, unchanged catalog: served from the cache with zero
+        // host accesses (no preliminary scan, no dry-run costing).
+        db.host_mut().reset_stats();
+        {
+            let stmt = db.prepare(q).unwrap();
+            assert!(stmt.plan().select_root().is_some());
+        }
+        assert_eq!(db.host_mut().stats().total_accesses(), 0, "hit must not touch the host");
+        assert_eq!(db.plan_cache_stats().hits, after_first.hits + 1);
+        // A cached plan still runs correctly (fresh output regions).
+        assert_eq!(db.prepare(q).unwrap().run().unwrap().len(), 6);
+
+        // Any mutation (data or DDL) bumps the version: stale entry,
+        // re-planned, and the fresh row is visible.
+        db.execute("INSERT INTO people VALUES (3, 21, 'x')").unwrap();
+        let before = db.plan_cache_stats();
+        assert_eq!(db.prepare(q).unwrap().run().unwrap().len(), 7);
+        let after = db.plan_cache_stats();
+        assert_eq!(after.misses, before.misses + 1, "stale plans are not hits");
+
+        // Planner-config changes cannot bump the version; handing out the
+        // config borrow drops the cache instead.
+        db.config_mut().planner.force_select = Some(SelectAlgo::Large);
+        let out = db.execute(q).unwrap();
+        assert_eq!(out.plan.select_algo, Some(SelectAlgo::Large));
+    }
+
+    #[test]
     fn empty_result_queries() {
         let mut db = db();
         setup_people(&mut db, StorageMethod::Flat);
@@ -2138,13 +2300,13 @@ mod wal_tests {
         db.execute("SELECT * FROM t").unwrap();
 
         let log = db.wal_records().unwrap();
-        assert_eq!(log.len(), 4);
-        assert!(log[0].starts_with("INSERT"));
-        assert!(log[3].starts_with("DELETE"));
+        assert_eq!(log.len(), 5, "CREATE is logged too, so replay needs no schema dump");
+        assert!(log[0].starts_with("CREATE"));
+        assert!(log[1].starts_with("INSERT"));
+        assert!(log[4].starts_with("DELETE"));
 
-        // Redo into a fresh engine (schema re-issued, as from a checkpoint).
+        // Redo into a fresh engine — the log alone carries the schema.
         let mut recovered = Database::new(DbConfig::default());
-        recovered.execute("CREATE TABLE t (k INT, v INT) CAPACITY 32").unwrap();
         recovered.replay(&log).unwrap();
         let a = db.execute("SELECT * FROM t ORDER BY k").unwrap();
         let b = recovered.execute("SELECT * FROM t ORDER BY k").unwrap();

@@ -47,6 +47,13 @@ pub enum DbError {
     Sql(String),
     /// Query shape the engine does not support.
     Unsupported(String),
+    /// The persisted database manifest is unusable: unreadable, failing
+    /// authentication (tampered, or sealed by a different enclave
+    /// identity/seed), structurally invalid, or inconsistent with the
+    /// reopened substrate (swapped/resized region files). The typed
+    /// integrity signal of the reopen path; per-block tampering surfaces
+    /// later as [`DbError::Storage`] with `TamperDetected`.
+    ManifestRejected(String),
 }
 
 impl std::fmt::Display for DbError {
@@ -71,6 +78,7 @@ impl std::fmt::Display for DbError {
             }
             DbError::Sql(m) => write!(f, "sql: {m}"),
             DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            DbError::ManifestRejected(m) => write!(f, "database manifest rejected: {m}"),
         }
     }
 }

@@ -289,7 +289,7 @@ pub fn sort_merge_join<M: EnclaveMemory>(
     }
     out.set_num_rows(matches);
     out.set_insert_cursor(out.capacity());
-    union.free(host);
+    union.free(host)?;
     Ok(out)
 }
 

@@ -364,7 +364,7 @@ pub fn select_naive<M: EnclaveMemory>(
     out.write_rows(host, flush_start, &flush)?;
     out.set_num_rows(written);
     out.set_insert_cursor(out_rows);
-    oram.free(host);
+    oram.free(host)?;
     Ok(out)
 }
 

@@ -37,7 +37,13 @@ pub mod table;
 pub mod types;
 pub mod wal;
 
-pub use db::{Database, DbConfig, PlanInfo, PreparedStatement, QueryOutput, StorageMethod};
+pub use db::persist::{
+    read_recovery_journal, resolve_recovery_statements, write_recovery_statements, RecoveryPlan,
+    RecoveryReport, Reopened, DB_MANIFEST_FILE, RECOVERY_JOURNAL_FILE,
+};
+pub use db::{
+    Database, DbConfig, PlanCacheStats, PlanInfo, PreparedStatement, QueryOutput, StorageMethod,
+};
 pub use error::DbError;
 pub use plan::cost::CostProfile;
 pub use plan::{Explain, NodeCost, PlanNode, QueryPlan};

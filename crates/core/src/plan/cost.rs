@@ -155,7 +155,7 @@ impl CostProfile {
         const BLOCKS: usize = 256;
         const BLOCK_SIZE: usize = 256;
         const ROUNDS: usize = 8;
-        let region = mem.alloc_region(BLOCKS, BLOCK_SIZE);
+        let region = mem.alloc_region(BLOCKS, BLOCK_SIZE)?;
         let zeros = vec![0u8; BLOCKS * BLOCK_SIZE];
         // Free the scratch region on every exit path.
         let result = (|| {
@@ -183,8 +183,9 @@ impl CostProfile {
             let single_read = start.elapsed().as_secs_f64() / (ROUNDS * BLOCKS) as f64;
             Ok((batched_read, batched_write, single_read))
         })();
-        mem.free_region(region);
+        let freed = mem.free_region(region);
         let (batched_read, batched_write, single_read) = result?;
+        freed?;
 
         let unit = batched_read.max(1e-12);
         let crossing = ((single_read - batched_read) / unit).max(1.0);

@@ -66,6 +66,36 @@ impl FlatTable {
         Ok(t)
     }
 
+    /// Re-attaches to a persisted table: a [`SealedRegion`] recovered from
+    /// its sealed manifest plus the (public) row counters the database
+    /// manifest carries.
+    pub fn reattach(
+        store: SealedRegion,
+        schema: Schema,
+        num_rows: u64,
+        insert_cursor: u64,
+    ) -> Self {
+        FlatTable { schema, store, num_rows, insert_cursor }
+    }
+
+    /// Seals this table's trusted storage state (per-block revisions,
+    /// nonce counter) for the database manifest.
+    pub fn seal_manifest(&mut self) -> Vec<u8> {
+        self.store.seal_manifest()
+    }
+
+    /// The fast-insert cursor (public; persisted so a reopened table
+    /// appends where the old one would have).
+    pub fn insert_cursor(&self) -> u64 {
+        self.insert_cursor
+    }
+
+    /// The backing region's AEAD key, for embedding in the sealed
+    /// database manifest.
+    pub(crate) fn region_key(&self) -> AeadKey {
+        self.store.key()
+    }
+
     /// The table schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
@@ -351,7 +381,7 @@ impl FlatTable {
             start += n as u64;
         }
         let old = std::mem::replace(&mut self.store, bigger);
-        old.free(host);
+        old.free(host)?;
         Ok(())
     }
 
@@ -376,8 +406,9 @@ impl FlatTable {
     }
 
     /// Releases untrusted memory.
-    pub fn free<M: EnclaveMemory>(self, host: &mut M) {
-        self.store.free(host);
+    pub fn free<M: EnclaveMemory>(self, host: &mut M) -> Result<(), DbError> {
+        self.store.free(host)?;
+        Ok(())
     }
 }
 

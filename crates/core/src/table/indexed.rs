@@ -286,8 +286,9 @@ impl IndexedTable {
     }
 
     /// Releases untrusted memory.
-    pub fn free<M: EnclaveMemory>(self, host: &mut M) {
-        self.tree.free(host);
+    pub fn free<M: EnclaveMemory>(self, host: &mut M) -> Result<(), DbError> {
+        self.tree.free(host)?;
+        Ok(())
     }
 }
 

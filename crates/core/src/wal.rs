@@ -30,11 +30,16 @@ pub struct WalConfig {
     pub block_bytes: usize,
     /// Initial capacity in records; the log grows by doubling.
     pub capacity: u64,
+    /// Flush each appended record to the durable medium
+    /// (`sync_region`) before its statement executes — the write-*ahead*
+    /// property that makes post-checkpoint statements recoverable after a
+    /// crash. On by default; in-memory substrates pay nothing for it.
+    pub durable_appends: bool,
 }
 
 impl Default for WalConfig {
     fn default() -> Self {
-        WalConfig { block_bytes: DEFAULT_WAL_BLOCK, capacity: 256 }
+        WalConfig { block_bytes: DEFAULT_WAL_BLOCK, capacity: 256, durable_appends: true }
     }
 }
 
@@ -44,6 +49,10 @@ pub struct Wal {
     len: u64,
     block_bytes: usize,
     grow_key: AeadKey,
+    /// Whether appends flush through to the durable medium before their
+    /// statement executes. A property of the *log*, persisted with it —
+    /// not of whoever happens to reopen the store.
+    durable: bool,
 }
 
 impl Wal {
@@ -56,7 +65,60 @@ impl Wal {
         assert!(config.block_bytes > 2, "block must fit the length header");
         let store =
             SealedRegion::create(host, key, config.capacity.max(1) as usize, config.block_bytes)?;
-        Ok(Wal { store, len: 0, block_bytes: config.block_bytes, grow_key: key })
+        Ok(Wal {
+            store,
+            len: 0,
+            block_bytes: config.block_bytes,
+            grow_key: key,
+            durable: config.durable_appends,
+        })
+    }
+
+    /// Re-attaches to a persisted log from its sealed region manifest plus
+    /// the (public) record count and record size the database manifest
+    /// carries.
+    pub fn reattach(
+        store: SealedRegion,
+        key: AeadKey,
+        len: u64,
+        block_bytes: usize,
+        durable: bool,
+    ) -> Self {
+        Wal { store, len, block_bytes, grow_key: key, durable }
+    }
+
+    /// Whether appended records must reach the durable medium before
+    /// their statement executes.
+    pub fn durable_appends(&self) -> bool {
+        self.durable
+    }
+
+    /// Overrides the durable-append policy (a caller reopening with an
+    /// explicit [`WalConfig`] wins over the persisted flag).
+    pub fn set_durable_appends(&mut self, durable: bool) {
+        self.durable = durable;
+    }
+
+    /// The untrusted region backing the log — the target of the
+    /// durable-append `sync_region` call.
+    pub fn region_id(&self) -> oblidb_enclave::RegionId {
+        self.store.region_id()
+    }
+
+    /// Bytes per log record.
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
+    /// The log's AEAD key, for embedding in the sealed database manifest.
+    pub(crate) fn key(&self) -> AeadKey {
+        self.grow_key
+    }
+
+    /// Seals the log's trusted state (revisions + nonce counter) for the
+    /// database manifest.
+    pub fn seal_manifest(&mut self) -> Vec<u8> {
+        self.store.seal_manifest()
     }
 
     /// Records appended so far (public: one observable write each).
@@ -109,19 +171,96 @@ impl Wal {
         );
         while let Some((_, payloads)) = scan.next_chunk(host, &mut self.store)? {
             for bytes in payloads.chunks_exact(self.block_bytes) {
-                let n = u16::from_le_bytes(bytes[..2].try_into().expect("header")) as usize;
-                let text = std::str::from_utf8(&bytes[2..2 + n])
-                    .map_err(|_| DbError::Unsupported("corrupt WAL record".into()))?;
-                out.push(text.to_string());
+                out.push(decode_record(bytes)?);
             }
         }
         Ok(out)
     }
 
     /// Releases untrusted memory.
-    pub fn free<M: EnclaveMemory>(self, host: &mut M) {
-        self.store.free(host);
+    pub fn free<M: EnclaveMemory>(self, host: &mut M) -> Result<(), DbError> {
+        self.store.free(host)?;
+        Ok(())
     }
+
+    /// Probes whether slot `index` of a persisted WAL region holds a
+    /// record, by the same revision-2 criterion as
+    /// [`Wal::recover_records`] — the O(1) clean-vs-crashed check a
+    /// reopen needs, without decoding the whole log.
+    pub fn probe_record<M: EnclaveMemory>(
+        host: &mut M,
+        key: AeadKey,
+        region: oblidb_enclave::RegionId,
+        block_bytes: usize,
+        index: u64,
+    ) -> Result<bool, DbError> {
+        let capacity = host.region_len(region)?;
+        if index >= capacity {
+            return Ok(false);
+        }
+        let mut probe =
+            SealedRegion::attach(region, key, block_bytes, vec![2; capacity as usize], 0);
+        match probe.read(host, index) {
+            Ok(_) => Ok(true),
+            Err(oblidb_storage::StorageError::TamperDetected { .. }) => Ok(false),
+            Err(oblidb_storage::StorageError::Host(oblidb_enclave::HostError::EmptyBlock(..))) => {
+                Ok(false)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Scans a persisted WAL region for every durable record **without
+    /// trusting any in-enclave length counter** — crash recovery's entry
+    /// point, when the only surviving trusted state is the log's key.
+    ///
+    /// Soundness: a WAL slot is written exactly twice under append-only
+    /// discipline — once by zero-fill at create/grow (revision 1), once by
+    /// its append (revision 2) — so "holds a record" is equivalent to
+    /// "authenticates at revision 2". The scan reads slots front to back
+    /// expecting revision 2 and stops at the first slot that does not
+    /// authenticate (still zero-filled, or unwritten past a crash). The
+    /// AAD binds index and revision, so the adversary can neither reorder
+    /// records nor splice in foreign ones; what he *can* do is truncate
+    /// the tail, which is indistinguishable from a crash before those
+    /// appends — the bound every sealed log has without a hardware
+    /// monotonic counter.
+    pub fn recover_records<M: EnclaveMemory>(
+        host: &mut M,
+        key: AeadKey,
+        region: oblidb_enclave::RegionId,
+        block_bytes: usize,
+    ) -> Result<Vec<String>, DbError> {
+        let capacity = host.region_len(region)?;
+        // The probe never writes, so its nonce counter is irrelevant.
+        let mut probe =
+            SealedRegion::attach(region, key, block_bytes, vec![2; capacity as usize], 0);
+        let mut out = Vec::new();
+        for i in 0..capacity {
+            match probe.read(host, i) {
+                Ok(bytes) => out.push(decode_record(bytes)?),
+                // First non-record slot (zero-filled, empty, or torn):
+                // the durable log ends here.
+                Err(oblidb_storage::StorageError::TamperDetected { .. }) => break,
+                Err(oblidb_storage::StorageError::Host(oblidb_enclave::HostError::EmptyBlock(
+                    ..,
+                ))) => break,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Decodes one fixed-size WAL record into its statement text.
+fn decode_record(bytes: &[u8]) -> Result<String, DbError> {
+    let n = u16::from_le_bytes(bytes[..2].try_into().expect("header")) as usize;
+    if n > bytes.len() - 2 {
+        return Err(DbError::Unsupported("corrupt WAL record".into()));
+    }
+    std::str::from_utf8(&bytes[2..2 + n])
+        .map(str::to_string)
+        .map_err(|_| DbError::Unsupported("corrupt WAL record".into()))
 }
 
 #[cfg(test)]
@@ -131,9 +270,12 @@ mod tests {
 
     fn setup() -> (Host, Wal) {
         let mut host = Host::new();
-        let wal =
-            Wal::create(&mut host, AeadKey([3u8; 32]), WalConfig { block_bytes: 64, capacity: 2 })
-                .unwrap();
+        let wal = Wal::create(
+            &mut host,
+            AeadKey([3u8; 32]),
+            WalConfig { block_bytes: 64, capacity: 2, durable_appends: true },
+        )
+        .unwrap();
         (host, wal)
     }
 

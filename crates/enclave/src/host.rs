@@ -174,6 +174,45 @@ impl fmt::Display for StatsReport {
     }
 }
 
+/// Which region-lifecycle or data operation an I/O failure interrupted.
+///
+/// Carried inside [`HostError::Io`] so a disk-full allocation reads
+/// differently from a permission failure during sync — the context the
+/// `Database` layer needs to report (and callers need to react to)
+/// without re-deriving it from a bare [`std::io::ErrorKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoOp {
+    /// Allocating a region (creating/sizing its backing file).
+    Alloc,
+    /// Growing a region.
+    Grow,
+    /// Freeing a region (deleting its backing file).
+    Free,
+    /// Reading blocks.
+    Read,
+    /// Writing blocks.
+    Write,
+    /// Flushing to the durable medium.
+    Sync,
+    /// Re-attaching to persisted state (reopen).
+    Attach,
+}
+
+impl fmt::Display for IoOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IoOp::Alloc => "alloc",
+            IoOp::Grow => "grow",
+            IoOp::Free => "free",
+            IoOp::Read => "read",
+            IoOp::Write => "write",
+            IoOp::Sync => "sync",
+            IoOp::Attach => "attach",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Errors from host memory operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HostError {
@@ -201,9 +240,28 @@ pub enum HostError {
     },
     /// The substrate's backing medium failed (disk-backed substrates;
     /// in-memory substrates never produce it). Carries the
-    /// [`std::io::ErrorKind`] so the error stays `Copy + Eq` like every
-    /// other variant.
-    Io(std::io::ErrorKind),
+    /// [`std::io::ErrorKind`] plus the failing operation and region (when
+    /// one was involved — allocation failures may precede a region id), so
+    /// disk-full vs. permission failures stay distinguishable at the
+    /// `Database` API while the error stays `Copy + Eq` like every other
+    /// variant.
+    Io {
+        /// What the OS reported.
+        kind: std::io::ErrorKind,
+        /// The region the operation targeted, when it had one.
+        region: Option<RegionId>,
+        /// Which operation failed.
+        op: IoOp,
+    },
+}
+
+impl HostError {
+    /// Builds an [`HostError::Io`] from an [`std::io::Error`] with its
+    /// operation context. The one constructor every substrate uses, so
+    /// the context fields cannot drift.
+    pub fn io(e: &std::io::Error, region: Option<RegionId>, op: IoOp) -> Self {
+        HostError::Io { kind: e.kind(), region, op }
+    }
 }
 
 impl fmt::Display for HostError {
@@ -218,7 +276,12 @@ impl fmt::Display for HostError {
                 f,
                 "block size mismatch in region {region:?}: expected {expected}, got {got}"
             ),
-            HostError::Io(kind) => write!(f, "backing-store I/O failure: {kind}"),
+            HostError::Io { kind, region: Some(r), op } => {
+                write!(f, "backing-store I/O failure during {op} of region {r:?}: {kind}")
+            }
+            HostError::Io { kind, region: None, op } => {
+                write!(f, "backing-store I/O failure during {op}: {kind}")
+            }
         }
     }
 }
@@ -287,17 +350,26 @@ impl Host {
     /// Allocates a region of `blocks` blocks, each `block_size` bytes.
     ///
     /// Allocation size is public (the paper leaks data-structure sizes).
-    pub fn alloc_region(&mut self, blocks: usize, block_size: usize) -> RegionId {
+    /// In-RAM allocation cannot meaningfully fail, so this always returns
+    /// `Ok`; the `Result` is the trait-wide contract that lets disk-backed
+    /// substrates surface ENOSPC instead of panicking.
+    pub fn alloc_region(
+        &mut self,
+        blocks: usize,
+        block_size: usize,
+    ) -> Result<RegionId, HostError> {
         let id = RegionId(self.regions.len() as u32);
         self.regions.push(Some(Region { block_size, blocks: vec![None; blocks] }));
-        id
+        Ok(id)
     }
 
     /// Frees a region (e.g. an intermediate table that was consumed).
-    pub fn free_region(&mut self, region: RegionId) {
+    /// Always `Ok` in RAM; disk-backed substrates may fail to unlink.
+    pub fn free_region(&mut self, region: RegionId) -> Result<(), HostError> {
         if let Some(slot) = self.regions.get_mut(region.0 as usize) {
             *slot = None;
         }
+        Ok(())
     }
 
     /// Grows a region to `new_blocks` blocks (used when a table is copied to
@@ -602,7 +674,7 @@ mod tests {
     #[test]
     fn alloc_read_write_roundtrip() {
         let mut h = Host::new();
-        let r = h.alloc_region(4, 8);
+        let r = h.alloc_region(4, 8).unwrap();
         h.write(r, 2, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
         assert_eq!(h.read(r, 2).unwrap(), &[1, 2, 3, 4, 5, 6, 7, 8]);
     }
@@ -610,21 +682,21 @@ mod tests {
     #[test]
     fn read_unwritten_block_fails() {
         let mut h = Host::new();
-        let r = h.alloc_region(4, 8);
+        let r = h.alloc_region(4, 8).unwrap();
         assert_eq!(h.read(r, 0), Err(HostError::EmptyBlock(r, 0)));
     }
 
     #[test]
     fn out_of_bounds_detected() {
         let mut h = Host::new();
-        let r = h.alloc_region(4, 8);
+        let r = h.alloc_region(4, 8).unwrap();
         assert!(matches!(h.write(r, 9, &[0; 8]), Err(HostError::OutOfBounds { .. })));
     }
 
     #[test]
     fn block_size_enforced() {
         let mut h = Host::new();
-        let r = h.alloc_region(4, 8);
+        let r = h.alloc_region(4, 8).unwrap();
         assert!(matches!(
             h.write(r, 0, &[0; 7]),
             Err(HostError::BlockSizeMismatch { expected: 8, got: 7, .. })
@@ -634,15 +706,15 @@ mod tests {
     #[test]
     fn freed_region_unusable() {
         let mut h = Host::new();
-        let r = h.alloc_region(4, 8);
-        h.free_region(r);
+        let r = h.alloc_region(4, 8).unwrap();
+        h.free_region(r).unwrap();
         assert_eq!(h.read(r, 0), Err(HostError::UnknownRegion(r)));
     }
 
     #[test]
     fn trace_records_order_and_kind() {
         let mut h = Host::new();
-        let r = h.alloc_region(4, 8);
+        let r = h.alloc_region(4, 8).unwrap();
         h.start_trace();
         h.write(r, 1, &[0; 8]).unwrap();
         h.read(r, 1).unwrap();
@@ -662,7 +734,7 @@ mod tests {
     fn failed_reads_still_traced() {
         // An adversary observes the *attempt*; the trace must include it.
         let mut h = Host::new();
-        let r = h.alloc_region(2, 8);
+        let r = h.alloc_region(2, 8).unwrap();
         h.start_trace();
         let _ = h.read(r, 0);
         let t = h.take_trace();
@@ -672,7 +744,7 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let mut h = Host::new();
-        let r = h.alloc_region(4, 16);
+        let r = h.alloc_region(4, 16).unwrap();
         h.write(r, 0, &[0; 16]).unwrap();
         h.write(r, 1, &[0; 16]).unwrap();
         h.read(r, 0).unwrap();
@@ -687,7 +759,7 @@ mod tests {
     #[test]
     fn grow_region_preserves_content() {
         let mut h = Host::new();
-        let r = h.alloc_region(2, 4);
+        let r = h.alloc_region(2, 4).unwrap();
         h.write(r, 1, &[9; 4]).unwrap();
         h.grow_region(r, 10).unwrap();
         assert_eq!(h.region_len(r).unwrap(), 10);
@@ -697,7 +769,7 @@ mod tests {
     #[test]
     fn adversary_apis_do_not_trace() {
         let mut h = Host::new();
-        let r = h.alloc_region(2, 4);
+        let r = h.alloc_region(2, 4).unwrap();
         h.write(r, 0, &[1; 4]).unwrap();
         h.write(r, 1, &[2; 4]).unwrap();
         h.start_trace();
@@ -712,7 +784,7 @@ mod tests {
     fn reset_stats_preserves_crossing_cost() {
         let mut h = Host::new();
         h.set_crossing_cost(3);
-        let r = h.alloc_region(1, 4);
+        let r = h.alloc_region(1, 4).unwrap();
         h.write(r, 0, &[0; 4]).unwrap();
         h.reset_stats();
         assert_eq!(h.stats(), HostStats::default());
@@ -741,8 +813,8 @@ mod tests {
     #[test]
     fn trace_for_region_filters() {
         let mut h = Host::new();
-        let a = h.alloc_region(2, 4);
-        let b = h.alloc_region(2, 4);
+        let a = h.alloc_region(2, 4).unwrap();
+        let b = h.alloc_region(2, 4).unwrap();
         h.start_trace();
         h.write(a, 0, &[0; 4]).unwrap();
         h.write(b, 0, &[0; 4]).unwrap();

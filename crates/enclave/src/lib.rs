@@ -37,7 +37,8 @@ mod om;
 mod rng;
 
 pub use host::{
-    batch_count, AccessEvent, AccessKind, Host, HostError, HostStats, RegionId, StatsReport, Trace,
+    batch_count, AccessEvent, AccessKind, Host, HostError, HostStats, IoOp, RegionId, StatsReport,
+    Trace,
 };
 pub use memory::{CountingMemory, EnclaveMemory};
 pub use om::{OmAllocation, OmBudget, OmError};

@@ -26,10 +26,17 @@ pub trait EnclaveMemory {
     /// Allocates a region of `blocks` blocks, each `block_size` bytes.
     ///
     /// Allocation size is public (the paper leaks data-structure sizes).
-    fn alloc_region(&mut self, blocks: usize, block_size: usize) -> RegionId;
+    /// Allocation is **fallible**: a disk-backed substrate that cannot
+    /// create or size the backing file (ENOSPC, lost permissions) surfaces
+    /// [`HostError::Io`] with [`IoOp::Alloc`](crate::IoOp) context instead
+    /// of panicking; in-memory substrates always return `Ok`.
+    fn alloc_region(&mut self, blocks: usize, block_size: usize) -> Result<RegionId, HostError>;
 
     /// Frees a region (e.g. an intermediate table that was consumed).
-    fn free_region(&mut self, region: RegionId);
+    /// Fallible for the same reason as [`EnclaveMemory::alloc_region`]
+    /// (deleting a region file can fail); freeing an unknown region is a
+    /// no-op, as before.
+    fn free_region(&mut self, region: RegionId) -> Result<(), HostError>;
 
     /// Grows a region to `new_blocks` blocks (growth is public).
     fn grow_region(&mut self, region: RegionId, new_blocks: usize) -> Result<(), HostError>;
@@ -156,14 +163,27 @@ pub trait EnclaveMemory {
     fn sync(&mut self) -> Result<(), HostError> {
         Ok(())
     }
+
+    /// Flushes one region's buffered state down to the durable medium.
+    ///
+    /// The write-ahead-log append path uses this: a log record must be
+    /// durable *before* its mutation executes, without paying a full-store
+    /// flush per statement. Disk substrates fsync just that region's file;
+    /// caching substrates write back just that region's dirty blocks. The
+    /// default falls back to a full [`EnclaveMemory::sync`], which is
+    /// always correct (it flushes a superset).
+    fn sync_region(&mut self, region: RegionId) -> Result<(), HostError> {
+        let _ = region;
+        self.sync()
+    }
 }
 
 impl EnclaveMemory for Host {
-    fn alloc_region(&mut self, blocks: usize, block_size: usize) -> RegionId {
+    fn alloc_region(&mut self, blocks: usize, block_size: usize) -> Result<RegionId, HostError> {
         Host::alloc_region(self, blocks, block_size)
     }
 
-    fn free_region(&mut self, region: RegionId) {
+    fn free_region(&mut self, region: RegionId) -> Result<(), HostError> {
         Host::free_region(self, region)
     }
 
@@ -378,16 +398,17 @@ impl CountingMemory {
 }
 
 impl EnclaveMemory for CountingMemory {
-    fn alloc_region(&mut self, blocks: usize, block_size: usize) -> RegionId {
+    fn alloc_region(&mut self, blocks: usize, block_size: usize) -> Result<RegionId, HostError> {
         let id = RegionId(self.regions.len() as u32);
         self.regions.push(Some(CountingRegion::new(blocks as u64, block_size)));
-        id
+        Ok(id)
     }
 
-    fn free_region(&mut self, region: RegionId) {
+    fn free_region(&mut self, region: RegionId) -> Result<(), HostError> {
         if let Some(slot) = self.regions.get_mut(region.0 as usize) {
             *slot = None;
         }
+        Ok(())
     }
 
     fn grow_region(&mut self, region: RegionId, new_blocks: usize) -> Result<(), HostError> {
@@ -532,7 +553,7 @@ mod tests {
     #[test]
     fn counting_memory_counts_without_storing() {
         let mut m = CountingMemory::new();
-        let r = EnclaveMemory::alloc_region(&mut m, 4, 8);
+        let r = EnclaveMemory::alloc_region(&mut m, 4, 8).unwrap();
         m.write(r, 1, &[7u8; 8]).unwrap();
         assert_eq!(m.read(r, 1).unwrap(), &[0u8; 8], "payloads are dropped");
         let s = m.stats();
@@ -544,8 +565,8 @@ mod tests {
     fn counting_memory_traces_like_host() {
         let mut h = Host::new();
         let mut m = CountingMemory::new();
-        let rh = EnclaveMemory::alloc_region(&mut h, 4, 8);
-        let rm = EnclaveMemory::alloc_region(&mut m, 4, 8);
+        let rh = EnclaveMemory::alloc_region(&mut h, 4, 8).unwrap();
+        let rm = EnclaveMemory::alloc_region(&mut m, 4, 8).unwrap();
         EnclaveMemory::start_trace(&mut h);
         m.start_trace();
         for i in 0..4 {
@@ -560,18 +581,18 @@ mod tests {
     #[test]
     fn counting_memory_checks_bounds_and_sizes() {
         let mut m = CountingMemory::new();
-        let r = EnclaveMemory::alloc_region(&mut m, 2, 8);
+        let r = EnclaveMemory::alloc_region(&mut m, 2, 8).unwrap();
         assert!(matches!(m.write(r, 5, &[0u8; 8]), Err(HostError::OutOfBounds { .. })));
         assert!(matches!(m.write(r, 0, &[0u8; 7]), Err(HostError::BlockSizeMismatch { .. })));
         assert_eq!(m.read(r, 1), Err(HostError::EmptyBlock(r, 1)), "unwritten reads fail as Host");
-        m.free_region(r);
+        m.free_region(r).unwrap();
         assert_eq!(m.read(r, 0), Err(HostError::UnknownRegion(r)));
     }
 
     #[test]
     fn counting_memory_grow_extends_bounds() {
         let mut m = CountingMemory::new();
-        let r = EnclaveMemory::alloc_region(&mut m, 2, 4);
+        let r = EnclaveMemory::alloc_region(&mut m, 2, 4).unwrap();
         EnclaveMemory::grow_region(&mut m, r, 10).unwrap();
         assert_eq!(EnclaveMemory::region_len(&m, r).unwrap(), 10);
         m.write(r, 9, &[0u8; 4]).unwrap();
@@ -586,7 +607,7 @@ mod tests {
     #[test]
     fn batched_io_is_one_crossing_on_both_substrates() {
         fn drive<M: EnclaveMemory>(m: &mut M) -> (Trace, crate::HostStats) {
-            let r = m.alloc_region(8, 4);
+            let r = m.alloc_region(8, 4).unwrap();
             m.start_trace();
             m.reset_stats();
             let data: Vec<u8> = (0..24).collect();
@@ -614,8 +635,8 @@ mod tests {
     fn batched_matches_per_block_loop_except_crossings() {
         let mut a = Host::new();
         let mut b = Host::new();
-        let ra = EnclaveMemory::alloc_region(&mut a, 4, 2);
-        let rb = EnclaveMemory::alloc_region(&mut b, 4, 2);
+        let ra = EnclaveMemory::alloc_region(&mut a, 4, 2).unwrap();
+        let rb = EnclaveMemory::alloc_region(&mut b, 4, 2).unwrap();
         let data = [1u8, 2, 3, 4, 5, 6];
         EnclaveMemory::write_blocks(&mut a, ra, 0, &data).unwrap();
         for (i, chunk) in data.chunks(2).enumerate() {
@@ -637,7 +658,7 @@ mod tests {
     #[test]
     fn batched_errors_match_per_block_contract() {
         let mut m = CountingMemory::new();
-        let r = EnclaveMemory::alloc_region(&mut m, 4, 2);
+        let r = EnclaveMemory::alloc_region(&mut m, 4, 2).unwrap();
         let mut out = Vec::new();
         // Unwritten block inside the batch: same EmptyBlock as per-block.
         m.write_blocks(r, 0, &[0u8; 4]).unwrap();

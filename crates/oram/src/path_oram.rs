@@ -465,12 +465,13 @@ impl PathOram {
     }
 
     /// Releases untrusted memory.
-    pub fn free<M: EnclaveMemory>(self, host: &mut M) {
+    pub fn free<M: EnclaveMemory>(self, host: &mut M) -> Result<(), OramError> {
         match self.posmap {
-            PositionMap::Recursive { inner, .. } => inner.free(host),
+            PositionMap::Recursive { inner, .. } => inner.free(host)?,
             PositionMap::Direct { .. } => {}
         }
-        self.store.free(host);
+        self.store.free(host)?;
+        Ok(())
     }
 }
 
@@ -772,7 +773,7 @@ mod tests {
     #[test]
     fn free_releases_regions() {
         let (mut host, oram, om) = setup(32, 8, PosMapKind::Direct);
-        oram.free(&mut host);
+        oram.free(&mut host).unwrap();
         drop(om);
         // Re-allocating after free works fine.
         let om2 = OmBudget::new(DEFAULT_OM_BYTES);

@@ -74,6 +74,14 @@ pub enum StorageError {
         /// Index of the offending block.
         index: u64,
     },
+    /// A sealed region manifest failed authentication or decoding: the
+    /// persisted trusted-state snapshot (revision counters, nonce counter)
+    /// was tampered with, truncated, or sealed under a different key. A
+    /// reopen must treat the whole region as unattachable.
+    ManifestRejected {
+        /// The region whose manifest was rejected.
+        region: RegionId,
+    },
 }
 
 impl std::fmt::Display for StorageError {
@@ -82,6 +90,9 @@ impl std::fmt::Display for StorageError {
             StorageError::Host(e) => write!(f, "host error: {e}"),
             StorageError::TamperDetected { region, index } => {
                 write!(f, "integrity violation at block {index} of region {region:?}")
+            }
+            StorageError::ManifestRejected { region } => {
+                write!(f, "sealed manifest for region {region:?} rejected (tampered or wrong key)")
             }
         }
     }
@@ -125,7 +136,7 @@ impl SealedRegion {
         blocks: usize,
         payload_len: usize,
     ) -> Result<Self, StorageError> {
-        let region = host.alloc_region(blocks, payload_len + SEAL_OVERHEAD);
+        let region = host.alloc_region(blocks, payload_len + SEAL_OVERHEAD)?;
         let mut this = Self {
             region,
             key,
@@ -169,6 +180,14 @@ impl SealedRegion {
     /// The underlying host region (public identity).
     pub fn region_id(&self) -> RegionId {
         self.region
+    }
+
+    /// The region's AEAD key — trusted-side state, exposed so an owning
+    /// layer can embed it in a *sealed* parent manifest (the key hierarchy
+    /// of enclave sealing: the master-derived manifest key wraps region
+    /// keys). Never write the return value anywhere unencrypted.
+    pub fn key(&self) -> AeadKey {
+        self.key
     }
 
     /// Number of blocks.
@@ -478,8 +497,119 @@ impl SealedRegion {
     }
 
     /// Releases the untrusted allocation.
-    pub fn free<M: EnclaveMemory>(self, host: &mut M) {
-        host.free_region(self.region);
+    pub fn free<M: EnclaveMemory>(self, host: &mut M) -> Result<(), StorageError> {
+        host.free_region(self.region)?;
+        Ok(())
+    }
+
+    /// Re-attaches to a region whose untrusted blocks already exist,
+    /// injecting the trusted state (revision counters, nonce counter) the
+    /// caller recovered from a verified source.
+    ///
+    /// This is the building block under
+    /// [`SealedRegion::open_with_manifest`] and the WAL tail scan; wrong
+    /// revision values are safe — they surface as
+    /// [`StorageError::TamperDetected`] on first read, never as silently
+    /// accepted stale data. `write_counter` must be at least the largest
+    /// counter ever used under `key` for this region, or nonces would
+    /// repeat; the sealed manifest guarantees that by recording the
+    /// post-seal counter.
+    pub fn attach(
+        region: RegionId,
+        key: AeadKey,
+        payload_len: usize,
+        revisions: Vec<u64>,
+        write_counter: u64,
+    ) -> Self {
+        SealedRegion {
+            region,
+            key,
+            payload_len,
+            write_counter,
+            revisions,
+            scratch: vec![0u8; payload_len + SEAL_OVERHEAD],
+            batch: Vec::new(),
+        }
+    }
+
+    /// Seals this region's trusted state — the per-block revision counters
+    /// and the nonce counter — into an encrypted + MACed **manifest** blob
+    /// that can live in untrusted storage across an enclave restart.
+    ///
+    /// Layout: `nonce (12) ‖ ciphertext ‖ tag (16)`, sealed under the
+    /// region's own key with manifest-specific associated data (so a
+    /// manifest can never be confused with a block, and a manifest for one
+    /// region can never be replayed into another). The nonce consumes one
+    /// tick of the region's write counter, and the *post-seal* counter is
+    /// what the manifest records — a reopened region resumes past every
+    /// nonce ever used.
+    ///
+    /// Rollback model: a region file rolled back relative to its manifest
+    /// fails block authentication (stale revision) on first read. Rolling
+    /// back manifest *and* region files together to an older, mutually
+    /// consistent checkpoint is undetectable without a hardware monotonic
+    /// counter — the classic sealed-storage limitation, documented in the
+    /// README.
+    pub fn seal_manifest(&mut self) -> Vec<u8> {
+        self.write_counter += 1;
+        let nonce = Nonce::from_parts(self.region.0, self.write_counter);
+        let mut plain = Vec::with_capacity(24 + self.revisions.len() * 8);
+        plain.extend_from_slice(&(self.payload_len as u64).to_le_bytes());
+        plain.extend_from_slice(&self.write_counter.to_le_bytes());
+        plain.extend_from_slice(&(self.revisions.len() as u64).to_le_bytes());
+        for rev in &self.revisions {
+            plain.extend_from_slice(&rev.to_le_bytes());
+        }
+        let aad = Self::manifest_aad(self.region);
+        let mut out = Vec::with_capacity(NONCE_LEN + plain.len() + TAG_LEN);
+        out.extend_from_slice(&nonce.0);
+        out.extend_from_slice(&plain);
+        let tag = aead::seal(&self.key, &nonce, &aad, &mut out[NONCE_LEN..]);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Reconstructs a region's trusted state from a manifest produced by
+    /// [`SealedRegion::seal_manifest`], verifying its authenticity.
+    ///
+    /// Returns [`StorageError::ManifestRejected`] when the blob fails
+    /// authentication (tampered, truncated, or sealed under a different
+    /// key/region). The caller must separately cross-check the untrusted
+    /// region's observed geometry (`region_len`, `region_block_size`)
+    /// against [`SealedRegion::len`] / [`SealedRegion::payload_len`] — a
+    /// mismatch means the host swapped in a different file.
+    pub fn open_with_manifest(
+        region: RegionId,
+        key: AeadKey,
+        manifest: &[u8],
+    ) -> Result<Self, StorageError> {
+        let rejected = StorageError::ManifestRejected { region };
+        if manifest.len() < NONCE_LEN + TAG_LEN + 24 {
+            return Err(rejected);
+        }
+        let nonce = Nonce(manifest[..NONCE_LEN].try_into().expect("nonce length"));
+        let tag: [u8; TAG_LEN] =
+            manifest[manifest.len() - TAG_LEN..].try_into().expect("tag length");
+        let mut plain = manifest[NONCE_LEN..manifest.len() - TAG_LEN].to_vec();
+        let aad = Self::manifest_aad(region);
+        aead::open(&key, &nonce, &aad, &mut plain, &tag).map_err(|_| rejected)?;
+        let word = |at: usize| u64::from_le_bytes(plain[at..at + 8].try_into().expect("u64"));
+        let payload_len = word(0) as usize;
+        let write_counter = word(8);
+        let blocks = word(16) as usize;
+        if plain.len() != 24 + blocks * 8 {
+            return Err(rejected);
+        }
+        let revisions = (0..blocks).map(|i| word(24 + i * 8)).collect();
+        Ok(Self::attach(region, key, payload_len, revisions, write_counter))
+    }
+
+    /// The associated data binding a manifest to its region identity.
+    fn manifest_aad(region: RegionId) -> [u8; 20] {
+        let mut aad = [0u8; 20];
+        aad[..16].copy_from_slice(b"oblidb-region-mf");
+        aad[16..].copy_from_slice(&region.0.to_le_bytes());
+        aad
     }
 }
 
@@ -789,6 +919,89 @@ mod tests {
         assert_eq!(host.stats().crossings, 1, "38 new blocks zero-filled in one batch");
         assert_eq!(r.read(&mut host, 1).unwrap(), &[3u8; 8]);
         assert_eq!(r.read(&mut host, 39).unwrap(), &[0u8; 8]);
+    }
+
+    #[test]
+    fn manifest_roundtrip_reopens_region() {
+        let (mut host, mut r) = setup(4, 16);
+        r.write(&mut host, 2, &[9u8; 16]).unwrap();
+        let manifest = r.seal_manifest();
+        let rid = r.region_id();
+        let key = AeadKey([7u8; 32]);
+        drop(r); // the "enclave" restarts; only host blocks + manifest survive
+
+        let mut reopened = SealedRegion::open_with_manifest(rid, key, &manifest).unwrap();
+        assert_eq!(reopened.len(), 4);
+        assert_eq!(reopened.payload_len(), 16);
+        assert_eq!(reopened.read(&mut host, 2).unwrap(), &[9u8; 16]);
+        assert_eq!(reopened.read(&mut host, 0).unwrap(), &[0u8; 16]);
+        // Writes after reopen resume past every used nonce and read back.
+        reopened.write(&mut host, 0, &[3u8; 16]).unwrap();
+        assert_eq!(reopened.read(&mut host, 0).unwrap(), &[3u8; 16]);
+    }
+
+    #[test]
+    fn tampered_manifest_rejected() {
+        let (_host, mut r) = setup(2, 8);
+        let rid = r.region_id();
+        let key = AeadKey([7u8; 32]);
+        let good = r.seal_manifest();
+        for flip in [0, NONCE_LEN + 3, good.len() - 1] {
+            let mut bad = good.clone();
+            bad[flip] ^= 1;
+            assert_eq!(
+                SealedRegion::open_with_manifest(rid, key, &bad).err(),
+                Some(StorageError::ManifestRejected { region: rid }),
+                "bit flip at {flip} must be rejected"
+            );
+        }
+        // Truncation and wrong-region replay are rejected too.
+        assert!(matches!(
+            SealedRegion::open_with_manifest(rid, key, &good[..10]),
+            Err(StorageError::ManifestRejected { .. })
+        ));
+        assert!(matches!(
+            SealedRegion::open_with_manifest(RegionId(99), key, &good),
+            Err(StorageError::ManifestRejected { .. })
+        ));
+        // Wrong key (a different enclave identity) is rejected.
+        assert!(matches!(
+            SealedRegion::open_with_manifest(rid, AeadKey([8u8; 32]), &good),
+            Err(StorageError::ManifestRejected { .. })
+        ));
+    }
+
+    #[test]
+    fn reopen_detects_rolled_back_block() {
+        // The rollback the manifest exists to catch: the OS restores an
+        // older (validly sealed) block version across a restart.
+        let (mut host, mut r) = setup(2, 16);
+        let rid = r.region_id();
+        let key = AeadKey([7u8; 32]);
+        r.write(&mut host, 0, &[1u8; 16]).unwrap();
+        let stale = host.adversary_snapshot(rid, 0).unwrap();
+        r.write(&mut host, 0, &[2u8; 16]).unwrap();
+        let manifest = r.seal_manifest();
+        drop(r);
+        host.adversary_restore(rid, 0, stale);
+        let mut reopened = SealedRegion::open_with_manifest(rid, key, &manifest).unwrap();
+        assert_eq!(
+            reopened.read(&mut host, 0).err(),
+            Some(StorageError::TamperDetected { region: rid, index: 0 }),
+            "a stale block must not authenticate against the reopened revisions"
+        );
+    }
+
+    #[test]
+    fn manifest_ciphertext_hides_revisions() {
+        let (mut host, mut r) = setup(3, 8);
+        for _ in 0..5 {
+            r.write(&mut host, 1, &[1u8; 8]).unwrap();
+        }
+        let manifest = r.seal_manifest();
+        // Revision 6 of block 1 must not be readable from the blob.
+        let needle = 6u64.to_le_bytes();
+        assert!(!manifest.windows(8).any(|w| w == needle));
     }
 
     #[test]

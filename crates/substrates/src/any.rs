@@ -188,6 +188,53 @@ impl SubstrateSpec {
         }
     }
 
+    /// The directory a database over this spec persists into (region
+    /// files, region tables, and the sealed database manifest), when the
+    /// spec names one. `None` for in-memory and self-cleaning-temp specs —
+    /// those have nothing durable to reopen.
+    pub fn persist_dir(&self) -> Option<&std::path::Path> {
+        match self {
+            SubstrateSpec::Disk { dir: Some(d) }
+            | SubstrateSpec::CachedDisk { dir: Some(d), .. }
+            | SubstrateSpec::ShardedDisk { dir: Some(d), .. } => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Re-attaches to the populated store this spec describes: the
+    /// reopen-side counterpart of [`SubstrateSpec::build`], using
+    /// [`DiskMemory::open`] underneath. Fails with
+    /// [`std::io::ErrorKind::Unsupported`] for specs with no durable state
+    /// (in-memory hosts, self-cleaning temp dirs).
+    pub fn open(&self) -> std::io::Result<AnySubstrate> {
+        let nothing_durable = |what: &str| {
+            std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                format!("substrate spec '{what}' has no persisted state to reopen"),
+            )
+        };
+        Ok(match self {
+            SubstrateSpec::Disk { dir: Some(d) } => AnySubstrate::Disk(DiskMemory::open(d)?),
+            SubstrateSpec::CachedDisk { dir: Some(d), capacity_blocks } => {
+                AnySubstrate::CachedDisk(CachedMemory::new(DiskMemory::open(d)?, *capacity_blocks))
+            }
+            SubstrateSpec::ShardedDisk { dir: Some(d), shards } => {
+                let mut inners = Vec::with_capacity(*shards);
+                for i in 0..*shards {
+                    inners.push(DiskMemory::open(d.join(format!("shard-{i}")))?);
+                }
+                let slots: Vec<usize> = inners.iter().map(DiskMemory::region_slots).collect();
+                AnySubstrate::ShardedDisk(ShardedMemory::reattach(inners, &slots))
+            }
+            SubstrateSpec::Disk { dir: None }
+            | SubstrateSpec::CachedDisk { dir: None, .. }
+            | SubstrateSpec::ShardedDisk { dir: None, .. } => {
+                return Err(nothing_durable("disk (temp dir)"));
+            }
+            other => return Err(nothing_durable(other.profile_name())),
+        })
+    }
+
     /// Builds the substrate this spec describes.
     pub fn build(&self) -> std::io::Result<AnySubstrate> {
         Ok(match self {
@@ -315,11 +362,11 @@ impl AnySubstrate {
 }
 
 impl EnclaveMemory for AnySubstrate {
-    fn alloc_region(&mut self, blocks: usize, block_size: usize) -> RegionId {
+    fn alloc_region(&mut self, blocks: usize, block_size: usize) -> Result<RegionId, HostError> {
         dispatch!(self, m => m.alloc_region(blocks, block_size))
     }
 
-    fn free_region(&mut self, region: RegionId) {
+    fn free_region(&mut self, region: RegionId) -> Result<(), HostError> {
         dispatch!(self, m => m.free_region(region))
     }
 
@@ -402,6 +449,10 @@ impl EnclaveMemory for AnySubstrate {
     fn sync(&mut self) -> Result<(), HostError> {
         dispatch!(self, m => m.sync())
     }
+
+    fn sync_region(&mut self, region: RegionId) -> Result<(), HostError> {
+        dispatch!(self, m => m.sync_region(region))
+    }
 }
 
 #[cfg(test)]
@@ -411,7 +462,7 @@ mod tests {
     fn roundtrip(spec: &SubstrateSpec) {
         let mut m = spec.build().unwrap();
         let label = m.label();
-        let r = m.alloc_region(4, 8);
+        let r = m.alloc_region(4, 8).unwrap();
         m.write(r, 2, &[5u8; 8]).unwrap();
         if m.retains_payloads() {
             assert_eq!(m.read(r, 2).unwrap(), &[5u8; 8], "{label}");

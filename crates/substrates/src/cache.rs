@@ -351,9 +351,14 @@ impl<M: EnclaveMemory> CachedMemory<M> {
 
     /// Flushes every dirty block (region/index order, consecutive runs
     /// coalesced into one batched inner write each) without syncing inner.
-    fn flush_dirty(&mut self) -> Result<(), HostError> {
-        let mut dirty: Vec<(RegionId, u64)> =
-            self.entries.iter().filter(|(_, e)| e.dirty).map(|(k, _)| *k).collect();
+    /// `only` restricts the flush to one region (the `sync_region` path).
+    fn flush_dirty(&mut self, only: Option<RegionId>) -> Result<(), HostError> {
+        let mut dirty: Vec<(RegionId, u64)> = self
+            .entries
+            .iter()
+            .filter(|(k, e)| e.dirty && only.is_none_or(|r| k.0 == r))
+            .map(|(k, _)| *k)
+            .collect();
         dirty.sort_unstable();
         let mut i = 0;
         while i < dirty.len() {
@@ -381,11 +386,11 @@ impl<M: EnclaveMemory> CachedMemory<M> {
 }
 
 impl<M: EnclaveMemory> EnclaveMemory for CachedMemory<M> {
-    fn alloc_region(&mut self, blocks: usize, block_size: usize) -> RegionId {
+    fn alloc_region(&mut self, blocks: usize, block_size: usize) -> Result<RegionId, HostError> {
         self.inner.alloc_region(blocks, block_size)
     }
 
-    fn free_region(&mut self, region: RegionId) {
+    fn free_region(&mut self, region: RegionId) -> Result<(), HostError> {
         // Cached copies (dirty or clean) die with the region.
         let keys: Vec<(RegionId, u64)> =
             self.entries.keys().filter(|(r, _)| *r == region).copied().collect();
@@ -393,7 +398,7 @@ impl<M: EnclaveMemory> EnclaveMemory for CachedMemory<M> {
             let e = self.entries.remove(&key).expect("key just listed");
             self.lru.remove(&e.tick);
         }
-        self.inner.free_region(region);
+        self.inner.free_region(region)
     }
 
     fn grow_region(&mut self, region: RegionId, new_blocks: usize) -> Result<(), HostError> {
@@ -518,8 +523,16 @@ impl<M: EnclaveMemory> EnclaveMemory for CachedMemory<M> {
     }
 
     fn sync(&mut self) -> Result<(), HostError> {
-        self.flush_dirty()?;
+        self.flush_dirty(None)?;
         self.inner.sync()
+    }
+
+    /// Writes back just this region's dirty blocks (coalesced runs), then
+    /// region-syncs the inner substrate — the WAL's durable-append path
+    /// pays one region flush, not a whole-cache flush.
+    fn sync_region(&mut self, region: RegionId) -> Result<(), HostError> {
+        self.flush_dirty(Some(region))?;
+        self.inner.sync_region(region)
     }
 }
 
@@ -531,7 +544,7 @@ mod tests {
     #[test]
     fn hits_avoid_inner_traffic() {
         let mut m = CachedMemory::new(Host::new(), 8);
-        let r = m.alloc_region(4, 4);
+        let r = m.alloc_region(4, 4).unwrap();
         m.write(r, 0, &[1; 4]).unwrap();
         for _ in 0..5 {
             assert_eq!(m.read(r, 0).unwrap(), &[1; 4]);
@@ -544,7 +557,7 @@ mod tests {
     #[test]
     fn eviction_writes_back_dirty_blocks() {
         let mut m = CachedMemory::new(Host::new(), 2);
-        let r = m.alloc_region(8, 4);
+        let r = m.alloc_region(8, 4).unwrap();
         m.write(r, 0, &[0; 4]).unwrap();
         m.write(r, 1, &[1; 4]).unwrap();
         m.write(r, 2, &[2; 4]).unwrap(); // evicts block 0 → inner
@@ -559,7 +572,7 @@ mod tests {
     #[test]
     fn sync_flushes_dirty_runs_batched() {
         let mut m = CachedMemory::new(Host::new(), 16);
-        let r = m.alloc_region(8, 4);
+        let r = m.alloc_region(8, 4).unwrap();
         m.write_blocks(r, 2, &[7u8; 12]).unwrap(); // blocks 2,3,4 dirty
         m.write(r, 6, &[9; 4]).unwrap();
         assert_eq!(m.inner().stats().writes, 0);
@@ -575,7 +588,7 @@ mod tests {
     #[test]
     fn trace_and_stats_match_host_exactly() {
         fn drive<M: EnclaveMemory>(m: &mut M) -> (Trace, HostStats, Vec<u8>) {
-            let r = m.alloc_region(8, 4);
+            let r = m.alloc_region(8, 4).unwrap();
             m.start_trace();
             m.reset_stats();
             let data: Vec<u8> = (0..32).collect();
@@ -600,26 +613,26 @@ mod tests {
     #[test]
     fn error_contract_matches_host() {
         let mut m = CachedMemory::new(Host::new(), 4);
-        let r = m.alloc_region(4, 8);
+        let r = m.alloc_region(4, 8).unwrap();
         assert_eq!(m.read(r, 0), Err(HostError::EmptyBlock(r, 0)));
         assert!(matches!(m.write(r, 9, &[0; 8]), Err(HostError::OutOfBounds { .. })));
         assert!(matches!(
             m.write(r, 0, &[0; 7]),
             Err(HostError::BlockSizeMismatch { expected: 8, got: 7, .. })
         ));
-        m.free_region(r);
+        m.free_region(r).unwrap();
         assert_eq!(m.read(r, 0), Err(HostError::UnknownRegion(r)));
     }
 
     #[test]
     fn free_region_discards_cached_blocks() {
         let mut m = CachedMemory::new(Host::new(), 4);
-        let r = m.alloc_region(2, 4);
+        let r = m.alloc_region(2, 4).unwrap();
         m.write(r, 0, &[1; 4]).unwrap();
-        m.free_region(r);
+        m.free_region(r).unwrap();
         assert_eq!(m.cached_blocks(), 0);
         // A new region may reuse block addresses; stale data must be gone.
-        let r2 = m.alloc_region(2, 4);
+        let r2 = m.alloc_region(2, 4).unwrap();
         assert_eq!(m.read(r2, 0), Err(HostError::EmptyBlock(r2, 0)));
     }
 
@@ -629,12 +642,12 @@ mod tests {
         // holds nothing: one batched read must cost ONE inner crossing,
         // not sixteen.
         let mut m = CachedMemory::new(Host::new(), 32);
-        let r = m.alloc_region(16, 4);
+        let r = m.alloc_region(16, 4).unwrap();
         m.write_blocks(r, 0, &[9u8; 64]).unwrap();
         // Fill the cache from another region so every region-r entry is
         // evicted (written back), then sync so the cache holds only clean
         // blocks — the measured read then pays no writeback traffic.
-        let spill = m.alloc_region(32, 4);
+        let spill = m.alloc_region(32, 4).unwrap();
         m.write_blocks(spill, 0, &[0u8; 128]).unwrap();
         assert_eq!(m.cached_blocks(), 32, "region-r entries were evicted");
         m.sync().unwrap();
@@ -658,7 +671,7 @@ mod tests {
         // data the inner substrate has not seen, and must be served from
         // the cache, never refetched.
         let mut m2 = CachedMemory::new(Host::new(), 16);
-        let r2 = m2.alloc_region(8, 4);
+        let r2 = m2.alloc_region(8, 4).unwrap();
         // Seed inner directly (substrate-level population the cache never
         // saw), then dirty block 4 through the wrapper.
         m2.inner_mut().write_blocks(r2, 0, &[1u8; 32]).unwrap();
@@ -684,7 +697,7 @@ mod tests {
         // must fail with EmptyBlock(2) after successfully tracing 0,1,2 —
         // exactly as Host would.
         fn drive<M: EnclaveMemory>(m: &mut M) -> (Trace, Result<(), HostError>) {
-            let r = m.alloc_region(4, 2);
+            let r = m.alloc_region(4, 2).unwrap();
             m.write_blocks(r, 0, &[1, 1, 2, 2]).unwrap();
             m.write(r, 3, &[3, 3]).unwrap();
             m.start_trace();
@@ -697,11 +710,11 @@ mod tests {
         // Push the written blocks down to inner and clear the cache so the
         // miss path (and its fallback) is what gets exercised.
         let (ct, cr) = {
-            let r = cached.alloc_region(4, 2);
+            let r = cached.alloc_region(4, 2).unwrap();
             cached.write_blocks(r, 0, &[1, 1, 2, 2]).unwrap();
             cached.write(r, 3, &[3, 3]).unwrap();
             cached.sync().unwrap();
-            let spill = cached.alloc_region(8, 2);
+            let spill = cached.alloc_region(8, 2).unwrap();
             cached.write_blocks(spill, 0, &[0u8; 16]).unwrap();
             cached.start_trace();
             let mut out = Vec::new();
@@ -715,7 +728,7 @@ mod tests {
     #[test]
     fn batch_larger_than_capacity_completes() {
         let mut m = CachedMemory::new(Host::new(), 2);
-        let r = m.alloc_region(16, 4);
+        let r = m.alloc_region(16, 4).unwrap();
         let data = vec![3u8; 64];
         m.write_blocks(r, 0, &data).unwrap();
         m.sync().unwrap();

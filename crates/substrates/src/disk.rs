@@ -1,19 +1,25 @@
 //! Disk-backed untrusted memory: one file per region, block-aligned.
 
 use std::fs::{File, OpenOptions};
+use std::io::Write;
 use std::os::unix::fs::FileExt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use oblidb_enclave::{
-    batch_count, AccessEvent, AccessKind, EnclaveMemory, HostError, HostStats, RegionId, Trace,
+    batch_count, AccessEvent, AccessKind, EnclaveMemory, HostError, HostStats, IoOp, RegionId,
+    Trace,
 };
 
 use crate::TempDir;
 
-/// Converts an I/O failure into the substrate error taxonomy.
-fn io_err(e: std::io::Error) -> HostError {
-    HostError::Io(e.kind())
-}
+/// The persisted region table: everything [`DiskMemory::open`] needs to
+/// re-attach to a populated directory (region ids incl. tombstones, block
+/// geometry, written-block bitmaps). Rewritten atomically (temp file +
+/// rename) on every [`EnclaveMemory::sync`] / `sync_region`.
+pub const REGION_META_FILE: &str = "regions.meta";
+
+const META_MAGIC: &[u8; 8] = b"OBLIDBMT";
+const META_VERSION: u32 = 1;
 
 struct DiskRegion {
     file: File,
@@ -70,27 +76,24 @@ pub struct DiskMemory {
 }
 
 impl DiskMemory {
-    /// Opens a disk substrate rooted at `dir` (created if missing). Region
-    /// files persist after drop — useful as crash artifacts and for
-    /// inspection — but **re-attaching to them is not yet supported**
-    /// (region metadata, written-block bitmaps, and the sealed layer's
-    /// revision counters live in memory; recovery goes through WAL replay
-    /// into a fresh engine). To prevent a second open from silently
-    /// truncating earlier data, this refuses a directory that already
-    /// contains region files. [`EnclaveMemory::free_region`] deletes
-    /// individual region files.
+    /// Creates a **fresh** disk substrate rooted at `dir` (created if
+    /// missing). Region files persist after drop; re-attach to them later
+    /// with [`DiskMemory::open`]. To prevent a second `create` from
+    /// silently truncating earlier data, this refuses a directory that
+    /// already contains region files or a region table.
+    /// [`EnclaveMemory::free_region`] deletes individual region files.
     pub fn create(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         for entry in std::fs::read_dir(&dir)? {
             let name = entry?.file_name();
-            if name.to_string_lossy().ends_with(".blk") {
+            let name = name.to_string_lossy();
+            if name.ends_with(".blk") || name == REGION_META_FILE {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::AlreadyExists,
                     format!(
-                        "{} already holds region files (e.g. {:?}); reopening an existing \
-                         DiskMemory store is not supported yet — recover via WAL replay into \
-                         a fresh directory",
+                        "{} already holds a DiskMemory store (found {:?}); use \
+                         DiskMemory::open to re-attach, or point create at a fresh directory",
                         dir.display(),
                         name
                     ),
@@ -108,6 +111,159 @@ impl DiskMemory {
         })
     }
 
+    /// Re-attaches to a directory a previous `DiskMemory` populated and
+    /// synced: reads the persisted region table ([`REGION_META_FILE`]) and
+    /// opens every live region file without truncating it. Region ids —
+    /// including tombstones of freed regions — resume exactly where the
+    /// persisted store left off, so a reopened engine allocates the same
+    /// ids (and therefore produces the same traces) as the one that wrote
+    /// the store.
+    ///
+    /// The region table is untrusted state (geometry and bitmaps are
+    /// public); integrity of the *contents* is the sealed layer's job. A
+    /// missing or structurally invalid table, or a region file whose size
+    /// disagrees with it, fails with a descriptive `io::Error` — reopen
+    /// never guesses.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        let meta = std::fs::read(dir.join(REGION_META_FILE)).map_err(|e| {
+            std::io::Error::new(
+                e.kind(),
+                format!(
+                    "{}: cannot read region table {REGION_META_FILE} ({e}); only a synced \
+                     DiskMemory store can be reopened",
+                    dir.display()
+                ),
+            )
+        })?;
+        let regions = Self::decode_meta(&dir, &meta)?;
+        Ok(DiskMemory {
+            dir,
+            regions,
+            trace: None,
+            stats: HostStats::default(),
+            crossing_spins: 0,
+            scratch: Vec::new(),
+            _guard: None,
+        })
+    }
+
+    /// Parses the region table and opens the live region files.
+    fn decode_meta(dir: &Path, meta: &[u8]) -> std::io::Result<Vec<Option<DiskRegion>>> {
+        let bad = |what: &str| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: corrupt {REGION_META_FILE}: {what}", dir.display()),
+            )
+        };
+        let mut at = 0usize;
+        let mut take = |n: usize| -> std::io::Result<&[u8]> {
+            let end = at.checked_add(n).filter(|e| *e <= meta.len()).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{}: corrupt {REGION_META_FILE}: truncated", dir.display()),
+                )
+            })?;
+            let s = &meta[at..end];
+            at = end;
+            Ok(s)
+        };
+        if take(8)? != META_MAGIC {
+            return Err(bad("bad magic"));
+        }
+        let u32_of = |b: &[u8]| u32::from_le_bytes(b.try_into().expect("u32"));
+        let u64_of = |b: &[u8]| u64::from_le_bytes(b.try_into().expect("u64"));
+        if u32_of(take(4)?) != META_VERSION {
+            return Err(bad("unsupported version"));
+        }
+        // The table is attacker-controlled input: every count is bounded
+        // (and every multiplication checked) before any allocation, so a
+        // forged file is a typed InvalidData error — the worst a forged
+        // count can extract is a few hundred MB of `None` slots (the same
+        // id-space table a legitimately long-lived store holds in RAM;
+        // id-space compaction is the real fix and a ROADMAP note), never
+        // an unbounded allocation or an overflow that slips a bogus
+        // geometry past the size check.
+        let next_id = u32_of(take(4)?) as usize;
+        let live = u32_of(take(4)?) as usize;
+        if next_id > 1 << 22 || live > next_id {
+            return Err(bad("implausible region count"));
+        }
+        let mut regions: Vec<Option<DiskRegion>> = (0..next_id).map(|_| None).collect();
+        for _ in 0..live {
+            let id = u32_of(take(4)?) as usize;
+            let block_size = u64_of(take(8)?) as usize;
+            let blocks = u64_of(take(8)?);
+            let expect = (block_size as u64)
+                .checked_mul(blocks)
+                .filter(|_| block_size > 0 && block_size <= 1 << 30)
+                .ok_or_else(|| bad("implausible region geometry"))?;
+            let words = blocks.div_ceil(64) as usize;
+            // Bounded by the input size, so with_capacity cannot be
+            // tricked into a huge allocation.
+            if words > meta.len() / 8 {
+                return Err(bad("truncated written-block bitmap"));
+            }
+            let mut written = Vec::with_capacity(words);
+            for _ in 0..words {
+                written.push(u64_of(take(8)?));
+            }
+            if id >= next_id || regions[id].is_some() {
+                return Err(bad("region id out of range or duplicated"));
+            }
+            let path = dir.join(format!("region-{id:08}.blk"));
+            let file = OpenOptions::new().read(true).write(true).open(&path)?;
+            let got = file.metadata()?.len();
+            if got != expect {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: region file is {got} bytes, region table says {expect} \
+                         (blocks={blocks} × block_size={block_size}); the store was \
+                         truncated or swapped",
+                        path.display()
+                    ),
+                ));
+            }
+            regions[id] = Some(DiskRegion { file, path, block_size, blocks, written });
+        }
+        if at != meta.len() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(regions)
+    }
+
+    /// Serializes the region table and writes it atomically (temp file +
+    /// rename), so a crash mid-write leaves the previous table intact.
+    fn write_meta(&self) -> Result<(), HostError> {
+        let ioe = |e: &std::io::Error| HostError::io(e, None, IoOp::Sync);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(META_MAGIC);
+        buf.extend_from_slice(&META_VERSION.to_le_bytes());
+        buf.extend_from_slice(&(self.regions.len() as u32).to_le_bytes());
+        let live = self.regions.iter().filter(|r| r.is_some()).count() as u32;
+        buf.extend_from_slice(&live.to_le_bytes());
+        for (id, r) in self.regions.iter().enumerate() {
+            let Some(r) = r else { continue };
+            buf.extend_from_slice(&(id as u32).to_le_bytes());
+            buf.extend_from_slice(&(r.block_size as u64).to_le_bytes());
+            buf.extend_from_slice(&r.blocks.to_le_bytes());
+            for word in &r.written {
+                buf.extend_from_slice(&word.to_le_bytes());
+            }
+        }
+        let tmp = self.dir.join(format!(".{REGION_META_FILE}.tmp"));
+        let write = (|| {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_data()?;
+            std::fs::rename(&tmp, self.dir.join(REGION_META_FILE))?;
+            // The rename is only durable once the directory entry is.
+            File::open(&self.dir)?.sync_all()
+        })();
+        write.map_err(|e| ioe(&e))
+    }
+
     /// Opens a disk substrate over a fresh self-cleaning [`TempDir`]: the
     /// directory and every region file are removed when the substrate is
     /// dropped.
@@ -121,6 +277,12 @@ impl DiskMemory {
     /// The directory holding the region files.
     pub fn dir(&self) -> &std::path::Path {
         &self.dir
+    }
+
+    /// Total region slots ever allocated (live regions plus tombstones of
+    /// freed ones) — the id-space size a reattaching wrapper needs.
+    pub fn region_slots(&self) -> usize {
+        self.regions.len()
     }
 
     /// Sets the simulated per-crossing cost, exactly as
@@ -162,13 +324,13 @@ impl DiskMemory {
 }
 
 impl EnclaveMemory for DiskMemory {
-    /// The trait models allocation as infallible (as it is for `Host`), so
-    /// a failure to create or size the region file — ENOSPC, lost
-    /// permissions — panics rather than surfacing [`HostError::Io`].
-    /// Making allocation fallible across all substrates is a trait-level
-    /// change deferred to the ROADMAP.
-    fn alloc_region(&mut self, blocks: usize, block_size: usize) -> RegionId {
+    /// A failure to create or size the region file — ENOSPC, lost
+    /// permissions — surfaces as [`HostError::Io`] with
+    /// [`IoOp::Alloc`] context; nothing panics and no half-created
+    /// region is registered.
+    fn alloc_region(&mut self, blocks: usize, block_size: usize) -> Result<RegionId, HostError> {
         let id = RegionId(self.regions.len() as u32);
+        let ioe = |e: &std::io::Error| HostError::io(e, Some(id), IoOp::Alloc);
         let path = self.dir.join(format!("region-{:08}.blk", id.0));
         let file = OpenOptions::new()
             .read(true)
@@ -176,9 +338,12 @@ impl EnclaveMemory for DiskMemory {
             .create(true)
             .truncate(true)
             .open(&path)
-            .expect("disk substrate: cannot create region file");
-        file.set_len((blocks * block_size) as u64)
-            .expect("disk substrate: cannot size region file");
+            .map_err(|e| ioe(&e))?;
+        if let Err(e) = file.set_len((blocks * block_size) as u64) {
+            // Don't leave a zero-length orphan behind a failed allocation.
+            let _ = std::fs::remove_file(&path);
+            return Err(ioe(&e));
+        }
         self.regions.push(Some(DiskRegion {
             file,
             path,
@@ -186,21 +351,33 @@ impl EnclaveMemory for DiskMemory {
             blocks: blocks as u64,
             written: vec![0; (blocks as u64).div_ceil(64) as usize],
         }));
-        id
+        Ok(id)
     }
 
-    fn free_region(&mut self, region: RegionId) {
+    fn free_region(&mut self, region: RegionId) -> Result<(), HostError> {
         if let Some(slot) = self.regions.get_mut(region.0 as usize) {
             if let Some(r) = slot.take() {
-                let _ = std::fs::remove_file(&r.path);
+                match std::fs::remove_file(&r.path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => {
+                        // Unlink failed: keep the region attached (its data
+                        // still exists) and report the failure.
+                        *slot = Some(r);
+                        return Err(HostError::io(&e, Some(region), IoOp::Free));
+                    }
+                }
             }
         }
+        Ok(())
     }
 
     fn grow_region(&mut self, region: RegionId, new_blocks: usize) -> Result<(), HostError> {
         let r = self.region_mut(region)?;
         if (new_blocks as u64) > r.blocks {
-            r.file.set_len((new_blocks * r.block_size) as u64).map_err(io_err)?;
+            r.file
+                .set_len((new_blocks * r.block_size) as u64)
+                .map_err(|e| HostError::io(&e, Some(region), IoOp::Grow))?;
             r.blocks = new_blocks as u64;
             r.written.resize(r.blocks.div_ceil(64) as usize, 0);
         }
@@ -232,7 +409,9 @@ impl EnclaveMemory for DiskMemory {
             return Err(HostError::EmptyBlock(region, index));
         }
         scratch.resize(r.block_size, 0);
-        r.file.read_exact_at(scratch, index * r.block_size as u64).map_err(io_err)?;
+        r.file
+            .read_exact_at(scratch, index * r.block_size as u64)
+            .map_err(|e| HostError::io(&e, Some(region), IoOp::Read))?;
         Self::cross(stats, spins);
         stats.reads += 1;
         stats.bytes_read += r.block_size as u64;
@@ -257,7 +436,9 @@ impl EnclaveMemory for DiskMemory {
         if index >= r.blocks {
             return Err(HostError::OutOfBounds { region, index, len: r.blocks });
         }
-        r.file.write_all_at(data, index * r.block_size as u64).map_err(io_err)?;
+        r.file
+            .write_all_at(data, index * r.block_size as u64)
+            .map_err(|e| HostError::io(&e, Some(region), IoOp::Write))?;
         r.mark_written(index);
         Self::cross(stats, spins);
         stats.writes += 1;
@@ -307,7 +488,9 @@ impl EnclaveMemory for DiskMemory {
         };
         if valid > 0 {
             out.resize(valid * r.block_size, 0);
-            r.file.read_exact_at(out, start * r.block_size as u64).map_err(io_err)?;
+            r.file
+                .read_exact_at(out, start * r.block_size as u64)
+                .map_err(|e| HostError::io(&e, Some(region), IoOp::Read))?;
             Self::cross(stats, spins);
             stats.reads += valid as u64;
             stats.bytes_read += (valid * r.block_size) as u64;
@@ -348,7 +531,9 @@ impl EnclaveMemory for DiskMemory {
             }
             let at = out.len();
             out.resize(at + r.block_size, 0);
-            r.file.read_exact_at(&mut out[at..], index * r.block_size as u64).map_err(io_err)?;
+            r.file
+                .read_exact_at(&mut out[at..], index * r.block_size as u64)
+                .map_err(|e| HostError::io(&e, Some(region), IoOp::Read))?;
             stats.reads += 1;
             stats.bytes_read += r.block_size as u64;
         }
@@ -387,7 +572,7 @@ impl EnclaveMemory for DiskMemory {
         if valid > 0 {
             r.file
                 .write_all_at(&data[..valid * block_size], start * block_size as u64)
-                .map_err(io_err)?;
+                .map_err(|e| HostError::io(&e, Some(region), IoOp::Write))?;
             for index in start..start + valid as u64 {
                 r.mark_written(index);
             }
@@ -429,7 +614,9 @@ impl EnclaveMemory for DiskMemory {
             if index >= r.blocks {
                 return Err(HostError::OutOfBounds { region, index, len: r.blocks });
             }
-            r.file.write_all_at(chunk, index * block_size as u64).map_err(io_err)?;
+            r.file
+                .write_all_at(chunk, index * block_size as u64)
+                .map_err(|e| HostError::io(&e, Some(region), IoOp::Write))?;
             r.mark_written(index);
             if !crossed {
                 Self::cross(stats, spins);
@@ -464,10 +651,26 @@ impl EnclaveMemory for DiskMemory {
     }
 
     fn sync(&mut self) -> Result<(), HostError> {
-        for r in self.regions.iter().flatten() {
-            r.file.sync_data().map_err(io_err)?;
+        for (id, r) in self.regions.iter().enumerate() {
+            let Some(r) = r else { continue };
+            r.file
+                .sync_data()
+                .map_err(|e| HostError::io(&e, Some(RegionId(id as u32)), IoOp::Sync))?;
         }
-        Ok(())
+        self.write_meta()
+    }
+
+    /// Fsyncs one region's *data* file (instead of every file, as `sync`
+    /// does) and refreshes the persisted region table — the
+    /// durable-append primitive the WAL uses. The table rewrite is
+    /// currently whole-store (its written-block bitmaps must be durable
+    /// for the WAL tail scan to see the appended slot); an incremental
+    /// per-region table is a noted ROADMAP follow-up for stores where
+    /// serializing it starts to show.
+    fn sync_region(&mut self, region: RegionId) -> Result<(), HostError> {
+        let r = self.region(region)?;
+        r.file.sync_data().map_err(|e| HostError::io(&e, Some(region), IoOp::Sync))?;
+        self.write_meta()
     }
 }
 
@@ -479,7 +682,7 @@ mod tests {
     /// Drives the same mixed workload over any substrate and returns the
     /// observable outcome (payloads, trace, stats).
     fn drive<M: EnclaveMemory>(m: &mut M) -> (Vec<Vec<u8>>, Trace, HostStats) {
-        let r = m.alloc_region(8, 4);
+        let r = m.alloc_region(8, 4).unwrap();
         m.start_trace();
         m.reset_stats();
         for i in 0..8u64 {
@@ -510,7 +713,7 @@ mod tests {
     #[test]
     fn error_contract_matches_host() {
         let mut m = DiskMemory::temp().unwrap();
-        let r = m.alloc_region(4, 8);
+        let r = m.alloc_region(4, 8).unwrap();
         assert_eq!(m.read(r, 0), Err(HostError::EmptyBlock(r, 0)));
         assert!(matches!(m.write(r, 9, &[0; 8]), Err(HostError::OutOfBounds { .. })));
         assert!(matches!(
@@ -523,7 +726,7 @@ mod tests {
         // Host surfaces the valid prefix on a mid-batch failure; so must
         // disk (stats for exactly those two blocks were counted above).
         assert_eq!(out, vec![1u8; 16], "failed batch read yields the valid prefix");
-        m.free_region(r);
+        m.free_region(r).unwrap();
         assert_eq!(m.read(r, 0), Err(HostError::UnknownRegion(r)));
     }
 
@@ -531,12 +734,12 @@ mod tests {
     fn free_region_removes_file_and_temp_cleans_dir() {
         let mut m = DiskMemory::temp().unwrap();
         let dir = m.dir().to_path_buf();
-        let r = m.alloc_region(2, 4);
+        let r = m.alloc_region(2, 4).unwrap();
         m.write(r, 0, &[1; 4]).unwrap();
         assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
-        m.free_region(r);
+        m.free_region(r).unwrap();
         assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
-        let _r2 = m.alloc_region(2, 4);
+        let _r2 = m.alloc_region(2, 4).unwrap();
         drop(m);
         assert!(!dir.exists(), "temp substrate must remove its directory");
     }
@@ -547,14 +750,113 @@ mod tests {
         let sub = guard.path().join("store");
         {
             let mut m = DiskMemory::create(&sub).unwrap();
-            let r = m.alloc_region(2, 4);
+            let r = m.alloc_region(2, 4).unwrap();
             m.write(r, 1, &[9; 4]).unwrap();
             m.sync().unwrap();
         }
-        // Dropping an explicit-dir substrate keeps the files.
-        assert_eq!(std::fs::read_dir(&sub).unwrap().count(), 1);
+        // Dropping an explicit-dir substrate keeps the region file plus
+        // the persisted region table.
+        assert_eq!(std::fs::read_dir(&sub).unwrap().count(), 2);
+        assert!(sub.join(REGION_META_FILE).exists());
         let bytes = std::fs::read(sub.join("region-00000000.blk")).unwrap();
         assert_eq!(&bytes[4..8], &[9; 4], "block 1 lives at a block-aligned offset");
+    }
+
+    #[test]
+    fn open_reattaches_with_identical_ids_and_contract() {
+        let guard = TempDir::new("oblidb-disk-open").unwrap();
+        let store = guard.path().join("db");
+        {
+            let mut m = DiskMemory::create(&store).unwrap();
+            let a = m.alloc_region(4, 8).unwrap();
+            let freed = m.alloc_region(2, 8).unwrap();
+            let c = m.alloc_region(3, 16).unwrap();
+            m.write(a, 1, &[7u8; 8]).unwrap();
+            m.write_blocks(c, 0, &[5u8; 48]).unwrap();
+            m.free_region(freed).unwrap();
+            m.sync().unwrap();
+        }
+        let mut m = DiskMemory::open(&store).unwrap();
+        // Contents and written bitmaps survive.
+        assert_eq!(m.read(RegionId(0), 1).unwrap(), &[7u8; 8]);
+        assert_eq!(m.read(RegionId(0), 0), Err(HostError::EmptyBlock(RegionId(0), 0)));
+        let mut out = Vec::new();
+        m.read_blocks(RegionId(2), 0, 3, &mut out).unwrap();
+        assert_eq!(out, vec![5u8; 48]);
+        // The freed region stays a tombstone...
+        assert_eq!(m.read(RegionId(1), 0), Err(HostError::UnknownRegion(RegionId(1))));
+        // ...and id allocation resumes exactly past it.
+        assert_eq!(m.alloc_region(1, 4).unwrap(), RegionId(3));
+    }
+
+    #[test]
+    fn open_without_meta_or_with_mismatched_file_fails() {
+        let guard = TempDir::new("oblidb-disk-badopen").unwrap();
+        let store = guard.path().join("db");
+        // No region table at all.
+        std::fs::create_dir_all(&store).unwrap();
+        assert!(DiskMemory::open(&store).is_err());
+        // A region file whose size disagrees with the table.
+        {
+            let mut m = DiskMemory::create(guard.path().join("db2")).unwrap();
+            let _r = m.alloc_region(4, 8).unwrap();
+            m.sync().unwrap();
+        }
+        let blk = guard.path().join("db2").join("region-00000000.blk");
+        std::fs::OpenOptions::new().write(true).open(&blk).unwrap().set_len(7).unwrap();
+        let err = match DiskMemory::open(guard.path().join("db2")) {
+            Ok(_) => panic!("size-mismatched region file must be rejected"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // A corrupt region table.
+        {
+            let mut m = DiskMemory::create(guard.path().join("db3")).unwrap();
+            let _r = m.alloc_region(1, 4).unwrap();
+            m.sync().unwrap();
+        }
+        std::fs::write(guard.path().join("db3").join(REGION_META_FILE), b"garbage").unwrap();
+        let err = match DiskMemory::open(guard.path().join("db3")) {
+            Ok(_) => panic!("corrupt region table must be rejected"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn failed_alloc_surfaces_io_error_with_context() {
+        let guard = TempDir::new("oblidb-disk-allocfail").unwrap();
+        let store = guard.path().join("db");
+        let mut m = DiskMemory::create(&store).unwrap();
+        // Make the next region file impossible to create: a directory
+        // squats on its path (works even when running as root, where
+        // permission bits would not stop us).
+        std::fs::create_dir(store.join("region-00000000.blk")).unwrap();
+        let err = m.alloc_region(4, 8).unwrap_err();
+        assert!(
+            matches!(err, HostError::Io { op: IoOp::Alloc, region: Some(RegionId(0)), .. }),
+            "{err:?}"
+        );
+        // The substrate stays usable: remove the obstacle and allocate.
+        std::fs::remove_dir(store.join("region-00000000.blk")).unwrap();
+        let r = m.alloc_region(4, 8).unwrap();
+        assert_eq!(r, RegionId(0), "a failed allocation consumes no region id");
+        m.write(r, 0, &[1u8; 8]).unwrap();
+    }
+
+    #[test]
+    fn sync_region_persists_table_and_file() {
+        let guard = TempDir::new("oblidb-disk-syncregion").unwrap();
+        let store = guard.path().join("db");
+        {
+            let mut m = DiskMemory::create(&store).unwrap();
+            let r = m.alloc_region(2, 4).unwrap();
+            m.write(r, 0, &[3u8; 4]).unwrap();
+            // Only the region-level flush — no full sync.
+            m.sync_region(r).unwrap();
+        }
+        let mut m = DiskMemory::open(&store).unwrap();
+        assert_eq!(m.read(RegionId(0), 0).unwrap(), &[3u8; 4]);
     }
 
     #[test]
@@ -563,7 +865,7 @@ mod tests {
         let store = guard.path().join("db");
         {
             let mut m = DiskMemory::create(&store).unwrap();
-            let r = m.alloc_region(2, 4);
+            let r = m.alloc_region(2, 4).unwrap();
             m.write(r, 0, &[1; 4]).unwrap();
         }
         // A second open must not silently truncate the persisted files.
@@ -579,7 +881,7 @@ mod tests {
     #[test]
     fn grow_preserves_content_and_extends_bounds() {
         let mut m = DiskMemory::temp().unwrap();
-        let r = m.alloc_region(2, 4);
+        let r = m.alloc_region(2, 4).unwrap();
         m.write(r, 1, &[7; 4]).unwrap();
         m.grow_region(r, 10).unwrap();
         assert_eq!(m.region_len(r).unwrap(), 10);
@@ -591,7 +893,7 @@ mod tests {
     #[test]
     fn batched_ops_count_one_crossing() {
         let mut m = DiskMemory::temp().unwrap();
-        let r = m.alloc_region(8, 4);
+        let r = m.alloc_region(8, 4).unwrap();
         m.reset_stats();
         m.write_blocks(r, 0, &[0u8; 32]).unwrap();
         let mut out = Vec::new();

@@ -38,12 +38,14 @@
 
 mod any;
 mod cache;
+pub mod config;
 mod disk;
 mod shard;
 mod tempdir;
 
 pub use any::{AnySubstrate, ParseSubstrateError, SubstrateSpec, DEFAULT_CACHE_BLOCKS};
 pub use cache::{CacheStats, CachedMemory};
-pub use disk::DiskMemory;
+pub use config::{ConfigError, SubstrateConfig};
+pub use disk::{DiskMemory, REGION_META_FILE};
 pub use shard::ShardedMemory;
 pub use tempdir::TempDir;

@@ -41,6 +41,30 @@ impl<M: EnclaveMemory> ShardedMemory<M> {
         Self::new((0..n).map(f).collect())
     }
 
+    /// Re-attaches to shards a previous `ShardedMemory` populated.
+    ///
+    /// Round-robin placement makes the global→inner mapping a pure
+    /// function of the allocation index: global region `g` lives on shard
+    /// `g % N` as that shard's region `g / N` (both global and inner ids
+    /// are monotonic and never reused, frees included). `slots[i]` is
+    /// shard `i`'s total region-slot count — live regions *plus*
+    /// tombstones — as reported by the reopened inner substrate; freed
+    /// globals are reconstructed as tombstones by probing liveness, and
+    /// the round-robin cursor resumes where the persisted store left off.
+    pub fn reattach(shards: Vec<M>, slots: &[usize]) -> Self {
+        assert_eq!(shards.len(), slots.len(), "one slot count per shard");
+        assert!(!shards.is_empty(), "sharded memory needs at least one shard");
+        let n = shards.len();
+        let total: usize = slots.iter().sum();
+        let mut regions = Vec::with_capacity(total);
+        for g in 0..total {
+            let (shard, inner) = (g % n, RegionId((g / n) as u32));
+            let live = shards[shard].region_len(inner).is_ok();
+            regions.push(live.then_some((shard, inner)));
+        }
+        ShardedMemory { shards, regions, next_shard: total % n, trace: None }
+    }
+
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
@@ -86,7 +110,10 @@ impl<M: EnclaveMemory> ShardedMemory<M> {
             HostError::BlockSizeMismatch { expected, got, .. } => {
                 HostError::BlockSizeMismatch { region, expected, got }
             }
-            HostError::Io(k) => HostError::Io(k),
+            // Re-tag the region context; the kind and operation carry over.
+            HostError::Io { kind, region: r, op } => {
+                HostError::Io { kind, region: r.map(|_| region), op }
+            }
         }
     }
 
@@ -151,20 +178,25 @@ impl<M: EnclaveMemory> ShardedMemory<M> {
 }
 
 impl<M: EnclaveMemory> EnclaveMemory for ShardedMemory<M> {
-    fn alloc_region(&mut self, blocks: usize, block_size: usize) -> RegionId {
+    fn alloc_region(&mut self, blocks: usize, block_size: usize) -> Result<RegionId, HostError> {
         let shard = self.next_shard;
-        self.next_shard = (self.next_shard + 1) % self.shards.len();
-        let inner = self.shards[shard].alloc_region(blocks, block_size);
         let id = RegionId(self.regions.len() as u32);
+        // A failed inner allocation registers nothing and does not advance
+        // the round-robin cursor, so the next attempt targets the same
+        // shard a single-substrate run would have.
+        let inner =
+            self.shards[shard].alloc_region(blocks, block_size).map_err(|e| Self::retag(id, e))?;
+        self.next_shard = (self.next_shard + 1) % self.shards.len();
         self.regions.push(Some((shard, inner)));
-        id
+        Ok(id)
     }
 
-    fn free_region(&mut self, region: RegionId) {
+    fn free_region(&mut self, region: RegionId) -> Result<(), HostError> {
         if let Ok((shard, inner)) = self.resolve(region) {
-            self.shards[shard].free_region(inner);
+            self.shards[shard].free_region(inner).map_err(|e| Self::retag(region, e))?;
             self.regions[region.0 as usize] = None;
         }
+        Ok(())
     }
 
     fn grow_region(&mut self, region: RegionId, new_blocks: usize) -> Result<(), HostError> {
@@ -287,6 +319,11 @@ impl<M: EnclaveMemory> EnclaveMemory for ShardedMemory<M> {
         }
         Ok(())
     }
+
+    fn sync_region(&mut self, region: RegionId) -> Result<(), HostError> {
+        let (shard, inner) = self.resolve(region)?;
+        self.shards[shard].sync_region(inner).map_err(|e| Self::retag(region, e))
+    }
 }
 
 #[cfg(test)]
@@ -297,7 +334,7 @@ mod tests {
     #[test]
     fn round_robin_placement_and_per_shard_stats() {
         let mut m = ShardedMemory::from_fn(3, |_| Host::new());
-        let regions: Vec<RegionId> = (0..6).map(|_| m.alloc_region(4, 8)).collect();
+        let regions: Vec<RegionId> = (0..6).map(|_| m.alloc_region(4, 8).unwrap()).collect();
         assert_eq!(regions[4], RegionId(4), "global ids are sequential");
         for (i, &r) in regions.iter().enumerate() {
             m.write(r, 0, &[i as u8; 8]).unwrap();
@@ -315,8 +352,8 @@ mod tests {
     #[test]
     fn trace_and_stats_match_host() {
         fn drive<M: EnclaveMemory>(m: &mut M) -> (Trace, HostStats, Vec<u8>) {
-            let a = m.alloc_region(8, 4);
-            let b = m.alloc_region(8, 4);
+            let a = m.alloc_region(8, 4).unwrap();
+            let b = m.alloc_region(8, 4).unwrap();
             m.start_trace();
             m.reset_stats();
             let data: Vec<u8> = (0..32).collect();
@@ -340,7 +377,7 @@ mod tests {
     #[test]
     fn failed_batches_trace_the_host_prefix() {
         fn drive<M: EnclaveMemory>(m: &mut M) -> (Trace, Vec<HostError>) {
-            let r = m.alloc_region(4, 2);
+            let r = m.alloc_region(4, 2).unwrap();
             m.start_trace();
             let mut errs = Vec::new();
             m.write_blocks(r, 0, &[0u8; 4]).unwrap();
@@ -366,8 +403,8 @@ mod tests {
     #[test]
     fn unknown_region_after_free() {
         let mut m = ShardedMemory::from_fn(2, |_| Host::new());
-        let r = m.alloc_region(2, 4);
-        m.free_region(r);
+        let r = m.alloc_region(2, 4).unwrap();
+        m.free_region(r).unwrap();
         assert_eq!(m.read(r, 0), Err(HostError::UnknownRegion(r)));
         assert_eq!(m.region_len(r), Err(HostError::UnknownRegion(r)));
     }

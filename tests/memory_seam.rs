@@ -301,12 +301,12 @@ fn wal_recovery_rejects_payload_free_memory() {
 #[test]
 fn counting_memory_drops_payloads() {
     let mut counting = CountingMemory::new();
-    let region = counting.alloc_region(2, 4);
+    let region = counting.alloc_region(2, 4).unwrap();
     counting.write(region, 0, &[0xAB; 4]).unwrap();
     assert_eq!(counting.read(region, 0).unwrap(), &[0, 0, 0, 0]);
 
     let mut host = Host::new();
-    let region = EnclaveMemory::alloc_region(&mut host, 2, 4);
+    let region = EnclaveMemory::alloc_region(&mut host, 2, 4).unwrap();
     EnclaveMemory::write(&mut host, region, 0, &[0xAB; 4]).unwrap();
     assert_eq!(EnclaveMemory::read(&mut host, region, 0).unwrap(), &[0xAB; 4]);
 }

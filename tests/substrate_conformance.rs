@@ -126,8 +126,8 @@ fn wal_replay_from_disk_substrate() {
     db.checkpoint().unwrap();
     let log = db.wal_records().unwrap();
 
+    // The log includes the CREATE, so replay alone rebuilds the table.
     let mut recovered = Database::new(DbConfig::default());
-    recovered.execute("CREATE TABLE t (k INT, v INT) CAPACITY 32").unwrap();
     recovered.replay(&log).unwrap();
     let a = db.execute("SELECT * FROM t ORDER BY k").unwrap();
     let b = recovered.execute("SELECT * FROM t ORDER BY k").unwrap();
