@@ -24,7 +24,9 @@ pub mod persist;
 use std::collections::HashMap;
 
 use oblidb_crypto::aead::AeadKey;
-use oblidb_enclave::{EnclaveMemory, EnclaveRng, Host, OmBudget, Trace, DEFAULT_OM_BYTES};
+use oblidb_enclave::{
+    EnclaveMemory, EnclaveRng, Host, OmBudget, ThreadPool, Trace, DEFAULT_OM_BYTES,
+};
 
 use crate::error::DbError;
 use crate::exec::{self, AggFunc, SortMergeVariant};
@@ -54,6 +56,45 @@ pub enum StorageMethod {
     Both,
 }
 
+/// Parallel-execution configuration: how many worker threads the engine
+/// may use for partitioned sealing inside batched region I/O.
+///
+/// Parallelism never changes what the untrusted host observes — the
+/// memory-call sequence, crossing counts, and sealed bytes are identical
+/// to serial execution — so the worker count is a pure performance knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads (`1` = serial, the default; `0` is clamped to 1).
+    pub threads: usize,
+}
+
+impl ExecConfig {
+    /// Serial execution (one worker).
+    pub const SERIAL: ExecConfig = ExecConfig { threads: 1 };
+
+    /// Reads the worker count from the `OBLIDB_THREADS` environment
+    /// variable; unset, empty, or unparsable values mean serial.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("OBLIDB_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|n| *n > 0)
+            .unwrap_or(1);
+        ExecConfig { threads }
+    }
+
+    /// The worker pool this configuration describes.
+    pub fn pool(&self) -> ThreadPool {
+        ThreadPool::new(self.threads)
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig::SERIAL
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct DbConfig {
@@ -77,6 +118,9 @@ pub struct DbConfig {
     /// before executing it; replay with [`Database::wal_records`] +
     /// [`Database::replay`].
     pub wal: Option<crate::wal::WalConfig>,
+    /// Parallel execution (worker threads for partitioned sealing). The
+    /// default honors `OBLIDB_THREADS`; set explicitly to override.
+    pub exec: ExecConfig,
 }
 
 impl Default for DbConfig {
@@ -89,6 +133,7 @@ impl Default for DbConfig {
             fast_inserts: true,
             zero_om_scratch_rows: 1,
             wal: None,
+            exec: ExecConfig::from_env(),
         }
     }
 }
@@ -404,7 +449,9 @@ impl<M: EnclaveMemory> Database<M> {
         let storage = match method {
             StorageMethod::Flat => {
                 let key = self.next_key();
-                TableStorage::Flat(FlatTable::create(&mut self.host, key, schema, capacity)?)
+                let mut flat = FlatTable::create(&mut self.host, key, schema, capacity)?;
+                flat.set_parallelism(self.config.exec.pool());
+                TableStorage::Flat(flat)
             }
             StorageMethod::Indexed => {
                 let col = index_on.ok_or(DbError::Unsupported(
@@ -428,7 +475,8 @@ impl<M: EnclaveMemory> Database<M> {
                     .ok_or(DbError::Unsupported("BOTH storage requires INDEX ON <col>".into()))?;
                 let key_col = schema.col(col)?;
                 let fk = self.next_key();
-                let flat = FlatTable::create(&mut self.host, fk, schema.clone(), capacity)?;
+                let mut flat = FlatTable::create(&mut self.host, fk, schema.clone(), capacity)?;
+                flat.set_parallelism(self.config.exec.pool());
                 let ik = self.next_key();
                 let rng = self.rng.fork();
                 let indexed = IndexedTable::create(
@@ -479,13 +527,10 @@ impl<M: EnclaveMemory> Database<M> {
         let storage = match method {
             StorageMethod::Flat => {
                 let key = self.next_key();
-                TableStorage::Flat(FlatTable::from_encoded_rows(
-                    &mut self.host,
-                    key,
-                    schema,
-                    &encoded,
-                    cap,
-                )?)
+                let mut flat =
+                    FlatTable::from_encoded_rows(&mut self.host, key, schema, &encoded, cap)?;
+                flat.set_parallelism(self.config.exec.pool());
+                TableStorage::Flat(flat)
             }
             StorageMethod::Indexed => {
                 let col = index_on.ok_or(DbError::Unsupported(
@@ -510,13 +555,14 @@ impl<M: EnclaveMemory> Database<M> {
                     .ok_or(DbError::Unsupported("BOTH storage requires INDEX ON <col>".into()))?;
                 let key_col = schema.col(col)?;
                 let fk = self.next_key();
-                let flat = FlatTable::from_encoded_rows(
+                let mut flat = FlatTable::from_encoded_rows(
                     &mut self.host,
                     fk,
                     schema.clone(),
                     &encoded,
                     cap,
                 )?;
+                flat.set_parallelism(self.config.exec.pool());
                 let ik = self.next_key();
                 let rng = self.rng.fork();
                 let indexed = match IndexedTable::from_encoded_rows(
@@ -691,7 +737,8 @@ impl<M: EnclaveMemory> Database<M> {
 
     fn build_plan(&mut self, query: &str) -> Result<QueryPlan, DbError> {
         let statement = sql::parse(query)?;
-        let profile = self.config.planner.cost_model.profile();
+        let profile =
+            self.config.planner.cost_model.profile().with_threads(self.config.exec.threads);
         let action = match statement {
             Statement::Create(c) => PlanAction::Create(c),
             Statement::Insert(i) => PlanAction::Insert(i),
@@ -1507,6 +1554,7 @@ impl<M: EnclaveMemory> Database<M> {
         let key = self.next_key();
         let encoded = out_schema.encode_row(&states)?;
         let mut out = FlatTable::from_encoded_rows(&mut self.host, key, out_schema, &[encoded], 1)?;
+        out.set_parallelism(self.config.exec.pool());
         out.set_num_rows(1);
         a.actual = Some(NodeCost::from_stats(&(self.host.stats() - before), profile));
         Ok(out)
@@ -1782,6 +1830,7 @@ fn copy_flat<M: EnclaveMemory>(
     key: AeadKey,
 ) -> Result<FlatTable, DbError> {
     let mut out = FlatTable::create(host, key, input.schema().clone(), input.capacity())?;
+    out.set_parallelism(input.parallelism());
     let chunk = input.io_chunk_rows();
     let cap = input.capacity();
     let mut start = 0u64;

@@ -728,7 +728,9 @@ impl<M: EnclaveMemory> Database<M> {
                     store.payload_len()
                 )));
             }
-            let flat = FlatTable::reattach(store, t.schema.clone(), t.num_rows, t.insert_cursor);
+            let mut flat =
+                FlatTable::reattach(store, t.schema.clone(), t.num_rows, t.insert_cursor);
+            flat.set_parallelism(config.exec.pool());
             tables.push((t.name.clone(), TableStorage::Flat(flat)));
         }
 

@@ -42,7 +42,8 @@ pub use db::persist::{
     RecoveryReport, Reopened, DB_MANIFEST_FILE, RECOVERY_JOURNAL_FILE,
 };
 pub use db::{
-    Database, DbConfig, PlanCacheStats, PlanInfo, PreparedStatement, QueryOutput, StorageMethod,
+    Database, DbConfig, ExecConfig, PlanCacheStats, PlanInfo, PreparedStatement, QueryOutput,
+    StorageMethod,
 };
 pub use error::DbError;
 pub use plan::cost::CostProfile;

@@ -53,12 +53,41 @@ pub struct CostProfile {
     /// Fixed cost of one enclave boundary crossing (batched calls pay it
     /// once however many blocks they move).
     pub crossing: f64,
+    /// Worker threads available to partitioned sealing (`1` = serial).
+    /// Block-transfer weights shrink by an Amdahl factor in [`weigh`]
+    /// (crossings stay serial — one boundary transition per batch however
+    /// many workers seal its payload).
+    ///
+    /// [`weigh`]: CostProfile::weigh
+    pub threads: usize,
+    /// Fraction of per-block cost that parallelizes across workers: the
+    /// AEAD seal/open CPU. The residual (copying, allocator, the medium
+    /// itself) stays serial.
+    pub parallel_block_fraction: f64,
 }
 
+/// Default parallelizable share of per-block cost: on the in-memory
+/// substrates the AEAD pass dominates batched block transfer, with a
+/// serial residual for copying and bookkeeping.
+pub const PARALLEL_BLOCK_FRACTION: f64 = 0.6;
+
 impl CostProfile {
-    /// Builds a profile from explicit weights.
+    /// Builds a serial profile from explicit weights.
     pub fn new(name: impl Into<String>, read_block: f64, write_block: f64, crossing: f64) -> Self {
-        CostProfile { name: name.into(), read_block, write_block, crossing }
+        CostProfile {
+            name: name.into(),
+            read_block,
+            write_block,
+            crossing,
+            threads: 1,
+            parallel_block_fraction: PARALLEL_BLOCK_FRACTION,
+        }
+    }
+
+    /// The same weights, priced for `threads` sealing workers.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Every quantity costs the same: pure access-count minimization.
@@ -136,6 +165,8 @@ impl CostProfile {
             read_block: rel,
             write_block: rel * (canonical.write_block / canonical.read_block),
             crossing: canonical.crossing,
+            threads: canonical.threads,
+            parallel_block_fraction: canonical.parallel_block_fraction,
         })
     }
 
@@ -194,13 +225,25 @@ impl CostProfile {
             read_block: 1.0,
             write_block: (batched_write / unit).max(0.1),
             crossing,
+            threads: 1,
+            parallel_block_fraction: PARALLEL_BLOCK_FRACTION,
         })
     }
 
     /// Weighs counted accesses into one scalar cost.
+    ///
+    /// With `threads > 1`, per-block work shrinks by the Amdahl factor
+    /// `(1 - p) + p / threads` where `p` is
+    /// [`parallel_block_fraction`](CostProfile::parallel_block_fraction);
+    /// crossings are never divided — however many workers seal a batch,
+    /// the enclave boundary is crossed once, which is exactly why
+    /// parallelism pays more on crossing-cheap substrates than on
+    /// crossing-dominated ones (EXPLAIN shows the difference).
     pub fn weigh(&self, stats: &HostStats) -> f64 {
-        stats.reads as f64 * self.read_block
-            + stats.writes as f64 * self.write_block
+        let t = self.threads.max(1) as f64;
+        let p = self.parallel_block_fraction.clamp(0.0, 1.0);
+        let amdahl = (1.0 - p) + p / t;
+        (stats.reads as f64 * self.read_block + stats.writes as f64 * self.write_block) * amdahl
             + stats.crossings as f64 * self.crossing
     }
 }
@@ -549,6 +592,27 @@ mod tests {
         assert!((host.read_block - 1.0).abs() < 1e-9);
         assert!((disk.read_block - 2.0).abs() < 1e-9);
         assert!(CostProfile::from_bench_json(json, "nope").is_none());
+    }
+
+    #[test]
+    fn thread_count_discounts_block_work_never_crossings() {
+        let stats =
+            HostStats { reads: 100, writes: 100, bytes_read: 0, bytes_written: 0, crossings: 10 };
+        let serial = CostProfile::host();
+        let four = CostProfile::host().with_threads(4);
+        let serial_cost = serial.weigh(&stats);
+        let four_cost = four.weigh(&stats);
+        assert!(four_cost < serial_cost);
+        // Amdahl: block work scales by (1-p) + p/4, crossings stay whole.
+        let p = serial.parallel_block_fraction;
+        let expect = 200.0 * ((1.0 - p) + p / 4.0) + 10.0 * serial.crossing;
+        assert!((four_cost - expect).abs() < 1e-9, "{four_cost} vs {expect}");
+        // Crossing-only work sees no benefit at all.
+        let only_crossings =
+            HostStats { reads: 0, writes: 0, bytes_read: 0, bytes_written: 0, crossings: 7 };
+        assert_eq!(serial.weigh(&only_crossings), four.weigh(&only_crossings));
+        // Zero threads clamps to serial rather than dividing by zero.
+        assert_eq!(CostProfile::host().with_threads(0).weigh(&stats), serial_cost);
     }
 
     #[test]

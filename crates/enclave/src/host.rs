@@ -308,16 +308,47 @@ struct Region {
     blocks: Vec<Option<Box<[u8]>>>,
 }
 
+/// Simulated price of one enclave boundary transition.
+///
+/// Two components, because they behave differently under parallel
+/// execution: `spins` burns the worker's core (transition compute — it
+/// does **not** overlap across workers), while `stall_nanos` blocks the
+/// worker without consuming CPU (the enclave thread waiting for the
+/// untrusted host to service the exit — stalls from different workers
+/// **do** overlap, which is exactly the regime where worker-per-shard
+/// parallelism pays).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CrossingCost {
+    /// CPU-burning spin iterations per crossing (~8k cycles on real SGX).
+    pub spins: u32,
+    /// Worker stall per crossing, in nanoseconds (OCALL service time, EPC
+    /// paging). Realized stalls are floored by OS timer resolution.
+    pub stall_nanos: u64,
+}
+
+impl CrossingCost {
+    /// Burns/waits the configured price. Counters are the caller's job.
+    pub fn pay(self) {
+        for _ in 0..self.spins {
+            std::hint::spin_loop();
+        }
+        if self.stall_nanos > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(self.stall_nanos));
+        }
+    }
+}
+
 /// The untrusted world: all memory outside the enclave.
 ///
 /// Single-threaded by design, matching the paper's single-node engine; the
-/// benchmark harness gives each experiment its own `Host`.
+/// benchmark harness gives each experiment its own `Host`, and the parallel
+/// execution mode gives each worker its own `Host` shard.
 #[derive(Default)]
 pub struct Host {
     regions: Vec<Option<Region>>,
     trace: Option<Vec<AccessEvent>>,
     stats: HostStats,
-    crossing_spins: u32,
+    crossing: CrossingCost,
 }
 
 impl Host {
@@ -336,15 +367,20 @@ impl Host {
     /// so unit tests and traces are unaffected; the benchmark harness
     /// opts in to measure the amortization honestly.
     pub fn set_crossing_cost(&mut self, spins: u32) {
-        self.crossing_spins = spins;
+        self.crossing.spins = spins;
+    }
+
+    /// Sets the stall component of the crossing price (see
+    /// [`CrossingCost::stall_nanos`]): the worker blocks that long per
+    /// transition instead of burning CPU. Default 0.
+    pub fn set_crossing_stall(&mut self, nanos: u64) {
+        self.crossing.stall_nanos = nanos;
     }
 
     /// Pays for one boundary transition.
-    fn cross(stats: &mut HostStats, spins: u32) {
+    fn cross(stats: &mut HostStats, cost: CrossingCost) {
         stats.crossings += 1;
-        for _ in 0..spins {
-            std::hint::spin_loop();
-        }
+        cost.pay();
     }
 
     /// Allocates a region of `blocks` blocks, each `block_size` bytes.
@@ -428,7 +464,7 @@ impl Host {
             .ok_or(HostError::OutOfBounds { region, index, len })?
             .as_deref()
             .ok_or(HostError::EmptyBlock(region, index))?;
-        Self::cross(&mut self.stats, self.crossing_spins);
+        Self::cross(&mut self.stats, self.crossing);
         self.stats.reads += 1;
         self.stats.bytes_read += block.len() as u64;
         // Reborrow immutably for the return value.
@@ -461,7 +497,7 @@ impl Host {
             Some(existing) => existing.copy_from_slice(data),
             None => *slot = Some(data.to_vec().into_boxed_slice()),
         }
-        Self::cross(&mut self.stats, self.crossing_spins);
+        Self::cross(&mut self.stats, self.crossing);
         self.stats.writes += 1;
         self.stats.bytes_written += data.len() as u64;
         Ok(())
@@ -500,7 +536,7 @@ impl Host {
         out.clear();
         let mut crossed = false;
         // Split borrows: trace/stats mutate while region data is read.
-        let spins = self.crossing_spins;
+        let cost = self.crossing;
         let Host { regions, trace, stats, .. } = self;
         let r = regions
             .get(region.0 as usize)
@@ -520,7 +556,7 @@ impl Host {
             if !crossed {
                 // Counted only once a block validates, exactly like the
                 // per-block path (failed accesses leave counters alone).
-                Self::cross(stats, spins);
+                Self::cross(stats, cost);
                 crossed = true;
             }
             out.extend_from_slice(block);
@@ -569,7 +605,7 @@ impl Host {
         data: &[u8],
     ) -> Result<(), HostError> {
         let mut crossed = false;
-        let spins = self.crossing_spins;
+        let cost = self.crossing;
         let Host { regions, trace, stats, .. } = self;
         let r = regions
             .get_mut(region.0 as usize)
@@ -590,7 +626,7 @@ impl Host {
                 None => *slot = Some(chunk.to_vec().into_boxed_slice()),
             }
             if !crossed {
-                Self::cross(stats, spins);
+                Self::cross(stats, cost);
                 crossed = true;
             }
             stats.writes += 1;
@@ -793,7 +829,7 @@ mod tests {
         // still counting exactly one crossing).
         h.write(r, 0, &[1; 4]).unwrap();
         assert_eq!(h.stats().crossings, 1);
-        assert_eq!(h.crossing_spins, 3, "reset must not clear the crossing cost");
+        assert_eq!(h.crossing.spins, 3, "reset must not clear the crossing cost");
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //!   passes, smaller chunks) when it shrinks — reproduced in Figure 8.
 //! * [`EnclaveRng`] is the in-enclave randomness source (leaf assignment,
 //!   nonces). It is deterministic under a seed so experiments reproduce.
+//! * [`ThreadPool`] is the scoped worker pool behind worker-per-shard
+//!   parallel execution: each worker drives its own partition's accesses
+//!   exactly as the serial loop would, so per-partition traces are
+//!   unchanged and obliviousness is preserved by construction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,14 +38,16 @@
 mod host;
 mod memory;
 mod om;
+mod pool;
 mod rng;
 
 pub use host::{
-    batch_count, AccessEvent, AccessKind, Host, HostError, HostStats, IoOp, RegionId, StatsReport,
-    Trace,
+    batch_count, AccessEvent, AccessKind, CrossingCost, Host, HostError, HostStats, IoOp, RegionId,
+    StatsReport, Trace,
 };
 pub use memory::{CountingMemory, EnclaveMemory};
 pub use om::{OmAllocation, OmBudget, OmError};
+pub use pool::ThreadPool;
 pub use rng::EnclaveRng;
 
 /// Default oblivious-memory budget used across the evaluation (paper §2.2:

@@ -1,0 +1,234 @@
+//! A minimal scoped thread pool for worker-per-shard execution.
+//!
+//! The workspace is zero-dep by design, so this is not rayon: a
+//! [`ThreadPool`] is just a worker count. Each parallel region spawns at
+//! most that many scoped threads (`std::thread::scope`), hands each one a
+//! statically-partitioned contiguous chunk of the work, joins them all,
+//! and propagates the first worker panic to the caller. There is no work
+//! stealing and no task queue — ObliDB's parallel units (shards of a
+//! sharded substrate, disjoint block ranges of a sealed batch,
+//! independent compare-exchange rounds of a bitonic pass) are uniform by
+//! construction, so static assignment is already balanced.
+//!
+//! Obliviousness is unaffected: a worker drives exactly the accesses the
+//! serial loop would have issued for its partition, so each partition's
+//! trace is unchanged — only the interleaving *across* partitions differs,
+//! which the enclave boundary already leaks (the adversary sees every
+//! access either way). `tests/parallel_conformance.rs` asserts this.
+
+use std::any::Any;
+use std::thread::ScopedJoinHandle;
+
+/// A fixed-width scoped thread pool. `Copy`, stateless between runs: the
+/// worker threads live only for the duration of one [`ThreadPool::run`].
+///
+/// `threads == 1` is the serial pool: work runs inline on the caller's
+/// thread with no spawning, so a serial pool is always safe (and is the
+/// default everywhere — parallelism is opt-in via `ExecConfig` /
+/// `OBLIDB_THREADS`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl ThreadPool {
+    /// The inline pool: everything runs on the caller's thread.
+    pub fn serial() -> Self {
+        ThreadPool { threads: 1 }
+    }
+
+    /// A pool of `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        ThreadPool { threads: threads.max(1) }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether [`ThreadPool::run`] would actually spawn threads.
+    pub fn is_serial(&self) -> bool {
+        self.threads <= 1
+    }
+
+    /// Runs every job, one scoped thread per job, and returns their
+    /// results in job order.
+    ///
+    /// Callers partition their work into at most [`ThreadPool::threads`]
+    /// jobs (one per worker); this method spawns whatever it is given. On
+    /// a serial pool (or a single job) the jobs run inline, in order, with
+    /// no threads spawned. If a worker panics, every other worker is still
+    /// joined first, then the **first** panic (in job order) resumes on
+    /// the caller's thread — a panicking parallel region behaves like the
+    /// serial loop hitting the same panic, not like a detached thread.
+    pub fn run<R, F>(&self, jobs: Vec<F>) -> Vec<R>
+    where
+        R: Send,
+        F: FnOnce() -> R + Send,
+    {
+        if self.is_serial() || jobs.len() <= 1 {
+            return jobs.into_iter().map(|job| job()).collect();
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = jobs.into_iter().map(|job| s.spawn(job)).collect();
+            join_all(handles)
+        })
+    }
+
+    /// Runs `f(index, &mut items[index])` for every item, partitioning the
+    /// slice into at most [`ThreadPool::threads`] contiguous chunks with
+    /// one worker per chunk. Results come back in item order.
+    ///
+    /// This is the worker-per-shard primitive: hand it
+    /// `ShardedMemory::shards` and each worker gets exclusive `&mut`
+    /// access to its shards — no locks, no sharing, stats aggregate after
+    /// the join. Panic propagation as in [`ThreadPool::run`].
+    pub fn for_each_mut<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.is_serial() || n <= 1 {
+            return items.iter_mut().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+        let chunk = n.div_ceil(self.threads);
+        let f = &f;
+        let jobs: Vec<_> = items
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(c, part)| {
+                move || {
+                    part.iter_mut()
+                        .enumerate()
+                        .map(|(j, item)| f(c * chunk + j, item))
+                        .collect::<Vec<R>>()
+                }
+            })
+            .collect();
+        self.run(jobs).into_iter().flatten().collect()
+    }
+
+    /// Splits `0..len` into at most [`ThreadPool::threads`] contiguous
+    /// `(start, len)` ranges, one per worker, first ranges largest.
+    /// Returns an empty vec for `len == 0`.
+    pub fn partition(&self, len: usize) -> Vec<(usize, usize)> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let chunk = len.div_ceil(self.threads);
+        (0..len.div_ceil(chunk)).map(|c| (c * chunk, chunk.min(len - c * chunk))).collect()
+    }
+}
+
+/// Joins every handle, then propagates the first panic in job order.
+fn join_all<R>(handles: Vec<ScopedJoinHandle<'_, R>>) -> Vec<R> {
+    let mut results = Vec::with_capacity(handles.len());
+    let mut panic: Option<Box<dyn Any + Send>> = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(r) => results.push(r),
+            Err(payload) => {
+                if panic.is_none() {
+                    panic = Some(payload);
+                }
+            }
+        }
+    }
+    if let Some(payload) = panic {
+        std::panic::resume_unwind(payload);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let pool = ThreadPool::new(4);
+        let mut items: Vec<usize> = (0..13).collect();
+        let out = pool.for_each_mut(&mut items, |i, v| {
+            *v += 1;
+            i * 10 + *v
+        });
+        assert_eq!(items, (1..14).collect::<Vec<_>>());
+        assert_eq!(out, (0..13).map(|i| i * 10 + i + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let mut a: Vec<u64> = (0..100).collect();
+        let mut b = a.clone();
+        let ra = ThreadPool::serial().for_each_mut(&mut a, |i, v| *v * 2 + i as u64);
+        let rb = ThreadPool::new(8).for_each_mut(&mut b, |i, v| *v * 2 + i as u64);
+        assert_eq!(ra, rb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_returns_in_job_order() {
+        let pool = ThreadPool::new(3);
+        let jobs: Vec<_> = (0..3u32)
+            .map(|i| {
+                move || {
+                    // Later jobs finish first; order must still hold.
+                    std::thread::sleep(std::time::Duration::from_millis(10 * (3 - i as u64)));
+                    i
+                }
+            })
+            .collect();
+        assert_eq!(pool.run(jobs), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = ThreadPool::new(4);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut items = vec![0u8; 8];
+            pool.for_each_mut(&mut items, |i, _| {
+                if i == 5 {
+                    panic!("worker 5 exploded");
+                }
+            });
+        }));
+        let payload = caught.expect_err("panic must cross the pool boundary");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "worker 5 exploded");
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_serial() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert!(pool.is_serial());
+        assert_eq!(pool.run(vec![|| 7]), vec![7]);
+    }
+
+    #[test]
+    fn partition_covers_exactly_once() {
+        for threads in 1..6 {
+            for len in 0..40 {
+                let parts = ThreadPool::new(threads).partition(len);
+                assert!(parts.len() <= threads.max(1));
+                let total: usize = parts.iter().map(|(_, n)| n).sum();
+                assert_eq!(total, len, "threads={threads} len={len}");
+                let mut next = 0;
+                for (start, n) in parts {
+                    assert_eq!(start, next);
+                    assert!(n > 0);
+                    next = start + n;
+                }
+            }
+        }
+    }
+}

@@ -341,6 +341,30 @@ impl AnySubstrate {
         }
     }
 
+    /// Sets the simulated per-crossing *stall* (worker blocked on the
+    /// boundary transition, e.g. OCALL service time) on the layer that
+    /// models the enclave boundary — same layer selection as
+    /// [`AnySubstrate::set_crossing_cost`]. Stalls, unlike spins, overlap
+    /// across parallel workers, which is what the parallel bench prices.
+    pub fn set_crossing_stall(&mut self, nanos: u64) {
+        match self {
+            AnySubstrate::Host(h) => h.set_crossing_stall(nanos),
+            AnySubstrate::Disk(d) => d.set_crossing_stall(nanos),
+            AnySubstrate::CachedHost(c) => c.set_crossing_stall(nanos),
+            AnySubstrate::CachedDisk(c) => c.set_crossing_stall(nanos),
+            AnySubstrate::ShardedHost(s) => {
+                for i in 0..s.shard_count() {
+                    s.shard_mut(i).set_crossing_stall(nanos);
+                }
+            }
+            AnySubstrate::ShardedDisk(s) => {
+                for i in 0..s.shard_count() {
+                    s.shard_mut(i).set_crossing_stall(nanos);
+                }
+            }
+        }
+    }
+
     /// Cache counters when this substrate has a cache layer.
     pub fn cache_stats(&self) -> Option<crate::CacheStats> {
         match self {

@@ -3,7 +3,8 @@
 use std::collections::{BTreeMap, HashMap};
 
 use oblidb_enclave::{
-    batch_count, AccessEvent, AccessKind, EnclaveMemory, HostError, HostStats, RegionId, Trace,
+    batch_count, AccessEvent, AccessKind, CrossingCost, EnclaveMemory, HostError, HostStats,
+    RegionId, Trace,
 };
 
 /// Cache-level counters, separate from the [`HostStats`] access counters
@@ -56,9 +57,12 @@ struct Entry {
 /// cache; dirty blocks reach the inner substrate on eviction or
 /// [`EnclaveMemory::sync`] (which flushes in deterministic region/index
 /// order, coalescing consecutive runs into batched inner writes, then
-/// syncs the inner substrate). Capacity is counted in blocks; a batched
-/// read larger than the capacity still completes — it just cannot retain
-/// the whole run.
+/// syncs the inner substrate). Evictions are paid the same way: a batched
+/// operation pre-evicts everything it displaces in one wave, so
+/// consecutive dirty victims drain as one batched inner write per run
+/// instead of one single-block write per eviction. Capacity is counted in
+/// blocks; a batched read larger than the capacity still completes — it
+/// just cannot retain the whole run.
 ///
 /// Consecutive misses inside a batched read are coalesced into one
 /// batched inner fetch (one inner crossing per run); a failing run is
@@ -75,7 +79,7 @@ pub struct CachedMemory<M: EnclaveMemory> {
     trace: Option<Vec<AccessEvent>>,
     stats: HostStats,
     cache_stats: CacheStats,
-    crossing_spins: u32,
+    crossing: CrossingCost,
 }
 
 impl<M: EnclaveMemory> CachedMemory<M> {
@@ -91,7 +95,7 @@ impl<M: EnclaveMemory> CachedMemory<M> {
             trace: None,
             stats: HostStats::default(),
             cache_stats: CacheStats::default(),
-            crossing_spins: 0,
+            crossing: CrossingCost::default(),
         }
     }
 
@@ -129,14 +133,19 @@ impl<M: EnclaveMemory> CachedMemory<M> {
     /// [`Host::set_crossing_cost`](oblidb_enclave::Host::set_crossing_cost).
     /// Preserved across [`EnclaveMemory::reset_stats`].
     pub fn set_crossing_cost(&mut self, spins: u32) {
-        self.crossing_spins = spins;
+        self.crossing.spins = spins;
     }
 
-    fn cross(stats: &mut HostStats, spins: u32) {
+    /// Sets the simulated per-crossing stall of the *logical* boundary;
+    /// see [`Host::set_crossing_stall`](oblidb_enclave::Host::set_crossing_stall).
+    /// Preserved across [`EnclaveMemory::reset_stats`].
+    pub fn set_crossing_stall(&mut self, nanos: u64) {
+        self.crossing.stall_nanos = nanos;
+    }
+
+    fn cross(stats: &mut HostStats, cost: CrossingCost) {
         stats.crossings += 1;
-        for _ in 0..spins {
-            std::hint::spin_loop();
-        }
+        cost.pay();
     }
 
     fn record(&mut self, region: RegionId, index: u64, kind: AccessKind) {
@@ -160,23 +169,60 @@ impl<M: EnclaveMemory> CachedMemory<M> {
         }
     }
 
-    /// Evicts the least-recently-used block, writing it back first if
-    /// dirty. A failed write-back leaves the entry cached (and still
-    /// dirty), so the block's only up-to-date copy is never dropped on an
-    /// inner I/O error.
-    fn evict_one(&mut self) -> Result<(), HostError> {
-        let Some((&tick, &key)) = self.lru.iter().next() else {
+    /// Evicts the `count` least-recently-used blocks in one wave.
+    ///
+    /// Dirty victims are written back first, sorted by (region, index)
+    /// with consecutive runs **coalesced** into single batched inner
+    /// writes — a cache full of sequentially-written dirty blocks drains
+    /// in one inner crossing per run instead of one per block. A failed
+    /// write-back aborts the wave before any victim is dropped: every
+    /// entry stays cached (dirty ones still dirty), so the only
+    /// up-to-date copy of a block is never lost to an inner I/O error.
+    fn evict_many(&mut self, count: usize) -> Result<(), HostError> {
+        let count = count.min(self.entries.len());
+        if count == 0 {
             return Ok(());
-        };
-        let entry = self.entries.get(&key).expect("lru and entries agree");
-        if entry.dirty {
-            self.inner.write(key.0, key.1, &entry.data)?;
-            self.cache_stats.writebacks += 1;
         }
-        self.lru.remove(&tick);
-        self.entries.remove(&key);
-        self.cache_stats.evictions += 1;
+        let victims: Vec<(RegionId, u64)> = self.lru.values().copied().take(count).collect();
+        let mut dirty: Vec<(RegionId, u64)> =
+            victims.iter().copied().filter(|k| self.entries[k].dirty).collect();
+        dirty.sort_unstable();
+        let mut i = 0;
+        while i < dirty.len() {
+            let (region, start) = dirty[i];
+            let mut run = 1;
+            while i + run < dirty.len()
+                && dirty[i + run].0 == region
+                && dirty[i + run].1 == start + run as u64
+            {
+                run += 1;
+            }
+            let mut buf = Vec::new();
+            for k in &dirty[i..i + run] {
+                buf.extend_from_slice(&self.entries[k].data);
+            }
+            self.inner.write_blocks(region, start, &buf)?;
+            for k in &dirty[i..i + run] {
+                self.entries.get_mut(k).expect("dirty key cached").dirty = false;
+                self.cache_stats.writebacks += 1;
+            }
+            i += run;
+        }
+        // Every write-back landed; now the victims can be dropped.
+        for key in victims {
+            let e = self.entries.remove(&key).expect("victim cached");
+            self.lru.remove(&e.tick);
+            self.cache_stats.evictions += 1;
+        }
         Ok(())
+    }
+
+    /// Pre-evicts enough blocks for `incoming` new keys in one coalesced
+    /// wave, so a batched operation pays one write-back run per dirty
+    /// stretch instead of one single-block inner write per install.
+    fn reserve(&mut self, incoming: usize) -> Result<(), HostError> {
+        let need = (self.entries.len() + incoming.min(self.capacity)).saturating_sub(self.capacity);
+        self.evict_many(need)
     }
 
     /// Inserts (or replaces) a cached block, evicting as needed.
@@ -193,12 +239,25 @@ impl<M: EnclaveMemory> CachedMemory<M> {
             return Ok(());
         }
         if self.entries.len() >= self.capacity {
-            self.evict_one()?;
+            self.evict_many(1)?;
         }
         let tick = self.next_tick();
         self.entries.insert(key, Entry { data, dirty, tick });
         self.lru.insert(tick, key);
         Ok(())
+    }
+
+    /// Counts the distinct in-bounds indices a batch will newly cache —
+    /// the slot count [`CachedMemory::reserve`] frees up front.
+    fn incoming(&self, region: RegionId, len: u64, idx: &[u64]) -> usize {
+        let mut uniq: Vec<u64> = idx
+            .iter()
+            .copied()
+            .filter(|&i| i < len && !self.entries.contains_key(&(region, i)))
+            .collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        uniq.len()
     }
 
     /// Ensures `key`'s block is cached (fetching from inner on a miss)
@@ -239,6 +298,10 @@ impl<M: EnclaveMemory> CachedMemory<M> {
         out.clear();
         let block_size = self.inner.region_block_size(region)?;
         let idx: Vec<u64> = indices.collect();
+        // One coalesced eviction wave up front, instead of a single-block
+        // write-back per miss installed below.
+        let incoming = self.incoming(region, len, &idx);
+        self.reserve(incoming)?;
         let mut crossed = false;
         let mut fetched = Vec::new();
         let mut i = 0;
@@ -254,7 +317,7 @@ impl<M: EnclaveMemory> CachedMemory<M> {
                 // batch buffer cannot express): the per-block path.
                 let payload = self.load(key)?;
                 if !crossed {
-                    Self::cross(&mut self.stats, self.crossing_spins);
+                    Self::cross(&mut self.stats, self.crossing);
                     crossed = true;
                 }
                 out.extend_from_slice(&self.entries[&key].data);
@@ -285,7 +348,7 @@ impl<M: EnclaveMemory> CachedMemory<M> {
                         self.cache_stats.misses += 1;
                         self.install((region, j_index), chunk.to_vec(), false)?;
                         if !crossed {
-                            Self::cross(&mut self.stats, self.crossing_spins);
+                            Self::cross(&mut self.stats, self.crossing);
                             crossed = true;
                         }
                         out.extend_from_slice(chunk);
@@ -308,7 +371,7 @@ impl<M: EnclaveMemory> CachedMemory<M> {
                         }
                         let payload = self.load((region, j_index))?;
                         if !crossed {
-                            Self::cross(&mut self.stats, self.crossing_spins);
+                            Self::cross(&mut self.stats, self.crossing);
                             crossed = true;
                         }
                         out.extend_from_slice(&self.entries[&(region, j_index)].data);
@@ -332,15 +395,20 @@ impl<M: EnclaveMemory> CachedMemory<M> {
         data: &[u8],
         block_size: usize,
     ) -> Result<(), HostError> {
+        let idx: Vec<u64> = indices.collect();
+        // As in `read_gather`: drain the needed capacity in one coalesced
+        // write-back wave before the per-block installs.
+        let incoming = self.incoming(region, len, &idx);
+        self.reserve(incoming)?;
         let mut crossed = false;
-        for (index, chunk) in indices.zip(data.chunks_exact(block_size)) {
+        for (index, chunk) in idx.iter().copied().zip(data.chunks_exact(block_size)) {
             self.record(region, index, AccessKind::Write);
             if index >= len {
                 return Err(HostError::OutOfBounds { region, index, len });
             }
             self.install((region, index), chunk.to_vec(), true)?;
             if !crossed {
-                Self::cross(&mut self.stats, self.crossing_spins);
+                Self::cross(&mut self.stats, self.crossing);
                 crossed = true;
             }
             self.stats.writes += 1;
@@ -421,7 +489,7 @@ impl<M: EnclaveMemory> EnclaveMemory for CachedMemory<M> {
         }
         let key = (region, index);
         let payload = self.load(key)?;
-        Self::cross(&mut self.stats, self.crossing_spins);
+        Self::cross(&mut self.stats, self.crossing);
         self.stats.reads += 1;
         self.stats.bytes_read += payload as u64;
         Ok(&self.entries[&key].data)
@@ -438,7 +506,7 @@ impl<M: EnclaveMemory> EnclaveMemory for CachedMemory<M> {
             return Err(HostError::OutOfBounds { region, index, len });
         }
         self.install((region, index), data.to_vec(), true)?;
-        Self::cross(&mut self.stats, self.crossing_spins);
+        Self::cross(&mut self.stats, self.crossing);
         self.stats.writes += 1;
         self.stats.bytes_written += data.len() as u64;
         Ok(())
@@ -583,6 +651,66 @@ mod tests {
         assert_eq!(m.cache_stats().flushed, 4);
         m.sync().unwrap();
         assert_eq!(m.cache_stats().flushed, 4, "clean blocks are not re-flushed");
+    }
+
+    #[test]
+    fn eviction_waves_coalesce_dirty_writebacks() {
+        // Fill an 8-block cache with sequential dirty blocks, then read a
+        // cold range from another region: the 8 evictions must drain as
+        // ONE batched inner write (one inner crossing), not eight singles.
+        let mut m = CachedMemory::new(Host::new(), 8);
+        let r = m.alloc_region(8, 4).unwrap();
+        m.write_blocks(r, 0, &[5u8; 32]).unwrap();
+        let cold = m.alloc_region(8, 4).unwrap();
+        m.inner_mut().write_blocks(cold, 0, &[1u8; 32]).unwrap();
+        m.inner_mut().reset_stats();
+        let mut out = Vec::new();
+        m.read_blocks(cold, 0, 8, &mut out).unwrap();
+        assert_eq!(out, vec![1u8; 32]);
+        let cs = m.cache_stats();
+        assert_eq!((cs.evictions, cs.writebacks), (8, 8));
+        let inner = m.inner().stats();
+        assert_eq!(inner.writes, 8);
+        assert_eq!(inner.crossings, 2, "one coalesced write-back wave + one coalesced fetch");
+    }
+
+    #[test]
+    fn eviction_wave_splits_nonconsecutive_runs() {
+        let mut m = CachedMemory::new(Host::new(), 4);
+        let r = m.alloc_region(16, 4).unwrap();
+        for i in [0u64, 1, 8, 9] {
+            m.write(r, i, &[i as u8; 4]).unwrap();
+        }
+        let cold = m.alloc_region(4, 4).unwrap();
+        m.inner_mut().write_blocks(cold, 0, &[2u8; 16]).unwrap();
+        m.inner_mut().reset_stats();
+        let mut out = Vec::new();
+        m.read_blocks(cold, 0, 4, &mut out).unwrap();
+        assert_eq!(out, vec![2u8; 16]);
+        let inner = m.inner().stats();
+        assert_eq!(inner.writes, 4);
+        assert_eq!(
+            inner.crossings, 3,
+            "dirty runs 0..2 and 8..10 drain as two batched writes, plus one coalesced fetch"
+        );
+    }
+
+    #[test]
+    fn failed_writeback_keeps_entries_cached_and_dirty() {
+        let mut m = CachedMemory::new(Host::new(), 2);
+        let r = m.alloc_region(2, 4).unwrap();
+        m.write(r, 0, &[3; 4]).unwrap();
+        // Sabotage: drop the inner region behind the cache's back, so the
+        // eventual write-back of (r, 0) must fail.
+        m.inner_mut().free_region(r).unwrap();
+        let r2 = m.alloc_region(2, 4).unwrap();
+        m.write(r2, 0, &[1; 4]).unwrap();
+        let err = m.write(r2, 1, &[1; 4]).unwrap_err();
+        assert_eq!(err, HostError::UnknownRegion(r));
+        // The wave aborted before dropping anything: both victims stay
+        // cached, the dirty block keeps its only up-to-date copy.
+        assert_eq!(m.cached_blocks(), 2);
+        assert_eq!(m.cache_stats().evictions, 0);
     }
 
     #[test]

@@ -6,8 +6,8 @@ use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 
 use oblidb_enclave::{
-    batch_count, AccessEvent, AccessKind, EnclaveMemory, HostError, HostStats, IoOp, RegionId,
-    Trace,
+    batch_count, AccessEvent, AccessKind, CrossingCost, EnclaveMemory, HostError, HostStats, IoOp,
+    RegionId, Trace,
 };
 
 use crate::TempDir;
@@ -69,8 +69,20 @@ pub struct DiskMemory {
     regions: Vec<Option<DiskRegion>>,
     trace: Option<Vec<AccessEvent>>,
     stats: HostStats,
-    crossing_spins: u32,
+    crossing: CrossingCost,
     scratch: Vec<u8>,
+    /// Serialized region table, kept in sync incrementally: single-block
+    /// writes patch their bitmap word in place, so the steady-state
+    /// [`EnclaveMemory::sync_region`] path (the WAL's durable append)
+    /// serializes in O(1) instead of re-walking every region.
+    meta_buf: Vec<u8>,
+    /// Byte offset of each live region's entry inside `meta_buf`, indexed
+    /// by region id; `None` for tombstones.
+    meta_spans: Vec<Option<usize>>,
+    /// Whether `meta_buf`/`meta_spans` reflect the current region table.
+    /// Structural changes (alloc/free/grow) clear it; the next
+    /// `write_meta` rebuilds once.
+    meta_valid: bool,
     /// Present when this substrate owns a self-cleaning directory.
     _guard: Option<TempDir>,
 }
@@ -105,8 +117,11 @@ impl DiskMemory {
             regions: Vec::new(),
             trace: None,
             stats: HostStats::default(),
-            crossing_spins: 0,
+            crossing: CrossingCost::default(),
             scratch: Vec::new(),
+            meta_buf: Vec::new(),
+            meta_spans: Vec::new(),
+            meta_valid: false,
             _guard: None,
         })
     }
@@ -142,8 +157,11 @@ impl DiskMemory {
             regions,
             trace: None,
             stats: HostStats::default(),
-            crossing_spins: 0,
+            crossing: CrossingCost::default(),
             scratch: Vec::new(),
+            meta_buf: Vec::new(),
+            meta_spans: Vec::new(),
+            meta_valid: false,
             _guard: None,
         })
     }
@@ -233,18 +251,22 @@ impl DiskMemory {
         Ok(regions)
     }
 
-    /// Serializes the region table and writes it atomically (temp file +
-    /// rename), so a crash mid-write leaves the previous table intact.
-    fn write_meta(&self) -> Result<(), HostError> {
-        let ioe = |e: &std::io::Error| HostError::io(e, None, IoOp::Sync);
-        let mut buf = Vec::new();
+    /// Rebuilds the serialized region table from scratch — O(regions) —
+    /// and records each entry's byte offset so later single-block writes
+    /// can patch their bitmap word in place.
+    fn rebuild_meta(&mut self) {
+        let buf = &mut self.meta_buf;
+        buf.clear();
         buf.extend_from_slice(META_MAGIC);
         buf.extend_from_slice(&META_VERSION.to_le_bytes());
         buf.extend_from_slice(&(self.regions.len() as u32).to_le_bytes());
         let live = self.regions.iter().filter(|r| r.is_some()).count() as u32;
         buf.extend_from_slice(&live.to_le_bytes());
+        self.meta_spans.clear();
+        self.meta_spans.resize(self.regions.len(), None);
         for (id, r) in self.regions.iter().enumerate() {
             let Some(r) = r else { continue };
+            self.meta_spans[id] = Some(buf.len());
             buf.extend_from_slice(&(id as u32).to_le_bytes());
             buf.extend_from_slice(&(r.block_size as u64).to_le_bytes());
             buf.extend_from_slice(&r.blocks.to_le_bytes());
@@ -252,16 +274,51 @@ impl DiskMemory {
                 buf.extend_from_slice(&word.to_le_bytes());
             }
         }
+        self.meta_valid = true;
+    }
+
+    /// Serializes the region table and writes it atomically (temp file +
+    /// rename), so a crash mid-write leaves the previous table intact.
+    /// Serialization is incremental: when no structural change happened
+    /// since the last call, the cached buffer (bitmap words already
+    /// patched by the write path) is reused as-is, so the steady-state
+    /// `write → sync_region` loop pays O(1) serialization per call.
+    fn write_meta(&mut self) -> Result<(), HostError> {
+        if !self.meta_valid {
+            self.rebuild_meta();
+        }
+        let ioe = |e: &std::io::Error| HostError::io(e, None, IoOp::Sync);
         let tmp = self.dir.join(format!(".{REGION_META_FILE}.tmp"));
         let write = (|| {
             let mut f = File::create(&tmp)?;
-            f.write_all(&buf)?;
+            f.write_all(&self.meta_buf)?;
             f.sync_data()?;
             std::fs::rename(&tmp, self.dir.join(REGION_META_FILE))?;
             // The rename is only durable once the directory entry is.
             File::open(&self.dir)?.sync_all()
         })();
         write.map_err(|e| ioe(&e))
+    }
+
+    /// Mirrors one region's written-bitmap word for `index` into the
+    /// cached serialized table, keeping it rebuild-free after block
+    /// writes. Entry layout: id(4) ‖ block_size(8) ‖ blocks(8) ‖ bitmap.
+    fn patch_meta_word(
+        meta_buf: &mut [u8],
+        meta_spans: &[Option<usize>],
+        meta_valid: bool,
+        region: RegionId,
+        r: &DiskRegion,
+        index: u64,
+    ) {
+        if !meta_valid {
+            return;
+        }
+        if let Some(off) = meta_spans.get(region.0 as usize).copied().flatten() {
+            let word = (index / 64) as usize;
+            let at = off + 20 + 8 * word;
+            meta_buf[at..at + 8].copy_from_slice(&r.written[word].to_le_bytes());
+        }
     }
 
     /// Opens a disk substrate over a fresh self-cleaning [`TempDir`]: the
@@ -292,14 +349,22 @@ impl DiskMemory {
     /// SGX transition on top, so Host/disk/cached costs calibrate on the
     /// same axis. Preserved across [`EnclaveMemory::reset_stats`].
     pub fn set_crossing_cost(&mut self, spins: u32) {
-        self.crossing_spins = spins;
+        self.crossing.spins = spins;
     }
 
-    fn cross(stats: &mut HostStats, spins: u32) {
+    /// Sets the simulated per-crossing *stall*, exactly as
+    /// [`Host::set_crossing_stall`](oblidb_enclave::Host::set_crossing_stall):
+    /// every boundary transition additionally sleeps for `nanos`
+    /// nanoseconds, modelling OCALL service time the worker spends
+    /// blocked rather than computing. Preserved across
+    /// [`EnclaveMemory::reset_stats`].
+    pub fn set_crossing_stall(&mut self, nanos: u64) {
+        self.crossing.stall_nanos = nanos;
+    }
+
+    fn cross(stats: &mut HostStats, cost: CrossingCost) {
         stats.crossings += 1;
-        for _ in 0..spins {
-            std::hint::spin_loop();
-        }
+        cost.pay();
     }
 
     fn region(&self, region: RegionId) -> Result<&DiskRegion, HostError> {
@@ -351,6 +416,7 @@ impl EnclaveMemory for DiskMemory {
             blocks: blocks as u64,
             written: vec![0; (blocks as u64).div_ceil(64) as usize],
         }));
+        self.meta_valid = false;
         Ok(id)
     }
 
@@ -367,6 +433,7 @@ impl EnclaveMemory for DiskMemory {
                         return Err(HostError::io(&e, Some(region), IoOp::Free));
                     }
                 }
+                self.meta_valid = false;
             }
         }
         Ok(())
@@ -380,6 +447,7 @@ impl EnclaveMemory for DiskMemory {
                 .map_err(|e| HostError::io(&e, Some(region), IoOp::Grow))?;
             r.blocks = new_blocks as u64;
             r.written.resize(r.blocks.div_ceil(64) as usize, 0);
+            self.meta_valid = false;
         }
         Ok(())
     }
@@ -394,7 +462,7 @@ impl EnclaveMemory for DiskMemory {
 
     fn read(&mut self, region: RegionId, index: u64) -> Result<&[u8], HostError> {
         self.record(region, index, AccessKind::Read);
-        let spins = self.crossing_spins;
+        let cost = self.crossing;
         let DiskMemory { regions, stats, scratch, .. } = self;
         let r = regions
             .get(region.0 as usize)
@@ -412,7 +480,7 @@ impl EnclaveMemory for DiskMemory {
         r.file
             .read_exact_at(scratch, index * r.block_size as u64)
             .map_err(|e| HostError::io(&e, Some(region), IoOp::Read))?;
-        Self::cross(stats, spins);
+        Self::cross(stats, cost);
         stats.reads += 1;
         stats.bytes_read += r.block_size as u64;
         Ok(&self.scratch[..])
@@ -420,8 +488,8 @@ impl EnclaveMemory for DiskMemory {
 
     fn write(&mut self, region: RegionId, index: u64, data: &[u8]) -> Result<(), HostError> {
         self.record(region, index, AccessKind::Write);
-        let spins = self.crossing_spins;
-        let DiskMemory { regions, stats, .. } = self;
+        let cost = self.crossing;
+        let DiskMemory { regions, stats, meta_buf, meta_spans, meta_valid, .. } = self;
         let r = regions
             .get_mut(region.0 as usize)
             .and_then(|r| r.as_mut())
@@ -440,7 +508,8 @@ impl EnclaveMemory for DiskMemory {
             .write_all_at(data, index * r.block_size as u64)
             .map_err(|e| HostError::io(&e, Some(region), IoOp::Write))?;
         r.mark_written(index);
-        Self::cross(stats, spins);
+        Self::patch_meta_word(meta_buf, meta_spans, *meta_valid, region, r, index);
+        Self::cross(stats, cost);
         stats.writes += 1;
         stats.bytes_written += data.len() as u64;
         Ok(())
@@ -454,7 +523,7 @@ impl EnclaveMemory for DiskMemory {
         out: &mut Vec<u8>,
     ) -> Result<(), HostError> {
         out.clear();
-        let spins = self.crossing_spins;
+        let cost = self.crossing;
         let DiskMemory { regions, trace, stats, .. } = self;
         let r = regions
             .get(region.0 as usize)
@@ -491,7 +560,7 @@ impl EnclaveMemory for DiskMemory {
             r.file
                 .read_exact_at(out, start * r.block_size as u64)
                 .map_err(|e| HostError::io(&e, Some(region), IoOp::Read))?;
-            Self::cross(stats, spins);
+            Self::cross(stats, cost);
             stats.reads += valid as u64;
             stats.bytes_read += (valid * r.block_size) as u64;
         }
@@ -508,7 +577,7 @@ impl EnclaveMemory for DiskMemory {
         out: &mut Vec<u8>,
     ) -> Result<(), HostError> {
         out.clear();
-        let spins = self.crossing_spins;
+        let cost = self.crossing;
         let mut crossed = false;
         let DiskMemory { regions, trace, stats, .. } = self;
         let r = regions
@@ -526,7 +595,7 @@ impl EnclaveMemory for DiskMemory {
                 return Err(HostError::EmptyBlock(region, index));
             }
             if !crossed {
-                Self::cross(stats, spins);
+                Self::cross(stats, cost);
                 crossed = true;
             }
             let at = out.len();
@@ -541,10 +610,10 @@ impl EnclaveMemory for DiskMemory {
     }
 
     fn write_blocks(&mut self, region: RegionId, start: u64, data: &[u8]) -> Result<(), HostError> {
-        let spins = self.crossing_spins;
+        let cost = self.crossing;
         let block_size = self.region_block_size(region)?;
         let count = batch_count(region, block_size, data.len())? as u64;
-        let DiskMemory { regions, trace, stats, .. } = self;
+        let DiskMemory { regions, trace, stats, meta_buf, meta_spans, meta_valid, .. } = self;
         let r = regions
             .get_mut(region.0 as usize)
             .and_then(|r| r.as_mut())
@@ -576,7 +645,11 @@ impl EnclaveMemory for DiskMemory {
             for index in start..start + valid as u64 {
                 r.mark_written(index);
             }
-            Self::cross(stats, spins);
+            // Patch each touched bitmap word once, not once per block.
+            for word in (start / 64)..=((start + valid as u64 - 1) / 64) {
+                Self::patch_meta_word(meta_buf, meta_spans, *meta_valid, region, r, word * 64);
+            }
+            Self::cross(stats, cost);
             stats.writes += valid as u64;
             stats.bytes_written += (valid * block_size) as u64;
         }
@@ -592,7 +665,7 @@ impl EnclaveMemory for DiskMemory {
         indices: &[u64],
         data: &[u8],
     ) -> Result<(), HostError> {
-        let spins = self.crossing_spins;
+        let cost = self.crossing;
         let block_size = self.region_block_size(region)?;
         if batch_count(region, block_size, data.len())? != indices.len() {
             return Err(HostError::BlockSizeMismatch {
@@ -602,7 +675,7 @@ impl EnclaveMemory for DiskMemory {
             });
         }
         let mut crossed = false;
-        let DiskMemory { regions, trace, stats, .. } = self;
+        let DiskMemory { regions, trace, stats, meta_buf, meta_spans, meta_valid, .. } = self;
         let r = regions
             .get_mut(region.0 as usize)
             .and_then(|r| r.as_mut())
@@ -618,8 +691,9 @@ impl EnclaveMemory for DiskMemory {
                 .write_all_at(chunk, index * block_size as u64)
                 .map_err(|e| HostError::io(&e, Some(region), IoOp::Write))?;
             r.mark_written(index);
+            Self::patch_meta_word(meta_buf, meta_spans, *meta_valid, region, r, index);
             if !crossed {
-                Self::cross(stats, spins);
+                Self::cross(stats, cost);
                 crossed = true;
             }
             stats.writes += 1;
@@ -662,11 +736,12 @@ impl EnclaveMemory for DiskMemory {
 
     /// Fsyncs one region's *data* file (instead of every file, as `sync`
     /// does) and refreshes the persisted region table — the
-    /// durable-append primitive the WAL uses. The table rewrite is
-    /// currently whole-store (its written-block bitmaps must be durable
-    /// for the WAL tail scan to see the appended slot); an incremental
-    /// per-region table is a noted ROADMAP follow-up for stores where
-    /// serializing it starts to show.
+    /// durable-append primitive the WAL uses. The table's written-block
+    /// bitmaps must be durable for the WAL tail scan to see the appended
+    /// slot, but serializing them no longer walks every region: block
+    /// writes patch the cached buffer in place, so in the steady state
+    /// (no alloc/free/grow since the last sync) this serializes in O(1)
+    /// and only rebuilds after a structural change.
     fn sync_region(&mut self, region: RegionId) -> Result<(), HostError> {
         let r = self.region(region)?;
         r.file.sync_data().map_err(|e| HostError::io(&e, Some(region), IoOp::Sync))?;
@@ -857,6 +932,61 @@ mod tests {
         }
         let mut m = DiskMemory::open(&store).unwrap();
         assert_eq!(m.read(RegionId(0), 0).unwrap(), &[3u8; 4]);
+    }
+
+    #[test]
+    fn incremental_meta_patching_matches_full_rebuild() {
+        let guard = TempDir::new("oblidb-disk-metapatch").unwrap();
+        let (a_dir, b_dir) = (guard.path().join("a"), guard.path().join("b"));
+        // Store A persists the table first, so its block writes go through
+        // the in-place bitmap patch; store B writes first, so its single
+        // sync serializes everything from scratch. Identical logical state
+        // must produce byte-identical region tables either way.
+        let mut a = DiskMemory::create(&a_dir).unwrap();
+        let ra = a.alloc_region(130, 4).unwrap();
+        a.sync().unwrap();
+        let mut b = DiskMemory::create(&b_dir).unwrap();
+        let rb = b.alloc_region(130, 4).unwrap();
+        for (m, r) in [(&mut a, ra), (&mut b, rb)] {
+            m.write(r, 0, &[1; 4]).unwrap();
+            m.write(r, 129, &[2; 4]).unwrap();
+            // A run spanning two bitmap words, via every write kind.
+            m.write_blocks(r, 60, &[3u8; 40]).unwrap();
+            m.write_blocks_at(r, &[64, 7], &[4u8; 8]).unwrap();
+        }
+        a.sync_region(ra).unwrap();
+        b.sync().unwrap();
+        let meta_a = std::fs::read(a_dir.join(REGION_META_FILE)).unwrap();
+        let meta_b = std::fs::read(b_dir.join(REGION_META_FILE)).unwrap();
+        assert_eq!(meta_a, meta_b, "patched table must equal a full rebuild");
+        // A structural change (new region) invalidates the cached table;
+        // the next sync_region rebuilds and persists both regions.
+        let r2 = a.alloc_region(5, 8).unwrap();
+        a.write(r2, 4, &[9; 8]).unwrap();
+        a.sync_region(r2).unwrap();
+        drop(a);
+        let mut re = DiskMemory::open(&a_dir).unwrap();
+        assert_eq!(re.read(RegionId(0), 129).unwrap(), &[2; 4]);
+        assert_eq!(re.read(RegionId(1), 4).unwrap(), &[9; 8]);
+        assert_eq!(re.read(RegionId(0), 20), Err(HostError::EmptyBlock(RegionId(0), 20)));
+    }
+
+    #[test]
+    fn sync_region_after_grow_persists_new_geometry() {
+        let guard = TempDir::new("oblidb-disk-growsync").unwrap();
+        let store = guard.path().join("db");
+        let mut m = DiskMemory::create(&store).unwrap();
+        let r = m.alloc_region(2, 4).unwrap();
+        m.write(r, 0, &[1; 4]).unwrap();
+        m.sync().unwrap();
+        m.grow_region(r, 70).unwrap();
+        m.write(r, 69, &[5; 4]).unwrap();
+        m.sync_region(r).unwrap();
+        drop(m);
+        let mut re = DiskMemory::open(&store).unwrap();
+        assert_eq!(re.region_len(RegionId(0)).unwrap(), 70);
+        assert_eq!(re.read(RegionId(0), 69).unwrap(), &[5; 4]);
+        assert_eq!(re.read(RegionId(0), 0).unwrap(), &[1; 4]);
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Parallel-execution conformance: turning on worker threads must be
+//! invisible to everything except the clock. The same workload — scans,
+//! every select algorithm, both join families (the sort-merge joins run
+//! bitonic sort rounds), aggregates, mutations — over `threads = 1` and
+//! `threads = 4` must return byte-identical results AND event-identical
+//! adversary traces on every substrate family, because parallelism only
+//! partitions the AEAD seal/open CPU inside a batch (and, for
+//! worker-per-shard drives, hands each worker one whole shard whose
+//! serial trace is unchanged).
+
+use oblidb::core::{Database, DbConfig, ExecConfig, Row, SelectAlgo};
+use oblidb::enclave::{EnclaveMemory, Host, ThreadPool, Trace};
+use oblidb::substrates::{DiskMemory, ShardedMemory, SubstrateSpec};
+
+fn config(threads: usize) -> DbConfig {
+    DbConfig { exec: ExecConfig { threads }, ..DbConfig::default() }
+}
+
+/// Scan/select/join/sort workload, sized so batched region I/O crosses
+/// the `PARALLEL_MIN_BLOCKS` threshold and the partitioned sealing path
+/// actually runs when threads > 1. Returns every decoded result set and
+/// the adversary's block-level trace.
+fn workload<M: EnclaveMemory>(db: &mut Database<M>) -> (Vec<Vec<Row>>, Trace) {
+    db.start_trace();
+    let mut results: Vec<Vec<Row>> = Vec::new();
+    let mut run = |db: &mut Database<M>, sql: &str| {
+        let out = db.execute(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        results.push(out.rows().to_vec());
+    };
+
+    run(db, "CREATE TABLE t (k INT, v INT) CAPACITY 256");
+    for i in 0..160 {
+        run(db, &format!("INSERT INTO t VALUES ({i}, {})", i * 3));
+    }
+
+    // Full scan plus every select algorithm (Large copies the whole
+    // 256-block capacity — the widest batches in the suite).
+    run(db, "SELECT * FROM t WHERE k >= 0");
+    for algo in [
+        SelectAlgo::Small,
+        SelectAlgo::Large,
+        SelectAlgo::Hash,
+        SelectAlgo::Naive,
+        SelectAlgo::Continuous,
+    ] {
+        db.config_mut().planner.force_select = Some(algo);
+        run(db, "SELECT * FROM t WHERE k >= 16 AND k < 80");
+    }
+    db.config_mut().planner.force_select = None;
+
+    // Joins: hash build/probe, and both sort-merge variants whose bitonic
+    // sort rounds sweep the padded union table.
+    run(db, "CREATE TABLE d (g INT, label CHAR(8)) CAPACITY 16");
+    for g in 0..8 {
+        run(db, &format!("INSERT INTO d VALUES ({g}, 'g{g}')"));
+    }
+    for join in ["Hash", "Opaque", "ZeroOm"] {
+        let forced = match join {
+            "Hash" => oblidb::core::JoinAlgo::Hash,
+            "Opaque" => oblidb::core::JoinAlgo::Opaque,
+            _ => oblidb::core::JoinAlgo::ZeroOm,
+        };
+        db.config_mut().planner.force_join = Some(forced);
+        run(db, "SELECT * FROM d JOIN t ON d.g = t.k WHERE v < 18");
+    }
+    db.config_mut().planner.force_join = None;
+
+    // Aggregates, group-by, mutations.
+    run(db, "SELECT COUNT(*), SUM(v), MIN(k), MAX(k) FROM t WHERE k < 100");
+    run(db, "SELECT v, COUNT(*) FROM t WHERE k < 20 GROUP BY v");
+    run(db, "UPDATE t SET v = -1 WHERE k >= 150");
+    run(db, "DELETE FROM t WHERE k >= 155");
+    run(db, "SELECT * FROM t WHERE v = -1");
+
+    (results, db.take_trace())
+}
+
+/// Byte-identical results and event-identical traces, serial vs 4
+/// workers, across the substrate families (in-RAM, disk-backed,
+/// sharded).
+#[test]
+fn parallel_results_and_traces_match_serial() {
+    let specs = [
+        SubstrateSpec::Host,
+        SubstrateSpec::Disk { dir: None },
+        SubstrateSpec::ShardedHost { shards: 4 },
+    ];
+    for spec in specs {
+        let mut serial_db = Database::with_memory(spec.build().unwrap(), config(1));
+        let (serial_results, serial_trace) = workload(&mut serial_db);
+        assert!(!serial_trace.is_empty());
+
+        let mut parallel_db = Database::with_memory(spec.build().unwrap(), config(4));
+        let (parallel_results, parallel_trace) = workload(&mut parallel_db);
+
+        let label = spec.profile_name();
+        assert_eq!(serial_results, parallel_results, "{label}: results must be byte-identical");
+        assert_eq!(serial_trace, parallel_trace, "{label}: traces must be event-identical");
+    }
+}
+
+/// The same equivalence through the `OBLIDB_THREADS`-shaped config (the
+/// explicit struct, not the env var — suites must not mutate the
+/// process environment), against the plain-Host reference.
+#[test]
+fn parallel_host_matches_default_host() {
+    let mut reference = Database::new(DbConfig::default());
+    let (want_results, want_trace) = workload(&mut reference);
+
+    let mut parallel = Database::with_memory(Host::new(), config(8));
+    let (got_results, got_trace) = workload(&mut parallel);
+    assert_eq!(want_results, got_results);
+    assert_eq!(want_trace, got_trace);
+}
+
+/// Worker-per-shard drives: each worker owns one whole shard, so each
+/// shard's own trace and counters are unchanged from a serial drive of
+/// the same per-shard program — the adversary watching any shard (or all
+/// of them) learns nothing from the thread count.
+#[test]
+fn per_shard_traces_unchanged_by_worker_count() {
+    fn drive(pool: &ThreadPool) -> Vec<(Trace, Vec<u8>)> {
+        let mut mem = ShardedMemory::from_fn(4, |_| Host::new());
+        mem.for_each_shard(pool, |i, shard| {
+            shard.start_trace();
+            let r = shard.alloc_region(32, 64).unwrap();
+            let fill = vec![i as u8 + 1; 32 * 64];
+            shard.write_blocks(r, 0, &fill).unwrap();
+            let mut buf = Vec::new();
+            shard.read_blocks(r, 0, 32, &mut buf).unwrap();
+            (shard.take_trace(), buf)
+        })
+    }
+    let serial = drive(&ThreadPool::serial());
+    let parallel = drive(&ThreadPool::new(4));
+    assert_eq!(serial.len(), 4);
+    for (shard, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s.0, p.0, "shard {shard}: trace must not depend on worker count");
+        assert_eq!(s.1, p.1, "shard {shard}: bytes must round-trip identically");
+    }
+}
+
+/// Disk-backed worker-per-shard drive: the same invariant holds when
+/// each worker's shard is a real on-disk store.
+#[test]
+fn per_shard_disk_traces_unchanged_by_worker_count() {
+    fn drive(pool: &ThreadPool) -> Vec<Trace> {
+        let mut mem = ShardedMemory::from_fn(2, |_| DiskMemory::temp().unwrap());
+        mem.for_each_shard(pool, |i, shard| {
+            shard.start_trace();
+            let r = shard.alloc_region(16, 32).unwrap();
+            shard.write_blocks(r, 0, &vec![i as u8; 16 * 32]).unwrap();
+            shard.sync_region(r).unwrap();
+            let mut buf = Vec::new();
+            shard.read_blocks(r, 0, 16, &mut buf).unwrap();
+            shard.take_trace()
+        })
+    }
+    assert_eq!(drive(&ThreadPool::serial()), drive(&ThreadPool::new(2)));
+}
+
+/// A panicking worker takes the whole operation down with its own
+/// payload — parallel failures are loud, never half-applied silence.
+#[test]
+fn worker_panic_propagates_out_of_the_pool() {
+    let pool = ThreadPool::new(4);
+    let jobs: Vec<_> = (0..8)
+        .map(|i| {
+            move || {
+                if i == 5 {
+                    panic!("worker 5 exploded");
+                }
+                i
+            }
+        })
+        .collect();
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.run(jobs)));
+    let payload = caught.expect_err("panic must propagate");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(msg, "worker 5 exploded");
+}
