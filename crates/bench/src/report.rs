@@ -239,6 +239,58 @@ pub fn write_parallel_json(
     Ok(path)
 }
 
+/// One crypto hot-path measurement: an AEAD (or scan) op at one batch
+/// geometry under one forced SIMD backend.
+#[derive(Debug, Clone)]
+pub struct CryptoThroughput {
+    /// Operation label, e.g. `"seal"`, `"open"`, `"region_scan"`.
+    pub op: String,
+    /// Forced backend label (`"scalar"`, `"sse2"`, `"avx2"`).
+    pub backend: String,
+    /// Blocks per batched call.
+    pub batch_blocks: usize,
+    /// Payload bytes per block.
+    pub block_bytes: usize,
+    /// Measured throughput, MiB/s of payload.
+    pub mib_s: f64,
+    /// Throughput relative to the scalar backend at the same (op, batch).
+    pub speedup_vs_scalar: f64,
+}
+
+/// Writes `BENCH_<name>.json` for the crypto hot-path bench:
+/// `{"bench": name, "detected_backend": label, "results": [{op, backend,
+/// batch_blocks, block_bytes, mib_s, speedup_vs_scalar}, …]}`. The scalar
+/// rows are always present so the artifact records the fallback numbers
+/// alongside the SIMD ones. Returns the path written.
+pub fn write_crypto_json(
+    dir: &std::path::Path,
+    name: &str,
+    detected_backend: &str,
+    results: &[CryptoThroughput],
+) -> std::io::Result<std::path::PathBuf> {
+    let mut out = String::new();
+    out.push_str(&format!("{{\n  \"bench\": {},\n", json_str(name)));
+    out.push_str(&format!("  \"detected_backend\": {},\n", json_str(detected_backend)));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"op\": {}, \"backend\": {}, \"batch_blocks\": {}, \"block_bytes\": {}, \
+             \"mib_s\": {:.3}, \"speedup_vs_scalar\": {:.3}}}{}\n",
+            json_str(&r.op),
+            json_str(&r.backend),
+            r.batch_blocks,
+            r.block_bytes,
+            r.mib_s,
+            r.speedup_vs_scalar,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
 /// JSON string quoting per RFC 8259: escape quotes, backslashes, and
 /// control characters; everything else (including non-ASCII) passes
 /// through unescaped, which valid JSON allows.
@@ -344,6 +396,37 @@ mod tests {
         assert!(body.contains("\"stall_nanos_nominal\": 1000000"));
         assert!(body.contains("\"workers\": 4"));
         assert!(body.contains("\"speedup\": 4.000"));
+        assert!(body.trim_end().ends_with('}'));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn crypto_json_schema_is_stable() {
+        let dir = std::env::temp_dir();
+        let rows = vec![
+            CryptoThroughput {
+                op: "seal".into(),
+                backend: "scalar".into(),
+                batch_blocks: 256,
+                block_bytes: 1024,
+                mib_s: 400.0,
+                speedup_vs_scalar: 1.0,
+            },
+            CryptoThroughput {
+                op: "seal".into(),
+                backend: "avx2".into(),
+                batch_blocks: 256,
+                block_bytes: 1024,
+                mib_s: 1200.0,
+                speedup_vs_scalar: 3.0,
+            },
+        ];
+        let path = write_crypto_json(&dir, "crypto_test", "avx2", &rows).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"bench\": \"crypto_test\""));
+        assert!(body.contains("\"detected_backend\": \"avx2\""));
+        assert!(body.contains("\"backend\": \"scalar\""));
+        assert!(body.contains("\"speedup_vs_scalar\": 3.000"));
         assert!(body.trim_end().ends_with('}'));
         std::fs::remove_file(path).unwrap();
     }

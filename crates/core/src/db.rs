@@ -1081,7 +1081,7 @@ impl<M: EnclaveMemory> Database<M> {
                 matches: pad_rows,
                 continuous: false,
                 om_bytes,
-                out_key,
+                out_key: out_key.clone(),
             };
             node.choice = SelectChoice::Padded { pad_rows };
             node.est = cost::simulate_select(SelectAlgo::Padded, &shape)
@@ -1128,7 +1128,7 @@ impl<M: EnclaveMemory> Database<M> {
             matches: stats.matches,
             continuous: stats.continuous,
             om_bytes,
-            out_key,
+            out_key: out_key.clone(),
         };
         let (choice, est) = choose_filter(&self.config, &shape, stats, profile)?;
         node.choice = choice;
@@ -1351,11 +1351,11 @@ impl<M: EnclaveMemory> Database<M> {
             other => InputRef::Owned(self.exec_node(other, info, profile)?),
         };
 
-        let out_key = match f.out_key {
-            Some(k) => k.0,
+        let out_key = match &f.out_key {
+            Some(k) => k.0.clone(),
             None => {
                 let k = self.next_key();
-                f.out_key = Some(crate::plan::PlanKey(k));
+                f.out_key = Some(crate::plan::PlanKey(k.clone()));
                 k
             }
         };
@@ -1368,7 +1368,7 @@ impl<M: EnclaveMemory> Database<M> {
                 &self.config,
                 f,
                 t,
-                out_key,
+                out_key.clone(),
                 rng,
                 profile,
                 info,
@@ -1383,7 +1383,7 @@ impl<M: EnclaveMemory> Database<M> {
                     &self.config,
                     f,
                     table,
-                    out_key,
+                    out_key.clone(),
                     rng,
                     profile,
                     info,
@@ -1771,7 +1771,7 @@ fn run_filter_stage<M: EnclaveMemory>(
                 matches: stats.matches,
                 continuous: stats.continuous,
                 om_bytes: om.available(),
-                out_key,
+                out_key: out_key.clone(),
             };
             f.om_bytes = shape.om_bytes;
             let (choice, est) = choose_filter(config, &shape, stats, profile)?;

@@ -514,7 +514,7 @@ pub fn resolve_recovery_statements<M: EnclaveMemory>(
 ) -> Vec<String> {
     if let Some(p) = &plan.wal_pointer {
         if let Ok(statements) =
-            crate::wal::Wal::recover_records(host, p.key, p.region, p.block_bytes)
+            crate::wal::Wal::recover_records(host, p.key.clone(), p.region, p.block_bytes)
         {
             return statements;
         }
@@ -660,7 +660,8 @@ impl<M: EnclaveMemory> Database<M> {
         // block size, means the file was swapped or rolled back.
         let wal = match &manifest.wal {
             Some(w) => {
-                let store = SealedRegion::open_with_manifest(w.region, w.key, &w.region_manifest)?;
+                let store =
+                    SealedRegion::open_with_manifest(w.region, w.key.clone(), &w.region_manifest)?;
                 let live_len = host.region_len(w.region)?;
                 let live_block = host.region_block_size(w.region)?;
                 if live_block != store.payload_len() + SEAL_OVERHEAD || live_len < w.len {
@@ -682,7 +683,7 @@ impl<M: EnclaveMemory> Database<M> {
                 let last_ok = w.len == 0
                     || crate::wal::Wal::probe_record(
                         &mut host,
-                        w.key,
+                        w.key.clone(),
                         w.region,
                         block_bytes,
                         w.len - 1,
@@ -694,16 +695,25 @@ impl<M: EnclaveMemory> Database<M> {
                         w.len - 1
                     )));
                 }
-                let overhang =
-                    crate::wal::Wal::probe_record(&mut host, w.key, w.region, block_bytes, w.len)?;
+                let overhang = crate::wal::Wal::probe_record(
+                    &mut host,
+                    w.key.clone(),
+                    w.region,
+                    block_bytes,
+                    w.len,
+                )?;
                 if overhang {
                     // Crash past the checkpoint: the data regions cannot be
                     // trusted beyond it. Journal every durable statement
                     // *before* anyone wipes the store, so a second crash
                     // mid-rebuild still recovers the full history, then
                     // hand them to a fresh-engine replay.
-                    let statements =
-                        crate::wal::Wal::recover_records(&mut host, w.key, w.region, block_bytes)?;
+                    let statements = crate::wal::Wal::recover_records(
+                        &mut host,
+                        w.key.clone(),
+                        w.region,
+                        block_bytes,
+                    )?;
                     let plan = RecoveryPlan { statements, wal_pointer: None };
                     write_recovery_journal(dir, &master_key, &mut rng, &plan)?;
                     return Ok(Reopened::NeedsRecovery(plan));
@@ -711,14 +721,15 @@ impl<M: EnclaveMemory> Database<M> {
                 // The caller's explicit WAL config wins over the persisted
                 // durability flag; absent one, the log keeps its own.
                 let durable = config.wal.map_or(w.durable, |c| c.durable_appends);
-                Some(crate::wal::Wal::reattach(store, w.key, w.len, block_bytes, durable))
+                Some(crate::wal::Wal::reattach(store, w.key.clone(), w.len, block_bytes, durable))
             }
             None => None,
         };
 
         let mut tables = Vec::with_capacity(manifest.tables.len());
         for t in &manifest.tables {
-            let store = SealedRegion::open_with_manifest(t.region, t.key, &t.region_manifest)?;
+            let store =
+                SealedRegion::open_with_manifest(t.region, t.key.clone(), &t.region_manifest)?;
             check_geometry(&host, &store, &t.name)?;
             if store.payload_len() != t.schema.row_len() {
                 return Err(DbError::ManifestRejected(format!(

@@ -1,0 +1,117 @@
+//! Branch-free (constant-time) select primitives for operator hot loops.
+//!
+//! The oblivious operators already make their *memory access patterns*
+//! data-independent — every candidate block is read and rewritten either
+//! way. These helpers remove the remaining data-dependent *branches*
+//! inside those loops (the `if swap { .. }` / `if place { .. }` bodies),
+//! replacing them with cmov-style `u64` mask selects: the condition
+//! expands to an all-ones/all-zeros mask and both outcomes are computed
+//! over whole 8-byte words. That keeps the instruction stream and store
+//! pattern identical for hit and miss — no in-enclave branch predictor
+//! signal — and, as a bonus, the now-predictable loops vectorize.
+//!
+//! All safe code; byte tails are handled with an 8-bit mask.
+
+/// Expands a condition to an all-ones (`true`) or all-zeros (`false`)
+/// 64-bit mask without branching.
+#[inline(always)]
+pub fn mask64(cond: bool) -> u64 {
+    (cond as u64).wrapping_neg()
+}
+
+/// Swaps `a` and `b` when `cond` is true, touching every byte of both
+/// slices either way. Slices must have equal length.
+#[inline(always)]
+pub fn cond_swap_bytes(cond: bool, a: &mut [u8], b: &mut [u8]) {
+    debug_assert_eq!(a.len(), b.len());
+    let m = mask64(cond);
+    let mut ac = a.chunks_exact_mut(8);
+    let mut bc = b.chunks_exact_mut(8);
+    for (aw, bw) in (&mut ac).zip(&mut bc) {
+        let x = (u64::from_ne_bytes(aw[..8].try_into().unwrap())
+            ^ u64::from_ne_bytes(bw[..8].try_into().unwrap()))
+            & m;
+        aw.copy_from_slice(&(u64::from_ne_bytes(aw[..8].try_into().unwrap()) ^ x).to_ne_bytes());
+        bw.copy_from_slice(&(u64::from_ne_bytes(bw[..8].try_into().unwrap()) ^ x).to_ne_bytes());
+    }
+    let m8 = m as u8;
+    for (ab, bb) in ac.into_remainder().iter_mut().zip(bc.into_remainder().iter_mut()) {
+        let x = (*ab ^ *bb) & m8;
+        *ab ^= x;
+        *bb ^= x;
+    }
+}
+
+/// Swaps two `u128` values when `cond` is true, branch-free.
+#[inline(always)]
+pub fn cond_swap_u128(cond: bool, a: &mut u128, b: &mut u128) {
+    let m = (cond as u128).wrapping_neg();
+    let x = (*a ^ *b) & m;
+    *a ^= x;
+    *b ^= x;
+}
+
+/// Overwrites `dst` with `src` when `cond` is true, touching every byte
+/// of `dst` either way. Slices must have equal length.
+#[inline(always)]
+pub fn cond_copy_bytes(cond: bool, dst: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let m = mask64(cond);
+    let mut dc = dst.chunks_exact_mut(8);
+    let mut sc = src.chunks_exact(8);
+    for (dw, sw) in (&mut dc).zip(&mut sc) {
+        let d = u64::from_ne_bytes(dw[..8].try_into().unwrap());
+        let s = u64::from_ne_bytes(sw[..8].try_into().unwrap());
+        dw.copy_from_slice(&(d ^ ((d ^ s) & m)).to_ne_bytes());
+    }
+    let m8 = m as u8;
+    for (db, sb) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+        *db ^= (*db ^ *sb) & m8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_is_all_or_nothing() {
+        assert_eq!(mask64(true), u64::MAX);
+        assert_eq!(mask64(false), 0);
+    }
+
+    #[test]
+    fn swap_bytes_both_ways() {
+        for len in [0usize, 1, 7, 8, 9, 16, 37, 256] {
+            let a0: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let b0: Vec<u8> = (0..len).map(|i| (i * 3 + 1) as u8).collect();
+            let (mut a, mut b) = (a0.clone(), b0.clone());
+            cond_swap_bytes(false, &mut a, &mut b);
+            assert_eq!((&a, &b), (&a0, &b0), "len {len} hold");
+            cond_swap_bytes(true, &mut a, &mut b);
+            assert_eq!((&a, &b), (&b0, &a0), "len {len} swap");
+        }
+    }
+
+    #[test]
+    fn swap_u128_both_ways() {
+        let (mut a, mut b) = (7u128 << 100, 9u128);
+        cond_swap_u128(false, &mut a, &mut b);
+        assert_eq!((a, b), (7u128 << 100, 9u128));
+        cond_swap_u128(true, &mut a, &mut b);
+        assert_eq!((a, b), (9u128, 7u128 << 100));
+    }
+
+    #[test]
+    fn copy_bytes_both_ways() {
+        for len in [0usize, 1, 7, 8, 9, 16, 37, 256] {
+            let src: Vec<u8> = (0..len).map(|i| (i * 5 + 2) as u8).collect();
+            let dst0: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let mut dst = dst0.clone();
+            cond_copy_bytes(false, &mut dst, &src);
+            assert_eq!(dst, dst0, "len {len} hold");
+            cond_copy_bytes(true, &mut dst, &src);
+            assert_eq!(dst, src, "len {len} copy");
+        }
+    }
+}

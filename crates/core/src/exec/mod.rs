@@ -1,6 +1,7 @@
 //! The oblivious physical operators (paper §4, Figure 3).
 
 pub mod aggregate;
+pub mod ct;
 pub mod join;
 pub mod select;
 pub mod sort;

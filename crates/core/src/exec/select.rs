@@ -102,11 +102,10 @@ pub fn select_large<M: EnclaveMemory>(
         buf.clear();
         buf.extend_from_slice(out.read_rows(host, start, n)?);
         for bytes in buf.chunks_exact_mut(row_len) {
-            if Schema::row_used(bytes) && pred.eval(&schema, bytes) {
-                kept += 1;
-            } else {
-                bytes.copy_from_slice(&dummy);
-            }
+            let keep = Schema::row_used(bytes) && pred.eval(&schema, bytes);
+            kept += keep as u64;
+            // Masked clear: kept and cleared rows take the same stores.
+            super::ct::cond_copy_bytes(!keep, bytes, &dummy);
         }
         out.write_rows(host, start, &buf)?;
         start += n as u64;
@@ -155,10 +154,15 @@ pub fn select_continuous<M: EnclaveMemory>(
             for j in 0..run {
                 let bytes = &in_rows[(off + j) * row_len..(off + j + 1) * row_len];
                 let selected = Schema::row_used(bytes) && pred.eval(&schema, bytes);
-                if selected && matched < out_rows {
-                    run_buf[j * row_len..(j + 1) * row_len].copy_from_slice(bytes);
-                    matched += 1;
-                }
+                let take = selected & (matched < out_rows);
+                // Masked write-through: real and dummy updates of R run
+                // the same stores over the same bytes.
+                super::ct::cond_copy_bytes(
+                    take,
+                    &mut run_buf[j * row_len..(j + 1) * row_len],
+                    bytes,
+                );
+                matched += take as u64;
             }
             out.write_rows(host, pos0, &run_buf)?;
             off += run;
@@ -190,7 +194,7 @@ pub fn select_hash<M: EnclaveMemory>(
     let schema = input.schema().clone();
     let buckets = out_rows.max(1);
     let capacity = buckets * HASH_SLOTS as u64;
-    let mut out = FlatTable::create(host, out_key, schema.clone(), capacity)?;
+    let mut out = FlatTable::create(host, out_key.clone(), schema.clone(), capacity)?;
     out.set_parallelism(input.parallelism());
 
     // Hash keys derive from the output table key: deterministic per query,
@@ -235,12 +239,14 @@ pub fn select_hash<M: EnclaveMemory>(
             }
             slot_buf.clear();
             slot_buf.extend_from_slice(out.read_rows_at(host, &positions)?);
+            // Branch-free probe: every slot is rewritten through a masked
+            // select, so occupied/free and placed/unplaced slots execute
+            // the same instructions over the same bytes.
             let mut placed = !selected;
             for current in slot_buf.chunks_exact_mut(row_len) {
-                if !placed && !Schema::row_used(current) {
-                    current.copy_from_slice(bytes);
-                    placed = true;
-                }
+                let take = !placed & !Schema::row_used(current);
+                super::ct::cond_copy_bytes(take, current, bytes);
+                placed |= take;
             }
             out.write_rows_at(host, &positions, &slot_buf)?;
             if !placed {

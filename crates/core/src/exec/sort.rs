@@ -115,11 +115,10 @@ fn element_pass<M: EnclaveMemory>(
         pair.extend_from_slice(table.read_rows_at(host, &[i, l])?);
         let (a, b) = pair.split_at_mut(row_len);
         let swap = (key(a) > key(b)) == ascending;
-        // Both blocks are always rewritten; the adversary cannot tell a
-        // swap from a hold.
-        if swap {
-            a.swap_with_slice(b);
-        }
+        // Both blocks are always rewritten — the adversary cannot tell a
+        // swap from a hold — and the swap itself is a branch-free masked
+        // select, so hit and miss execute the same instructions.
+        super::ct::cond_swap_bytes(swap, a, b);
         table.write_rows_at(host, &[i, l], &pair)?;
     }
     Ok(())
@@ -142,15 +141,26 @@ fn sort_in_memory(rows: &mut [(u128, Vec<u8>)], oblivious: bool) {
                 let l = i ^ j;
                 if l > i {
                     let ascending = (i & k) == 0;
-                    if (rows[i].0 > rows[l].0) == ascending {
-                        rows.swap(i, l);
-                    }
+                    compare_exchange(rows, i, l, ascending);
                 }
             }
             j /= 2;
         }
         k *= 2;
     }
+}
+
+/// Branch-free in-memory compare-exchange of rows `i < l`: key and row
+/// bytes swap through masked selects, so the comparison outcome never
+/// steers a branch or changes which bytes are touched.
+#[inline(always)]
+fn compare_exchange(rows: &mut [(u128, Vec<u8>)], i: usize, l: usize, ascending: bool) {
+    let (lo, hi) = rows.split_at_mut(l);
+    let a = &mut lo[i];
+    let b = &mut hi[0];
+    let swap = (a.0 > b.0) == ascending;
+    super::ct::cond_swap_u128(swap, &mut a.0, &mut b.0);
+    super::ct::cond_swap_bytes(swap, &mut a.1, &mut b.1);
 }
 
 /// Loads an aligned chunk (batched), fully sorts it in enclave memory,
@@ -216,10 +226,7 @@ fn local_merge<M: EnclaveMemory>(
         for i in 0..n {
             let l = i ^ j;
             if l > i {
-                let swap = (rows[i].0 > rows[l].0) == ascending;
-                if swap {
-                    rows.swap(i, l);
-                }
+                compare_exchange(&mut rows, i, l, ascending);
             }
         }
         j /= 2;

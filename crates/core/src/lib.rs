@@ -46,7 +46,7 @@ pub use db::{
     StorageMethod,
 };
 pub use error::DbError;
-pub use plan::cost::CostProfile;
+pub use plan::cost::{CostProfile, CALIBRATION_FILE};
 pub use plan::{Explain, NodeCost, PlanNode, QueryPlan};
 pub use planner::{CostModel, JoinAlgo, SelectAlgo};
 pub use predicate::Predicate;

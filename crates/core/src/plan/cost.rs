@@ -246,7 +246,77 @@ impl CostProfile {
         (stats.reads as f64 * self.read_block + stats.writes as f64 * self.write_block) * amdahl
             + stats.crossings as f64 * self.crossing
     }
+
+    /// Serializes the profile as the `key = value` text of an
+    /// [`CALIBRATION_FILE`] artifact. Round-trips through
+    /// [`CostProfile::from_text`].
+    pub fn to_text(&self) -> String {
+        format!(
+            "# ObliDB planner calibration — per-deploy CostProfile weights.\n\
+             # Untrusted advisory data: a tampered file can only skew plan\n\
+             # choice, never correctness or obliviousness.\n\
+             name = {}\n\
+             read_block = {}\n\
+             write_block = {}\n\
+             crossing = {}\n\
+             threads = {}\n\
+             parallel_block_fraction = {}\n",
+            self.name.replace('\n', " "),
+            self.read_block,
+            self.write_block,
+            self.crossing,
+            self.threads,
+            self.parallel_block_fraction,
+        )
+    }
+
+    /// Parses a profile from [`CostProfile::to_text`] output. Returns
+    /// `None` on any missing key or non-finite/non-positive weight — the
+    /// file lives on untrusted storage, so a mangled artifact must fall
+    /// back to canonical weights instead of poisoning the planner with
+    /// NaNs.
+    pub fn from_text(text: &str) -> Option<Self> {
+        let field = |key: &str| -> Option<&str> {
+            text.lines().find_map(|line| {
+                let (k, v) = line.split_once('=')?;
+                (k.trim() == key).then(|| v.trim())
+            })
+        };
+        let num = |key: &str| -> Option<f64> {
+            let v: f64 = field(key)?.parse().ok()?;
+            (v.is_finite() && v > 0.0).then_some(v)
+        };
+        Some(CostProfile {
+            name: field("name")?.to_string(),
+            read_block: num("read_block")?,
+            write_block: num("write_block")?,
+            crossing: num("crossing")?,
+            threads: field("threads")?.parse().ok().filter(|&t: &usize| t >= 1)?,
+            parallel_block_fraction: {
+                let p: f64 = field("parallel_block_fraction")?.parse().ok()?;
+                p.is_finite().then_some(p.clamp(0.0, 1.0))?
+            },
+        })
+    }
+
+    /// Writes the profile as the [`CALIBRATION_FILE`] artifact inside
+    /// `dir` (next to the region files), so calibrated planner weights
+    /// survive restarts.
+    pub fn save_to(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(dir.join(CALIBRATION_FILE), self.to_text())
+    }
+
+    /// Loads a previously saved [`CALIBRATION_FILE`] artifact from `dir`.
+    /// Returns `None` when the file is absent or fails validation.
+    pub fn load_from(dir: &std::path::Path) -> Option<Self> {
+        Self::from_text(&std::fs::read_to_string(dir.join(CALIBRATION_FILE)).ok()?)
+    }
 }
+
+/// File name of the persisted calibration artifact, written next to a
+/// disk store's region files by calibration and reloaded by
+/// `database_open`.
+pub const CALIBRATION_FILE: &str = "oblidb.calibration";
 
 impl Default for CostProfile {
     fn default() -> Self {
@@ -317,13 +387,19 @@ pub fn simulate_select(algo: SelectAlgo, shape: &SelectShape) -> Result<HostStat
     match algo {
         SelectAlgo::Small => small_pattern(&mut mem, &om, &mut input, shape)?,
         SelectAlgo::Large => {
-            exec::select_large(&mut mem, &mut input, &pred, shape.out_key)?;
+            exec::select_large(&mut mem, &mut input, &pred, shape.out_key.clone())?;
         }
         SelectAlgo::Continuous => {
-            exec::select_continuous(&mut mem, &mut input, &pred, shape.out_key, shape.matches)?;
+            exec::select_continuous(
+                &mut mem,
+                &mut input,
+                &pred,
+                shape.out_key.clone(),
+                shape.matches,
+            )?;
         }
         SelectAlgo::Hash => {
-            exec::select_hash(&mut mem, &mut input, &pred, shape.out_key, shape.matches)?;
+            exec::select_hash(&mut mem, &mut input, &pred, shape.out_key.clone(), shape.matches)?;
         }
         SelectAlgo::Naive => {
             exec::select_naive(
@@ -331,7 +407,7 @@ pub fn simulate_select(algo: SelectAlgo, shape: &SelectShape) -> Result<HostStat
                 &om,
                 &mut input,
                 &pred,
-                shape.out_key,
+                shape.out_key.clone(),
                 shape.matches,
                 EnclaveRng::seed_from_u64(0x0B11_D0DE),
             )?;
@@ -342,7 +418,7 @@ pub fn simulate_select(algo: SelectAlgo, shape: &SelectShape) -> Result<HostStat
                 &om,
                 &mut input,
                 &pred,
-                shape.out_key,
+                shape.out_key.clone(),
                 shape.matches,
             )?;
         }
@@ -363,7 +439,8 @@ fn small_pattern(
 ) -> Result<(), DbError> {
     let row_len = shape.schema.row_len();
     let out_rows = shape.matches;
-    let mut out = FlatTable::create(mem, shape.out_key, shape.schema.clone(), out_rows.max(1))?;
+    let mut out =
+        FlatTable::create(mem, shape.out_key.clone(), shape.schema.clone(), out_rows.max(1))?;
     let alloc = om.alloc_up_to((out_rows.max(1) as usize) * row_len);
     let buf_rows = ((alloc.bytes() / row_len).max(1)) as u64;
     let passes = out_rows.div_ceil(buf_rows).max(1);
@@ -622,5 +699,72 @@ mod tests {
         assert_eq!(p.read_block, 1.0);
         assert!(p.crossing >= 1.0);
         assert!(p.write_block > 0.0);
+    }
+
+    #[test]
+    fn calibration_text_round_trips() {
+        let p = CostProfile {
+            name: "probe".into(),
+            read_block: 1.25,
+            write_block: 2.5,
+            crossing: 17.0,
+            threads: 4,
+            parallel_block_fraction: 0.6,
+        };
+        assert_eq!(CostProfile::from_text(&p.to_text()), Some(p));
+        // Every stock profile survives the trip too.
+        for stock in [
+            CostProfile::host(),
+            CostProfile::disk(),
+            CostProfile::cached_disk(),
+            CostProfile::uniform(),
+        ] {
+            assert_eq!(CostProfile::from_text(&stock.to_text()), Some(stock));
+        }
+    }
+
+    #[test]
+    fn calibration_text_rejects_mangled_artifacts() {
+        let good = CostProfile::host().to_text();
+        // Missing key.
+        let missing = good.replace("crossing", "crosing");
+        assert_eq!(CostProfile::from_text(&missing), None);
+        // Non-finite and non-positive weights must not reach the planner.
+        for bad in ["NaN", "inf", "0", "-3.0", "bogus"] {
+            let t = good
+                .lines()
+                .map(|l| {
+                    if l.starts_with("read_block") {
+                        format!("read_block = {bad}")
+                    } else {
+                        l.into()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            assert_eq!(CostProfile::from_text(&t), None, "read_block = {bad}");
+        }
+        // Zero threads would divide block weights into nonsense.
+        let zero_threads = good
+            .lines()
+            .map(|l| if l.starts_with("threads") { "threads = 0".into() } else { l.to_string() })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_eq!(CostProfile::from_text(&zero_threads), None);
+        assert_eq!(CostProfile::from_text(""), None);
+    }
+
+    #[test]
+    fn calibration_save_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("oblidb-calib-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = CostProfile::disk().with_threads(3);
+        p.save_to(&dir).unwrap();
+        assert_eq!(CostProfile::load_from(&dir), Some(p));
+        // A corrupt artifact reads as absent, not as garbage weights.
+        std::fs::write(dir.join(CALIBRATION_FILE), "read_block = NaN\n").unwrap();
+        assert_eq!(CostProfile::load_from(&dir), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(CostProfile::load_from(&dir), None);
     }
 }

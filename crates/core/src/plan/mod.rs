@@ -28,7 +28,7 @@ use cost::CostProfile;
 
 /// Pre-allocated output-region key material, redacted from Debug output
 /// (plans render in logs and EXPLAIN results; keys must not).
-#[derive(Clone, Copy)]
+#[derive(Clone)]
 pub(crate) struct PlanKey(pub(crate) AeadKey);
 
 impl std::fmt::Debug for PlanKey {

@@ -55,7 +55,7 @@ pub struct SelectStats {
 }
 
 /// How the planner prices candidate operators.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CostModel {
     /// The closed-form access-count formulas (paper §5 as originally
     /// reproduced). Kept for comparison and for the parity tests; the

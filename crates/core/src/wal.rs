@@ -63,8 +63,12 @@ impl Wal {
         config: WalConfig,
     ) -> Result<Self, DbError> {
         assert!(config.block_bytes > 2, "block must fit the length header");
-        let store =
-            SealedRegion::create(host, key, config.capacity.max(1) as usize, config.block_bytes)?;
+        let store = SealedRegion::create(
+            host,
+            key.clone(),
+            config.capacity.max(1) as usize,
+            config.block_bytes,
+        )?;
         Ok(Wal {
             store,
             len: 0,
@@ -112,7 +116,7 @@ impl Wal {
 
     /// The log's AEAD key, for embedding in the sealed database manifest.
     pub(crate) fn key(&self) -> AeadKey {
-        self.grow_key
+        self.grow_key.clone()
     }
 
     /// Seals the log's trusted state (revisions + nonce counter) for the

@@ -4,9 +4,21 @@
 //! words, a 32-bit block counter, and a 96-bit nonce. Each 64-byte keystream
 //! block is produced by 20 rounds (10 "double rounds") of quarter-round
 //! mixing followed by a feed-forward addition of the initial state.
+//!
+//! [`ChaCha20::block`] / [`ChaCha20::apply_keystream`] are the portable
+//! scalar reference. [`ChaCha20::blocks4`] and
+//! [`ChaCha20::apply_keystream_multi`] produce the same bytes but run
+//! several blocks per round pass through the runtime-dispatched SIMD
+//! kernels in [`crate::simd`] when the CPU has them.
+
+use crate::simd;
 
 /// Byte length of one keystream block.
 pub const BLOCK_LEN: usize = 64;
+
+/// Largest number of keystream lanes generated per dispatch (the AVX2
+/// kernel width).
+pub(crate) const MAX_LANES: usize = 8;
 
 const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
 
@@ -15,6 +27,53 @@ const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
 pub struct ChaCha20 {
     key: [u32; 8],
     nonce: [u32; 3],
+}
+
+/// Scalar ChaCha20 block function over raw state words. This is the
+/// reference core: the SIMD kernels must match it byte for byte, and it
+/// serves as their fallback for tail lanes and non-x86_64 targets.
+pub(crate) fn scalar_block(
+    key: &[u32; 8],
+    counter: u32,
+    nonce: &[u32; 3],
+    out: &mut [u8; BLOCK_LEN],
+) {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter;
+    state[13..16].copy_from_slice(nonce);
+    let initial = state;
+
+    for _ in 0..10 {
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        let word = state[i].wrapping_add(initial[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+}
+
+/// XORs `src` into `dst` in `u64`-wide strides (plus a byte tail).
+pub(crate) fn xor_bytes(dst: &mut [u8], src: &[u8]) {
+    debug_assert!(src.len() >= dst.len());
+    let mut d = dst.chunks_exact_mut(8);
+    let mut s = src.chunks_exact(8);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        let v = u64::from_ne_bytes(dc[..8].try_into().unwrap())
+            ^ u64::from_ne_bytes(sc[..8].try_into().unwrap());
+        dc.copy_from_slice(&v.to_ne_bytes());
+    }
+    for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *db ^= sb;
+    }
 }
 
 #[inline(always)]
@@ -43,34 +102,37 @@ impl ChaCha20 {
         Self { key: k, nonce: n }
     }
 
+    /// Creates a cipher directly from parsed key/nonce words (used by the
+    /// batch AEAD path, which parses each once per batch).
+    pub(crate) fn from_words(key: [u32; 8], nonce: [u32; 3]) -> Self {
+        Self { key, nonce }
+    }
+
+    /// The cipher's key words (for batch key-schedule reuse).
+    pub(crate) fn key_words(&self) -> &[u32; 8] {
+        &self.key
+    }
+
     /// Produces the 64-byte keystream block for the given counter value.
     pub fn block(&self, counter: u32, out: &mut [u8; BLOCK_LEN]) {
-        let mut state = [0u32; 16];
-        state[..4].copy_from_slice(&SIGMA);
-        state[4..12].copy_from_slice(&self.key);
-        state[12] = counter;
-        state[13..16].copy_from_slice(&self.nonce);
-        let initial = state;
+        scalar_block(&self.key, counter, &self.nonce, out);
+    }
 
-        for _ in 0..10 {
-            quarter_round(&mut state, 0, 4, 8, 12);
-            quarter_round(&mut state, 1, 5, 9, 13);
-            quarter_round(&mut state, 2, 6, 10, 14);
-            quarter_round(&mut state, 3, 7, 11, 15);
-            quarter_round(&mut state, 0, 5, 10, 15);
-            quarter_round(&mut state, 1, 6, 11, 12);
-            quarter_round(&mut state, 2, 7, 8, 13);
-            quarter_round(&mut state, 3, 4, 9, 14);
-        }
-        for i in 0..16 {
-            let word = state[i].wrapping_add(initial[i]);
-            out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
-        }
+    /// Produces four consecutive keystream blocks (counters `counter`,
+    /// `counter+1`, ..., wrapping) in one pass — a single round pass over
+    /// four lanes on SSE2/AVX2 hardware, scalar otherwise. Byte-identical
+    /// to four [`Self::block`] calls.
+    pub fn blocks4(&self, counter: u32, out: &mut [u8; 4 * BLOCK_LEN]) {
+        let counters: [u32; 4] = core::array::from_fn(|i| counter.wrapping_add(i as u32));
+        let nonces = [self.nonce; 4];
+        simd::keystream_blocks(&self.key, &counters, &nonces, out);
     }
 
     /// XORs the keystream (starting at block `counter`) into `data` in place.
     ///
-    /// Encryption and decryption are the same operation.
+    /// Encryption and decryption are the same operation. This is the
+    /// portable scalar reference path; [`Self::apply_keystream_multi`]
+    /// produces identical bytes via the SIMD kernels.
     pub fn apply_keystream(&self, counter: u32, data: &mut [u8]) {
         let mut block = [0u8; BLOCK_LEN];
         let mut ctr = counter;
@@ -81,6 +143,46 @@ impl ChaCha20 {
             }
             ctr = ctr.wrapping_add(1);
         }
+    }
+
+    /// XORs the keystream into `data` in place, generating up to
+    /// [`MAX_LANES`] blocks per round pass through the active SIMD
+    /// backend. Byte-identical to [`Self::apply_keystream`] for every
+    /// length and starting counter (including counter wraparound).
+    pub fn apply_keystream_multi(&self, counter: u32, data: &mut [u8]) {
+        let mut ks = [0u8; MAX_LANES * BLOCK_LEN];
+        let mut counters = [0u32; MAX_LANES];
+        let nonces = [self.nonce; MAX_LANES];
+        let mut ctr = counter;
+        let mut at = 0usize;
+        while at < data.len() {
+            let remaining = data.len() - at;
+            let lanes = remaining.div_ceil(BLOCK_LEN).min(MAX_LANES);
+            for (i, c) in counters[..lanes].iter_mut().enumerate() {
+                *c = ctr.wrapping_add(i as u32);
+            }
+            simd::keystream_blocks(
+                &self.key,
+                &counters[..lanes],
+                &nonces[..lanes],
+                &mut ks[..lanes * BLOCK_LEN],
+            );
+            let take = remaining.min(lanes * BLOCK_LEN);
+            xor_bytes(&mut data[at..at + take], &ks[..take]);
+            at += take;
+            ctr = ctr.wrapping_add(lanes as u32);
+        }
+    }
+}
+
+impl Drop for ChaCha20 {
+    /// Best-effort zeroization of the key schedule; the `black_box`
+    /// barrier keeps the dead stores from being optimized away.
+    fn drop(&mut self) {
+        self.key = [0; 8];
+        self.nonce = [0; 3];
+        core::hint::black_box(&self.key);
+        core::hint::black_box(&self.nonce);
     }
 }
 
@@ -156,6 +258,34 @@ mod tests {
         a_cipher.block(0, &mut a);
         b_cipher.block(0, &mut b);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn blocks4_matches_four_scalar_blocks() {
+        let cipher = ChaCha20::new(&[0xA5u8; 32], &[0x5Au8; 12]);
+        for start in [0u32, 1, 1000, u32::MAX - 1] {
+            let mut quad = [0u8; 4 * BLOCK_LEN];
+            cipher.blocks4(start, &mut quad);
+            for i in 0..4 {
+                let mut one = [0u8; BLOCK_LEN];
+                cipher.block(start.wrapping_add(i as u32), &mut one);
+                assert_eq!(&quad[i * BLOCK_LEN..(i + 1) * BLOCK_LEN], &one, "lane {i} @ {start}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_keystream_matches_scalar_keystream() {
+        let cipher = ChaCha20::new(&[0x17u8; 32], &[0xEEu8; 12]);
+        for len in [0usize, 1, 63, 64, 65, 255, 256, 257, 511, 512, 513, 1024, 1025] {
+            for start in [0u32, 1, u32::MAX - 3] {
+                let mut scalar: Vec<u8> = (0..len).map(|i| i as u8).collect();
+                let mut multi = scalar.clone();
+                cipher.apply_keystream(start, &mut scalar);
+                cipher.apply_keystream_multi(start, &mut multi);
+                assert_eq!(scalar, multi, "len {len} start {start}");
+            }
+        }
     }
 
     #[test]

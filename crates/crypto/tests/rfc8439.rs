@@ -1,0 +1,116 @@
+//! RFC 8439 test vectors beyond the in-crate unit anchors (§2.1.1
+//! quarter round, §2.3.2 block, §2.5.2 Poly1305, §2.8.2 AEAD), each run
+//! under **every** SIMD backend — the official bytes, not just
+//! self-consistency, pin the vector kernels.
+
+use oblidb_crypto::chacha::ChaCha20;
+use oblidb_crypto::poly1305::Poly1305;
+use oblidb_crypto::simd::{self, Backend};
+
+const BACKENDS: [Backend; 3] = [Backend::Scalar, Backend::Sse2, Backend::Avx2];
+
+/// See `simd_equivalence.rs` — [`simd::force`] is process-global.
+fn forced<T>(backend: Backend, f: impl FnOnce() -> T) -> T {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    simd::force(Some(backend));
+    let out = f();
+    simd::force(None);
+    out
+}
+
+fn unhex(s: &str) -> Vec<u8> {
+    let clean: String = s.chars().filter(|c| c.is_ascii_hexdigit()).collect();
+    clean
+        .as_bytes()
+        .chunks(2)
+        .map(|p| u8::from_str_radix(std::str::from_utf8(p).unwrap(), 16).unwrap())
+        .collect()
+}
+
+fn rfc_key() -> [u8; 32] {
+    let mut k = [0u8; 32];
+    for (i, b) in k.iter_mut().enumerate() {
+        *b = i as u8;
+    }
+    k
+}
+
+/// RFC 8439 Appendix A.1, test vector #1: all-zero key and nonce,
+/// counter 0 — the canonical first keystream block.
+#[test]
+fn a1_vector1_zero_key_keystream() {
+    let expected = unhex(
+        "76b8e0ada0f13d90405d6ae55386bd28bdd219b8a08ded1aa836efcc8b770dc7\
+         da41597c5157488d7724e03fb8d84a376a43b8f41518a11cc387b669b2ee6586",
+    );
+    let cipher = ChaCha20::new(&[0u8; 32], &[0u8; 12]);
+    for backend in BACKENDS {
+        let mut ks = vec![0u8; 64];
+        forced(backend, || cipher.apply_keystream_multi(0, &mut ks));
+        assert_eq!(ks, expected, "{backend:?}");
+    }
+}
+
+/// RFC 8439 §2.4.2: the full "sunscreen" encryption vector (key 00..1f,
+/// nonce 00 00 00 00 00 00 00 4a 00 00 00 00, counter 1).
+#[test]
+fn s242_sunscreen_encryption() {
+    let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+    let expected = unhex(
+        "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+         f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+         07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+         5af90bbf74a35be6b40b8eedf2785e42874d",
+    );
+    let nonce = {
+        let mut n = [0u8; 12];
+        n[7] = 0x4a;
+        n
+    };
+    let cipher = ChaCha20::new(&rfc_key(), &nonce);
+    for backend in BACKENDS {
+        let mut buf = plaintext.to_vec();
+        forced(backend, || cipher.apply_keystream_multi(1, &mut buf));
+        assert_eq!(buf, expected, "{backend:?} encrypt");
+        // Symmetric: applying the keystream again restores the plaintext.
+        forced(backend, || cipher.apply_keystream_multi(1, &mut buf));
+        assert_eq!(buf, plaintext, "{backend:?} decrypt");
+    }
+}
+
+/// RFC 8439 §2.6.2: Poly1305 one-time-key generation — the first 32
+/// keystream bytes at counter 0 under the section's key and nonce.
+#[test]
+fn s262_poly1305_key_generation() {
+    let mut key = [0u8; 32];
+    for (i, b) in key.iter_mut().enumerate() {
+        *b = 0x80 + i as u8;
+    }
+    let nonce = [0x00, 0x00, 0x00, 0x00, 0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07];
+    let expected = unhex("8ad5a08b905f81cc815040274ab29471a833b637e3fd0da508dbb8e2fdd1a646");
+    let cipher = ChaCha20::new(&key, &nonce);
+    for backend in BACKENDS {
+        let mut ks = vec![0u8; 32];
+        forced(backend, || cipher.apply_keystream_multi(0, &mut ks));
+        assert_eq!(ks, expected, "{backend:?}");
+    }
+}
+
+/// RFC 8439 Appendix A.3, test vector #1: an all-zero key (r = 0, s = 0)
+/// tags any message — here 64 zero bytes — as all zeros. Exercises the
+/// degenerate case of the pairwise-Horner accumulation.
+#[test]
+fn a3_vector1_zero_key_tag() {
+    for chunks in [vec![64usize], vec![16, 48], vec![32, 32], vec![1, 63]] {
+        let mut mac = Poly1305::new(&[0u8; 32]);
+        let zeros = [0u8; 64];
+        let mut off = 0;
+        for c in chunks.iter() {
+            mac.update(&zeros[off..off + c]);
+            off += c;
+        }
+        assert_eq!(mac.finish(), [0u8; 16], "chunks {chunks:?}");
+    }
+}

@@ -1,0 +1,178 @@
+//! SIMD/scalar equivalence: every [`oblidb_crypto::simd::Backend`] must
+//! produce byte-identical keystream, ciphertext, and tags — across
+//! lengths, buffer alignments, batch sizes, and AAD shapes. Dispatch is a
+//! pure speed decision; these tests are what makes that claim load-bearing
+//! (sealed regions written by an AVX2 host must open on a scalar one).
+//!
+//! Cases are generated from a seeded [`EnclaveRng`] (the workspace is
+//! dependency-free, so no proptest).
+
+use oblidb_crypto::chacha::ChaCha20;
+use oblidb_crypto::simd::{self, Backend};
+use oblidb_crypto::{open, open_batch, seal, seal_batch, AeadKey, Nonce, TAG_LEN};
+use oblidb_enclave::EnclaveRng;
+
+const BACKENDS: [Backend; 3] = [Backend::Scalar, Backend::Sse2, Backend::Avx2];
+
+/// [`simd::force`] is process-global; tests that flip it must not overlap
+/// (and must restore auto dispatch when done).
+fn forced<T>(backend: Backend, f: impl FnOnce() -> T) -> T {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    simd::force(Some(backend));
+    let out = f();
+    simd::force(None);
+    out
+}
+
+#[test]
+fn keystream_matches_scalar_at_every_length_and_alignment() {
+    let mut rng = EnclaveRng::seed_from_u64(0x51_4D);
+    let key: [u8; 32] = rng.random_bytes(32).try_into().unwrap();
+    let nonce: [u8; 12] = rng.random_bytes(12).try_into().unwrap();
+    let cipher = ChaCha20::new(&key, &nonce);
+
+    // Lengths crossing every lane boundary (1/4/8 blocks), plus buffer
+    // offsets 0..8 so the SIMD stores hit unaligned destinations.
+    let lengths = [0usize, 1, 63, 64, 65, 127, 128, 255, 256, 257, 511, 512, 513, 1024, 1025, 4096];
+    for len in lengths {
+        for align in [0usize, 1, 3, 7] {
+            let base = rng.random_bytes(len + align);
+            let mut expected = base[align..].to_vec();
+            forced(Backend::Scalar, || cipher.apply_keystream_multi(1, &mut expected));
+            for backend in BACKENDS {
+                let mut buf = base.clone();
+                forced(backend, || cipher.apply_keystream_multi(1, &mut buf[align..]));
+                assert_eq!(buf[align..], expected[..], "{backend:?} len {len} align {align}");
+                assert_eq!(buf[..align], base[..align], "{backend:?} must not touch the prefix");
+            }
+        }
+    }
+}
+
+#[test]
+fn blocks4_matches_scalar_on_every_backend() {
+    let cipher = ChaCha20::new(&[7u8; 32], &[3u8; 12]);
+    for start in [0u32, 1, 999, u32::MAX - 1] {
+        let mut expected = [0u8; 256];
+        forced(Backend::Scalar, || cipher.blocks4(start, &mut expected));
+        for backend in BACKENDS {
+            let mut out = [0u8; 256];
+            forced(backend, || cipher.blocks4(start, &mut out));
+            assert_eq!(out, expected, "{backend:?} start {start}");
+        }
+    }
+}
+
+#[test]
+fn seal_and_open_agree_across_backends() {
+    let mut rng = EnclaveRng::seed_from_u64(0x5EA1);
+    for case in 0..24 {
+        let key = AeadKey(rng.random_bytes(32).try_into().unwrap());
+        let nonce = Nonce::from_parts(rng.next_u64() as u32, rng.next_u64());
+        let aad_len = rng.below(64) as usize;
+        let aad = rng.random_bytes(aad_len);
+        let payload_len = rng.below(1500) as usize;
+        let payload = rng.random_bytes(payload_len);
+
+        let mut expected_ct = payload.clone();
+        let expected_tag = forced(Backend::Scalar, || seal(&key, &nonce, &aad, &mut expected_ct));
+        for backend in BACKENDS {
+            // Sealing under `backend` must yield scalar's exact bytes...
+            let mut ct = payload.clone();
+            let tag = forced(backend, || seal(&key, &nonce, &aad, &mut ct));
+            assert_eq!(ct, expected_ct, "case {case} {backend:?} ciphertext");
+            assert_eq!(tag, expected_tag, "case {case} {backend:?} tag");
+            // ...and scalar-sealed bytes must open under `backend`.
+            let mut back = expected_ct.clone();
+            forced(backend, || open(&key, &nonce, &aad, &mut back, &expected_tag)).unwrap();
+            assert_eq!(back, payload, "case {case} {backend:?} roundtrip");
+        }
+    }
+}
+
+#[test]
+fn batch_seal_matches_scalar_per_block_at_every_batch_size() {
+    let mut rng = EnclaveRng::seed_from_u64(0xBA7C);
+    for batch in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33, 64] {
+        let key = AeadKey(rng.random_bytes(32).try_into().unwrap());
+        let nonces: Vec<Nonce> =
+            (0..batch).map(|i| Nonce::from_parts(11, (i * 3) as u64)).collect();
+        // AAD shapes: empty, short, and block-boundary lengths interleaved.
+        let aads: Vec<Vec<u8>> =
+            (0..batch).map(|i| rng.random_bytes([0, 5, 16, 17, 32][i % 5])).collect();
+        let aad_refs: Vec<&[u8]> = aads.iter().map(|a| a.as_slice()).collect();
+        // Equal-sized runs are the storage layer's shape; unequal blocks
+        // exercise the general API.
+        let block_len = |i: usize| if batch % 2 == 0 { 256 } else { 64 + i * 17 };
+        let payloads: Vec<Vec<u8>> = (0..batch).map(|i| rng.random_bytes(block_len(i))).collect();
+
+        // Reference: scalar, one block at a time through the single AEAD.
+        let mut expected: Vec<Vec<u8>> = payloads.clone();
+        let mut expected_tags = Vec::new();
+        forced(Backend::Scalar, || {
+            for i in 0..batch {
+                expected_tags.push(seal(&key, &nonces[i], aad_refs[i], &mut expected[i]));
+            }
+        });
+
+        for backend in BACKENDS {
+            let mut bufs: Vec<Vec<u8>> = payloads.clone();
+            let mut tags = vec![[0u8; TAG_LEN]; batch];
+            forced(backend, || {
+                let mut blocks: Vec<&mut [u8]> =
+                    bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+                seal_batch(&key, &nonces, &aad_refs, &mut blocks, &mut tags);
+            });
+            assert_eq!(bufs, expected, "batch {batch} {backend:?} ciphertexts");
+            assert_eq!(tags, expected_tags, "batch {batch} {backend:?} tags");
+
+            // The batch must open under every *other* backend too.
+            let open_with = BACKENDS[(batch + 1) % BACKENDS.len()];
+            let mut back = bufs.clone();
+            forced(open_with, || {
+                let mut blocks: Vec<&mut [u8]> =
+                    back.iter_mut().map(|b| b.as_mut_slice()).collect();
+                open_batch(&key, &nonces, &aad_refs, &mut blocks, &tags).unwrap();
+            });
+            assert_eq!(back, payloads, "batch {batch} {backend:?} -> {open_with:?} roundtrip");
+        }
+    }
+}
+
+#[test]
+fn batch_tamper_attribution_is_backend_independent() {
+    let mut rng = EnclaveRng::seed_from_u64(0x7A3B);
+    let key = AeadKey([0x11u8; 32]);
+    let batch = 9usize;
+    let nonces: Vec<Nonce> = (0..batch).map(|i| Nonce::from_parts(2, i as u64)).collect();
+    let aads: Vec<Vec<u8>> = (0..batch).map(|i| vec![i as u8; 16]).collect();
+    let aad_refs: Vec<&[u8]> = aads.iter().map(|a| a.as_slice()).collect();
+    let payloads: Vec<Vec<u8>> = (0..batch).map(|_| rng.random_bytes(200)).collect();
+
+    let mut sealed: Vec<Vec<u8>> = payloads.clone();
+    let mut tags = vec![[0u8; TAG_LEN]; batch];
+    {
+        let mut blocks: Vec<&mut [u8]> = sealed.iter_mut().map(|b| b.as_mut_slice()).collect();
+        seal_batch(&key, &nonces, &aad_refs, &mut blocks, &mut tags);
+    }
+
+    for victim in [0usize, 4, 8] {
+        for backend in BACKENDS {
+            let mut bufs = sealed.clone();
+            bufs[victim][100] ^= 1;
+            let err = forced(backend, || {
+                let mut blocks: Vec<&mut [u8]> =
+                    bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+                open_batch(&key, &nonces, &aad_refs, &mut blocks, &tags).unwrap_err()
+            });
+            assert_eq!(err.index, victim, "{backend:?}");
+            // Verify-before-decrypt: no block was touched on failure.
+            assert_eq!(bufs, {
+                let mut t = sealed.clone();
+                t[victim][100] ^= 1;
+                t
+            });
+        }
+    }
+}

@@ -159,7 +159,7 @@ impl PathOram {
         let levels = leaves.trailing_zeros() + 1;
         let buckets = 2 * leaves - 1;
         let bucket_len = Bucket::serialized_len(Z, payload_len);
-        let store = SealedRegion::create(host, key, buckets as usize, bucket_len)?;
+        let store = SealedRegion::create(host, key.clone(), buckets as usize, bucket_len)?;
 
         let posmap = match pos_kind {
             PosMapKind::Direct => {

@@ -211,7 +211,7 @@ impl SealedRegion {
     /// of enclave sealing: the master-derived manifest key wraps region
     /// keys). Never write the return value anywhere unencrypted.
     pub fn key(&self) -> AeadKey {
-        self.key
+        self.key.clone()
     }
 
     /// Number of blocks.
@@ -425,7 +425,7 @@ impl SealedRegion {
         let sealed_len = payload_len + SEAL_OVERHEAD;
         debug_assert_eq!(self.batch.len(), count * sealed_len);
         let parts = self.partitions(count);
-        let (key, region, revisions) = (self.key, self.region, &self.revisions[..]);
+        let (key, region, revisions) = (self.key.clone(), self.region, &self.revisions[..]);
         let scratch =
             &mut self.scratch[scratch_row * payload_len..(scratch_row + count) * payload_len];
         if parts.len() <= 1 {
@@ -553,30 +553,11 @@ impl SealedRegion {
             }
             return;
         }
-        let parts = self.partitions(count);
-        if parts.len() <= 1 {
-            for i in 0..count {
-                let index = indices.map_or(start + i as u64, |idx| idx[i]);
-                let slot = &mut self.revisions[index as usize];
-                *slot += 1;
-                let revision = *slot;
-                self.write_counter += 1;
-                seal_one(
-                    &self.key,
-                    self.region,
-                    payload_len,
-                    index,
-                    revision,
-                    self.write_counter,
-                    &payloads[i * payload_len..(i + 1) * payload_len],
-                    &mut self.batch[i * sealed_len..(i + 1) * sealed_len],
-                );
-            }
-            return;
-        }
         // Reserve every block's (revision, nonce counter) serially, in
-        // batch order — the exact values the serial loop assigns, kept
-        // per-position so duplicate scatter indices stay well-defined.
+        // batch order — the exact values a per-block loop would assign,
+        // kept per-position so duplicate scatter indices stay
+        // well-defined — then seal whole runs through the fused batch
+        // AEAD, partitioned across the pool when one is installed.
         let mut reserved: Vec<(u64, u64)> = Vec::with_capacity(count);
         for i in 0..count {
             let index = indices.map_or(start + i as u64, |idx| idx[i]);
@@ -584,6 +565,21 @@ impl SealedRegion {
             *slot += 1;
             self.write_counter += 1;
             reserved.push((*slot, self.write_counter));
+        }
+        let parts = self.partitions(count);
+        if parts.len() <= 1 {
+            seal_run(
+                &self.key,
+                self.region,
+                payload_len,
+                start,
+                indices,
+                0,
+                &reserved,
+                payloads,
+                &mut self.batch,
+            );
+            return;
         }
         let pool = self.pool;
         let (key, region) = (&self.key, self.region);
@@ -595,21 +591,17 @@ impl SealedRegion {
             batch_rest = rest;
             let payload_part = &payloads[off * payload_len..(off + n) * payload_len];
             jobs.push(move || {
-                for i in 0..n {
-                    let pos = off + i;
-                    let index = indices.map_or(start + pos as u64, |idx| idx[pos]);
-                    let (revision, counter) = reserved[pos];
-                    seal_one(
-                        key,
-                        region,
-                        payload_len,
-                        index,
-                        revision,
-                        counter,
-                        &payload_part[i * payload_len..(i + 1) * payload_len],
-                        &mut sealed_part[i * sealed_len..(i + 1) * sealed_len],
-                    );
-                }
+                seal_run(
+                    key,
+                    region,
+                    payload_len,
+                    start,
+                    indices,
+                    off,
+                    reserved,
+                    payload_part,
+                    sealed_part,
+                );
             });
         }
         pool.run(jobs);
@@ -749,35 +741,68 @@ impl SealedRegion {
     }
 }
 
-/// Seals one payload into `sealed` (`nonce ‖ ciphertext ‖ tag`) with a
-/// pre-assigned revision and nonce counter. Pure function of its inputs —
-/// the unit both the serial loop and pool workers execute per block.
-#[allow(clippy::too_many_arguments)]
-fn seal_one(
-    key: &AeadKey,
-    region: RegionId,
-    payload_len: usize,
-    index: u64,
-    revision: u64,
-    counter: u64,
-    payload: &[u8],
-    sealed: &mut [u8],
-) {
-    let nonce = Nonce::from_parts(region.0, counter);
+/// The per-block AAD: block index ‖ revision, little-endian.
+fn block_aad(index: u64, revision: u64) -> [u8; 16] {
     let mut aad = [0u8; 16];
     aad[..8].copy_from_slice(&index.to_le_bytes());
     aad[8..].copy_from_slice(&revision.to_le_bytes());
-    sealed[..NONCE_LEN].copy_from_slice(&nonce.0);
-    sealed[NONCE_LEN..NONCE_LEN + payload_len].copy_from_slice(payload);
-    let (head, tag_slot) = sealed.split_at_mut(NONCE_LEN + payload_len);
-    let tag = aead::seal(key, &nonce, &aad, &mut head[NONCE_LEN..]);
-    tag_slot.copy_from_slice(&tag);
+    aad
 }
 
-/// Opens a run of staged sealed blocks into the matching plaintext slice.
-/// Block `i` of the run sits at batch position `pos_off + i`; its absolute
-/// index is `indices[pos]` when given, else `start + pos`. Returns the
-/// run's first failing block, in batch order.
+/// Seals a run of payloads into the matching sealed staging slice
+/// (`nonce ‖ ciphertext ‖ tag` per block) with pre-assigned (revision,
+/// nonce counter) pairs, through one fused [`aead::seal_batch`] call —
+/// the key schedule is parsed once and one-time keys derive in multi-lane
+/// SIMD sweeps. Block `i` of the run sits at batch position `pos_off + i`;
+/// `reserved` is indexed by batch position. Pure function of its inputs —
+/// the unit both the serial path and pool workers execute per run, and
+/// byte-identical to the historical per-block seal loop.
+#[allow(clippy::too_many_arguments)]
+fn seal_run(
+    key: &AeadKey,
+    region: RegionId,
+    payload_len: usize,
+    start: u64,
+    indices: Option<&[u64]>,
+    pos_off: usize,
+    reserved: &[(u64, u64)],
+    payload_run: &[u8],
+    sealed_run: &mut [u8],
+) {
+    let sealed_len = payload_len + SEAL_OVERHEAD;
+    let count = sealed_run.len() / sealed_len;
+    let mut nonces = Vec::with_capacity(count);
+    let mut aads: Vec<[u8; 16]> = Vec::with_capacity(count);
+    let mut ciphertexts: Vec<&mut [u8]> = Vec::with_capacity(count);
+    let mut tag_slots: Vec<&mut [u8]> = Vec::with_capacity(count);
+    for (i, sealed) in sealed_run.chunks_exact_mut(sealed_len).enumerate() {
+        let pos = pos_off + i;
+        let index = indices.map_or(start + pos as u64, |idx| idx[pos]);
+        let (revision, counter) = reserved[pos];
+        let nonce = Nonce::from_parts(region.0, counter);
+        sealed[..NONCE_LEN].copy_from_slice(&nonce.0);
+        sealed[NONCE_LEN..NONCE_LEN + payload_len]
+            .copy_from_slice(&payload_run[i * payload_len..(i + 1) * payload_len]);
+        nonces.push(nonce);
+        aads.push(block_aad(index, revision));
+        let (head, tag) = sealed.split_at_mut(NONCE_LEN + payload_len);
+        ciphertexts.push(&mut head[NONCE_LEN..]);
+        tag_slots.push(tag);
+    }
+    let aad_refs: Vec<&[u8]> = aads.iter().map(|a| a.as_slice()).collect();
+    let mut tags = vec![[0u8; TAG_LEN]; count];
+    aead::seal_batch(key, &nonces, &aad_refs, &mut ciphertexts, &mut tags);
+    for (slot, tag) in tag_slots.iter_mut().zip(tags.iter()) {
+        slot.copy_from_slice(tag);
+    }
+}
+
+/// Opens a run of staged sealed blocks into the matching plaintext slice
+/// through one fused [`aead::open_batch`] call. Block `i` of the run sits
+/// at batch position `pos_off + i`; its absolute index is `indices[pos]`
+/// when given, else `start + pos`. Every tag in the run is verified
+/// before anything decrypts; the error reports the run's first failing
+/// block in batch order, exactly as the historical per-block loop did.
 #[allow(clippy::too_many_arguments)]
 fn open_run(
     key: &AeadKey,
@@ -791,19 +816,28 @@ fn open_run(
     plain_run: &mut [u8],
 ) -> Result<(), StorageError> {
     let sealed_len = payload_len + SEAL_OVERHEAD;
+    let count = sealed_run.len() / sealed_len;
+    let mut nonces = Vec::with_capacity(count);
+    let mut aads: Vec<[u8; 16]> = Vec::with_capacity(count);
+    let mut abs_indices = Vec::with_capacity(count);
+    let mut ciphertexts: Vec<&mut [u8]> = Vec::with_capacity(count);
+    let mut tags: Vec<[u8; TAG_LEN]> = Vec::with_capacity(count);
     for (i, sealed) in sealed_run.chunks_exact_mut(sealed_len).enumerate() {
         let pos = pos_off + i;
         let index = indices.map_or(start + pos as u64, |idx| idx[pos]);
         let revision = revisions[index as usize];
+        abs_indices.push(index);
         let (nonce_bytes, rest) = sealed.split_at_mut(NONCE_LEN);
         let (ciphertext, tag) = rest.split_at_mut(payload_len);
-        let nonce = Nonce((&*nonce_bytes).try_into().expect("nonce length"));
-        let tag: [u8; TAG_LEN] = (&*tag).try_into().expect("tag length");
-        let mut aad = [0u8; 16];
-        aad[..8].copy_from_slice(&index.to_le_bytes());
-        aad[8..].copy_from_slice(&revision.to_le_bytes());
-        aead::open(key, &nonce, &aad, ciphertext, &tag)
-            .map_err(|_| StorageError::TamperDetected { region, index })?;
+        nonces.push(Nonce((&*nonce_bytes).try_into().expect("nonce length")));
+        tags.push((&*tag).try_into().expect("tag length"));
+        aads.push(block_aad(index, revision));
+        ciphertexts.push(ciphertext);
+    }
+    let aad_refs: Vec<&[u8]> = aads.iter().map(|a| a.as_slice()).collect();
+    aead::open_batch(key, &nonces, &aad_refs, &mut ciphertexts, &tags)
+        .map_err(|e| StorageError::TamperDetected { region, index: abs_indices[e.index] })?;
+    for (i, ciphertext) in ciphertexts.iter().enumerate() {
         plain_run[i * payload_len..(i + 1) * payload_len].copy_from_slice(ciphertext);
     }
     Ok(())
@@ -1146,14 +1180,14 @@ mod tests {
             let mut bad = good.clone();
             bad[flip] ^= 1;
             assert_eq!(
-                SealedRegion::open_with_manifest(rid, key, &bad).err(),
+                SealedRegion::open_with_manifest(rid, key.clone(), &bad).err(),
                 Some(StorageError::ManifestRejected { region: rid }),
                 "bit flip at {flip} must be rejected"
             );
         }
         // Truncation and wrong-region replay are rejected too.
         assert!(matches!(
-            SealedRegion::open_with_manifest(rid, key, &good[..10]),
+            SealedRegion::open_with_manifest(rid, key.clone(), &good[..10]),
             Err(StorageError::ManifestRejected { .. })
         ));
         assert!(matches!(

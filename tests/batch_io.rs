@@ -22,7 +22,8 @@ fn batched_io_is_result_equivalent_to_per_block() {
         let mut batched_host = Host::new();
         let mut loop_host = Host::new();
         let key = AeadKey([case as u8 + 1; 32]);
-        let mut batched = SealedRegion::create(&mut batched_host, key, blocks, payload).unwrap();
+        let mut batched =
+            SealedRegion::create(&mut batched_host, key.clone(), blocks, payload).unwrap();
         let mut looped = SealedRegion::create(&mut loop_host, key, blocks, payload).unwrap();
 
         for _ in 0..12 {

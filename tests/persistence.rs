@@ -374,3 +374,44 @@ fn open_requires_a_persisted_store() {
         Err(oblidb::OpenError::Io(_))
     ));
 }
+
+/// `database_on_calibrated` on a durable spec must write the
+/// `oblidb.calibration` artifact next to the region files; a later
+/// default-config `database_open` must reload exactly those weights
+/// instead of re-deriving stock ones.
+#[test]
+fn calibration_artifact_survives_restart() {
+    use oblidb::core::{CostModel, CostProfile, CALIBRATION_FILE};
+
+    let guard = TempDir::new("oblidb-persist-calibration").unwrap();
+    let dir = guard.path().join("db");
+    let spec = SubstrateSpec::Disk { dir: Some(dir.clone()) };
+    {
+        let mut db = oblidb::database_on_calibrated(&spec, wal_config()).unwrap();
+        populate(&mut db);
+        db.persist_to(&dir).unwrap();
+    }
+    assert!(dir.join(CALIBRATION_FILE).exists(), "calibrated open must persist the artifact");
+    let saved = CostProfile::load_from(&dir).expect("persisted artifact must parse");
+    assert_eq!(saved.name, spec.profile_name());
+
+    // Reopen with an untouched default config: the persisted weights win.
+    let mut reopened = oblidb::database_open(&spec, wal_config()).unwrap();
+    assert_eq!(
+        reopened.config_mut().planner.cost_model,
+        CostModel::Measured(saved.clone()),
+        "database_open must reload the persisted calibration"
+    );
+    assert_eq!(reopened.execute(QUERY).unwrap().len(), 20);
+
+    // A second calibrated open loads the artifact instead of re-probing:
+    // the weights stay bit-identical across restarts.
+    let mut again = oblidb::database_open_with_report(&spec, wal_config()).unwrap().0;
+    assert_eq!(again.config_mut().planner.cost_model, CostModel::Measured(saved.clone()));
+
+    // An explicit cost model in the caller's config is never overridden.
+    let mut cfg = wal_config();
+    cfg.planner.cost_model = CostModel::ClosedForm;
+    let mut pinned = oblidb::database_open(&spec, cfg).unwrap();
+    assert_eq!(pinned.config_mut().planner.cost_model, CostModel::ClosedForm);
+}
