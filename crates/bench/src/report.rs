@@ -136,8 +136,8 @@ pub struct SubstrateMeasurement {
 
 /// Writes `BENCH_<name>.json` with one row per substrate × workload:
 /// `{"bench": name, "results": [{substrate, workload, seconds, reads,
-/// writes, bytes_read, bytes_written, crossings, backing_crossings?},
-/// …]}`. Returns the path written.
+/// writes, bytes_read, bytes_written, crossings, stall_nanos,
+/// backing_crossings?}, …]}`. Returns the path written.
 pub fn write_substrate_json(
     dir: &std::path::Path,
     name: &str,
@@ -153,7 +153,8 @@ pub fn write_substrate_json(
         };
         out.push_str(&format!(
             "    {{\"substrate\": {}, \"workload\": {}, \"seconds\": {:.9}, \"reads\": {}, \
-             \"writes\": {}, \"bytes_read\": {}, \"bytes_written\": {}, \"crossings\": {}{}}}{}\n",
+             \"writes\": {}, \"bytes_read\": {}, \"bytes_written\": {}, \"crossings\": {}, \
+             \"stall_nanos\": {}{}}}{}\n",
             json_str(&r.report.name),
             json_str(&r.workload),
             r.seconds,
@@ -162,6 +163,7 @@ pub fn write_substrate_json(
             s.bytes_read,
             s.bytes_written,
             s.crossings,
+            s.stall_nanos,
             backing,
             if i + 1 < results.len() { "," } else { "" },
         ));
@@ -291,6 +293,53 @@ pub fn write_crypto_json(
     Ok(path)
 }
 
+/// One telemetry-overhead measurement: the same workload with spans and
+/// metrics off vs on.
+#[derive(Debug, Clone)]
+pub struct TelemetryOverhead {
+    /// Workload label, e.g. `"select_scan"`, `"join"`.
+    pub workload: String,
+    /// Mean seconds per iteration, telemetry disabled.
+    pub off_seconds: f64,
+    /// Mean seconds per iteration, telemetry enabled.
+    pub on_seconds: f64,
+    /// `on_seconds / off_seconds - 1`, as a fraction (0.03 = 3%).
+    pub overhead: f64,
+    /// Spans the enabled run recorded per iteration.
+    pub spans_per_iter: u64,
+}
+
+/// Writes `BENCH_<name>.json` for the telemetry-overhead bench:
+/// `{"bench": name, "iters": n, "results": [{workload, off_seconds,
+/// on_seconds, overhead, spans_per_iter}, …]}`. Returns the path written.
+pub fn write_telemetry_json(
+    dir: &std::path::Path,
+    name: &str,
+    iters: usize,
+    results: &[TelemetryOverhead],
+) -> std::io::Result<std::path::PathBuf> {
+    let mut out = String::new();
+    out.push_str(&format!("{{\n  \"bench\": {},\n", json_str(name)));
+    out.push_str(&format!("  \"iters\": {iters},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": {}, \"off_seconds\": {:.9}, \"on_seconds\": {:.9}, \
+             \"overhead\": {:.4}, \"spans_per_iter\": {}}}{}\n",
+            json_str(&r.workload),
+            r.off_seconds,
+            r.on_seconds,
+            r.overhead,
+            r.spans_per_iter,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
 /// JSON string quoting per RFC 8259: escape quotes, backslashes, and
 /// control characters; everything else (including non-ASCII) passes
 /// through unescaped, which valid JSON allows.
@@ -343,6 +392,37 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_json_schema_is_stable() {
+        let dir = std::env::temp_dir();
+        let rows = vec![
+            TelemetryOverhead {
+                workload: "select_scan".into(),
+                off_seconds: 0.010,
+                on_seconds: 0.0102,
+                overhead: 0.02,
+                spans_per_iter: 12,
+            },
+            TelemetryOverhead {
+                workload: "join".into(),
+                off_seconds: 0.020,
+                on_seconds: 0.0201,
+                overhead: 0.005,
+                spans_per_iter: 30,
+            },
+        ];
+        let path = write_telemetry_json(&dir, "telemetry_test", 7, &rows).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"bench\": \"telemetry_test\""));
+        assert!(body.contains("\"iters\": 7"));
+        assert!(body.contains("\"workload\": \"select_scan\""));
+        assert!(body.contains("\"off_seconds\": 0.010000000"));
+        assert!(body.contains("\"overhead\": 0.0200"));
+        assert!(body.contains("\"spans_per_iter\": 12"));
+        assert!(body.trim_end().ends_with('}'));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
     fn substrate_json_schema_is_stable() {
         let dir = std::env::temp_dir();
         let stats = oblidb_enclave::HostStats {
@@ -351,6 +431,7 @@ mod tests {
             bytes_read: 100,
             bytes_written: 40,
             crossings: 3,
+            stall_nanos: 9,
         };
         let rows = vec![
             SubstrateMeasurement {
@@ -371,6 +452,7 @@ mod tests {
         assert!(body.contains("\"bench\": \"substrates_test\""));
         assert!(body.contains("\"substrate\": \"disk\""));
         assert!(body.contains("\"crossings\": 3"));
+        assert!(body.contains("\"stall_nanos\": 9"));
         assert!(body.contains("\"backing_crossings\": 1"));
         assert!(!body.contains("\"backing_crossings\": null"));
         std::fs::remove_file(path).unwrap();

@@ -121,6 +121,15 @@ pub struct DbConfig {
     /// Parallel execution (worker threads for partitioned sealing). The
     /// default honors `OBLIDB_THREADS`; set explicitly to override.
     pub exec: ExecConfig,
+    /// Oblivious-trace auditing: when on, every statement records its
+    /// access trace, hashes it, and checks the hash against the first
+    /// trace observed for the same statement *shape* (normalized SQL plus
+    /// the public table sizes). A divergence means an access pattern
+    /// depended on data, not just on public parameters — exactly the
+    /// property ObliDB promises never to violate. The default honors
+    /// `OBLIDB_AUDIT=1`; statements that run while a caller already holds
+    /// the trace channel are skipped (counted, never silently dropped).
+    pub audit: bool,
 }
 
 impl Default for DbConfig {
@@ -134,6 +143,7 @@ impl Default for DbConfig {
             zero_om_scratch_rows: 1,
             wal: None,
             exec: ExecConfig::from_env(),
+            audit: std::env::var("OBLIDB_AUDIT").is_ok_and(|v| v == "1"),
         }
     }
 }
@@ -233,6 +243,8 @@ pub struct Database<M: EnclaveMemory = Host> {
     /// entry stale; DDL included.
     plan_cache: HashMap<String, QueryPlan>,
     plan_cache_stats: PlanCacheStats,
+    /// Per-statement-shape trace hashes when [`DbConfig::audit`] is on.
+    auditor: crate::audit::TraceAuditor,
 }
 
 /// Hit/miss counters for the prepared-plan cache.
@@ -318,6 +330,7 @@ impl<M: EnclaveMemory> Database<M> {
             version: 0,
             plan_cache: HashMap::new(),
             plan_cache_stats: PlanCacheStats::default(),
+            auditor: crate::audit::TraceAuditor::default(),
         };
         if let Some(wal_config) = db.config.wal {
             let key = db.next_key();
@@ -425,6 +438,45 @@ impl<M: EnclaveMemory> Database<M> {
     /// Stops recording and returns the transcript.
     pub fn take_trace(&mut self) -> Trace {
         self.host.take_trace()
+    }
+
+    /// Trace-audit divergences recorded so far (empty unless
+    /// [`DbConfig::audit`] is on — see [`crate::audit`]).
+    pub fn audit_violations(&self) -> &[crate::audit::AuditViolation] {
+        self.auditor.violations()
+    }
+
+    /// Aggregate trace-audit counters (shapes seen, checks, skips,
+    /// violations).
+    pub fn audit_report(&self) -> crate::audit::AuditReport {
+        self.auditor.report()
+    }
+
+    /// One merged telemetry snapshot: the process-wide metrics registry
+    /// (counters + histograms) plus this engine's substrate traffic and
+    /// plan-cache counters — the single surface that absorbs `HostStats`,
+    /// substrate cache stats, and `PlanCacheStats`.
+    ///
+    /// Exporting it is an *explicit* boundary crossing: the snapshot
+    /// aggregates sizes and counts the adversary model already concedes
+    /// (it watches every block access live), so exporting leaks nothing
+    /// new — but callers inside an enclave should still ship it only at
+    /// deliberate points (shutdown, operator request), never per query.
+    pub fn metrics_snapshot(&self) -> oblidb_telemetry::MetricsSnapshot {
+        let mut snap = oblidb_telemetry::snapshot();
+        let stats = self.host.stats();
+        snap.push_counter("host_reads", stats.reads);
+        snap.push_counter("host_writes", stats.writes);
+        snap.push_counter("host_bytes_read", stats.bytes_read);
+        snap.push_counter("host_bytes_written", stats.bytes_written);
+        snap.push_counter("host_crossings", stats.crossings);
+        snap.push_counter("host_stall_nanos", stats.stall_nanos);
+        snap.push_counter("plan_cache_hits", self.plan_cache_stats.hits);
+        snap.push_counter("plan_cache_misses", self.plan_cache_stats.misses);
+        let audit = self.auditor.report();
+        snap.push_counter("audit_shapes", audit.shapes as u64);
+        snap.push_counter("audit_violations", audit.violations as u64);
+        snap
     }
 
     fn table_index(&self, name: &str) -> Result<usize, DbError> {
@@ -707,15 +759,24 @@ impl<M: EnclaveMemory> Database<M> {
     /// cached — running one bumps the version, which would invalidate the
     /// entry immediately anyway.
     pub fn prepare(&mut self, query: &str) -> Result<PreparedStatement<'_, M>, DbError> {
+        let _span = oblidb_telemetry::span(oblidb_telemetry::SpanKind::Prepare);
+        oblidb_telemetry::counter_add(oblidb_telemetry::Counter::Prepares, 1);
         if let Some(plan) =
             self.plan_cache.get(query).filter(|p| p.version == self.version).cloned()
         {
             self.plan_cache_stats.hits += 1;
+            oblidb_telemetry::counter_add(oblidb_telemetry::Counter::PlanCacheHits, 1);
             return Ok(PreparedStatement { db: self, sql: query.to_string(), plan });
         }
         self.plan_cache_stats.misses += 1;
+        oblidb_telemetry::counter_add(oblidb_telemetry::Counter::PlanCacheMisses, 1);
         let plan = self.build_plan(query)?;
-        if matches!(plan.action, PlanAction::Select(_) | PlanAction::ExplainSelect(_)) {
+        if matches!(
+            plan.action,
+            PlanAction::Select(_)
+                | PlanAction::ExplainSelect(_)
+                | PlanAction::ExplainAnalyzeSelect(_)
+        ) {
             if self.plan_cache.len() >= PLAN_CACHE_CAP {
                 let current = self.version;
                 self.plan_cache.retain(|_, p| p.version == current);
@@ -736,6 +797,7 @@ impl<M: EnclaveMemory> Database<M> {
     // ---- plan construction ------------------------------------------------
 
     fn build_plan(&mut self, query: &str) -> Result<QueryPlan, DbError> {
+        let _span = oblidb_telemetry::span(oblidb_telemetry::SpanKind::Plan);
         let statement = sql::parse(query)?;
         let profile =
             self.config.planner.cost_model.profile().with_threads(self.config.exec.threads);
@@ -767,6 +829,9 @@ impl<M: EnclaveMemory> Database<M> {
             }
             Statement::Select(s) => PlanAction::Select(self.plan_select(s, &profile)?),
             Statement::Explain(s) => PlanAction::ExplainSelect(self.plan_select(s, &profile)?),
+            Statement::ExplainAnalyze(s) => {
+                PlanAction::ExplainAnalyzeSelect(self.plan_select(s, &profile)?)
+            }
         };
         Ok(QueryPlan { action, profile, version: self.version })
     }
@@ -1141,7 +1206,49 @@ impl<M: EnclaveMemory> Database<M> {
     // ---- plan execution ---------------------------------------------------
 
     /// Executes a compiled plan, writing measured node costs back into it.
+    ///
+    /// This is the statement-level telemetry boundary: a `Run` span and
+    /// latency histogram wrap the whole execution, and when
+    /// [`DbConfig::audit`] is on the statement runs under an access trace
+    /// whose hash is checked against the first trace recorded for the same
+    /// statement shape (see [`crate::audit`]). Auditing borrows the trace
+    /// channel — a statement that runs while the caller is already tracing
+    /// is counted as a skip, never silently unaudited.
     fn run_plan(&mut self, plan: &mut QueryPlan, query: &str) -> Result<QueryOutput, DbError> {
+        let _span = oblidb_telemetry::span(oblidb_telemetry::SpanKind::Run);
+        oblidb_telemetry::counter_add(oblidb_telemetry::Counter::StatementsRun, 1);
+        let timed = oblidb_telemetry::enabled().then(std::time::Instant::now);
+        let audit = self.config.audit && !self.host.tracing();
+        if self.config.audit && !audit {
+            self.auditor.skip();
+        }
+        if audit {
+            self.host.start_trace();
+        }
+        let result = self.run_plan_inner(plan, query);
+        if audit {
+            let trace = self.host.take_trace();
+            if let Ok(out) = &result {
+                let tables: Vec<(String, u64)> =
+                    self.tables.iter().map(|(n, t)| (n.clone(), t.num_rows())).collect();
+                let shape = crate::audit::statement_shape(query, &tables, out.plan.output_rows);
+                self.auditor.observe(&shape, &trace);
+            }
+        }
+        if let Some(t0) = timed {
+            oblidb_telemetry::histogram_record(
+                oblidb_telemetry::HistogramId::StatementNanos,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
+        result
+    }
+
+    fn run_plan_inner(
+        &mut self,
+        plan: &mut QueryPlan,
+        query: &str,
+    ) -> Result<QueryOutput, DbError> {
         // WAL: log DDL and mutations before executing them (paper §3).
         // One sealed append per statement, no data-dependent pattern;
         // CREATE is logged too so crash recovery can replay a complete
@@ -1179,6 +1286,40 @@ impl<M: EnclaveMemory> Database<M> {
                 plan: PlanInfo::default(),
                 rows_affected: None,
             });
+        }
+        if matches!(plan.action, PlanAction::ExplainAnalyzeSelect(_)) {
+            // EXPLAIN ANALYZE executes the select for real, then renders
+            // the tree with the measured actuals (wall time, crossings,
+            // AEAD bytes) the execution wrote into each node, next to the
+            // planner's estimates. The result set is the rendering; the
+            // plan-shaped leakage of the real run is kept in `.plan`.
+            let profile = plan.profile.clone();
+            let (mut root, stmt) = match &mut plan.action {
+                PlanAction::ExplainAnalyzeSelect(sp) => {
+                    let root = std::mem::replace(
+                        &mut sp.root,
+                        PlanNode::Scan(ScanNode {
+                            table: String::new(),
+                            access: AccessPath::Flat,
+                            rows: 0,
+                            capacity: 0,
+                            actual: None,
+                        }),
+                    );
+                    (root, sp.stmt.clone())
+                }
+                _ => unreachable!("checked above"),
+            };
+            let result = self.run_select_root(&mut root, &stmt, &profile);
+            if let PlanAction::ExplainAnalyzeSelect(sp) = &mut plan.action {
+                sp.root = root;
+            }
+            let executed = result?;
+            let rendering = Explain::of(plan);
+            let width = rendering.lines().iter().map(|l| l.len()).max().unwrap_or(0).max(1);
+            let schema = Schema::new(vec![Column::new("plan", DataType::Text(width))]);
+            let rows = rendering.lines().iter().map(|l| vec![Value::Text(l.clone())]).collect();
+            return Ok(QueryOutput { schema, rows, plan: executed.plan, rows_affected: None });
         }
         let QueryPlan { action, profile, .. } = plan;
         match action {
@@ -1220,7 +1361,9 @@ impl<M: EnclaveMemory> Database<M> {
                 sp.root = root;
                 result
             }
-            PlanAction::ExplainSelect(_) => unreachable!("handled above"),
+            PlanAction::ExplainSelect(_) | PlanAction::ExplainAnalyzeSelect(_) => {
+                unreachable!("handled above")
+            }
         }
     }
 
@@ -1304,11 +1447,11 @@ impl<M: EnclaveMemory> Database<M> {
             AccessPath::IndexRange { lo, hi, cap } => {
                 let key = self.next_key();
                 let before = self.host.stats();
+                let started = std::time::Instant::now();
                 let (_, storage) = &mut self.tables[idx];
                 let index = storage.indexed_mut().expect("planned index access");
                 if let Some(t) = index.range_to_flat_capped(&mut self.host, key, &lo, &hi, cap)? {
-                    scan.actual =
-                        Some(NodeCost::from_stats(&(self.host.stats() - before), profile));
+                    scan.actual = Some(timed_cost(self.host.stats() - before, profile, started));
                     info.used_index = true;
                     info.intermediate_rows.push(t.num_rows());
                     Ok(InputRef::Owned(t))
@@ -1320,6 +1463,7 @@ impl<M: EnclaveMemory> Database<M> {
             AccessPath::IndexFull => {
                 let key = self.next_key();
                 let before = self.host.stats();
+                let started = std::time::Instant::now();
                 let (_, storage) = &mut self.tables[idx];
                 let index = storage.indexed_mut().expect("indexed-only");
                 let t = index.range_to_flat(
@@ -1328,7 +1472,7 @@ impl<M: EnclaveMemory> Database<M> {
                     &crate::predicate::Bound::Unbounded,
                     &crate::predicate::Bound::Unbounded,
                 )?;
-                scan.actual = Some(NodeCost::from_stats(&(self.host.stats() - before), profile));
+                scan.actual = Some(timed_cost(self.host.stats() - before, profile, started));
                 info.used_index = true;
                 info.intermediate_rows.push(t.num_rows());
                 Ok(InputRef::Owned(t))
@@ -1450,7 +1594,9 @@ impl<M: EnclaveMemory> Database<M> {
         info.join_algo = Some(algo);
 
         let key = self.next_key();
+        let _span = oblidb_telemetry::span(oblidb_telemetry::SpanKind::Join);
         let before = self.host.stats();
+        let started = std::time::Instant::now();
         let out = match algo {
             JoinAlgo::Hash => exec::hash_join(
                 &mut self.host,
@@ -1482,7 +1628,7 @@ impl<M: EnclaveMemory> Database<M> {
                 SortMergeVariant::ZeroOm { scratch_rows: self.config.zero_om_scratch_rows },
             )?,
         };
-        j.actual = Some(NodeCost::from_stats(&(self.host.stats() - before), profile));
+        j.actual = Some(timed_cost(self.host.stats() - before, profile, started));
         left.free(&mut self.host)?;
         right.free(&mut self.host)?;
         info.intermediate_rows.push(out.num_rows());
@@ -1528,7 +1674,9 @@ impl<M: EnclaveMemory> Database<M> {
             InputRef::Owned(t) => t.schema().clone(),
             InputRef::Stored(i) => self.tables[*i].1.schema().clone(),
         };
+        let _span = oblidb_telemetry::span(oblidb_telemetry::SpanKind::Aggregate);
         let before = self.host.stats();
+        let started = std::time::Instant::now();
         let mut states = Vec::new();
         for (func, col_name) in &a.items {
             let col = col_name.as_ref().map(|c| schema.col(c)).transpose()?;
@@ -1556,7 +1704,7 @@ impl<M: EnclaveMemory> Database<M> {
         let mut out = FlatTable::from_encoded_rows(&mut self.host, key, out_schema, &[encoded], 1)?;
         out.set_parallelism(self.config.exec.pool());
         out.set_num_rows(1);
-        a.actual = Some(NodeCost::from_stats(&(self.host.stats() - before), profile));
+        a.actual = Some(timed_cost(self.host.stats() - before, profile, started));
         Ok(out)
     }
 
@@ -1573,7 +1721,9 @@ impl<M: EnclaveMemory> Database<M> {
             other => InputRef::Owned(self.exec_node(other, info, profile)?),
         };
         let key = self.next_key();
+        let _span = oblidb_telemetry::span(oblidb_telemetry::SpanKind::GroupBy);
         let before = self.host.stats();
+        let started = std::time::Instant::now();
         let out = match &mut input {
             InputRef::Owned(t) => exec::aggregate::group_aggregate_padded(
                 &mut self.host,
@@ -1602,7 +1752,7 @@ impl<M: EnclaveMemory> Database<M> {
                 )?
             }
         };
-        g.actual = Some(NodeCost::from_stats(&(self.host.stats() - before), profile));
+        g.actual = Some(timed_cost(self.host.stats() - before, profile, started));
         input.free(self)?;
         if over_base {
             info.fused_aggregate = true;
@@ -1671,6 +1821,32 @@ impl InputRef {
     }
 }
 
+/// A node's measured actual: the host-stats delta weighted under
+/// `profile`, stamped with the wall time elapsed since `started` — the
+/// number `EXPLAIN ANALYZE` renders as `time=` next to the estimate.
+fn timed_cost(
+    delta: oblidb_enclave::HostStats,
+    profile: &CostProfile,
+    started: std::time::Instant,
+) -> NodeCost {
+    let mut cost = NodeCost::from_stats(&delta, profile);
+    cost.nanos = started.elapsed().as_nanos() as u64;
+    cost
+}
+
+/// The span kind instrumenting one selection operator.
+fn select_span_kind(algo: SelectAlgo) -> oblidb_telemetry::SpanKind {
+    use oblidb_telemetry::SpanKind;
+    match algo {
+        SelectAlgo::Small => SpanKind::SelectSmall,
+        SelectAlgo::Large => SpanKind::SelectLarge,
+        SelectAlgo::Continuous => SpanKind::SelectContinuous,
+        SelectAlgo::Hash => SpanKind::SelectHash,
+        SelectAlgo::Naive => SpanKind::SelectNaive,
+        SelectAlgo::Padded => SpanKind::SelectPadded,
+    }
+}
+
 /// Picks a filter operator for a fully-shaped input: forced, cost-chosen
 /// (dry-run candidates, weigh, argmin), or closed-form — shared between
 /// prepare-time and deferred run-time decisions.
@@ -1727,9 +1903,11 @@ fn run_filter_stage<M: EnclaveMemory>(
         // Padding mode: the planner is skipped; pass count and output
         // size are fixed by the padded bound (§2.3).
         info.select_algo = Some(SelectAlgo::Padded);
+        let _span = oblidb_telemetry::span(oblidb_telemetry::SpanKind::SelectPadded);
         let before = host.stats();
+        let started = std::time::Instant::now();
         let out = exec::select::select_padded(host, om, input, &f.pred, out_key, pad_rows)?;
-        f.actual = Some(NodeCost::from_stats(&(host.stats() - before), profile));
+        f.actual = Some(timed_cost(host.stats() - before, profile, started));
         return Ok(out);
     }
 
@@ -1783,7 +1961,9 @@ fn run_filter_stage<M: EnclaveMemory>(
     };
     info.select_algo = Some(algo);
 
+    let _span = oblidb_telemetry::span(select_span_kind(algo));
     let before = host.stats();
+    let started = std::time::Instant::now();
     let out = match algo {
         SelectAlgo::Small => exec::select_small(host, om, input, &f.pred, out_key, stats.matches)?,
         SelectAlgo::Large => exec::select_large(host, input, &f.pred, out_key)?,
@@ -1799,7 +1979,7 @@ fn run_filter_stage<M: EnclaveMemory>(
             exec::select::select_padded(host, om, input, &f.pred, out_key, stats.matches)?
         }
     };
-    f.actual = Some(NodeCost::from_stats(&(host.stats() - before), profile));
+    f.actual = Some(timed_cost(host.stats() - before, profile, started));
     Ok(out)
 }
 

@@ -184,6 +184,12 @@ pub struct RecoveryReport {
     /// *before* executing) fails here identically and changes nothing;
     /// anything else in this list deserves operator attention.
     pub skipped: Vec<(String, DbError)>,
+    /// Wall time the replay took.
+    pub duration: std::time::Duration,
+    /// Host traffic the replay generated (reads, writes, bytes, crossings,
+    /// stall) — the recovery cost in the same currency as
+    /// [`oblidb_enclave::StatsReport`].
+    pub replay_stats: oblidb_enclave::HostStats,
 }
 
 struct TableRecord {
@@ -759,6 +765,7 @@ impl<M: EnclaveMemory> Database<M> {
             version: manifest.version,
             plan_cache: Default::default(),
             plan_cache_stats: Default::default(),
+            auditor: Default::default(),
         };
         // The store was persisted without a WAL but the caller wants one:
         // honor the config by creating a fresh log now — silently leaving
@@ -779,6 +786,9 @@ impl<M: EnclaveMemory> Database<M> {
     /// since a statement logged-then-failed during the original run fails
     /// here identically (the WAL records intent, not success).
     pub fn restore(&mut self, statements: &[String]) -> Result<RecoveryReport, DbError> {
+        let _span = oblidb_telemetry::span(oblidb_telemetry::SpanKind::Recovery);
+        let before = self.host.stats();
+        let started = std::time::Instant::now();
         let mut report = RecoveryReport::default();
         for stmt in statements {
             match self.execute(stmt) {
@@ -786,6 +796,8 @@ impl<M: EnclaveMemory> Database<M> {
                 Err(e) => report.skipped.push((stmt.clone(), e)),
             }
         }
+        report.duration = started.elapsed();
+        report.replay_stats = self.host.stats() - before;
         Ok(report)
     }
 

@@ -50,6 +50,7 @@ pub fn bitonic_sort_with<M: EnclaveMemory>(
     chunk_rows: usize,
     oblivious_local: bool,
 ) -> Result<(), DbError> {
+    let _span = oblidb_telemetry::span(oblidb_telemetry::SpanKind::Sort);
     assert!(n.is_power_of_two(), "bitonic sort needs a power-of-two span");
     // Largest power of two ≤ chunk_rows, clamped to the span.
     let chunk = chunk_rows.max(1) as u64;

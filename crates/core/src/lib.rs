@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod db;
 pub mod error;
 pub mod exec;
@@ -37,6 +38,7 @@ pub mod table;
 pub mod types;
 pub mod wal;
 
+pub use audit::{AuditReport, AuditViolation, TraceAuditor};
 pub use db::persist::{
     read_recovery_journal, resolve_recovery_statements, write_recovery_statements, RecoveryPlan,
     RecoveryReport, Reopened, DB_MANIFEST_FILE, RECOVERY_JOURNAL_FILE,

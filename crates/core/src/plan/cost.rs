@@ -673,8 +673,14 @@ mod tests {
 
     #[test]
     fn thread_count_discounts_block_work_never_crossings() {
-        let stats =
-            HostStats { reads: 100, writes: 100, bytes_read: 0, bytes_written: 0, crossings: 10 };
+        let stats = HostStats {
+            reads: 100,
+            writes: 100,
+            bytes_read: 0,
+            bytes_written: 0,
+            crossings: 10,
+            stall_nanos: 0,
+        };
         let serial = CostProfile::host();
         let four = CostProfile::host().with_threads(4);
         let serial_cost = serial.weigh(&stats);
@@ -685,8 +691,7 @@ mod tests {
         let expect = 200.0 * ((1.0 - p) + p / 4.0) + 10.0 * serial.crossing;
         assert!((four_cost - expect).abs() < 1e-9, "{four_cost} vs {expect}");
         // Crossing-only work sees no benefit at all.
-        let only_crossings =
-            HostStats { reads: 0, writes: 0, bytes_read: 0, bytes_written: 0, crossings: 7 };
+        let only_crossings = HostStats { crossings: 7, ..HostStats::default() };
         assert_eq!(serial.weigh(&only_crossings), four.weigh(&only_crossings));
         // Zero threads clamps to serial rather than dividing by zero.
         assert_eq!(CostProfile::host().with_threads(0).weigh(&stats), serial_cost);

@@ -51,6 +51,13 @@ pub struct NodeCost {
     /// `reads·read_block + writes·write_block + crossings·crossing` under
     /// the plan's [`CostProfile`].
     pub weighted: f64,
+    /// AEAD payload bytes moved across the boundary (read + written).
+    /// Zero for dry-run estimates on payload-free scratch memory is
+    /// possible only when nothing moved; measured actuals always carry it.
+    pub bytes: u64,
+    /// Measured wall time in nanoseconds. Always zero for estimates —
+    /// only `EXPLAIN ANALYZE` / executed plans fill it in.
+    pub nanos: u64,
 }
 
 impl NodeCost {
@@ -61,6 +68,8 @@ impl NodeCost {
             writes: stats.writes,
             crossings: stats.crossings,
             weighted: profile.weigh(stats),
+            bytes: stats.bytes_read + stats.bytes_written,
+            nanos: 0,
         }
     }
 
@@ -76,7 +85,26 @@ impl std::fmt::Display for NodeCost {
             f,
             "reads={} writes={} crossings={} weighted={:.1}",
             self.reads, self.writes, self.crossings, self.weighted
-        )
+        )?;
+        if self.bytes > 0 {
+            write!(f, " bytes={}", self.bytes)?;
+        }
+        if self.nanos > 0 {
+            write!(f, " time={}", fmt_nanos(self.nanos))?;
+        }
+        Ok(())
+    }
+}
+
+/// Adaptive-unit rendering of a nanosecond wall time.
+fn fmt_nanos(nanos: u64) -> String {
+    let secs = nanos as f64 / 1e9;
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if secs >= 1e-3 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{:.1}µs", secs * 1e6)
     }
 }
 
@@ -373,6 +401,10 @@ pub enum PlanAction {
     Select(SelectPlan),
     /// `EXPLAIN SELECT`: render the plan, execute nothing.
     ExplainSelect(SelectPlan),
+    /// `EXPLAIN ANALYZE SELECT`: execute the plan with telemetry on, then
+    /// render the tree with measured per-node time/crossings/bytes next
+    /// to the planner's estimates.
+    ExplainAnalyzeSelect(SelectPlan),
 }
 
 /// A compiled statement: the action, the cost profile its estimates were
@@ -392,7 +424,9 @@ impl QueryPlan {
     /// The SELECT operator tree, when this plan has one.
     pub fn select_root(&self) -> Option<&PlanNode> {
         match &self.action {
-            PlanAction::Select(s) | PlanAction::ExplainSelect(s) => Some(&s.root),
+            PlanAction::Select(s)
+            | PlanAction::ExplainSelect(s)
+            | PlanAction::ExplainAnalyzeSelect(s) => Some(&s.root),
             _ => None,
         }
     }
@@ -417,7 +451,9 @@ impl Explain {
             PlanAction::Delete { table, .. } => {
                 lines.push(format!("Delete from {table} (oblivious rewrite pass)"))
             }
-            PlanAction::Select(s) | PlanAction::ExplainSelect(s) => {
+            PlanAction::Select(s)
+            | PlanAction::ExplainSelect(s)
+            | PlanAction::ExplainAnalyzeSelect(s) => {
                 // Suppress each cost clause when no node carries it — a
                 // plan of uncosted nodes is "not estimated", not free.
                 let est = s.root.estimated_weight();

@@ -20,6 +20,11 @@ pub enum Statement {
     /// `EXPLAIN SELECT ...` — compile and cost the plan, execute nothing;
     /// the result set is the rendered plan, one line per row.
     Explain(Select),
+    /// `EXPLAIN ANALYZE SELECT ...` — compile, **execute**, and render the
+    /// plan with measured per-node wall time, crossings, and AEAD bytes
+    /// alongside the planner's estimates; the result set is the annotated
+    /// plan, one line per row.
+    ExplainAnalyze(Select),
 }
 
 /// One column definition in CREATE TABLE.

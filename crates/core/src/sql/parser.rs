@@ -97,8 +97,13 @@ impl Parser {
         } else if self.eat_kw("delete") {
             Statement::Delete(self.delete()?)
         } else if self.eat_kw("explain") {
-            self.expect_kw("select")?;
-            Statement::Explain(self.select()?)
+            if self.eat_kw("analyze") {
+                self.expect_kw("select")?;
+                Statement::ExplainAnalyze(self.select()?)
+            } else {
+                self.expect_kw("select")?;
+                Statement::Explain(self.select()?)
+            }
         } else {
             return Err(DbError::Sql(format!("unknown statement start: {:?}", self.peek())));
         };

@@ -142,6 +142,8 @@ impl Wal {
         host: &mut M,
         statement: &str,
     ) -> Result<(), DbError> {
+        let _span = oblidb_telemetry::span(oblidb_telemetry::SpanKind::WalAppend);
+        oblidb_telemetry::counter_add(oblidb_telemetry::Counter::WalAppends, 1);
         let bytes = statement.as_bytes();
         if bytes.len() > self.block_bytes - 2 {
             return Err(DbError::Unsupported(format!(
@@ -235,6 +237,7 @@ impl Wal {
         region: oblidb_enclave::RegionId,
         block_bytes: usize,
     ) -> Result<Vec<String>, DbError> {
+        let _span = oblidb_telemetry::span(oblidb_telemetry::SpanKind::WalRecovery);
         let capacity = host.region_len(region)?;
         // The probe never writes, so its nonce counter is irrelevant.
         let mut probe =
@@ -252,6 +255,10 @@ impl Wal {
                 Err(e) => return Err(e.into()),
             }
         }
+        oblidb_telemetry::counter_add(
+            oblidb_telemetry::Counter::WalRecoveredRecords,
+            out.len() as u64,
+        );
         Ok(out)
     }
 }

@@ -146,7 +146,7 @@ impl ChaCha20 {
     }
 
     /// XORs the keystream into `data` in place, generating up to
-    /// [`MAX_LANES`] blocks per round pass through the active SIMD
+    /// `MAX_LANES` (8) blocks per round pass through the active SIMD
     /// backend. Byte-identical to [`Self::apply_keystream`] for every
     /// length and starting counter (including counter wraparound).
     pub fn apply_keystream_multi(&self, counter: u32, data: &mut [u8]) {

@@ -70,6 +70,12 @@ pub struct HostStats {
     /// each transition is an OCALL-sized fixed cost, so
     /// `crossings << reads + writes` is what batching buys.
     pub crossings: u64,
+    /// Nanoseconds the enclave spent *stalled* on crossings — the sum of
+    /// the configured [`CrossingCost::stall_nanos`] over every transition
+    /// paid. Spin-priced crossings show up only in `crossings`; this field
+    /// makes the wait-time component of stall-priced substrates (disk,
+    /// stall-calibrated hosts) visible in reports.
+    pub stall_nanos: u64,
 }
 
 impl HostStats {
@@ -93,6 +99,7 @@ impl std::ops::AddAssign for HostStats {
         self.bytes_read += rhs.bytes_read;
         self.bytes_written += rhs.bytes_written;
         self.crossings += rhs.crossings;
+        self.stall_nanos += rhs.stall_nanos;
     }
 }
 
@@ -119,6 +126,7 @@ impl std::ops::Sub for HostStats {
             bytes_read: self.bytes_read.saturating_sub(rhs.bytes_read),
             bytes_written: self.bytes_written.saturating_sub(rhs.bytes_written),
             crossings: self.crossings.saturating_sub(rhs.crossings),
+            stall_nanos: self.stall_nanos.saturating_sub(rhs.stall_nanos),
         }
     }
 }
@@ -143,8 +151,8 @@ pub struct StatsReport {
 
 impl StatsReport {
     /// Column headers matching [`StatsReport::cells`].
-    pub const HEADERS: [&'static str; 6] =
-        ["substrate", "reads", "writes", "bytes_read", "bytes_written", "crossings"];
+    pub const HEADERS: [&'static str; 7] =
+        ["substrate", "reads", "writes", "bytes_read", "bytes_written", "crossings", "stall_ns"];
 
     /// The row cells, in [`StatsReport::HEADERS`] order.
     pub fn cells(&self) -> Vec<String> {
@@ -155,6 +163,7 @@ impl StatsReport {
             self.stats.bytes_read.to_string(),
             self.stats.bytes_written.to_string(),
             self.stats.crossings.to_string(),
+            self.stats.stall_nanos.to_string(),
         ]
     }
 }
@@ -163,13 +172,14 @@ impl fmt::Display for StatsReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}: reads={} writes={} bytes_read={} bytes_written={} crossings={}",
+            "{}: reads={} writes={} bytes_read={} bytes_written={} crossings={} stall_ns={}",
             self.name,
             self.stats.reads,
             self.stats.writes,
             self.stats.bytes_read,
             self.stats.bytes_written,
-            self.stats.crossings
+            self.stats.crossings,
+            self.stats.stall_nanos
         )
     }
 }
@@ -380,6 +390,7 @@ impl Host {
     /// Pays for one boundary transition.
     fn cross(stats: &mut HostStats, cost: CrossingCost) {
         stats.crossings += 1;
+        stats.stall_nanos += cost.stall_nanos;
         cost.pay();
     }
 
@@ -834,16 +845,31 @@ mod tests {
 
     #[test]
     fn stats_arithmetic_and_report() {
-        let a = HostStats { reads: 1, writes: 2, bytes_read: 3, bytes_written: 4, crossings: 5 };
-        let b =
-            HostStats { reads: 10, writes: 20, bytes_read: 30, bytes_written: 40, crossings: 50 };
+        let a = HostStats {
+            reads: 1,
+            writes: 2,
+            bytes_read: 3,
+            bytes_written: 4,
+            crossings: 5,
+            stall_nanos: 6,
+        };
+        let b = HostStats {
+            reads: 10,
+            writes: 20,
+            bytes_read: 30,
+            bytes_written: 40,
+            crossings: 50,
+            stall_nanos: 60,
+        };
         let sum: HostStats = [a, b].into_iter().sum();
         assert_eq!(sum, a + b);
         assert_eq!(sum.reads, 11);
         assert_eq!(sum.crossings, 55);
+        assert_eq!(sum.stall_nanos, 66);
         let report = sum.report("disk");
         assert_eq!(report.cells().len(), StatsReport::HEADERS.len());
         assert!(report.to_string().starts_with("disk: reads=11"));
+        assert!(report.to_string().ends_with("stall_ns=66"));
     }
 
     #[test]

@@ -73,11 +73,26 @@ impl ThreadPool {
         R: Send,
         F: FnOnce() -> R + Send,
     {
+        oblidb_telemetry::counter_add(oblidb_telemetry::Counter::PoolJobs, jobs.len() as u64);
         if self.is_serial() || jobs.len() <= 1 {
-            return jobs.into_iter().map(|job| job()).collect();
+            return jobs
+                .into_iter()
+                .map(|job| {
+                    let _span = oblidb_telemetry::span(oblidb_telemetry::SpanKind::Worker);
+                    job()
+                })
+                .collect();
         }
         std::thread::scope(|s| {
-            let handles: Vec<_> = jobs.into_iter().map(|job| s.spawn(job)).collect();
+            let handles: Vec<_> = jobs
+                .into_iter()
+                .map(|job| {
+                    s.spawn(move || {
+                        let _span = oblidb_telemetry::span(oblidb_telemetry::SpanKind::Worker);
+                        job()
+                    })
+                })
+                .collect();
             join_all(handles)
         })
     }
@@ -98,6 +113,8 @@ impl ThreadPool {
     {
         let n = items.len();
         if self.is_serial() || n <= 1 {
+            let _span = oblidb_telemetry::span(oblidb_telemetry::SpanKind::Worker);
+            oblidb_telemetry::counter_add(oblidb_telemetry::Counter::PoolJobs, n as u64);
             return items.iter_mut().enumerate().map(|(i, item)| f(i, item)).collect();
         }
         let chunk = n.div_ceil(self.threads);

@@ -256,6 +256,9 @@ impl PathOram {
         new_data: Option<&[u8]>,
     ) -> Result<Vec<u8>, OramError> {
         self.check_addr(addr)?;
+        let _span = oblidb_telemetry::span(oblidb_telemetry::SpanKind::OramPath);
+        oblidb_telemetry::counter_add(oblidb_telemetry::Counter::OramAccesses, 1);
+        let timed = oblidb_telemetry::enabled().then(std::time::Instant::now);
         let new_leaf = self.rng.below(self.leaves) as u32;
         let old_leaf = self.posmap.get_and_set(host, addr, new_leaf)? as u64;
 
@@ -283,6 +286,12 @@ impl PathOram {
 
         self.evict_path(host, old_leaf)?;
         self.stats.accesses += 1;
+        if let Some(t0) = timed {
+            oblidb_telemetry::histogram_record(
+                oblidb_telemetry::HistogramId::OramPathNanos,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
         Ok(out)
     }
 
@@ -370,6 +379,8 @@ impl PathOram {
     /// A dummy access: indistinguishable from a real one (paper §3.2 pads
     /// B+ tree operations with these to reach worst-case access counts).
     pub fn dummy_access<M: EnclaveMemory>(&mut self, host: &mut M) -> Result<(), OramError> {
+        let _span = oblidb_telemetry::span(oblidb_telemetry::SpanKind::OramPath);
+        oblidb_telemetry::counter_add(oblidb_telemetry::Counter::OramAccesses, 1);
         let leaf = self.rng.below(self.leaves);
         self.read_path_into_stash(host, leaf)?;
         self.stats.stash_peak = self.stats.stash_peak.max(self.stash.len());

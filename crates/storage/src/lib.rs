@@ -424,6 +424,18 @@ impl SealedRegion {
         let payload_len = self.payload_len;
         let sealed_len = payload_len + SEAL_OVERHEAD;
         debug_assert_eq!(self.batch.len(), count * sealed_len);
+        let _span = oblidb_telemetry::span(oblidb_telemetry::SpanKind::OpenBatch);
+        if oblidb_telemetry::enabled() {
+            oblidb_telemetry::counter_add(oblidb_telemetry::Counter::BlocksOpened, count as u64);
+            oblidb_telemetry::counter_add(
+                oblidb_telemetry::Counter::BytesOpened,
+                (count * payload_len) as u64,
+            );
+            oblidb_telemetry::histogram_record(
+                oblidb_telemetry::HistogramId::OpenBatchBlocks,
+                count as u64,
+            );
+        }
         let parts = self.partitions(count);
         let (key, region, revisions) = (self.key.clone(), self.region, &self.revisions[..]);
         let scratch =
@@ -540,6 +552,18 @@ impl SealedRegion {
     ) {
         let payload_len = self.payload_len;
         let sealed_len = payload_len + SEAL_OVERHEAD;
+        let _span = oblidb_telemetry::span(oblidb_telemetry::SpanKind::SealBatch);
+        if oblidb_telemetry::enabled() {
+            oblidb_telemetry::counter_add(oblidb_telemetry::Counter::BlocksSealed, count as u64);
+            oblidb_telemetry::counter_add(
+                oblidb_telemetry::Counter::BytesSealed,
+                (count * payload_len) as u64,
+            );
+            oblidb_telemetry::histogram_record(
+                oblidb_telemetry::HistogramId::SealBatchBlocks,
+                count as u64,
+            );
+        }
         self.batch.clear();
         self.batch.resize(count * sealed_len, 0);
         if !retains {

@@ -145,6 +145,7 @@ impl<M: EnclaveMemory> CachedMemory<M> {
 
     fn cross(stats: &mut HostStats, cost: CrossingCost) {
         stats.crossings += 1;
+        stats.stall_nanos += cost.stall_nanos;
         cost.pay();
     }
 

@@ -364,6 +364,7 @@ impl DiskMemory {
 
     fn cross(stats: &mut HostStats, cost: CrossingCost) {
         stats.crossings += 1;
+        stats.stall_nanos += cost.stall_nanos;
         cost.pay();
     }
 

@@ -13,6 +13,10 @@
 //!   ([`substrates::CachedMemory`]), sharded
 //!   ([`substrates::ShardedMemory`]), plus runtime selection via
 //!   [`substrates::SubstrateSpec`] / [`substrates::AnySubstrate`].
+//! * [`telemetry`] — enclave-safe observability: hierarchical spans over a
+//!   fixed in-enclave ring, a counters/histograms registry, and text/JSON
+//!   exporters for explicit boundary points. Off by default and free when
+//!   off (one relaxed atomic load per site).
 //! * [`storage`] — sealed (encrypted + MACed + rollback-protected) block
 //!   regions.
 //! * [`oram`] — Path ORAM, non-recursive and recursive.
@@ -46,6 +50,7 @@ pub use oblidb_enclave as enclave;
 pub use oblidb_oram as oram;
 pub use oblidb_storage as storage;
 pub use oblidb_substrates as substrates;
+pub use oblidb_telemetry as telemetry;
 pub use oblidb_workloads as workloads;
 
 /// Opens a [`core::Database`] over the substrate a

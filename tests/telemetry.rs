@@ -1,0 +1,247 @@
+//! Telemetry conformance: observability must be *observably free*.
+//!
+//! * Telemetry-on changes nothing the adversary (or the user) can see —
+//!   results and untrusted-memory traces are bit-identical to a
+//!   telemetry-off run, because spans and metrics live entirely in enclave
+//!   memory.
+//! * Telemetry-off is free — no spans are recorded, no counters move.
+//! * `EXPLAIN ANALYZE` renders measured wall time, crossings, and AEAD
+//!   bytes for every select operator and every join.
+//! * The trace auditor flags a data-dependent access pattern (the
+//!   Continuous select leaking match *position*) and stays silent on
+//!   oblivious plans.
+//!
+//! The telemetry flag and metrics registry are process-global, so every
+//! test here serializes on one gate.
+
+use std::sync::{Mutex, MutexGuard};
+
+use oblidb::core::{Database, DbConfig, JoinAlgo, SelectAlgo};
+use oblidb::enclave::Trace;
+use oblidb::telemetry;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn seeded_db(config: DbConfig) -> Database {
+    let mut db = Database::new(config);
+    db.execute("CREATE TABLE t (k INT, v INT) CAPACITY 128").unwrap();
+    for i in 0..64 {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i * 3)).unwrap();
+    }
+    db
+}
+
+fn run_traced(db: &mut Database, sql: &str) -> (Vec<Vec<oblidb::core::Value>>, Trace) {
+    db.start_trace();
+    let out = db.execute(sql).unwrap();
+    (out.rows().to_vec(), db.take_trace())
+}
+
+const QUERY: &str = "SELECT * FROM t WHERE k >= 10 AND k < 26";
+
+/// Telemetry-on is invisible from outside the enclave: same rows, same
+/// access trace, bit for bit. Telemetry-off records nothing.
+#[test]
+fn telemetry_on_is_trace_and_result_identical() {
+    let _g = gate();
+
+    telemetry::set_enabled(false);
+    let _ = telemetry::take_spans();
+    telemetry::reset_metrics();
+    let mut db_off = seeded_db(DbConfig::default());
+    let (rows_off, trace_off) = run_traced(&mut db_off, QUERY);
+    assert!(telemetry::take_spans().is_empty(), "disabled telemetry recorded spans");
+    let idle = telemetry::snapshot();
+    assert!(
+        idle.counters.iter().all(|(_, v)| *v == 0),
+        "disabled telemetry moved counters: {idle:?}"
+    );
+
+    telemetry::set_enabled(true);
+    let mut db_on = seeded_db(DbConfig::default());
+    let (rows_on, trace_on) = run_traced(&mut db_on, QUERY);
+    let spans = telemetry::take_spans();
+    telemetry::set_enabled(false);
+
+    assert_eq!(rows_off, rows_on, "telemetry changed query results");
+    assert_eq!(trace_off, trace_on, "telemetry changed the adversary-visible trace");
+
+    // The run produced real spans with sane nesting: statement lifecycle
+    // plus at least one operator.
+    assert!(spans.iter().any(|s| s.kind == telemetry::SpanKind::Prepare));
+    assert!(spans.iter().any(|s| s.kind == telemetry::SpanKind::Run));
+    assert!(spans.iter().any(|s| s.kind.name().starts_with("select.")));
+
+    // And the registry saw the traffic the engine generated.
+    let snap = telemetry::snapshot();
+    let counter =
+        |name: &str| snap.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0);
+    assert!(counter("statements_run") >= 65, "CREATE + 64 INSERTs + SELECT");
+    assert!(counter("blocks_sealed") > 0);
+    assert!(counter("blocks_opened") > 0);
+    assert!(counter("bytes_sealed") > 0);
+    let hist = snap.histograms.iter().find(|h| h.name == "statement_nanos").unwrap();
+    assert!(hist.count >= 65);
+    telemetry::reset_metrics();
+}
+
+/// `EXPLAIN ANALYZE` executes the query and renders measured actuals —
+/// wall time, crossings, and AEAD bytes — for all six select operators.
+#[test]
+fn explain_analyze_renders_actuals_for_every_select_algo() {
+    let _g = gate();
+    telemetry::set_enabled(false);
+    for algo in [
+        SelectAlgo::Small,
+        SelectAlgo::Large,
+        SelectAlgo::Continuous,
+        SelectAlgo::Hash,
+        SelectAlgo::Naive,
+        SelectAlgo::Padded,
+    ] {
+        let mut config = DbConfig::default();
+        config.planner.force_select = Some(algo);
+        let mut db = seeded_db(config);
+        let out = db.execute(&format!("EXPLAIN ANALYZE {QUERY}")).unwrap();
+        let text: Vec<String> =
+            out.rows().iter().map(|r| r[0].as_text().unwrap().to_string()).collect();
+        let text = text.join("\n");
+        assert!(text.contains("act:"), "{algo:?}: no measured actuals in:\n{text}");
+        assert!(text.contains("crossings="), "{algo:?}: no crossings in:\n{text}");
+        assert!(text.contains("bytes="), "{algo:?}: no AEAD bytes in:\n{text}");
+        assert!(text.contains("time="), "{algo:?}: no wall time in:\n{text}");
+        // The leakage the run would have produced is still reported.
+        assert_eq!(out.plan.select_algo, Some(algo));
+        assert_eq!(out.plan.output_rows, 16);
+    }
+}
+
+/// Same for all three join algorithms.
+#[test]
+fn explain_analyze_renders_actuals_for_every_join_algo() {
+    let _g = gate();
+    telemetry::set_enabled(false);
+    for algo in [JoinAlgo::Hash, JoinAlgo::Opaque, JoinAlgo::ZeroOm] {
+        let mut config = DbConfig::default();
+        config.planner.force_join = Some(algo);
+        let mut db = seeded_db(config);
+        db.execute("CREATE TABLE d (g INT, label CHAR(8)) CAPACITY 16").unwrap();
+        for g in 0..8 {
+            db.execute(&format!("INSERT INTO d VALUES ({g}, 'g{g}')")).unwrap();
+        }
+        let out =
+            db.execute("EXPLAIN ANALYZE SELECT * FROM d JOIN t ON d.g = t.k WHERE v < 18").unwrap();
+        let text: Vec<String> =
+            out.rows().iter().map(|r| r[0].as_text().unwrap().to_string()).collect();
+        let text = text.join("\n");
+        assert!(text.contains("Join"), "{algo:?}: no join node in:\n{text}");
+        assert!(text.contains("act:"), "{algo:?}: no measured actuals in:\n{text}");
+        assert!(text.contains("time="), "{algo:?}: no wall time in:\n{text}");
+        assert!(text.contains("bytes="), "{algo:?}: no AEAD bytes in:\n{text}");
+        assert_eq!(out.plan.join_algo, Some(algo));
+    }
+}
+
+/// A cached EXPLAIN ANALYZE plan re-runs and re-renders.
+#[test]
+fn explain_analyze_is_cacheable_and_rerunnable() {
+    let _g = gate();
+    telemetry::set_enabled(false);
+    let mut db = seeded_db(DbConfig::default());
+    let sql = format!("EXPLAIN ANALYZE {QUERY}");
+    let first = db.execute(&sql).unwrap();
+    let misses = db.plan_cache_stats().misses;
+    let second = db.execute(&sql).unwrap();
+    assert_eq!(db.plan_cache_stats().misses, misses, "second run should hit the plan cache");
+    assert!(db.plan_cache_stats().hits >= 1);
+    assert_eq!(first.plan.output_rows, second.plan.output_rows);
+    assert!(second.rows().iter().any(|r| r[0].as_text().unwrap().contains("time=")));
+}
+
+/// Injected data-dependent access pattern, caught. The adaptive planner's
+/// operator choice reacts to match *contiguity* — payload data, not a
+/// public size. Two runs of the same statement shape (same normalized
+/// SQL, table sizes, output size) over contiguous vs scattered matches
+/// pick different operators and therefore touch untrusted memory
+/// differently: exactly the §2.3 plan leakage, and the auditor flags it.
+#[test]
+fn auditor_flags_data_dependent_plan_choice() {
+    let _g = gate();
+    telemetry::set_enabled(false);
+    let mut config = DbConfig { audit: true, ..DbConfig::default() };
+    // The closed-form planner takes Continuous whenever the matches are
+    // contiguous — the sharpest data-dependent choice to flip.
+    config.planner.cost_model = oblidb::core::CostModel::ClosedForm;
+    let mut db = Database::new(config);
+    // v marks 16 *contiguous* rows (k in 10..26); w marks 16 *scattered*
+    // rows (every fourth k). Same table size, same match count.
+    db.execute("CREATE TABLE t (k INT, v INT, w INT) CAPACITY 128").unwrap();
+    for i in 0..64 {
+        let v = i64::from((10..26).contains(&i));
+        let w = i64::from(i % 4 == 0);
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {v}, {w})")).unwrap();
+    }
+
+    let run1 = db.execute("SELECT k FROM t WHERE v = 1").unwrap();
+    assert_eq!(run1.plan.select_algo, Some(SelectAlgo::Continuous));
+    assert!(db.audit_violations().is_empty(), "reference run cannot diverge from itself");
+
+    // Move the matches from the contiguous set to the scattered one —
+    // same count, different layout.
+    db.execute("UPDATE t SET v = 0 WHERE k >= 0").unwrap();
+    db.execute("UPDATE t SET v = 1 WHERE w = 1").unwrap();
+
+    let run2 = db.execute("SELECT k FROM t WHERE v = 1").unwrap();
+    assert_eq!(run1.plan.output_rows, run2.plan.output_rows, "shapes must match");
+    assert_ne!(run1.plan.select_algo, run2.plan.select_algo, "plan choice should flip");
+
+    let report = db.audit_report();
+    assert_eq!(db.audit_violations().len(), 1, "auditor missed the plan leak: {report:?}");
+    let v = &db.audit_violations()[0];
+    assert!(v.shape.contains("where v = ?"), "unexpected shape: {}", v.shape);
+    assert_ne!(v.expected_hash, v.observed_hash);
+}
+
+/// Oblivious plans (Continuous disabled, as the obliviousness suite pins
+/// them) never trip the auditor, whatever the parameters.
+#[test]
+fn auditor_accepts_oblivious_plans() {
+    let _g = gate();
+    telemetry::set_enabled(false);
+    let mut config = DbConfig { audit: true, ..DbConfig::default() };
+    config.planner.enable_continuous = false;
+    let mut db = seeded_db(config);
+
+    db.execute("SELECT * FROM t WHERE k >= 10 AND k < 26").unwrap();
+    db.execute("SELECT * FROM t WHERE k >= 40 AND k < 56").unwrap();
+    db.execute("SELECT COUNT(*) FROM t WHERE v < 60").unwrap();
+    db.execute("SELECT COUNT(*) FROM t WHERE v < 60").unwrap();
+
+    let report = db.audit_report();
+    assert!(db.audit_violations().is_empty(), "false positive: {report:?}");
+    assert!(report.checks >= 4 + 65, "every statement should be audited: {report:?}");
+    assert_eq!(report.skips, 0);
+}
+
+/// A caller holding the trace channel suspends auditing — counted as
+/// skips, never stolen traces or silent gaps.
+#[test]
+fn auditor_skips_when_caller_is_tracing() {
+    let _g = gate();
+    telemetry::set_enabled(false);
+    let config = DbConfig { audit: true, ..DbConfig::default() };
+    let mut db = seeded_db(config);
+    let checks_before = db.audit_report().checks;
+
+    db.start_trace();
+    db.execute(QUERY).unwrap();
+    let trace = db.take_trace();
+    assert!(!trace.is_empty(), "the caller's trace must be intact");
+    let report = db.audit_report();
+    assert_eq!(report.checks, checks_before, "audited a statement it should have skipped");
+    assert_eq!(report.skips, 1);
+}
