@@ -340,6 +340,69 @@ pub fn write_telemetry_json(
     Ok(path)
 }
 
+/// One serving-throughput measurement: N concurrent client connections
+/// (one session each) driving a read-heavy statement mix over TCP.
+#[derive(Debug, Clone)]
+pub struct ServerScaling {
+    /// Concurrent client connections (= sessions = pool workers).
+    pub sessions: usize,
+    /// Wall seconds for every client to finish its statement budget.
+    pub seconds: f64,
+    /// Aggregate statements per second across all sessions.
+    pub stmts_per_sec: f64,
+    /// Throughput relative to the single-session row.
+    pub speedup: f64,
+}
+
+/// Fixed experimental conditions behind a serving-scaling run.
+#[derive(Debug, Clone)]
+pub struct ServerMeta {
+    /// Rows in the served table.
+    pub rows: u64,
+    /// Statements each client submits.
+    pub statements_per_session: u64,
+    /// Selects per insert in the statement mix.
+    pub reads_per_write: u64,
+    /// Configured per-crossing stall (paid at the shared-store layer,
+    /// outside the store lock), nanoseconds.
+    pub stall_nanos_nominal: u64,
+    /// `std::thread::available_parallelism()` on the machine that ran it.
+    pub available_parallelism: usize,
+}
+
+/// Writes `BENCH_<name>.json` for the serving-throughput bench:
+/// `{"bench": name, <meta fields>, "results": [{sessions, seconds,
+/// stmts_per_sec, speedup}, …]}`. Returns the path written.
+pub fn write_server_json(
+    dir: &std::path::Path,
+    name: &str,
+    meta: &ServerMeta,
+    results: &[ServerScaling],
+) -> std::io::Result<std::path::PathBuf> {
+    let mut out = String::new();
+    out.push_str(&format!("{{\n  \"bench\": {},\n", json_str(name)));
+    out.push_str(&format!("  \"rows\": {},\n", meta.rows));
+    out.push_str(&format!("  \"statements_per_session\": {},\n", meta.statements_per_session));
+    out.push_str(&format!("  \"reads_per_write\": {},\n", meta.reads_per_write));
+    out.push_str(&format!("  \"stall_nanos_nominal\": {},\n", meta.stall_nanos_nominal));
+    out.push_str(&format!("  \"available_parallelism\": {},\n", meta.available_parallelism));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"sessions\": {}, \"seconds\": {:.9}, \"stmts_per_sec\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            r.sessions,
+            r.seconds,
+            r.stmts_per_sec,
+            r.speedup,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
 /// JSON string quoting per RFC 8259: escape quotes, backslashes, and
 /// control characters; everything else (including non-ASCII) passes
 /// through unescaped, which valid JSON allows.

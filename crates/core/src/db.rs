@@ -20,6 +20,7 @@
 //!    remains as a thin prepare-then-run shim.
 
 pub mod persist;
+pub mod shared;
 
 use std::collections::HashMap;
 
@@ -745,6 +746,27 @@ impl<M: EnclaveMemory> Database<M> {
     /// over the prepare → run lifecycle.
     pub fn execute(&mut self, query: &str) -> Result<QueryOutput, DbError> {
         self.prepare(query)?.run()
+    }
+
+    /// Prepares and runs `query`, recording an access trace around the
+    /// *run phase only* — the same window the engine-level auditor uses
+    /// (tracing `prepare` would smuggle plan-cache state into the trace,
+    /// because a cache hit skips the preliminary scan). While the trace
+    /// channel is borrowed the engine-level auditor stands down, so the
+    /// caller — [`shared::SharedDatabase`], which funnels every member
+    /// engine's statements into one shared auditor — owns observation.
+    pub(crate) fn execute_with_run_trace(
+        &mut self,
+        query: &str,
+    ) -> (Result<QueryOutput, DbError>, Trace) {
+        let mut plan = match self.prepare(query) {
+            Ok(stmt) => stmt.plan,
+            Err(e) => return (Err(e), Trace(Vec::new())),
+        };
+        self.host.start_trace();
+        let result = self.run_plan(&mut plan, query);
+        let trace = self.host.take_trace();
+        (result, trace)
     }
 
     /// Parses and compiles one SQL statement into a physical plan without

@@ -43,6 +43,7 @@ pub use db::persist::{
     read_recovery_journal, resolve_recovery_statements, write_recovery_statements, RecoveryPlan,
     RecoveryReport, Reopened, DB_MANIFEST_FILE, RECOVERY_JOURNAL_FILE,
 };
+pub use db::shared::{Session, SessionStats, SharedDatabase};
 pub use db::{
     Database, DbConfig, ExecConfig, PlanCacheStats, PlanInfo, PreparedStatement, QueryOutput,
     StorageMethod,

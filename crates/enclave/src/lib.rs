@@ -30,7 +30,13 @@
 //! * [`ThreadPool`] is the scoped worker pool behind worker-per-shard
 //!   parallel execution: each worker drives its own partition's accesses
 //!   exactly as the serial loop would, so per-partition traces are
-//!   unchanged and obliviousness is preserved by construction.
+//!   unchanged and obliviousness is preserved by construction. Its
+//!   [`ThreadPool::scoped`] mode accepts dynamically submitted jobs
+//!   (session-per-connection serving) bounded at the same worker count.
+//! * [`SharedMemory`] / [`SessionMemory`] let many concurrent sessions
+//!   share one substrate: per-session stats/traces identical to the
+//!   single-owner contract, crossing stalls paid outside the store lock
+//!   so they overlap across sessions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +46,7 @@ mod memory;
 mod om;
 mod pool;
 mod rng;
+mod shared;
 
 pub use host::{
     batch_count, AccessEvent, AccessKind, CrossingCost, Host, HostError, HostStats, IoOp, RegionId,
@@ -47,8 +54,9 @@ pub use host::{
 };
 pub use memory::{CountingMemory, EnclaveMemory};
 pub use om::{OmAllocation, OmBudget, OmError};
-pub use pool::ThreadPool;
+pub use pool::{TaskScope, ThreadPool};
 pub use rng::EnclaveRng;
+pub use shared::{SessionMemory, SharedMemory};
 
 /// Default oblivious-memory budget used across the evaluation (paper §2.2:
 /// "we evaluate using 20MB or less in all our experiments").

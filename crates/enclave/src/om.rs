@@ -8,9 +8,14 @@
 //! more passes rather than failing (Figure 8 measures exactly that), so
 //! most allocation sites ask for *whatever is available* via
 //! [`OmBudget::available`] and clamp their buffer sizes.
+//!
+//! The pool is shared through an `Arc` with atomic accounting, so a budget
+//! (and everything holding one, e.g. a `Database`) is `Send + Sync` —
+//! required by the concurrent serving front-end, where snapshot sessions
+//! run on their own threads.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Error: an allocation would exceed the oblivious-memory budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,19 +41,19 @@ impl std::error::Error for OmError {}
 #[derive(Debug)]
 struct Inner {
     capacity: usize,
-    used: Cell<usize>,
+    used: AtomicUsize,
 }
 
 /// A shared handle to the enclave's oblivious-memory pool.
 #[derive(Debug, Clone)]
 pub struct OmBudget {
-    inner: Rc<Inner>,
+    inner: Arc<Inner>,
 }
 
 impl OmBudget {
     /// Creates a pool of `capacity` bytes.
     pub fn new(capacity: usize) -> Self {
-        Self { inner: Rc::new(Inner { capacity, used: Cell::new(0) }) }
+        Self { inner: Arc::new(Inner { capacity, used: AtomicUsize::new(0) }) }
     }
 
     /// Total pool size in bytes.
@@ -58,23 +63,49 @@ impl OmBudget {
 
     /// Bytes currently allocated.
     pub fn used(&self) -> usize {
-        self.inner.used.get()
+        self.inner.used.load(Ordering::Acquire)
     }
 
     /// Bytes currently free.
     pub fn available(&self) -> usize {
-        self.inner.capacity - self.inner.used.get()
+        self.inner.capacity - self.used()
+    }
+
+    /// An **independent** pool with the same capacity and the same bytes
+    /// currently marked used, but its own accounting.
+    ///
+    /// Snapshot read sessions fork the engine's budget this way: the fork
+    /// sees the same availability the owning engine would (so planning
+    /// decisions match the single-owner path), but releases inside the
+    /// fork never underflow the original pool.
+    pub fn snapshot(&self) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                capacity: self.inner.capacity,
+                used: AtomicUsize::new(self.used()),
+            }),
+        }
     }
 
     /// Reserves `bytes`; the reservation is released when the returned guard
     /// drops.
     pub fn try_alloc(&self, bytes: usize) -> Result<OmAllocation, OmError> {
-        let available = self.available();
-        if bytes > available {
-            return Err(OmError { requested: bytes, available });
+        let mut used = self.inner.used.load(Ordering::Acquire);
+        loop {
+            let available = self.inner.capacity - used;
+            if bytes > available {
+                return Err(OmError { requested: bytes, available });
+            }
+            match self.inner.used.compare_exchange_weak(
+                used,
+                used + bytes,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(OmAllocation { budget: Arc::clone(&self.inner), bytes }),
+                Err(actual) => used = actual,
+            }
         }
-        self.inner.used.set(self.inner.used.get() + bytes);
-        Ok(OmAllocation { budget: Rc::clone(&self.inner), bytes })
     }
 
     /// Reserves `min(bytes, available)` and reports how much was granted.
@@ -82,16 +113,26 @@ impl OmBudget {
     /// This is the degrade-gracefully path: e.g. the Small select buffer
     /// takes whatever is left and makes more passes.
     pub fn alloc_up_to(&self, bytes: usize) -> OmAllocation {
-        let granted = bytes.min(self.available());
-        self.inner.used.set(self.inner.used.get() + granted);
-        OmAllocation { budget: Rc::clone(&self.inner), bytes: granted }
+        let mut used = self.inner.used.load(Ordering::Acquire);
+        loop {
+            let granted = bytes.min(self.inner.capacity - used);
+            match self.inner.used.compare_exchange_weak(
+                used,
+                used + granted,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return OmAllocation { budget: Arc::clone(&self.inner), bytes: granted },
+                Err(actual) => used = actual,
+            }
+        }
     }
 }
 
 /// RAII guard for an oblivious-memory reservation.
 #[derive(Debug)]
 pub struct OmAllocation {
-    budget: Rc<Inner>,
+    budget: Arc<Inner>,
     bytes: usize,
 }
 
@@ -104,7 +145,7 @@ impl OmAllocation {
 
 impl Drop for OmAllocation {
     fn drop(&mut self) {
-        self.budget.used.set(self.budget.used.get() - self.bytes);
+        self.budget.used.fetch_sub(self.bytes, Ordering::AcqRel);
     }
 }
 
@@ -156,5 +197,44 @@ mod tests {
         let om = OmBudget::new(0);
         assert!(om.try_alloc(1).is_err());
         assert_eq!(om.alloc_up_to(10).bytes(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let om = OmBudget::new(100);
+        let held = om.try_alloc(30).unwrap();
+        let snap = om.snapshot();
+        assert_eq!(snap.capacity(), 100);
+        assert_eq!(snap.available(), 70);
+        // Releases inside the snapshot don't touch the original.
+        let g = snap.try_alloc(70).unwrap();
+        drop(g);
+        assert_eq!(snap.available(), 70);
+        assert_eq!(om.available(), 70);
+        drop(held);
+        assert_eq!(om.available(), 100);
+        assert_eq!(snap.available(), 70);
+    }
+
+    #[test]
+    fn concurrent_allocs_never_oversubscribe() {
+        let om = OmBudget::new(1000);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let om = om.clone();
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        if let Ok(g) = om.try_alloc(7) {
+                            assert!(om.used() <= om.capacity());
+                            drop(g);
+                        }
+                        let g = om.alloc_up_to(11);
+                        assert!(om.used() <= om.capacity());
+                        drop(g);
+                    }
+                });
+            }
+        });
+        assert_eq!(om.used(), 0);
     }
 }

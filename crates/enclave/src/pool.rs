@@ -17,6 +17,7 @@
 //! access either way). `tests/parallel_conformance.rs` asserts this.
 
 use std::any::Any;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::ScopedJoinHandle;
 
 /// A fixed-width scoped thread pool. `Copy`, stateless between runs: the
@@ -134,6 +135,29 @@ impl ThreadPool {
         self.run(jobs).into_iter().flatten().collect()
     }
 
+    /// Opens a dynamic work scope: jobs are submitted one at a time via
+    /// [`TaskScope::submit`] and run on scoped threads, with at most
+    /// [`ThreadPool::threads`] running concurrently — `submit` blocks until
+    /// a slot frees up. Unlike [`ThreadPool::run`], the job set does not
+    /// need to be known up front, which is what a session-per-connection
+    /// server needs: each accepted connection becomes one submitted job.
+    ///
+    /// The scope joins every outstanding job before returning (the
+    /// `std::thread::scope` guarantee), so borrowed state outlives all
+    /// sessions. A panicking job propagates when the scope closes, after
+    /// all other jobs are joined — long-running servers that must survive
+    /// a poisoned session should `catch_unwind` inside the job.
+    pub fn scoped<'env, F, R>(&self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&TaskScope<'scope, 'env>) -> R,
+    {
+        let threads = self.threads;
+        std::thread::scope(move |scope| {
+            let slots = Arc::new(Slots { free: Mutex::new(threads), freed: Condvar::new() });
+            f(&TaskScope { scope, slots })
+        })
+    }
+
     /// Splits `0..len` into at most [`ThreadPool::threads`] contiguous
     /// `(start, len)` ranges, one per worker, first ranges largest.
     /// Returns an empty vec for `len == 0`.
@@ -143,6 +167,64 @@ impl ThreadPool {
         }
         let chunk = len.div_ceil(self.threads);
         (0..len.div_ceil(chunk)).map(|c| (c * chunk, chunk.min(len - c * chunk))).collect()
+    }
+}
+
+/// Concurrency limiter shared between a [`TaskScope`] and its jobs.
+#[derive(Debug)]
+struct Slots {
+    free: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Slots {
+    fn acquire(&self) {
+        let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+        while *free == 0 {
+            free = self.freed.wait(free).unwrap_or_else(|e| e.into_inner());
+        }
+        *free -= 1;
+    }
+
+    fn release(&self) {
+        let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+        *free += 1;
+        self.freed.notify_one();
+    }
+}
+
+/// Releases a slot even if the job panics, so a poisoned session can never
+/// deadlock later `submit` calls.
+struct SlotGuard(Arc<Slots>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+/// A dynamic submission handle created by [`ThreadPool::scoped`].
+pub struct TaskScope<'scope, 'env: 'scope> {
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    slots: Arc<Slots>,
+}
+
+impl<'scope, 'env> TaskScope<'scope, 'env> {
+    /// Runs `job` on a scoped thread, blocking the caller until one of the
+    /// pool's worker slots is free. Jobs may borrow anything that outlives
+    /// the enclosing [`ThreadPool::scoped`] call.
+    pub fn submit<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.slots.acquire();
+        let guard = SlotGuard(Arc::clone(&self.slots));
+        self.scope.spawn(move || {
+            let _guard = guard;
+            let _span = oblidb_telemetry::span(oblidb_telemetry::SpanKind::Worker);
+            oblidb_telemetry::counter_add(oblidb_telemetry::Counter::PoolJobs, 1);
+            job();
+        });
     }
 }
 
@@ -229,6 +311,43 @@ mod tests {
         assert_eq!(pool.threads(), 1);
         assert!(pool.is_serial());
         assert_eq!(pool.run(vec![|| 7]), vec![7]);
+    }
+
+    #[test]
+    fn scoped_bounds_concurrency_and_joins_all() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = ThreadPool::new(3);
+        let running = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        pool.scoped(|scope| {
+            for _ in 0..20 {
+                scope.submit(|| {
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        // The scope joined every job, and never ran more than `threads`.
+        assert_eq!(done.load(Ordering::SeqCst), 20);
+        assert!(peak.load(Ordering::SeqCst) <= 3);
+    }
+
+    #[test]
+    fn scoped_job_panic_frees_slot_and_propagates_at_join() {
+        let pool = ThreadPool::new(1);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scoped(|scope| {
+                scope.submit(|| panic!("session exploded"));
+                // The slot must come back even though the job panicked,
+                // otherwise this second submit deadlocks.
+                scope.submit(|| {});
+            });
+        }));
+        assert!(caught.is_err(), "scope must re-raise the job panic at join");
     }
 
     #[test]

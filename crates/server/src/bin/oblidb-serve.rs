@@ -1,0 +1,133 @@
+//! `oblidb-serve` — the ObliDB TCP serving front-end.
+//!
+//! ```text
+//! oblidb-serve [--addr HOST:PORT] [--substrate SPEC] [--workers N]
+//!              [--stall-nanos N] [--audit] [--seed N]
+//! ```
+//!
+//! Builds a fresh engine over the given substrate spec (`memory`,
+//! `disk:/path`, `cached:N:disk:/path`, `sharded:N:disk:/path`, ...),
+//! wraps it in a `SharedDatabase`, and serves sessions until a client
+//! sends the shutdown verb (`oblidb-sql` dot-command `.shutdown`) or
+//! the process receives EOF-equivalent listener failure. Disk-backed
+//! stores are checkpointed through the admin latch before exit.
+//!
+//! `--stall-nanos` prices each enclave boundary crossing at the shared
+//! layer (paid outside the store lock, so stalls overlap across
+//! sessions) — the serving-side analogue of the bench harness's
+//! crossing cost.
+
+use std::process::ExitCode;
+
+use oblidb_core::{Database, DbConfig, SharedDatabase};
+use oblidb_server::server::{serve, ServerConfig};
+use oblidb_substrates::SubstrateSpec;
+
+struct Args {
+    addr: String,
+    substrate: String,
+    workers: usize,
+    stall_nanos: u64,
+    audit: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7033".to_string(),
+        substrate: "memory".to_string(),
+        workers: 4,
+        stall_nanos: 0,
+        audit: false,
+        seed: 7,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--substrate" => args.substrate = value("--substrate")?,
+            "--workers" => {
+                args.workers = value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--stall-nanos" => {
+                args.stall_nanos =
+                    value("--stall-nanos")?.parse().map_err(|e| format!("--stall-nanos: {e}"))?
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--audit" => args.audit = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: oblidb-serve [--addr HOST:PORT] [--substrate SPEC] [--workers N] \
+                     [--stall-nanos N] [--audit] [--seed N]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec: SubstrateSpec = match args.substrate.parse() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("--substrate {}: {e}", args.substrate);
+            return ExitCode::FAILURE;
+        }
+    };
+    let host = match spec.build() {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("substrate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    oblidb_telemetry::set_enabled(true);
+    let config = DbConfig { seed: args.seed, audit: args.audit, ..DbConfig::default() };
+    let db = match Database::try_with_memory(host, config) {
+        Ok(db) => SharedDatabase::adopt(db),
+        Err(e) => {
+            eprintln!("engine: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    db.store().set_crossing_stall(args.stall_nanos);
+    let durable = spec.persist_dir().is_some();
+    let handle =
+        match serve(db.clone(), ServerConfig { addr: args.addr.clone(), workers: args.workers }) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("bind {}: {e}", args.addr);
+                return ExitCode::FAILURE;
+            }
+        };
+    println!(
+        "oblidb-serve listening on {} ({} workers, substrate {})",
+        handle.addr(),
+        args.workers,
+        args.substrate
+    );
+    // Block until a client's shutdown verb stops the server — the only
+    // stop signal in v1.
+    let stats = handle.wait();
+    if durable {
+        if let Err(e) = db.admin(|engine| engine.checkpoint()) {
+            eprintln!("checkpoint on shutdown failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "oblidb-serve: {} connections, {} statements ({} errors), {} B in / {} B out",
+        stats.connections, stats.statements, stats.errors, stats.bytes_in, stats.bytes_out
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,122 @@
+//! `oblidb-sql` — interactive shell (and pipeable batch client) for an
+//! ObliDB server.
+//!
+//! ```text
+//! oblidb-sql [--addr HOST:PORT]
+//! ```
+//!
+//! Reads statements line-by-line from stdin — interactively with a
+//! prompt when stdin is a terminal-ish session, silently when piped
+//! (CI smoke drives it with a heredoc). Lines starting with `.` are
+//! shell commands:
+//!
+//! ```text
+//! .ping        liveness probe
+//! .metrics     merged metrics snapshot (JSON)
+//! .shutdown    stop the server gracefully, then exit
+//! .quit        close this connection, leave the server running
+//! ```
+//!
+//! Everything else is sent as one SQL statement; result sets print as
+//! tab-separated rows under a header line.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+use oblidb_core::Value;
+use oblidb_server::client::{ClientError, Connection, StatementResult};
+
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => f.to_string(),
+        Value::Text(s) => s.clone(),
+    }
+}
+
+fn run_statement(conn: &mut Connection, sql: &str) {
+    match conn.execute(sql) {
+        Ok(StatementResult::Rows { schema, rows }) => {
+            let header: Vec<&str> = schema.columns.iter().map(|c| c.name.as_str()).collect();
+            if !header.is_empty() {
+                println!("{}", header.join("\t"));
+            }
+            for row in &rows {
+                let cells: Vec<String> = row.iter().map(render_value).collect();
+                println!("{}", cells.join("\t"));
+            }
+            println!("({} row{})", rows.len(), if rows.len() == 1 { "" } else { "s" });
+        }
+        Ok(StatementResult::RowsAffected(n)) => {
+            println!("OK, {n} row{} affected", if n == 1 { "" } else { "s" })
+        }
+        Err(ClientError::Server(msg)) => println!("error: {msg}"),
+        Err(e) => println!("connection error: {e}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7033".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = v,
+                None => {
+                    eprintln!("--addr requires a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: oblidb-sql [--addr HOST:PORT]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut conn = match Connection::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        print!("oblidb> ");
+        let _ = std::io::stdout().flush();
+        let line = match lines.next() {
+            Some(Ok(l)) => l,
+            _ => break,
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            ".quit" | ".exit" => break,
+            ".ping" => match conn.ping() {
+                Ok(()) => println!("pong"),
+                Err(e) => println!("connection error: {e}"),
+            },
+            ".metrics" => match conn.metrics() {
+                Ok(json) => println!("{json}"),
+                Err(e) => println!("connection error: {e}"),
+            },
+            ".shutdown" => {
+                match conn.shutdown_server() {
+                    Ok(()) => println!("server stopped"),
+                    Err(e) => println!("connection error: {e}"),
+                }
+                break;
+            }
+            dot if dot.starts_with('.') => println!("unknown command: {dot}"),
+            sql => run_statement(&mut conn, sql),
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,123 @@
+//! Blocking client for the ObliDB wire protocol.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use oblidb_core::{Row, Schema};
+
+use crate::protocol::{read_response, write_request, ProtocolError, Request, Response};
+
+/// A client-side failure: transport/decoding, an unexpected reply kind,
+/// or a server-reported statement error.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or frame-decoding failure.
+    Protocol(ProtocolError),
+    /// The server closed the connection mid-exchange.
+    Disconnected,
+    /// The server answered with a frame kind the call did not expect.
+    Unexpected(&'static str),
+    /// The statement failed server-side; the engine's error message.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Unexpected(kind) => write!(f, "unexpected response frame: {kind}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Protocol(ProtocolError::Io(e))
+    }
+}
+
+/// A statement's decoded outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementResult {
+    /// A result set (`SELECT`, `EXPLAIN`, `EXPLAIN ANALYZE`).
+    Rows {
+        /// Result schema.
+        schema: Schema,
+        /// Decoded rows.
+        rows: Vec<Row>,
+    },
+    /// A mutation's row count.
+    RowsAffected(u64),
+}
+
+/// One blocking connection to an ObliDB server.
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Connection {
+    /// Connects to a serving front-end.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Connection { reader, writer: BufWriter::new(stream) })
+    }
+
+    /// One request/response exchange, untyped.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_request(&mut self.writer, req).map_err(ProtocolError::Io)?;
+        match read_response(&mut self.reader)? {
+            Some((resp, _)) => Ok(resp),
+            None => Err(ClientError::Disconnected),
+        }
+    }
+
+    /// Executes one SQL statement; statement failures come back as
+    /// [`ClientError::Server`].
+    pub fn execute(&mut self, sql: &str) -> Result<StatementResult, ClientError> {
+        match self.request(&Request::Statement(sql.to_string()))? {
+            Response::RowSet { schema, rows } => Ok(StatementResult::Rows { schema, rows }),
+            Response::RowsAffected(n) => Ok(StatementResult::RowsAffected(n)),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            _ => Err(ClientError::Unexpected("statement")),
+        }
+    }
+
+    /// Fetches the server's merged metrics snapshot as JSON.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(json) => Ok(json),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            _ => Err(ClientError::Unexpected("metrics")),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::Unexpected("ping")),
+        }
+    }
+
+    /// Asks the server to shut down gracefully; returns once the server
+    /// acknowledges.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Goodbye => Ok(()),
+            _ => Err(ClientError::Unexpected("shutdown")),
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! The ObliDB serving front-end: wire [`protocol`], TCP [`server`], and
+//! blocking [`client`].
+//!
+//! The engine's concurrency core lives in `oblidb-core`
+//! ([`oblidb_core::SharedDatabase`]): snapshot reads fork off the shared
+//! store, writes serialize on the resident master, and any serial
+//! schedule is statement-for-statement equivalent to a single-owner
+//! engine. This crate puts a socket in front of it: one [`Session`] per
+//! accepted connection, driven on the in-tree scoped thread pool, with
+//! a length-prefixed binary protocol (statements in; typed row sets,
+//! rows-affected counts, errors, metrics snapshots out).
+//!
+//! Binaries: `oblidb-serve` (the server) and `oblidb-sql` (an
+//! interactive shell that also pipes cleanly for scripting).
+//!
+//! [`Session`]: oblidb_core::Session
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientError, Connection, StatementResult};
+pub use protocol::{ProtocolError, Request, Response, MAX_FRAME};
+pub use server::{serve, ServerConfig, ServerHandle, ServerStats};

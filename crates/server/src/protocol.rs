@@ -1,0 +1,582 @@
+//! The ObliDB wire protocol, v1 (auth-free).
+//!
+//! Length-prefixed binary frames over any byte stream:
+//!
+//! ```text
+//! [u32 le: body length][body]       body[0] = tag, body[1..] = payload
+//! ```
+//!
+//! Requests carry a statement (UTF-8 SQL) or a verb (metrics, ping,
+//! shutdown); responses carry a typed result set, a rows-affected count,
+//! an error message, a metrics snapshot (JSON), or a verb
+//! acknowledgement. `EXPLAIN` / `EXPLAIN ANALYZE` need no special
+//! framing — the engine renders them as single-column row sets.
+//!
+//! Result sets are self-describing: the schema rides in the frame
+//! (column names, types, text widths) and every value is tagged, so a
+//! client can decode without out-of-band catalog knowledge. All integers
+//! are little-endian. Frames are bounded by [`MAX_FRAME`]; a peer that
+//! announces a larger body is malformed and the connection should drop.
+//!
+//! Security note: v1 is plaintext-on-the-wire by design — it serves the
+//! simulation boundary, where the interesting adversary watches *memory
+//! accesses*, not sockets. A deployment-shaped front-end needs an
+//! attested TLS channel first (see ROADMAP).
+
+use std::io::{self, Read, Write};
+
+use oblidb_core::{Column, DataType, QueryOutput, Row, Schema, Value};
+
+/// Hard ceiling on one frame's body, header excluded (16 MiB).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// One client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Execute one SQL statement.
+    Statement(String),
+    /// Ship the server's merged metrics snapshot (JSON).
+    Metrics,
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to shut down gracefully: in-flight sessions
+    /// finish, then the listener stops.
+    Shutdown,
+}
+
+/// One server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A query's result set (also `EXPLAIN` output, one line per row).
+    RowSet {
+        /// Result schema.
+        schema: Schema,
+        /// Decoded rows.
+        rows: Vec<Row>,
+    },
+    /// A mutation's row count.
+    RowsAffected(u64),
+    /// The statement failed; the message is the engine error's display.
+    Error(String),
+    /// The merged metrics snapshot, JSON-encoded.
+    Metrics(String),
+    /// Liveness reply.
+    Pong,
+    /// Shutdown acknowledged; the server closes after this frame.
+    Goodbye,
+}
+
+impl Response {
+    /// Builds the response for a statement result.
+    pub fn from_output(out: &QueryOutput) -> Response {
+        match out.rows_affected {
+            Some(n) => Response::RowsAffected(n),
+            None => Response::RowSet { schema: out.schema.clone(), rows: out.rows().to_vec() },
+        }
+    }
+}
+
+/// Why a frame could not be decoded.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The peer announced a body larger than [`MAX_FRAME`].
+    FrameTooLarge(usize),
+    /// The frame's bytes do not decode as a known message.
+    Malformed(&'static str),
+    /// The frame's leading tag byte is not a known message kind.
+    UnknownTag(u8),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "io: {e}"),
+            ProtocolError::FrameTooLarge(n) => {
+                write!(f, "frame body of {n} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            ProtocolError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            ProtocolError::UnknownTag(t) => write!(f, "unknown frame tag {t:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+// ---- frame transport ------------------------------------------------------
+
+/// Writes one frame; returns the wire bytes spent (header + body).
+fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<u64> {
+    debug_assert!(!body.is_empty() && body.len() <= MAX_FRAME);
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(4 + body.len() as u64)
+}
+
+/// Reads one frame body. `Ok(None)` means the peer closed cleanly
+/// *between* frames (EOF before any header byte); EOF mid-frame is an
+/// [`ProtocolError::Io`] with `UnexpectedEof`.
+fn read_frame(r: &mut impl Read) -> Result<Option<(Vec<u8>, u64)>, ProtocolError> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(ProtocolError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                )))
+            }
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(ProtocolError::FrameTooLarge(len));
+    }
+    if len == 0 {
+        return Err(ProtocolError::Malformed("zero-length body"));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some((body, 4 + len as u64)))
+}
+
+// ---- body cursor ----------------------------------------------------------
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(ProtocolError::Malformed("truncated body"))?;
+        let out = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtocolError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self, len: usize) -> Result<String, ProtocolError> {
+        std::str::from_utf8(self.take(len)?)
+            .map(str::to_string)
+            .map_err(|_| ProtocolError::Malformed("invalid utf-8"))
+    }
+
+    fn finish(self) -> Result<(), ProtocolError> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(ProtocolError::Malformed("trailing bytes after message"))
+        }
+    }
+}
+
+// ---- message tags ---------------------------------------------------------
+
+const REQ_STATEMENT: u8 = 0x01;
+const REQ_METRICS: u8 = 0x02;
+const REQ_PING: u8 = 0x03;
+const REQ_SHUTDOWN: u8 = 0x04;
+
+const RESP_ROWSET: u8 = 0x81;
+const RESP_ROWS_AFFECTED: u8 = 0x82;
+const RESP_ERROR: u8 = 0x83;
+const RESP_METRICS: u8 = 0x84;
+const RESP_PONG: u8 = 0x85;
+const RESP_GOODBYE: u8 = 0x86;
+
+const TYPE_INT: u8 = 0;
+const TYPE_FLOAT: u8 = 1;
+const TYPE_TEXT: u8 = 2;
+
+// ---- requests -------------------------------------------------------------
+
+/// Encodes and writes one request; returns the wire bytes spent.
+pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<u64> {
+    let mut body = Vec::new();
+    match req {
+        Request::Statement(sql) => {
+            body.push(REQ_STATEMENT);
+            body.extend_from_slice(sql.as_bytes());
+        }
+        Request::Metrics => body.push(REQ_METRICS),
+        Request::Ping => body.push(REQ_PING),
+        Request::Shutdown => body.push(REQ_SHUTDOWN),
+    }
+    if body.len() > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "statement too large"));
+    }
+    write_frame(w, &body)
+}
+
+/// Reads and decodes one request. `Ok(None)` on clean peer close.
+pub fn read_request(r: &mut impl Read) -> Result<Option<(Request, u64)>, ProtocolError> {
+    let Some((body, wire)) = read_frame(r)? else { return Ok(None) };
+    let mut c = Cursor::new(&body);
+    let tag = c.u8()?;
+    let req = match tag {
+        REQ_STATEMENT => {
+            let rest = body.len() - 1;
+            Request::Statement(c.string(rest)?)
+        }
+        REQ_METRICS => Request::Metrics,
+        REQ_PING => Request::Ping,
+        REQ_SHUTDOWN => Request::Shutdown,
+        other => return Err(ProtocolError::UnknownTag(other)),
+    };
+    c.finish()?;
+    Ok(Some((req, wire)))
+}
+
+// ---- responses ------------------------------------------------------------
+
+fn encode_schema(body: &mut Vec<u8>, schema: &Schema) -> io::Result<()> {
+    let ncols = u16::try_from(schema.columns.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "too many columns"))?;
+    body.extend_from_slice(&ncols.to_le_bytes());
+    for col in &schema.columns {
+        match col.dtype {
+            DataType::Int => body.push(TYPE_INT),
+            DataType::Float => body.push(TYPE_FLOAT),
+            DataType::Text(width) => {
+                body.push(TYPE_TEXT);
+                body.extend_from_slice(&(width as u32).to_le_bytes());
+            }
+        }
+        let name_len = u16::try_from(col.name.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "column name too long"))?;
+        body.extend_from_slice(&name_len.to_le_bytes());
+        body.extend_from_slice(col.name.as_bytes());
+    }
+    Ok(())
+}
+
+fn encode_value(body: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Int(i) => {
+            body.push(TYPE_INT);
+            body.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            body.push(TYPE_FLOAT);
+            body.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Text(s) => {
+            body.push(TYPE_TEXT);
+            body.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            body.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Encodes and writes one response; returns the wire bytes spent.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<u64> {
+    let mut body = Vec::new();
+    match resp {
+        Response::RowSet { schema, rows } => {
+            body.push(RESP_ROWSET);
+            encode_schema(&mut body, schema)?;
+            let nrows = u32::try_from(rows.len())
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "too many rows"))?;
+            body.extend_from_slice(&nrows.to_le_bytes());
+            for row in rows {
+                for value in row {
+                    encode_value(&mut body, value);
+                }
+            }
+        }
+        Response::RowsAffected(n) => {
+            body.push(RESP_ROWS_AFFECTED);
+            body.extend_from_slice(&n.to_le_bytes());
+        }
+        Response::Error(msg) => {
+            body.push(RESP_ERROR);
+            body.extend_from_slice(msg.as_bytes());
+        }
+        Response::Metrics(json) => {
+            body.push(RESP_METRICS);
+            body.extend_from_slice(json.as_bytes());
+        }
+        Response::Pong => body.push(RESP_PONG),
+        Response::Goodbye => body.push(RESP_GOODBYE),
+    }
+    if body.len() > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "result set too large"));
+    }
+    write_frame(w, &body)
+}
+
+fn decode_schema(c: &mut Cursor<'_>) -> Result<Schema, ProtocolError> {
+    let ncols = c.u16()? as usize;
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let dtype = match c.u8()? {
+            TYPE_INT => DataType::Int,
+            TYPE_FLOAT => DataType::Float,
+            TYPE_TEXT => DataType::Text(c.u32()? as usize),
+            _ => return Err(ProtocolError::Malformed("unknown column type")),
+        };
+        let name_len = c.u16()? as usize;
+        let name = c.string(name_len)?;
+        columns.push(Column { name, dtype });
+    }
+    Ok(Schema::new(columns))
+}
+
+fn decode_value(c: &mut Cursor<'_>) -> Result<Value, ProtocolError> {
+    match c.u8()? {
+        TYPE_INT => Ok(Value::Int(i64::from_le_bytes(c.take(8)?.try_into().unwrap()))),
+        TYPE_FLOAT => {
+            Ok(Value::Float(f64::from_bits(u64::from_le_bytes(c.take(8)?.try_into().unwrap()))))
+        }
+        TYPE_TEXT => {
+            let len = c.u32()? as usize;
+            Ok(Value::Text(c.string(len)?))
+        }
+        _ => Err(ProtocolError::Malformed("unknown value type")),
+    }
+}
+
+/// Reads and decodes one response. `Ok(None)` on clean peer close.
+pub fn read_response(r: &mut impl Read) -> Result<Option<(Response, u64)>, ProtocolError> {
+    let Some((body, wire)) = read_frame(r)? else { return Ok(None) };
+    let mut c = Cursor::new(&body);
+    let tag = c.u8()?;
+    let resp = match tag {
+        RESP_ROWSET => {
+            let schema = decode_schema(&mut c)?;
+            let nrows = c.u32()? as usize;
+            // Guard the pre-allocation: every row carries at least one
+            // tagged byte per column, so an honest frame bounds nrows.
+            if nrows > MAX_FRAME {
+                return Err(ProtocolError::Malformed("row count exceeds frame bound"));
+            }
+            let mut rows = Vec::with_capacity(nrows.min(1 << 16));
+            for _ in 0..nrows {
+                let mut row = Vec::with_capacity(schema.columns.len());
+                for _ in 0..schema.columns.len() {
+                    row.push(decode_value(&mut c)?);
+                }
+                rows.push(row);
+            }
+            Response::RowSet { schema, rows }
+        }
+        RESP_ROWS_AFFECTED => Response::RowsAffected(c.u64()?),
+        RESP_ERROR => {
+            let rest = body.len() - 1;
+            Response::Error(c.string(rest)?)
+        }
+        RESP_METRICS => {
+            let rest = body.len() - 1;
+            Response::Metrics(c.string(rest)?)
+        }
+        RESP_PONG => Response::Pong,
+        RESP_GOODBYE => Response::Goodbye,
+        other => return Err(ProtocolError::UnknownTag(other)),
+    };
+    c.finish()?;
+    Ok(Some((resp, wire)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let mut wire = Vec::new();
+        let wrote = write_request(&mut wire, &req).unwrap();
+        assert_eq!(wrote as usize, wire.len());
+        let (back, read) = read_request(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(back, req);
+        assert_eq!(read, wrote);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let mut wire = Vec::new();
+        let wrote = write_response(&mut wire, &resp).unwrap();
+        assert_eq!(wrote as usize, wire.len());
+        let (back, read) = read_response(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(read, wrote);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Statement("SELECT * FROM t WHERE k = 1".into()));
+        roundtrip_request(Request::Statement(String::new()));
+        roundtrip_request(Request::Metrics);
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::RowSet {
+            schema: Schema::new(vec![
+                Column { name: "id".into(), dtype: DataType::Int },
+                Column { name: "score".into(), dtype: DataType::Float },
+                Column { name: "name".into(), dtype: DataType::Text(12) },
+            ]),
+            rows: vec![
+                vec![Value::Int(-7), Value::Float(2.5), Value::Text("ada".into())],
+                vec![
+                    Value::Int(i64::MAX),
+                    Value::Float(f64::MIN_POSITIVE),
+                    Value::Text(String::new()),
+                ],
+            ],
+        });
+        roundtrip_response(Response::RowSet { schema: Schema::new(vec![]), rows: vec![] });
+        roundtrip_response(Response::RowsAffected(0));
+        roundtrip_response(Response::RowsAffected(u64::MAX));
+        roundtrip_response(Response::Error("no such table: t".into()));
+        roundtrip_response(Response::Metrics("{\"counters\":{}}".into()));
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::Goodbye);
+    }
+
+    #[test]
+    fn nan_floats_survive_by_bits() {
+        let mut wire = Vec::new();
+        write_response(
+            &mut wire,
+            &Response::RowSet {
+                schema: Schema::new(vec![Column { name: "f".into(), dtype: DataType::Float }]),
+                rows: vec![vec![Value::Float(f64::NAN)]],
+            },
+        )
+        .unwrap();
+        let (back, _) = read_response(&mut wire.as_slice()).unwrap().unwrap();
+        match back {
+            Response::RowSet { rows, .. } => match rows[0][0] {
+                Value::Float(f) => assert!(f.is_nan()),
+                _ => panic!("wrong type"),
+            },
+            _ => panic!("wrong response"),
+        }
+    }
+
+    #[test]
+    fn clean_eof_between_frames_is_none() {
+        assert!(read_request(&mut [].as_slice()).unwrap().is_none());
+        assert!(read_response(&mut [].as_slice()).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_inside_header_or_body_is_an_error() {
+        let err = read_request(&mut [0x05u8, 0x00].as_slice()).unwrap_err();
+        assert!(matches!(err, ProtocolError::Io(_)), "{err}");
+        // Header promises 5 bytes, body delivers 2.
+        let mut partial = 5u32.to_le_bytes().to_vec();
+        partial.extend_from_slice(&[REQ_STATEMENT, b'S']);
+        let err = read_request(&mut partial.as_slice()).unwrap_err();
+        assert!(matches!(err, ProtocolError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn oversized_and_empty_frames_are_rejected() {
+        let mut oversized = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        oversized.push(REQ_PING);
+        assert!(matches!(
+            read_request(&mut oversized.as_slice()).unwrap_err(),
+            ProtocolError::FrameTooLarge(_)
+        ));
+        let empty = 0u32.to_le_bytes();
+        assert!(matches!(
+            read_request(&mut empty.as_slice()).unwrap_err(),
+            ProtocolError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_bytes_are_rejected() {
+        let mut frame = 1u32.to_le_bytes().to_vec();
+        frame.push(0x7f);
+        assert!(matches!(
+            read_request(&mut frame.as_slice()).unwrap_err(),
+            ProtocolError::UnknownTag(0x7f)
+        ));
+        // A Ping with a trailing byte is malformed, not silently accepted.
+        let mut frame = 2u32.to_le_bytes().to_vec();
+        frame.extend_from_slice(&[REQ_PING, 0xff]);
+        assert!(matches!(
+            read_request(&mut frame.as_slice()).unwrap_err(),
+            ProtocolError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn non_utf8_statements_are_rejected() {
+        let mut frame = 3u32.to_le_bytes().to_vec();
+        frame.extend_from_slice(&[REQ_STATEMENT, 0xff, 0xfe]);
+        assert!(matches!(
+            read_request(&mut frame.as_slice()).unwrap_err(),
+            ProtocolError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn truncated_rowset_bodies_are_rejected() {
+        // Announce 2 columns but stop after the first: every prefix
+        // truncation must surface Malformed, never panic.
+        let full = {
+            let mut wire = Vec::new();
+            write_response(
+                &mut wire,
+                &Response::RowSet {
+                    schema: Schema::new(vec![Column { name: "k".into(), dtype: DataType::Int }]),
+                    rows: vec![vec![Value::Int(9)]],
+                },
+            )
+            .unwrap();
+            wire
+        };
+        for cut in 5..full.len() {
+            let mut frame = ((cut - 4) as u32).to_le_bytes().to_vec();
+            frame.extend_from_slice(&full[4..cut]);
+            let r = read_response(&mut frame.as_slice());
+            assert!(r.is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+}

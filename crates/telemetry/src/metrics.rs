@@ -51,10 +51,20 @@ pub enum Counter {
     AuditViolations,
     /// Statements the auditor skipped (caller already owned the trace).
     AuditSkips,
+    /// Connections accepted by a serving front-end.
+    ServerConnections,
+    /// Statements received over the wire.
+    ServerStatements,
+    /// Request bytes read off the wire (frame headers + payloads).
+    ServerBytesIn,
+    /// Response bytes written to the wire (frame headers + payloads).
+    ServerBytesOut,
+    /// Statements that returned an error frame.
+    ServerErrors,
 }
 
 /// Number of [`Counter`] variants (the registry's fixed size).
-const COUNTER_COUNT: usize = Counter::AuditSkips as usize + 1;
+const COUNTER_COUNT: usize = Counter::ServerErrors as usize + 1;
 
 const COUNTER_NAMES: [&str; COUNTER_COUNT] = [
     "prepares",
@@ -72,6 +82,11 @@ const COUNTER_NAMES: [&str; COUNTER_COUNT] = [
     "audit_checks",
     "audit_violations",
     "audit_skips",
+    "server_connections",
+    "server_statements",
+    "server_bytes_in",
+    "server_bytes_out",
+    "server_errors",
 ];
 
 /// Every log₂ histogram the engine maintains.
@@ -113,6 +128,14 @@ impl HistogramId {
 }
 
 /// Adds `delta` to a counter. One branch when telemetry is disabled.
+///
+/// Safe under unsynchronized concurrency: each add is a relaxed atomic
+/// RMW, so no increment is ever lost, and every counter read by
+/// [`snapshot`] is individually exact at its own load point. Relaxed
+/// ordering means a snapshot taken while threads are mid-operation may
+/// straddle causally related counters (e.g. `server_statements` bumped
+/// before the matching `statements_run` lands) — quiesce first when
+/// exact cross-counter consistency matters.
 #[inline]
 pub fn counter_add(counter: Counter, delta: u64) {
     if enabled() {

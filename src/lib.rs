@@ -22,7 +22,11 @@
 //! * [`oram`] — Path ORAM, non-recursive and recursive.
 //! * [`btree`] — the oblivious B+ tree stored inside Path ORAM.
 //! * [`core`] — the database engine: storage methods, oblivious operators,
-//!   query planner, SQL front-end.
+//!   query planner, SQL front-end — plus [`core::SharedDatabase`], the
+//!   concurrent-session layer over one store.
+//! * [`server`] — the TCP serving front-end: a length-prefixed wire
+//!   protocol, session-per-connection server ([`server::serve`]), blocking
+//!   client, and the `oblidb-serve` / `oblidb-sql` binaries.
 //! * [`baselines`] — the comparison systems re-implemented on the same
 //!   substrate (Opaque, plain/Spark-SQL-like, HIRB + vORAM, MySQL-like).
 //! * [`workloads`] — deterministic generators for the paper's evaluation
@@ -48,6 +52,7 @@ pub use oblidb_core as core;
 pub use oblidb_crypto as crypto;
 pub use oblidb_enclave as enclave;
 pub use oblidb_oram as oram;
+pub use oblidb_server as server;
 pub use oblidb_storage as storage;
 pub use oblidb_substrates as substrates;
 pub use oblidb_telemetry as telemetry;
