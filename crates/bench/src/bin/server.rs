@@ -70,8 +70,9 @@ fn start_point(sessions: usize) -> (oblidb_server::server::ServerHandle, String)
         setup.execute(&format!("INSERT INTO t VALUES ({k}, {})", (k * 7) % 1000)).expect("load");
     }
     db.store().set_crossing_stall(STALL_NANOS);
-    let handle = serve(db, ServerConfig { addr: "127.0.0.1:0".to_string(), workers: sessions })
-        .expect("serve");
+    let handle =
+        serve(db, ServerConfig { addr: "127.0.0.1:0".to_string(), workers: sessions, epoch: None })
+            .expect("serve");
     let addr = handle.addr().to_string();
     (handle, addr)
 }

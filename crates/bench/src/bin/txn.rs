@@ -1,0 +1,116 @@
+//! Group commit: write-heavy throughput on a disk store under the
+//! per-statement-fsync discipline vs epoch group commit at several epoch
+//! sizes, recorded as `BENCH_txn.json`.
+//!
+//! The baseline logs every mutation as a standalone durable record — one
+//! `sync_region` (data fsync + region-table rewrite) per statement. The
+//! epoch rows pool the same statements into open epochs that the
+//! transaction manager seals every k statements: one commit marker and
+//! one group fsync amortized over the whole window, exactly what
+//! `oblidb-serve --epoch-ms` buys a write-heavy client. The acceptance
+//! bar — group commit at least 3× the baseline — is enforced on full
+//! runs (smoke runs still exercise the pipeline and emit the artifact).
+
+use oblidb_bench::report::{write_txn_json, Report, TxnThroughput};
+use oblidb_bench::timing::fmt_duration;
+use oblidb_core::{DbConfig, EpochConfig, SharedDatabase, WalConfig};
+use oblidb_substrates::DiskMemory;
+use oblidb_txn::TxnManager;
+use std::time::{Duration, Instant};
+
+fn smoke() -> bool {
+    oblidb_bench::harness::smoke_mode()
+}
+
+/// Mutations per measured run. Small even in full mode: the baseline
+/// pays a real fsync per statement.
+fn statements() -> u64 {
+    if smoke() {
+        48
+    } else {
+        384
+    }
+}
+
+/// Epoch sizes swept (statements per group fsync).
+const EPOCH_SIZES: &[usize] = &[8, 32, 128];
+
+/// Runs the write-heavy stream — 3 inserts : 1 update — through a
+/// transaction-manager session over a fresh disk store, and returns the
+/// wall seconds for the stream plus the final flush. `epoch_cap` of
+/// `None` is the per-statement-fsync baseline.
+fn run(epoch_cap: Option<usize>) -> f64 {
+    let epoch = epoch_cap.map(|k| EpochConfig { duration_ms: 3_600_000, max_statements: k });
+    let config = DbConfig { wal: Some(WalConfig::default()), epoch, ..DbConfig::default() };
+    let store = DiskMemory::temp().expect("temp disk store");
+    let shared = SharedDatabase::new(store, config.clone()).expect("shared engine");
+    let mgr = TxnManager::new(shared, config.epoch);
+    let mut session = mgr.session();
+    session
+        .execute(&format!("CREATE TABLE t (k INT, v INT) CAPACITY {}", statements() * 2))
+        .unwrap();
+    let start = Instant::now();
+    for i in 0..statements() {
+        if i % 4 == 3 {
+            session.execute(&format!("UPDATE t SET v = -1 WHERE k = {}", i / 2)).unwrap();
+        } else {
+            session.execute(&format!("INSERT INTO t VALUES ({i}, {i})")).unwrap();
+        }
+    }
+    mgr.flush().unwrap();
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let n = statements();
+    let mut results: Vec<TxnThroughput> = Vec::new();
+
+    let base_seconds = run(None);
+    results.push(TxnThroughput {
+        mode: "per-statement".into(),
+        epoch_statements: 1,
+        seconds: base_seconds,
+        stmts_per_sec: n as f64 / base_seconds,
+        speedup: 1.0,
+    });
+    for &k in EPOCH_SIZES {
+        let seconds = run(Some(k));
+        results.push(TxnThroughput {
+            mode: format!("epoch/{k}"),
+            epoch_statements: k as u64,
+            seconds,
+            stmts_per_sec: n as f64 / seconds,
+            speedup: base_seconds / seconds.max(f64::MIN_POSITIVE),
+        });
+    }
+
+    let mut report = Report::new(
+        format!(
+            "Group commit vs per-statement fsync ({n} statements, disk{})",
+            if smoke() { ", smoke" } else { "" },
+        ),
+        &["mode", "wall", "stmts/s", "speedup"],
+    );
+    for r in &results {
+        report.row(&[
+            r.mode.clone(),
+            fmt_duration(Duration::from_secs_f64(r.seconds)),
+            format!("{:.0}", r.stmts_per_sec),
+            format!("{:.2}x", r.speedup),
+        ]);
+    }
+    report.print();
+
+    match write_txn_json(std::path::Path::new("."), "txn", n, &results) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_txn.json: {e}"),
+    }
+
+    // The acceptance bar: some epoch size reaches 3× the per-statement
+    // baseline. Smoke runs are too short to time reliably.
+    if !smoke() {
+        let best = results[1..].iter().map(|r| r.speedup).fold(0.0, f64::max);
+        assert!(best >= 3.0, "group commit best speedup {best:.2}x is under the 3x acceptance bar");
+        println!("group commit clears the 3x bar (best {best:.2}x)");
+    }
+}

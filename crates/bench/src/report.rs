@@ -403,6 +403,55 @@ pub fn write_server_json(
     Ok(path)
 }
 
+/// One commit-discipline measurement of the group-commit bench: a
+/// write-heavy statement stream on a disk store under one epoch size
+/// (or the per-statement-fsync baseline).
+#[derive(Debug, Clone)]
+pub struct TxnThroughput {
+    /// Discipline label: `"per-statement"` or `"epoch/<k>"`.
+    pub mode: String,
+    /// Statements per group fsync (1 for the per-statement baseline).
+    pub epoch_statements: u64,
+    /// Wall seconds for the whole statement stream.
+    pub seconds: f64,
+    /// Statements per second.
+    pub stmts_per_sec: f64,
+    /// Throughput relative to the per-statement baseline.
+    pub speedup: f64,
+}
+
+/// Writes `BENCH_<name>.json` for the group-commit bench:
+/// `{"bench": name, "statements": n, "results": [{mode,
+/// epoch_statements, seconds, stmts_per_sec, speedup}, …]}`. Returns the
+/// path written.
+pub fn write_txn_json(
+    dir: &std::path::Path,
+    name: &str,
+    statements: u64,
+    results: &[TxnThroughput],
+) -> std::io::Result<std::path::PathBuf> {
+    let mut out = String::new();
+    out.push_str(&format!("{{\n  \"bench\": {},\n", json_str(name)));
+    out.push_str(&format!("  \"statements\": {statements},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": {}, \"epoch_statements\": {}, \"seconds\": {:.9}, \
+             \"stmts_per_sec\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            json_str(&r.mode),
+            r.epoch_statements,
+            r.seconds,
+            r.stmts_per_sec,
+            r.speedup,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
 /// JSON string quoting per RFC 8259: escape quotes, backslashes, and
 /// control characters; everything else (including non-ASCII) passes
 /// through unescaped, which valid JSON allows.
@@ -572,6 +621,36 @@ mod tests {
         assert!(body.contains("\"detected_backend\": \"avx2\""));
         assert!(body.contains("\"backend\": \"scalar\""));
         assert!(body.contains("\"speedup_vs_scalar\": 3.000"));
+        assert!(body.trim_end().ends_with('}'));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn txn_json_schema_is_stable() {
+        let dir = std::env::temp_dir();
+        let rows = vec![
+            TxnThroughput {
+                mode: "per-statement".into(),
+                epoch_statements: 1,
+                seconds: 0.8,
+                stmts_per_sec: 320.0,
+                speedup: 1.0,
+            },
+            TxnThroughput {
+                mode: "epoch/32".into(),
+                epoch_statements: 32,
+                seconds: 0.1,
+                stmts_per_sec: 2560.0,
+                speedup: 8.0,
+            },
+        ];
+        let path = write_txn_json(&dir, "txn_test", 256, &rows).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"bench\": \"txn_test\""));
+        assert!(body.contains("\"statements\": 256"));
+        assert!(body.contains("\"mode\": \"per-statement\""));
+        assert!(body.contains("\"epoch_statements\": 32"));
+        assert!(body.contains("\"speedup\": 8.000"));
         assert!(body.trim_end().ends_with('}'));
         std::fs::remove_file(path).unwrap();
     }

@@ -35,7 +35,7 @@ use crate::padding::PaddingConfig;
 use crate::plan::cost::{self, CostProfile, JoinShape, SelectShape};
 use crate::plan::{
     AccessPath, AggregateNode, Explain, FilterNode, GroupByNode, JoinChoice, JoinNode, NodeCost,
-    PlanAction, PlanNode, QueryPlan, ScanNode, SelectChoice, SelectPlan,
+    PlanAction, PlanNode, QueryPlan, ScanNode, SelectChoice, SelectPlan, TxnVerb,
 };
 use crate::planner::{self, CostModel, JoinAlgo, PlannerConfig, SelectAlgo, SelectStats};
 use crate::predicate::Predicate;
@@ -119,6 +119,13 @@ pub struct DbConfig {
     /// before executing it; replay with [`Database::wal_records`] +
     /// [`Database::replay`].
     pub wal: Option<crate::wal::WalConfig>,
+    /// Epoch-based group commit (Obladi-style). `Some` pools mutation WAL
+    /// records into an open epoch instead of fsyncing each append;
+    /// closing the epoch ([`Database::commit_epoch`] — driven by the
+    /// transaction manager's scheduler) writes one commit marker and pays
+    /// one `sync_region` for the whole group. Recovery replays whole
+    /// epochs or none. Only meaningful with `wal` on.
+    pub epoch: Option<crate::wal::EpochConfig>,
     /// Parallel execution (worker threads for partitioned sealing). The
     /// default honors `OBLIDB_THREADS`; set explicitly to override.
     pub exec: ExecConfig,
@@ -143,6 +150,7 @@ impl Default for DbConfig {
             fast_inserts: true,
             zero_om_scratch_rows: 1,
             wal: None,
+            epoch: None,
             exec: ExecConfig::from_env(),
             audit: std::env::var("OBLIDB_AUDIT").is_ok_and(|v| v == "1"),
         }
@@ -381,6 +389,146 @@ impl<M: EnclaveMemory> Database<M> {
     /// and log truncation are future work (see ROADMAP).
     pub fn checkpoint(&mut self) -> Result<(), DbError> {
         self.host.sync().map_err(DbError::from)
+    }
+
+    /// Closes the currently open WAL epoch: appends one commit marker and
+    /// pays one group fsync for every statement logged since the last
+    /// close. Returns how many statements became durable (0 when already
+    /// at an epoch boundary, or without a WAL). The epoch scheduler
+    /// ([`crate::wal::EpochConfig`] via `oblidb::txn`) drives this on its
+    /// window; callers handing the store to someone else (checkpoint,
+    /// shutdown) call it directly so the log never ends mid-epoch.
+    pub fn commit_epoch(&mut self) -> Result<u64, DbError> {
+        let Some(wal) = &mut self.wal else { return Ok(0) };
+        if wal.epoch_pending() == 0 {
+            return Ok(0);
+        }
+        let _span = oblidb_telemetry::span(oblidb_telemetry::SpanKind::Epoch);
+        let sealed = wal.append_epoch_commit(&mut self.host)?;
+        if wal.durable_appends() {
+            let region = wal.region_id();
+            self.host.sync_region(region)?;
+            oblidb_telemetry::counter_add(oblidb_telemetry::Counter::EpochFsyncs, 1);
+        }
+        Ok(sealed)
+    }
+
+    /// Statements pending in the open WAL epoch (0 without a WAL).
+    pub fn epoch_pending(&self) -> u64 {
+        self.wal.as_ref().map_or(0, |w| w.epoch_pending())
+    }
+
+    /// The WAL's monotonic log sequence number — records ever appended
+    /// across truncating checkpoints (`None` without a WAL).
+    pub fn wal_lsn(&self) -> Option<u64> {
+        self.wal.as_ref().map(|w| w.checkpoint_lsn())
+    }
+
+    /// Records dropped from the WAL prefix by truncating checkpoints
+    /// (`None` without a WAL).
+    pub fn wal_base_lsn(&self) -> Option<u64> {
+        self.wal.as_ref().map(|w| w.base_lsn())
+    }
+
+    /// Records currently in the live WAL region (0 without a WAL) —
+    /// bounded under [`crate::wal::WalConfig::truncate_at_checkpoint`],
+    /// monotone otherwise.
+    pub fn wal_len(&self) -> u64 {
+        self.wal.as_ref().map_or(0, |w| w.len())
+    }
+
+    /// Dry-run validation of an atomic statement batch (a transaction
+    /// commit): every statement must parse, be a mutation, target a table
+    /// that exists (or that the batch itself creates), and carry values /
+    /// predicates / assignments its schema accepts — all checked *before*
+    /// the first statement executes, so a mid-batch rejection cannot
+    /// leave the group half-applied. After a clean validation, execution
+    /// can still fail only on substrate I/O errors.
+    pub(crate) fn validate_batch(&self, statements: &[String]) -> Result<(), DbError> {
+        // Tables the batch itself creates, visible to its later statements.
+        let mut created: Vec<(String, Schema)> = Vec::new();
+        let lookup = |created: &[(String, Schema)], this: &Self, name: &str| {
+            if let Some((_, s)) = created.iter().find(|(n, _)| n == name) {
+                return Ok(s.clone());
+            }
+            this.table_index(name).map(|i| this.tables[i].1.schema().clone())
+        };
+        for stmt in statements {
+            match sql::parse(stmt)? {
+                Statement::Create(c) => {
+                    if self.table_index(&c.name).is_ok()
+                        || created.iter().any(|(n, _)| n == &c.name)
+                    {
+                        return Err(DbError::Sql(format!("table '{}' already exists", c.name)));
+                    }
+                    let schema = Schema::new(
+                        c.columns.iter().map(|cd| Column::new(cd.name.clone(), cd.dtype)).collect(),
+                    );
+                    created.push((c.name.clone(), schema));
+                }
+                Statement::Insert(i) => {
+                    let schema = lookup(&created, self, &i.table)?;
+                    schema.encode_row(&i.values)?;
+                }
+                Statement::Update(u) => {
+                    let schema = lookup(&created, self, &u.table)?;
+                    if let Some(w) = &u.where_clause {
+                        w.resolve(&schema)?;
+                    }
+                    for a in &u.sets {
+                        let idx = schema.col(&a.col)?;
+                        check_assignable(schema.columns[idx].dtype, &a.value, &a.col)?;
+                    }
+                }
+                Statement::Delete(d) => {
+                    let schema = lookup(&created, self, &d.table)?;
+                    if let Some(w) = &d.where_clause {
+                        w.resolve(&schema)?;
+                    }
+                }
+                Statement::Select(_) | Statement::Explain(_) | Statement::ExplainAnalyze(_) => {
+                    return Err(DbError::Unsupported(format!(
+                        "read-only statement in an atomic commit batch: {stmt}"
+                    )));
+                }
+                Statement::Begin | Statement::Commit | Statement::Rollback => {
+                    return Err(DbError::Unsupported(
+                        "nested transaction control inside a commit batch".into(),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compacts the live state into a replayable statement list — the
+    /// CREATE + INSERT history an empty engine needs to reproduce every
+    /// table exactly. This is what a truncating checkpoint seeds its
+    /// fresh WAL region with, in place of the dropped statement history.
+    /// Flat tables only (the same restriction as [`Database::persist_to`]).
+    pub(crate) fn dump_state_statements(&mut self) -> Result<Vec<String>, DbError> {
+        let mut out = Vec::new();
+        for (name, storage) in &mut self.tables {
+            let TableStorage::Flat(f) = storage else {
+                return Err(DbError::Unsupported(format!(
+                    "table '{name}' uses indexed storage; state dumps (WAL truncation) \
+                     support FLAT tables only"
+                )));
+            };
+            let cols = f
+                .schema()
+                .columns
+                .iter()
+                .map(|c| format!("{} {}", c.name, render_dtype(c.dtype)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push(format!("CREATE TABLE {name} ({cols}) CAPACITY {}", f.capacity()));
+            for row in f.collect_rows(&mut self.host)? {
+                let vals = row.iter().map(sql_literal).collect::<Vec<_>>().join(", ");
+                out.push(format!("INSERT INTO {name} VALUES ({vals})"));
+            }
+        }
+        Ok(out)
     }
 
     /// Unpadded GROUP BY sizes its output by the group count, which is
@@ -854,6 +1002,9 @@ impl<M: EnclaveMemory> Database<M> {
             Statement::ExplainAnalyze(s) => {
                 PlanAction::ExplainAnalyzeSelect(self.plan_select(s, &profile)?)
             }
+            Statement::Begin => PlanAction::TxnControl(TxnVerb::Begin),
+            Statement::Commit => PlanAction::TxnControl(TxnVerb::Commit),
+            Statement::Rollback => PlanAction::TxnControl(TxnVerb::Rollback),
         };
         Ok(QueryPlan { action, profile, version: self.version })
     }
@@ -1286,13 +1437,23 @@ impl<M: EnclaveMemory> Database<M> {
                 | PlanAction::Delete { .. }
         ) {
             if let Some(wal) = &mut self.wal {
-                wal.append(&mut self.host, query)?;
-                // The durability policy belongs to the log itself (it is
-                // persisted and reattached with it), not to whichever
-                // config happened to reopen the store.
-                if wal.durable_appends() {
-                    let region = wal.region_id();
-                    self.host.sync_region(region)?;
+                if self.config.epoch.is_some() {
+                    // Group commit: the record joins the open epoch and
+                    // becomes durable at the next commit marker's single
+                    // group fsync ([`Database::commit_epoch`]) — the
+                    // Obladi trade: a bounded (one-epoch) loss window in
+                    // exchange for one fsync per epoch instead of per
+                    // statement.
+                    wal.append_pending(&mut self.host, query)?;
+                } else {
+                    wal.append(&mut self.host, query)?;
+                    // The durability policy belongs to the log itself (it
+                    // is persisted and reattached with it), not to
+                    // whichever config happened to reopen the store.
+                    if wal.durable_appends() {
+                        let region = wal.region_id();
+                        self.host.sync_region(region)?;
+                    }
                 }
             }
         }
@@ -1386,6 +1547,11 @@ impl<M: EnclaveMemory> Database<M> {
             PlanAction::ExplainSelect(_) | PlanAction::ExplainAnalyzeSelect(_) => {
                 unreachable!("handled above")
             }
+            PlanAction::TxnControl(verb) => Err(DbError::Unsupported(format!(
+                "{} requires a transaction session (oblidb::txn) — a bare engine has no \
+                 statement buffer to control",
+                verb.keyword()
+            ))),
         }
     }
 
@@ -2045,6 +2211,43 @@ fn copy_flat<M: EnclaveMemory>(
     out.set_num_rows(input.num_rows());
     out.set_insert_cursor(input.capacity());
     Ok(out)
+}
+
+/// Renders a column type exactly as the SQL grammar accepts it.
+fn render_dtype(dt: DataType) -> String {
+    match dt {
+        DataType::Int => "INT".into(),
+        DataType::Float => "FLOAT".into(),
+        DataType::Text(n) => format!("CHAR({n})"),
+    }
+}
+
+/// Renders a value as a SQL literal that re-parses to the identical
+/// value: `{:?}` floats are shortest-roundtrip (the lexer accepts the
+/// exponent form they may take), quotes in text double per the grammar.
+fn sql_literal(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format!("{f:?}"),
+        Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+    }
+}
+
+/// The (column type, assigned value) compatibility check UPDATE encoding
+/// enforces at run time, applied at validation time — mirrors
+/// [`Schema::encode_row`]'s acceptance rules.
+fn check_assignable(dtype: DataType, value: &Value, col: &str) -> Result<(), DbError> {
+    match (dtype, value) {
+        (DataType::Int, Value::Int(_))
+        | (DataType::Float, Value::Float(_))
+        | (DataType::Float, Value::Int(_)) => Ok(()),
+        (DataType::Text(n), Value::Text(s)) if s.len() <= n => Ok(()),
+        (DataType::Text(n), Value::Text(s)) => Err(DbError::TypeMismatch(format!(
+            "string of {} bytes exceeds CHAR({n}) column {col}",
+            s.len()
+        ))),
+        (dt, v) => Err(DbError::TypeMismatch(format!("column {col} is {dt:?}, value {v:?}"))),
+    }
 }
 
 fn split_projection(p: &Projection) -> (Vec<(AggFunc, Option<String>)>, Vec<String>) {

@@ -207,6 +207,7 @@ struct WalRecord {
     key: AeadKey,
     block_bytes: u64,
     len: u64,
+    base_lsn: u64,
     durable: bool,
     region_manifest: Vec<u8>,
 }
@@ -315,6 +316,7 @@ fn encode_manifest(m: &DbManifest) -> Vec<u8> {
             out.extend_from_slice(&w.key.0);
             out.extend_from_slice(&w.block_bytes.to_le_bytes());
             out.extend_from_slice(&w.len.to_le_bytes());
+            out.extend_from_slice(&w.base_lsn.to_le_bytes());
             out.push(w.durable as u8);
             put_bytes(&mut out, &w.region_manifest);
         }
@@ -344,9 +346,10 @@ fn decode_manifest(plain: &[u8]) -> Result<DbManifest, DbError> {
             let key = r.key()?;
             let block_bytes = r.u64()?;
             let len = r.u64()?;
+            let base_lsn = r.u64()?;
             let durable = r.u8()? != 0;
             let region_manifest = r.bytes()?.to_vec();
-            Some(WalRecord { region, key, block_bytes, len, durable, region_manifest })
+            Some(WalRecord { region, key, block_bytes, len, base_lsn, durable, region_manifest })
         }
         _ => return Err(DbError::ManifestRejected("bad WAL flag".into())),
     };
@@ -564,6 +567,47 @@ impl<M: EnclaveMemory> Database<M> {
                 )));
             }
         }
+        // A persisted log must never end mid-epoch: reattach restarts the
+        // pending counter at zero, so an open epoch would leave records
+        // permanently unterminated (and thus silently dropped by every
+        // later fold). Seal it now.
+        self.commit_epoch()?;
+
+        // Truncating checkpoint: retire the statement history by seeding a
+        // *fresh* WAL region with a compacted state dump (CREATE + INSERT
+        // per live row) and switching over atomically via the manifest
+        // write below. In-place truncation is unsound under the
+        // revision-2 probe discipline (each slot is written exactly
+        // twice: zero-fill, then its append), so the old region is left
+        // untouched until the manifest pointing at its replacement lands,
+        // then freed.
+        let mut retired_wal = None;
+        if self.wal.is_some() && self.config.wal.is_some_and(|c| c.truncate_at_checkpoint) {
+            let dump = self.dump_state_statements()?;
+            let old = self.wal.take().expect("checked above");
+            let old_lsn = old.base_lsn() + old.len();
+            let durable = old.durable_appends();
+            let longest = dump.iter().map(|s| s.len()).max().unwrap_or(0);
+            let block_bytes = old.block_bytes().max(longest + 3);
+            let key = self.next_key();
+            let mut fresh = crate::wal::Wal::create(
+                &mut self.host,
+                key,
+                crate::wal::WalConfig {
+                    block_bytes,
+                    capacity: (dump.len() as u64).max(8),
+                    durable_appends: durable,
+                    truncate_at_checkpoint: true,
+                },
+            )?;
+            for stmt in &dump {
+                fresh.append(&mut self.host, stmt)?;
+            }
+            fresh.set_base_lsn(old_lsn);
+            self.wal = Some(fresh);
+            retired_wal = Some(old);
+        }
+
         // Data first: every sealed block (and the substrate's own region
         // table) must be durable before the manifest that describes it.
         self.host.sync()?;
@@ -586,6 +630,7 @@ impl<M: EnclaveMemory> Database<M> {
             key: w.key(),
             block_bytes: w.block_bytes() as u64,
             len: w.len(),
+            base_lsn: w.base_lsn(),
             durable: w.durable_appends(),
             region_manifest: w.seal_manifest(),
         });
@@ -605,6 +650,12 @@ impl<M: EnclaveMemory> Database<M> {
         };
         std::fs::create_dir_all(dir).map_err(io)?;
         write_atomically(dir, DB_MANIFEST_FILE, &blob).map_err(io)?;
+        // The manifest pointing at the fresh WAL region is durable — the
+        // retired region is unreachable from any recovery path and its
+        // untrusted memory can go. (A crash here merely leaks it.)
+        if let Some(old) = retired_wal {
+            old.free(&mut self.host)?;
+        }
         // This checkpoint completes any in-flight recovery: the journal's
         // statements are now reflected by the manifest (best-effort
         // removal; a leftover journal is re-read and re-applied, which is
@@ -727,7 +778,14 @@ impl<M: EnclaveMemory> Database<M> {
                 // The caller's explicit WAL config wins over the persisted
                 // durability flag; absent one, the log keeps its own.
                 let durable = config.wal.map_or(w.durable, |c| c.durable_appends);
-                Some(crate::wal::Wal::reattach(store, w.key.clone(), w.len, block_bytes, durable))
+                Some(crate::wal::Wal::reattach(
+                    store,
+                    w.key.clone(),
+                    w.len,
+                    block_bytes,
+                    durable,
+                    w.base_lsn,
+                ))
             }
             None => None,
         };
@@ -796,6 +854,10 @@ impl<M: EnclaveMemory> Database<M> {
                 Err(e) => report.skipped.push((stmt.clone(), e)),
             }
         }
+        // Under group commit the replayed statements pooled into an open
+        // epoch; seal it so the rebuilt log ends on an epoch boundary and
+        // the replayed history is itself durable.
+        self.commit_epoch()?;
         report.duration = started.elapsed();
         report.replay_stats = self.host.stats() - before;
         Ok(report)

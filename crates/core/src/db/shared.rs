@@ -32,8 +32,11 @@
 //!
 //! Isolation level: statement-granular snapshot reads over serialized
 //! writes. A read observes every write that completed before it forked
-//! and none that started after — per-statement, not per-transaction;
-//! there are no multi-statement transactions to isolate yet.
+//! and none that started after — per-statement. Multi-statement
+//! transactions layer on top (`oblidb::txn`): they buffer their writes
+//! client-side and apply them through [`SharedDatabase::execute_atomic`],
+//! one write-latch hold for the whole batch, so snapshot reads see a
+//! transaction's effects all-or-nothing.
 //!
 //! Plan-cache sharing: forks are throwaway, so a per-fork cache would
 //! never hit. Instead each fork is seeded from a shared plan cache
@@ -250,6 +253,27 @@ impl<M: EnclaveMemory + Send> SharedDatabase<M> {
         let _excl = latch_write(&self.inner.latch);
         let mut master = lock(&self.inner.master);
         f(&mut master)
+    }
+
+    /// Executes a statement batch atomically: all of it becomes visible
+    /// under one write-latch hold, or none of it runs. The batch is
+    /// dry-run validated first (parse, table/column resolution, value
+    /// typing — see `Database::validate_batch`), so the only failures
+    /// past the first executed statement are substrate I/O errors. This
+    /// is the commit path of `oblidb::txn` transactions; under an epoch
+    /// scheduler the whole batch lands inside one WAL epoch and shares
+    /// its group fsync.
+    pub fn execute_atomic(&self, statements: &[String]) -> Result<Vec<QueryOutput>, DbError> {
+        let _excl = latch_write(&self.inner.latch);
+        let mut master = lock(&self.inner.master);
+        master.validate_batch(statements)?;
+        let mut outputs = Vec::with_capacity(statements.len());
+        for stmt in statements {
+            self.inner.exclusive_statements.fetch_add(1, Ordering::Relaxed);
+            let (result, _) = self.run_audited(&mut master, None, stmt, false);
+            outputs.push(result?);
+        }
+        Ok(outputs)
     }
 
     /// Shared plan-cache counters: fork hits/misses (harvested after

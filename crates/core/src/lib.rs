@@ -50,7 +50,9 @@ pub use db::{
 };
 pub use error::DbError;
 pub use plan::cost::{CostProfile, CALIBRATION_FILE};
+pub use plan::TxnVerb;
 pub use plan::{Explain, NodeCost, PlanNode, QueryPlan};
 pub use planner::{CostModel, JoinAlgo, SelectAlgo};
 pub use predicate::Predicate;
 pub use types::{Column, DataType, Row, Schema, Value};
+pub use wal::{EpochConfig, WalConfig};

@@ -25,6 +25,14 @@ pub enum Statement {
     /// alongside the planner's estimates; the result set is the annotated
     /// plan, one line per row.
     ExplainAnalyze(Select),
+    /// `BEGIN [TRANSACTION]` — open a multi-statement transaction.
+    /// Transaction control is interpreted by a transaction session
+    /// (`oblidb::txn`); a bare engine rejects it with a typed error.
+    Begin,
+    /// `COMMIT` — apply the buffered transaction atomically.
+    Commit,
+    /// `ROLLBACK` — discard the buffered transaction.
+    Rollback,
 }
 
 /// One column definition in CREATE TABLE.

@@ -115,6 +115,22 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, DbError> {
                     }
                     i += 1;
                 }
+                // Exponent suffix (`1e-7`, `2.5E10`): present so the
+                // shortest-roundtrip float rendering used by WAL state
+                // dumps re-parses to the identical value.
+                if bytes.get(i).is_some_and(|b| *b == b'e' || *b == b'E') {
+                    let mut j = i + 1;
+                    if bytes.get(j).is_some_and(|b| *b == b'+' || *b == b'-') {
+                        j += 1;
+                    }
+                    if bytes.get(j).is_some_and(u8::is_ascii_digit) {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
                 let text = &input[start..i];
                 if is_float {
                     let v = text
@@ -184,6 +200,19 @@ mod tests {
             toks,
             vec![Token::Int(42), Token::Int(-7), Token::Float(3.5), Token::Float(-0.25)]
         );
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let toks = tokenize("1e-7 2.5E10 -3e2 1e+3").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Float(1e-7), Token::Float(2.5e10), Token::Float(-3e2), Token::Float(1e3)]
+        );
+        // A bare `e` after digits with no exponent stays an identifier
+        // boundary, as before.
+        let toks = tokenize("1 e").unwrap();
+        assert_eq!(toks, vec![Token::Int(1), Token::Ident("e".into())]);
     }
 
     #[test]

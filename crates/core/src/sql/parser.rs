@@ -104,6 +104,16 @@ impl Parser {
                 self.expect_kw("select")?;
                 Statement::Explain(self.select()?)
             }
+        } else if self.eat_kw("begin") {
+            // Optional noise words, as in the common dialects.
+            let _ = self.eat_kw("transaction") || self.eat_kw("work");
+            Statement::Begin
+        } else if self.eat_kw("commit") {
+            let _ = self.eat_kw("transaction") || self.eat_kw("work");
+            Statement::Commit
+        } else if self.eat_kw("rollback") {
+            let _ = self.eat_kw("transaction") || self.eat_kw("work");
+            Statement::Rollback
         } else {
             return Err(DbError::Sql(format!("unknown statement start: {:?}", self.peek())));
         };

@@ -25,7 +25,7 @@ pub const DEFAULT_WAL_BLOCK: usize = 512;
 /// WAL configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WalConfig {
-    /// Bytes per log record (statements longer than `block_bytes - 2`
+    /// Bytes per log record (statements longer than `block_bytes - 3`
     /// bytes are rejected).
     pub block_bytes: usize,
     /// Initial capacity in records; the log grows by doubling.
@@ -35,13 +35,53 @@ pub struct WalConfig {
     /// property that makes post-checkpoint statements recoverable after a
     /// crash. On by default; in-memory substrates pay nothing for it.
     pub durable_appends: bool,
+    /// Drop the log prefix at each [`persist`](crate::Database::persist_to)
+    /// checkpoint: the checkpoint re-seeds a fresh region with a compacted
+    /// state dump and retires the old one, so the log stays proportional
+    /// to live state instead of statement history. Off by default —
+    /// recovery semantics are identical either way, only log size differs.
+    pub truncate_at_checkpoint: bool,
 }
 
 impl Default for WalConfig {
     fn default() -> Self {
-        WalConfig { block_bytes: DEFAULT_WAL_BLOCK, capacity: 256, durable_appends: true }
+        WalConfig {
+            block_bytes: DEFAULT_WAL_BLOCK,
+            capacity: 256,
+            durable_appends: true,
+            truncate_at_checkpoint: false,
+        }
     }
 }
+
+/// Epoch scheduler configuration (Obladi-style group commit): how long
+/// commits may pool in one epoch before the group fsync closes it, and
+/// how many statements force an early close.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochConfig {
+    /// Epoch window in milliseconds. Every commit that lands inside one
+    /// window shares a single `sync_region` fsync.
+    pub duration_ms: u64,
+    /// Close the epoch early once this many statements are pending, so a
+    /// write burst cannot grow an epoch without bound.
+    pub max_statements: usize,
+}
+
+impl Default for EpochConfig {
+    fn default() -> Self {
+        EpochConfig { duration_ms: 5, max_statements: 64 }
+    }
+}
+
+/// Record kind: a standalone statement, committed the instant it is
+/// durable (the pre-epoch discipline, and still what replay/restore use).
+pub(crate) const REC_STATEMENT: u8 = 1;
+/// Record kind: a statement belonging to the currently open epoch —
+/// invisible to recovery until an epoch-commit marker follows it.
+pub(crate) const REC_EPOCH_PENDING: u8 = 2;
+/// Record kind: epoch-commit marker (empty payload). Everything pending
+/// before it becomes durable as one atomic group.
+pub(crate) const REC_EPOCH_COMMIT: u8 = 3;
 
 /// The encrypted, integrity-protected, append-only log.
 pub struct Wal {
@@ -53,6 +93,13 @@ pub struct Wal {
     /// statement executes. A property of the *log*, persisted with it —
     /// not of whoever happens to reopen the store.
     durable: bool,
+    /// Records dropped by truncating checkpoints before this region began;
+    /// `base_lsn + len` is the monotonic log sequence number across
+    /// truncations.
+    base_lsn: u64,
+    /// Statements appended as [`REC_EPOCH_PENDING`] since the last
+    /// epoch-commit marker — what the next marker will make durable.
+    epoch_pending: u64,
 }
 
 impl Wal {
@@ -62,7 +109,7 @@ impl Wal {
         key: AeadKey,
         config: WalConfig,
     ) -> Result<Self, DbError> {
-        assert!(config.block_bytes > 2, "block must fit the length header");
+        assert!(config.block_bytes > 3, "block must fit the length+kind header");
         let store = SealedRegion::create(
             host,
             key.clone(),
@@ -75,20 +122,48 @@ impl Wal {
             block_bytes: config.block_bytes,
             grow_key: key,
             durable: config.durable_appends,
+            base_lsn: 0,
+            epoch_pending: 0,
         })
     }
 
     /// Re-attaches to a persisted log from its sealed region manifest plus
-    /// the (public) record count and record size the database manifest
-    /// carries.
+    /// the (public) record count, record size, and base LSN the database
+    /// manifest carries.
     pub fn reattach(
         store: SealedRegion,
         key: AeadKey,
         len: u64,
         block_bytes: usize,
         durable: bool,
+        base_lsn: u64,
     ) -> Self {
-        Wal { store, len, block_bytes, grow_key: key, durable }
+        // A persisted log never ends mid-epoch ([`crate::Database::persist_to`]
+        // closes the epoch first), so pending restarts at zero.
+        Wal { store, len, block_bytes, grow_key: key, durable, base_lsn, epoch_pending: 0 }
+    }
+
+    /// Records dropped before this region by truncating checkpoints.
+    pub fn base_lsn(&self) -> u64 {
+        self.base_lsn
+    }
+
+    /// Marks `lsn` records as having been compacted away before this
+    /// region — set once when a truncating checkpoint seeds a fresh log.
+    pub(crate) fn set_base_lsn(&mut self, lsn: u64) {
+        self.base_lsn = lsn;
+    }
+
+    /// The monotonic log sequence number: records ever appended across
+    /// all truncations, i.e. where the next record will land.
+    pub fn checkpoint_lsn(&self) -> u64 {
+        self.base_lsn + self.len
+    }
+
+    /// Statements pending in the currently open epoch (zero when the log
+    /// is at an epoch boundary).
+    pub fn epoch_pending(&self) -> u64 {
+        self.epoch_pending
     }
 
     /// Whether appended records must reach the durable medium before
@@ -135,21 +210,61 @@ impl Wal {
         self.len == 0
     }
 
-    /// Appends one statement, before its mutation executes. Exactly one
+    /// Appends one statement as immediately committed (kind
+    /// [`REC_STATEMENT`]), before its mutation executes. Exactly one
     /// sealed write — no data-dependent access pattern.
     pub fn append<M: EnclaveMemory>(
         &mut self,
         host: &mut M,
         statement: &str,
     ) -> Result<(), DbError> {
+        self.append_record(host, REC_STATEMENT, statement.as_bytes())?;
+        // A durable standalone statement commits everything logged before
+        // it (the fold flushes pending first to preserve statement order),
+        // so the epoch restarts empty.
+        self.epoch_pending = 0;
+        Ok(())
+    }
+
+    /// Appends one statement into the currently open epoch (kind
+    /// [`REC_EPOCH_PENDING`]). Invisible to recovery until
+    /// [`Wal::append_epoch_commit`] seals the group.
+    pub fn append_pending<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        statement: &str,
+    ) -> Result<(), DbError> {
+        self.append_record(host, REC_EPOCH_PENDING, statement.as_bytes())?;
+        self.epoch_pending += 1;
+        Ok(())
+    }
+
+    /// Appends an epoch-commit marker, making every pending statement in
+    /// the open epoch durable as one group, and returns how many it
+    /// sealed. No-op (no write) when the epoch is empty.
+    pub fn append_epoch_commit<M: EnclaveMemory>(&mut self, host: &mut M) -> Result<u64, DbError> {
+        if self.epoch_pending == 0 {
+            return Ok(0);
+        }
+        self.append_record(host, REC_EPOCH_COMMIT, &[])?;
+        Ok(std::mem::take(&mut self.epoch_pending))
+    }
+
+    fn append_record<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        kind: u8,
+        bytes: &[u8],
+    ) -> Result<(), DbError> {
         let _span = oblidb_telemetry::span(oblidb_telemetry::SpanKind::WalAppend);
         oblidb_telemetry::counter_add(oblidb_telemetry::Counter::WalAppends, 1);
-        let bytes = statement.as_bytes();
-        if bytes.len() > self.block_bytes - 2 {
+        // The record header stores the payload length as u16, so that
+        // bounds oversized blocks too.
+        let max = (self.block_bytes - 3).min(u16::MAX as usize);
+        if bytes.len() > max {
             return Err(DbError::Unsupported(format!(
-                "statement of {} bytes exceeds the WAL record size {}",
+                "statement of {} bytes exceeds the WAL record size {max}",
                 bytes.len(),
-                self.block_bytes - 2
             )));
         }
         if self.len >= self.store.len() {
@@ -160,27 +275,30 @@ impl Wal {
         }
         let mut record = vec![0u8; self.block_bytes];
         record[..2].copy_from_slice(&(bytes.len() as u16).to_le_bytes());
-        record[2..2 + bytes.len()].copy_from_slice(bytes);
+        record[2] = kind;
+        record[3..3 + bytes.len()].copy_from_slice(bytes);
         self.store.write(host, self.len, &record)?;
         self.len += 1;
         Ok(())
     }
 
-    /// Decrypts and returns every logged statement, oldest first —
-    /// recovery replay streams the log in batched chunks, one crossing per
-    /// chunk instead of one per record.
+    /// Decrypts and returns every *committed* statement, oldest first —
+    /// standalone records plus every epoch sealed by a commit marker;
+    /// statements of a still-open epoch are excluded, exactly as recovery
+    /// would exclude them. Streams the log in batched chunks, one crossing
+    /// per chunk instead of one per record.
     pub fn records<M: EnclaveMemory>(&mut self, host: &mut M) -> Result<Vec<String>, DbError> {
-        let mut out = Vec::with_capacity(self.len as usize);
+        let mut raw = Vec::with_capacity(self.len as usize);
         let mut scan = oblidb_storage::SealedScan::over(
             0..self.len,
             oblidb_storage::batch_chunk_blocks(self.block_bytes),
         );
         while let Some((_, payloads)) = scan.next_chunk(host, &mut self.store)? {
             for bytes in payloads.chunks_exact(self.block_bytes) {
-                out.push(decode_record(bytes)?);
+                raw.push(decode_record(bytes)?);
             }
         }
-        Ok(out)
+        fold_committed(raw)
     }
 
     /// Releases untrusted memory.
@@ -242,10 +360,10 @@ impl Wal {
         // The probe never writes, so its nonce counter is irrelevant.
         let mut probe =
             SealedRegion::attach(region, key, block_bytes, vec![2; capacity as usize], 0);
-        let mut out = Vec::new();
+        let mut raw = Vec::new();
         for i in 0..capacity {
             match probe.read(host, i) {
-                Ok(bytes) => out.push(decode_record(bytes)?),
+                Ok(bytes) => raw.push(decode_record(bytes)?),
                 // First non-record slot (zero-filled, empty, or torn):
                 // the durable log ends here.
                 Err(oblidb_storage::StorageError::TamperDetected { .. }) => break,
@@ -257,21 +375,49 @@ impl Wal {
         }
         oblidb_telemetry::counter_add(
             oblidb_telemetry::Counter::WalRecoveredRecords,
-            out.len() as u64,
+            raw.len() as u64,
         );
-        Ok(out)
+        fold_committed(raw)
     }
 }
 
-/// Decodes one fixed-size WAL record into its statement text.
-fn decode_record(bytes: &[u8]) -> Result<String, DbError> {
+/// Decodes one fixed-size WAL record into its kind and statement text.
+fn decode_record(bytes: &[u8]) -> Result<(u8, String), DbError> {
     let n = u16::from_le_bytes(bytes[..2].try_into().expect("header")) as usize;
-    if n > bytes.len() - 2 {
+    if n > bytes.len() - 3 {
         return Err(DbError::Unsupported("corrupt WAL record".into()));
     }
-    std::str::from_utf8(&bytes[2..2 + n])
-        .map(str::to_string)
+    let kind = bytes[2];
+    if !matches!(kind, REC_STATEMENT | REC_EPOCH_PENDING | REC_EPOCH_COMMIT) {
+        return Err(DbError::Unsupported(format!("unknown WAL record kind {kind}")));
+    }
+    std::str::from_utf8(&bytes[3..3 + n])
+        .map(|s| (kind, s.to_string()))
         .map_err(|_| DbError::Unsupported("corrupt WAL record".into()))
+}
+
+/// Folds a raw record sequence down to the committed statement history:
+/// whole epochs or none. Pending statements become visible when their
+/// epoch-commit marker follows; a standalone statement first flushes any
+/// open epoch before itself (order-preserving — standalone records only
+/// interleave with pending ones on the durable/group boundary, where the
+/// standalone record's own fsync made the earlier pending records durable
+/// too). A trailing open epoch — the crash-mid-epoch case — is dropped.
+fn fold_committed(raw: Vec<(u8, String)>) -> Result<Vec<String>, DbError> {
+    let mut out = Vec::with_capacity(raw.len());
+    let mut pending = Vec::new();
+    for (kind, stmt) in raw {
+        match kind {
+            REC_STATEMENT => {
+                out.append(&mut pending);
+                out.push(stmt);
+            }
+            REC_EPOCH_PENDING => pending.push(stmt),
+            REC_EPOCH_COMMIT => out.append(&mut pending),
+            _ => unreachable!("decode_record validated the kind"),
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -284,7 +430,7 @@ mod tests {
         let wal = Wal::create(
             &mut host,
             AeadKey([3u8; 32]),
-            WalConfig { block_bytes: 64, capacity: 2, durable_appends: true },
+            WalConfig { block_bytes: 64, capacity: 2, ..WalConfig::default() },
         )
         .unwrap();
         (host, wal)
@@ -331,6 +477,60 @@ mod tests {
         wal.append(&mut host, "a completely different stmt").unwrap();
         let t2 = host.take_trace();
         assert_eq!(t.0[0].kind, t2.0[0].kind);
+    }
+
+    #[test]
+    fn open_epoch_is_invisible_until_committed() {
+        let (mut host, mut wal) = setup();
+        wal.append_pending(&mut host, "INSERT INTO t VALUES (1)").unwrap();
+        wal.append_pending(&mut host, "INSERT INTO t VALUES (2)").unwrap();
+        assert_eq!(wal.epoch_pending(), 2);
+        // Open epoch: nothing committed yet.
+        assert!(wal.records(&mut host).unwrap().is_empty());
+        assert_eq!(wal.append_epoch_commit(&mut host).unwrap(), 2);
+        assert_eq!(wal.epoch_pending(), 0);
+        assert_eq!(
+            wal.records(&mut host).unwrap(),
+            vec!["INSERT INTO t VALUES (1)", "INSERT INTO t VALUES (2)"]
+        );
+        // An empty epoch writes nothing.
+        assert_eq!(wal.append_epoch_commit(&mut host).unwrap(), 0);
+        assert_eq!(wal.len(), 3);
+    }
+
+    #[test]
+    fn trailing_open_epoch_dropped_whole() {
+        let (mut host, mut wal) = setup();
+        wal.append_pending(&mut host, "a").unwrap();
+        wal.append_epoch_commit(&mut host).unwrap();
+        wal.append_pending(&mut host, "b").unwrap();
+        wal.append_pending(&mut host, "c").unwrap();
+        // Crash before the second epoch's marker: recovery sees only the
+        // first epoch — whole epochs or none.
+        let region = wal.region_id();
+        let recovered = Wal::recover_records(&mut host, AeadKey([3u8; 32]), region, 64).unwrap();
+        assert_eq!(recovered, vec!["a"]);
+    }
+
+    #[test]
+    fn standalone_statement_flushes_open_epoch() {
+        let (mut host, mut wal) = setup();
+        wal.append_pending(&mut host, "a").unwrap();
+        wal.append(&mut host, "b").unwrap();
+        assert_eq!(wal.epoch_pending(), 0);
+        // The standalone append's fsync covers the pending record too, so
+        // both commit, in order.
+        assert_eq!(wal.records(&mut host).unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn lsn_tracks_base_and_len() {
+        let (mut host, mut wal) = setup();
+        assert_eq!(wal.checkpoint_lsn(), 0);
+        wal.append(&mut host, "x").unwrap();
+        wal.set_base_lsn(10);
+        assert_eq!(wal.base_lsn(), 10);
+        assert_eq!(wal.checkpoint_lsn(), 11);
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Epoch-scoped ORAM request queue (Obladi-style deferred accesses).
+//!
+//! Instead of touching the ORAM once per logical request, callers enqueue
+//! reads and writes during an epoch and flush the whole set in one
+//! [`PathOram::access_batch`] call: two boundary crossings and one
+//! deduplicated path-union fetch for the entire queue. Each enqueue returns
+//! a ticket — the index of that request's result in the `Vec` returned by
+//! [`OramRequestQueue::flush`].
+
+use oblidb_enclave::EnclaveMemory;
+
+use crate::path_oram::{OramError, PathOram};
+
+/// A queue of deferred ORAM requests, flushed as one batched access.
+///
+/// Requests are serviced in enqueue order, so a read enqueued after a write
+/// to the same address observes that write (read-your-writes within the
+/// epoch), exactly as if the requests had been issued one at a time.
+#[derive(Debug, Default)]
+pub struct OramRequestQueue {
+    ops: Vec<(u64, Option<Vec<u8>>)>,
+}
+
+impl OramRequestQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a read of logical block `addr`; returns the result ticket.
+    pub fn enqueue_read(&mut self, addr: u64) -> usize {
+        self.ops.push((addr, None));
+        self.ops.len() - 1
+    }
+
+    /// Enqueues a write of `data` to logical block `addr`; returns the
+    /// result ticket (a write's result echoes the written payload).
+    pub fn enqueue_write(&mut self, addr: u64, data: Vec<u8>) -> usize {
+        self.ops.push((addr, Some(data)));
+        self.ops.len() - 1
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Discards all queued requests without touching the ORAM (epoch
+    /// abort). The queue is reusable afterwards.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+
+    /// Services every queued request in one batched ORAM access and empties
+    /// the queue. `result[ticket]` holds the block contents each request
+    /// observed. An empty queue flushes to an empty `Vec` with no I/O.
+    pub fn flush<M: EnclaveMemory>(
+        &mut self,
+        host: &mut M,
+        oram: &mut PathOram,
+    ) -> Result<Vec<Vec<u8>>, OramError> {
+        let ops = std::mem::take(&mut self.ops);
+        oram.access_batch(host, &ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path_oram::{PathOram, PosMapKind};
+    use oblidb_crypto::AeadKey;
+    use oblidb_enclave::{EnclaveRng, Host, OmBudget, DEFAULT_OM_BYTES};
+
+    fn setup() -> (Host, PathOram) {
+        let mut host = Host::new();
+        let om = OmBudget::new(DEFAULT_OM_BYTES);
+        let oram = PathOram::new(
+            &mut host,
+            AeadKey([5u8; 32]),
+            32,
+            8,
+            PosMapKind::Direct,
+            &om,
+            EnclaveRng::seed_from_u64(17),
+        )
+        .unwrap();
+        (host, oram)
+    }
+
+    #[test]
+    fn tickets_index_results_in_order() {
+        let (mut host, mut oram) = setup();
+        let mut q = OramRequestQueue::new();
+        let w = q.enqueue_write(3, vec![7u8; 8]);
+        let r_before = q.enqueue_read(5);
+        let r_after = q.enqueue_read(3);
+        assert_eq!((w, r_before, r_after), (0, 1, 2));
+        assert_eq!(q.len(), 3);
+        let results = q.flush(&mut host, &mut oram).unwrap();
+        assert!(q.is_empty(), "flush drains the queue");
+        assert_eq!(results[w], vec![7u8; 8]);
+        assert_eq!(results[r_before], vec![0u8; 8], "never-written block reads zero");
+        assert_eq!(results[r_after], vec![7u8; 8], "read-your-writes inside the epoch");
+    }
+
+    #[test]
+    fn flush_is_one_batched_access() {
+        let (mut host, mut oram) = setup();
+        let mut q = OramRequestQueue::new();
+        for i in 0..6u64 {
+            q.enqueue_write(i, vec![i as u8; 8]);
+        }
+        host.reset_stats();
+        q.flush(&mut host, &mut oram).unwrap();
+        assert_eq!(host.stats().crossings, 2, "whole queue in one gather + one scatter");
+        for i in 0..6u64 {
+            assert_eq!(oram.read(&mut host, i).unwrap(), vec![i as u8; 8]);
+        }
+    }
+
+    #[test]
+    fn clear_aborts_without_io() {
+        let (mut host, mut oram) = setup();
+        let mut q = OramRequestQueue::new();
+        q.enqueue_write(1, vec![9u8; 8]);
+        q.clear();
+        assert!(q.is_empty());
+        host.reset_stats();
+        assert!(q.flush(&mut host, &mut oram).unwrap().is_empty());
+        assert_eq!(host.stats().crossings, 0);
+        assert_eq!(oram.read(&mut host, 1).unwrap(), vec![0u8; 8], "aborted write never lands");
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! oblidb-serve [--addr HOST:PORT] [--substrate SPEC] [--workers N]
-//!              [--stall-nanos N] [--audit] [--seed N]
+//!              [--stall-nanos N] [--audit] [--seed N] [--epoch-ms N]
 //! ```
 //!
 //! Builds a fresh engine over the given substrate spec (`memory`,
@@ -16,10 +16,16 @@
 //! layer (paid outside the store lock, so stalls overlap across
 //! sessions) — the serving-side analogue of the bench harness's
 //! crossing cost.
+//!
+//! `--epoch-ms N` (N > 0) enables the write-ahead log with Obladi-style
+//! group commit: commits pool into N-millisecond epochs and share one
+//! durability fsync per epoch, and clients get `BEGIN`/`COMMIT`/
+//! `ROLLBACK` over the wire (they get those even without the flag; the
+//! flag adds the group fsync schedule).
 
 use std::process::ExitCode;
 
-use oblidb_core::{Database, DbConfig, SharedDatabase};
+use oblidb_core::{Database, DbConfig, EpochConfig, SharedDatabase, WalConfig};
 use oblidb_server::server::{serve, ServerConfig};
 use oblidb_substrates::SubstrateSpec;
 
@@ -30,6 +36,7 @@ struct Args {
     stall_nanos: u64,
     audit: bool,
     seed: u64,
+    epoch_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         stall_nanos: 0,
         audit: false,
         seed: 7,
+        epoch_ms: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -55,11 +63,15 @@ fn parse_args() -> Result<Args, String> {
                     value("--stall-nanos")?.parse().map_err(|e| format!("--stall-nanos: {e}"))?
             }
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--epoch-ms" => {
+                args.epoch_ms =
+                    value("--epoch-ms")?.parse().map_err(|e| format!("--epoch-ms: {e}"))?
+            }
             "--audit" => args.audit = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: oblidb-serve [--addr HOST:PORT] [--substrate SPEC] [--workers N] \
-                     [--stall-nanos N] [--audit] [--seed N]"
+                     [--stall-nanos N] [--audit] [--seed N] [--epoch-ms N]"
                         .to_string(),
                 )
             }
@@ -92,7 +104,15 @@ fn main() -> ExitCode {
         }
     };
     oblidb_telemetry::set_enabled(true);
-    let config = DbConfig { seed: args.seed, audit: args.audit, ..DbConfig::default() };
+    let epoch = (args.epoch_ms > 0)
+        .then(|| EpochConfig { duration_ms: args.epoch_ms, ..EpochConfig::default() });
+    let config = DbConfig {
+        seed: args.seed,
+        audit: args.audit,
+        wal: if epoch.is_some() { Some(WalConfig::default()) } else { DbConfig::default().wal },
+        epoch,
+        ..DbConfig::default()
+    };
     let db = match Database::try_with_memory(host, config) {
         Ok(db) => SharedDatabase::adopt(db),
         Err(e) => {
@@ -102,19 +122,23 @@ fn main() -> ExitCode {
     };
     db.store().set_crossing_stall(args.stall_nanos);
     let durable = spec.persist_dir().is_some();
-    let handle =
-        match serve(db.clone(), ServerConfig { addr: args.addr.clone(), workers: args.workers }) {
-            Ok(h) => h,
-            Err(e) => {
-                eprintln!("bind {}: {e}", args.addr);
-                return ExitCode::FAILURE;
-            }
-        };
+    let server_config = ServerConfig { addr: args.addr.clone(), workers: args.workers, epoch };
+    let handle = match serve(db.clone(), server_config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
-        "oblidb-serve listening on {} ({} workers, substrate {})",
+        "oblidb-serve listening on {} ({} workers, substrate {}{})",
         handle.addr(),
         args.workers,
-        args.substrate
+        args.substrate,
+        match epoch {
+            Some(e) => format!(", group commit every {} ms", e.duration_ms),
+            None => String::new(),
+        }
     );
     // Block until a client's shutdown verb stops the server — the only
     // stop signal in v1.

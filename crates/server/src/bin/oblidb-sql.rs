@@ -5,10 +5,16 @@
 //! oblidb-sql [--addr HOST:PORT]
 //! ```
 //!
-//! Reads statements line-by-line from stdin — interactively with a
-//! prompt when stdin is a terminal-ish session, silently when piped
-//! (CI smoke drives it with a heredoc). Lines starting with `.` are
-//! shell commands:
+//! Reads SQL from stdin — interactively with a prompt when stdin is a
+//! terminal-ish session, silently when piped (CI smoke drives it with a
+//! heredoc). Statements end at a `;` and may span lines; a continuation
+//! prompt shows while a statement is open, and a quote-aware splitter
+//! keeps `;` inside string literals out of it. An unterminated trailing
+//! statement still runs at EOF, so `echo "SELECT 1" | oblidb-sql` keeps
+//! working. `BEGIN; ...; COMMIT;` drives a server-side transaction.
+//!
+//! Lines starting with `.` (outside an open statement) are shell
+//! commands:
 //!
 //! ```text
 //! .ping        liveness probe
@@ -17,8 +23,7 @@
 //! .quit        close this connection, leave the server running
 //! ```
 //!
-//! Everything else is sent as one SQL statement; result sets print as
-//! tab-separated rows under a header line.
+//! Result sets print as tab-separated rows under a header line.
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
@@ -55,6 +60,58 @@ fn run_statement(conn: &mut Connection, sql: &str) {
     }
 }
 
+/// Accumulates lines into `;`-terminated statements, tracking whether
+/// the cursor sits inside a single-quoted SQL string (where `;` is
+/// data, not a terminator; `''` is the escape for a literal quote and
+/// toggles the flag twice, which nets out correctly).
+struct StatementBuffer {
+    text: String,
+    in_string: bool,
+}
+
+impl StatementBuffer {
+    fn new() -> Self {
+        StatementBuffer { text: String::new(), in_string: false }
+    }
+
+    /// Whether a statement is currently accumulating.
+    fn is_open(&self) -> bool {
+        !self.text.trim().is_empty()
+    }
+
+    /// Feeds one input line; returns every statement it completed.
+    fn push_line(&mut self, line: &str) -> Vec<String> {
+        let mut done = Vec::new();
+        for ch in line.chars() {
+            if ch == '\'' {
+                self.in_string = !self.in_string;
+            }
+            if ch == ';' && !self.in_string {
+                let stmt = std::mem::take(&mut self.text);
+                let stmt = stmt.trim();
+                if !stmt.is_empty() {
+                    done.push(stmt.to_string());
+                }
+            } else {
+                self.text.push(ch);
+            }
+        }
+        // The newline separates tokens split across lines.
+        if !self.text.is_empty() {
+            self.text.push('\n');
+        }
+        done
+    }
+
+    /// Drains the unterminated tail at EOF, if any.
+    fn flush(&mut self) -> Option<String> {
+        let tail = std::mem::take(&mut self.text);
+        self.in_string = false;
+        let tail = tail.trim();
+        (!tail.is_empty()).then(|| tail.to_string())
+    }
+}
+
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7033".to_string();
     let mut it = std::env::args().skip(1);
@@ -86,37 +143,59 @@ fn main() -> ExitCode {
     };
     let stdin = std::io::stdin();
     let mut lines = stdin.lock().lines();
+    let mut buffer = StatementBuffer::new();
     loop {
-        print!("oblidb> ");
+        print!("{}", if buffer.is_open() { "   ...> " } else { "oblidb> " });
         let _ = std::io::stdout().flush();
         let line = match lines.next() {
             Some(Ok(l)) => l,
             _ => break,
         };
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        match line {
-            ".quit" | ".exit" => break,
-            ".ping" => match conn.ping() {
-                Ok(()) => println!("pong"),
-                Err(e) => println!("connection error: {e}"),
-            },
-            ".metrics" => match conn.metrics() {
-                Ok(json) => println!("{json}"),
-                Err(e) => println!("connection error: {e}"),
-            },
-            ".shutdown" => {
-                match conn.shutdown_server() {
-                    Ok(()) => println!("server stopped"),
-                    Err(e) => println!("connection error: {e}"),
-                }
-                break;
+        let trimmed = line.trim();
+        // Dot-commands only apply between statements; inside one, a
+        // leading dot is just SQL text.
+        if !buffer.is_open() {
+            if trimmed.is_empty() {
+                continue;
             }
-            dot if dot.starts_with('.') => println!("unknown command: {dot}"),
-            sql => run_statement(&mut conn, sql),
+            match trimmed {
+                ".quit" | ".exit" => return ExitCode::SUCCESS,
+                ".ping" => {
+                    match conn.ping() {
+                        Ok(()) => println!("pong"),
+                        Err(e) => println!("connection error: {e}"),
+                    }
+                    continue;
+                }
+                ".metrics" => {
+                    match conn.metrics() {
+                        Ok(json) => println!("{json}"),
+                        Err(e) => println!("connection error: {e}"),
+                    }
+                    continue;
+                }
+                ".shutdown" => {
+                    match conn.shutdown_server() {
+                        Ok(()) => println!("server stopped"),
+                        Err(e) => println!("connection error: {e}"),
+                    }
+                    return ExitCode::SUCCESS;
+                }
+                dot if dot.starts_with('.') => {
+                    println!("unknown command: {dot}");
+                    continue;
+                }
+                _ => {}
+            }
         }
+        for stmt in buffer.push_line(&line) {
+            run_statement(&mut conn, &stmt);
+        }
+    }
+    // EOF: run the unterminated tail so line-per-statement pipes still
+    // work without trailing semicolons.
+    if let Some(stmt) = buffer.flush() {
+        run_statement(&mut conn, &stmt);
     }
     ExitCode::SUCCESS
 }

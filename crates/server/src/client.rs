@@ -95,6 +95,36 @@ impl Connection {
         }
     }
 
+    /// Opens a multi-statement transaction on this connection. Until
+    /// [`Connection::commit`] / [`Connection::rollback`], mutations
+    /// buffer server-side and apply atomically at commit.
+    pub fn begin(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Begin)? {
+            Response::RowsAffected(_) => Ok(()),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            _ => Err(ClientError::Unexpected("begin")),
+        }
+    }
+
+    /// Commits the open transaction; returns the number of statements it
+    /// applied. A failed commit aborts the transaction server-side.
+    pub fn commit(&mut self) -> Result<u64, ClientError> {
+        match self.request(&Request::Commit)? {
+            Response::RowsAffected(n) => Ok(n),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            _ => Err(ClientError::Unexpected("commit")),
+        }
+    }
+
+    /// Discards the open transaction.
+    pub fn rollback(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Rollback)? {
+            Response::RowsAffected(_) => Ok(()),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            _ => Err(ClientError::Unexpected("rollback")),
+        }
+    }
+
     /// Fetches the server's merged metrics snapshot as JSON.
     pub fn metrics(&mut self) -> Result<String, ClientError> {
         match self.request(&Request::Metrics)? {

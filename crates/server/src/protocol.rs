@@ -42,6 +42,14 @@ pub enum Request {
     /// Ask the server to shut down gracefully: in-flight sessions
     /// finish, then the listener stops.
     Shutdown,
+    /// Open a multi-statement transaction on this connection.
+    Begin,
+    /// Commit the connection's open transaction atomically. Replied to
+    /// with [`Response::RowsAffected`] carrying the statement count.
+    Commit,
+    /// Discard the connection's open transaction. Replied to with
+    /// [`Response::RowsAffected`] carrying the discarded count.
+    Rollback,
 }
 
 /// One server→client message.
@@ -218,6 +226,9 @@ const REQ_STATEMENT: u8 = 0x01;
 const REQ_METRICS: u8 = 0x02;
 const REQ_PING: u8 = 0x03;
 const REQ_SHUTDOWN: u8 = 0x04;
+const REQ_BEGIN: u8 = 0x05;
+const REQ_COMMIT: u8 = 0x06;
+const REQ_ROLLBACK: u8 = 0x07;
 
 const RESP_ROWSET: u8 = 0x81;
 const RESP_ROWS_AFFECTED: u8 = 0x82;
@@ -243,6 +254,9 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<u64> {
         Request::Metrics => body.push(REQ_METRICS),
         Request::Ping => body.push(REQ_PING),
         Request::Shutdown => body.push(REQ_SHUTDOWN),
+        Request::Begin => body.push(REQ_BEGIN),
+        Request::Commit => body.push(REQ_COMMIT),
+        Request::Rollback => body.push(REQ_ROLLBACK),
     }
     if body.len() > MAX_FRAME {
         return Err(io::Error::new(io::ErrorKind::InvalidInput, "statement too large"));
@@ -263,6 +277,9 @@ pub fn read_request(r: &mut impl Read) -> Result<Option<(Request, u64)>, Protoco
         REQ_METRICS => Request::Metrics,
         REQ_PING => Request::Ping,
         REQ_SHUTDOWN => Request::Shutdown,
+        REQ_BEGIN => Request::Begin,
+        REQ_COMMIT => Request::Commit,
+        REQ_ROLLBACK => Request::Rollback,
         other => return Err(ProtocolError::UnknownTag(other)),
     };
     c.finish()?;
@@ -448,6 +465,9 @@ mod tests {
         roundtrip_request(Request::Metrics);
         roundtrip_request(Request::Ping);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Begin);
+        roundtrip_request(Request::Commit);
+        roundtrip_request(Request::Rollback);
     }
 
     #[test]

@@ -21,9 +21,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use oblidb_core::{Session, SharedDatabase};
+use oblidb_core::{EpochConfig, SharedDatabase};
 use oblidb_enclave::{EnclaveMemory, ThreadPool};
 use oblidb_telemetry::Counter;
+use oblidb_txn::{TxnManager, TxnOutcome, TxnSession};
 
 use crate::protocol::{read_request, write_response, ProtocolError, Request, Response};
 
@@ -40,11 +41,16 @@ pub struct ServerConfig {
     /// Connection-handler worker count (scoped pool slots). Connections
     /// beyond this queue at accept time.
     pub workers: usize,
+    /// Group-commit epoch schedule. `Some` must match the engine's
+    /// [`oblidb_core::DbConfig::epoch`]; the server then runs a
+    /// background [`oblidb_txn::EpochFlusher`] and seals the final epoch
+    /// at shutdown. `None` serves with per-statement durability.
+    pub epoch: Option<EpochConfig>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { addr: "127.0.0.1:0".to_string(), workers: 4 }
+        ServerConfig { addr: "127.0.0.1:0".to_string(), workers: 4, epoch: None }
     }
 }
 
@@ -157,6 +163,11 @@ where
     let thread = {
         let lifecycle = Arc::clone(&lifecycle);
         std::thread::Builder::new().name("oblidb-accept".to_string()).spawn(move || {
+            let manager = TxnManager::new(db, config.epoch);
+            // The ticker closes epochs on time even when no statement
+            // arrives to trip the cap; dropped (joined) before the final
+            // flush below.
+            let flusher = config.epoch.is_some().then(|| manager.spawn_flusher());
             let pool = ThreadPool::new(workers);
             pool.scoped(|scope| {
                 while !lifecycle.shutdown.load(Ordering::Relaxed) {
@@ -164,7 +175,7 @@ where
                         Ok((stream, _peer)) => {
                             lifecycle.connections.fetch_add(1, Ordering::Relaxed);
                             oblidb_telemetry::counter_add(Counter::ServerConnections, 1);
-                            let session = db.session();
+                            let session = manager.session();
                             let lifecycle = Arc::clone(&lifecycle);
                             // submit blocks when all worker slots are
                             // busy: natural backpressure. A handler
@@ -188,6 +199,10 @@ where
                     }
                 }
             });
+            // All handlers have joined: seal the open epoch so the WAL
+            // never ends mid-epoch across a clean shutdown.
+            drop(flusher);
+            let _ = manager.flush();
             lifecycle.stats()
         })?
     };
@@ -224,11 +239,26 @@ impl<R: io::Read> io::Read for PatientReader<'_, R> {
     }
 }
 
+/// Maps a transaction outcome to its wire reply. Control verbs answer
+/// with a rows-affected count: `0` for `BEGIN`/`ROLLBACK`/a buffered
+/// mutation, the applied statement count for `COMMIT`.
+fn outcome_response(outcome: &TxnOutcome) -> Response {
+    match outcome {
+        TxnOutcome::Statement(out) => Response::from_output(out),
+        TxnOutcome::Committed { statements } => Response::RowsAffected(*statements),
+        TxnOutcome::Buffered | TxnOutcome::Begun | TxnOutcome::RolledBack { .. } => {
+            Response::RowsAffected(0)
+        }
+    }
+}
+
 /// Drives one connection: frame in, statement through the session,
 /// frame out — until the peer closes, errors, or shutdown is raised.
+/// A connection dying mid-transaction aborts it (the session's drop
+/// discards the buffer).
 fn handle_connection<M: EnclaveMemory + Send>(
     stream: TcpStream,
-    mut session: Session<M>,
+    mut session: TxnSession<M>,
     lifecycle: &Lifecycle,
 ) {
     let _ = stream.set_nodelay(true);
@@ -264,7 +294,24 @@ fn handle_connection<M: EnclaveMemory + Send>(
                 lifecycle.statements.fetch_add(1, Ordering::Relaxed);
                 oblidb_telemetry::counter_add(Counter::ServerStatements, 1);
                 match session.execute(&sql) {
-                    Ok(out) => (Response::from_output(&out), false),
+                    Ok(outcome) => (outcome_response(&outcome), false),
+                    Err(e) => {
+                        lifecycle.errors.fetch_add(1, Ordering::Relaxed);
+                        oblidb_telemetry::counter_add(Counter::ServerErrors, 1);
+                        (Response::Error(e.to_string()), false)
+                    }
+                }
+            }
+            Request::Begin | Request::Commit | Request::Rollback => {
+                lifecycle.statements.fetch_add(1, Ordering::Relaxed);
+                oblidb_telemetry::counter_add(Counter::ServerStatements, 1);
+                let result = match request {
+                    Request::Begin => session.begin(),
+                    Request::Commit => session.commit(),
+                    _ => session.rollback(),
+                };
+                match result {
+                    Ok(outcome) => (outcome_response(&outcome), false),
                     Err(e) => {
                         lifecycle.errors.fetch_add(1, Ordering::Relaxed);
                         oblidb_telemetry::counter_add(Counter::ServerErrors, 1);

@@ -4,14 +4,15 @@
 use std::io::{Read, Write};
 use std::net::TcpStream;
 
-use oblidb_core::{DbConfig, SharedDatabase, Value};
+use oblidb_core::{DbConfig, EpochConfig, SharedDatabase, Value, WalConfig};
 use oblidb_enclave::Host;
 use oblidb_server::client::{ClientError, Connection, StatementResult};
 use oblidb_server::server::{serve, ServerConfig};
 
 fn start_server(workers: usize) -> (oblidb_server::server::ServerHandle, String) {
     let db = SharedDatabase::new(Host::new(), DbConfig::default()).unwrap();
-    let handle = serve(db, ServerConfig { addr: "127.0.0.1:0".to_string(), workers }).unwrap();
+    let config = ServerConfig { addr: "127.0.0.1:0".to_string(), workers, epoch: None };
+    let handle = serve(db, config).unwrap();
     let addr = handle.addr().to_string();
     (handle, addr)
 }
@@ -87,6 +88,55 @@ fn concurrent_connections_share_one_store() {
     let stats = handle.shutdown();
     assert_eq!(stats.connections, CLIENTS as u64 + 1);
     assert_eq!(stats.statements, (CLIENTS * PER_CLIENT * 2 + 2) as u64);
+}
+
+#[test]
+fn transactions_over_the_wire() {
+    // Epoch-scheduled engine: commits pool into group fsyncs; clients
+    // drive transactions with the dedicated wire verbs.
+    let epoch = EpochConfig { duration_ms: 2, max_statements: 64 };
+    let db = SharedDatabase::new(
+        Host::new(),
+        DbConfig { wal: Some(WalConfig::default()), epoch: Some(epoch), ..DbConfig::default() },
+    )
+    .unwrap();
+    let config = ServerConfig { addr: "127.0.0.1:0".to_string(), workers: 2, epoch: Some(epoch) };
+    let handle = serve(db, config).unwrap();
+    let addr = handle.addr().to_string();
+
+    let mut a = Connection::connect(&addr).unwrap();
+    let mut b = Connection::connect(&addr).unwrap();
+    a.execute("CREATE TABLE t (k INT) STORAGE = FLAT CAPACITY 64").unwrap();
+
+    // Buffered writes are invisible to other connections until commit.
+    a.begin().unwrap();
+    assert_eq!(a.execute("INSERT INTO t VALUES (1)").unwrap(), StatementResult::RowsAffected(0));
+    a.execute("INSERT INTO t VALUES (2)").unwrap();
+    match b.execute("SELECT COUNT(*) FROM t").unwrap() {
+        StatementResult::Rows { rows, .. } => assert_eq!(rows, vec![vec![Value::Int(0)]]),
+        other => panic!("expected count, got {other:?}"),
+    }
+    assert_eq!(a.commit().unwrap(), 2);
+    match b.execute("SELECT COUNT(*) FROM t").unwrap() {
+        StatementResult::Rows { rows, .. } => assert_eq!(rows, vec![vec![Value::Int(2)]]),
+        other => panic!("expected count, got {other:?}"),
+    }
+
+    // SQL-spelled control verbs work identically over the wire.
+    assert_eq!(a.execute("BEGIN").unwrap(), StatementResult::RowsAffected(0));
+    a.execute("INSERT INTO t VALUES (3)").unwrap();
+    assert_eq!(a.execute("ROLLBACK").unwrap(), StatementResult::RowsAffected(0));
+    match a.execute("SELECT COUNT(*) FROM t").unwrap() {
+        StatementResult::Rows { rows, .. } => assert_eq!(rows, vec![vec![Value::Int(2)]]),
+        other => panic!("expected count, got {other:?}"),
+    }
+
+    // Control verbs without an open transaction are server errors, and
+    // the connection survives them.
+    assert!(matches!(a.commit(), Err(ClientError::Server(_))));
+    assert!(matches!(a.rollback(), Err(ClientError::Server(_))));
+    a.ping().unwrap();
+    handle.shutdown();
 }
 
 #[test]

@@ -31,6 +31,12 @@ struct DiskRegion {
     /// [`HostError::EmptyBlock`]; the file itself is sparse zeros until
     /// first write.
     written: Vec<u64>,
+    /// Whether the last successful [`DiskMemory::write_meta`] recorded
+    /// this region in the on-disk table. A listed region must leave the
+    /// table durably *before* its file is unlinked (see
+    /// [`EnclaveMemory::free_region`]); unlisted ones — scratch regions
+    /// allocated and freed between syncs — skip straight to the unlink.
+    listed: bool,
 }
 
 impl DiskRegion {
@@ -243,7 +249,7 @@ impl DiskMemory {
                     ),
                 ));
             }
-            regions[id] = Some(DiskRegion { file, path, block_size, blocks, written });
+            regions[id] = Some(DiskRegion { file, path, block_size, blocks, written, listed: true });
         }
         if at != meta.len() {
             return Err(bad("trailing bytes"));
@@ -297,7 +303,11 @@ impl DiskMemory {
             // The rename is only durable once the directory entry is.
             File::open(&self.dir)?.sync_all()
         })();
-        write.map_err(|e| ioe(&e))
+        write.map_err(|e| ioe(&e))?;
+        for r in self.regions.iter_mut().flatten() {
+            r.listed = true;
+        }
+        Ok(())
     }
 
     /// Mirrors one region's written-bitmap word for `index` into the
@@ -416,28 +426,43 @@ impl EnclaveMemory for DiskMemory {
             block_size,
             blocks: blocks as u64,
             written: vec![0; (blocks as u64).div_ceil(64) as usize],
+            listed: false,
         }));
         self.meta_valid = false;
         Ok(id)
     }
 
+    /// A region recorded in the on-disk table leaves it durably *before*
+    /// its file is unlinked: a crash (or a caller that never syncs again)
+    /// between the two steps then leaves an orphaned file — a leak —
+    /// never a table entry pointing at a missing file, which would make
+    /// the store unopenable. Unlisted regions (scratch allocated and
+    /// freed between syncs) skip the table rewrite, so hot paths pay
+    /// nothing and the persisted id-space only advances at sync points.
     fn free_region(&mut self, region: RegionId) -> Result<(), HostError> {
-        if let Some(slot) = self.regions.get_mut(region.0 as usize) {
-            if let Some(r) = slot.take() {
-                match std::fs::remove_file(&r.path) {
-                    Ok(()) => {}
-                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-                    Err(e) => {
-                        // Unlink failed: keep the region attached (its data
-                        // still exists) and report the failure.
-                        *slot = Some(r);
-                        return Err(HostError::io(&e, Some(region), IoOp::Free));
-                    }
-                }
+        let Some(r) = self.regions.get_mut(region.0 as usize).and_then(Option::take) else {
+            return Ok(());
+        };
+        self.meta_valid = false;
+        if r.listed {
+            if let Err(e) = self.write_meta() {
+                self.regions[region.0 as usize] = Some(r);
                 self.meta_valid = false;
+                return Err(e);
             }
         }
-        Ok(())
+        match std::fs::remove_file(&r.path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => {
+                // Unlink failed: re-attach the region (its data still
+                // exists); the next sync re-lists it in the table.
+                let err = HostError::io(&e, Some(region), IoOp::Free);
+                self.regions[region.0 as usize] = Some(r);
+                self.meta_valid = false;
+                Err(err)
+            }
+        }
     }
 
     fn grow_region(&mut self, region: RegionId, new_blocks: usize) -> Result<(), HostError> {
@@ -813,11 +838,37 @@ mod tests {
         let r = m.alloc_region(2, 4).unwrap();
         m.write(r, 0, &[1; 4]).unwrap();
         assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        // Never synced, so the region was never listed: free is a bare
+        // unlink, no region-table write.
         m.free_region(r).unwrap();
         assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
         let _r2 = m.alloc_region(2, 4).unwrap();
         drop(m);
         assert!(!dir.exists(), "temp substrate must remove its directory");
+    }
+
+    #[test]
+    fn freeing_a_listed_region_keeps_the_store_openable() {
+        // A region the persisted table records must leave it durably when
+        // freed — otherwise a reopen chases the deleted file. No sync
+        // happens after the free: the free itself must write the table.
+        let guard = TempDir::new("oblidb-disk-freelisted").unwrap();
+        let sub = guard.path().join("store");
+        let (keep, gone) = {
+            let mut m = DiskMemory::create(&sub).unwrap();
+            let keep = m.alloc_region(2, 4).unwrap();
+            let gone = m.alloc_region(2, 4).unwrap();
+            m.write(keep, 0, &[1; 4]).unwrap();
+            m.write(gone, 0, &[2; 4]).unwrap();
+            m.sync().unwrap(); // both regions land in the on-disk table
+            m.free_region(gone).unwrap();
+            (keep, gone)
+        };
+        let mut back = DiskMemory::open(&sub).unwrap();
+        assert_eq!(back.read(keep, 0).unwrap(), &[1; 4]);
+        assert_eq!(back.read(gone, 0), Err(HostError::UnknownRegion(gone)));
+        // The tombstone still occupies its id: allocation resumes past it.
+        assert_eq!(back.alloc_region(1, 4).unwrap(), RegionId(2));
     }
 
     #[test]

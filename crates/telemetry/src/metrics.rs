@@ -61,10 +61,21 @@ pub enum Counter {
     ServerBytesOut,
     /// Statements that returned an error frame.
     ServerErrors,
+    /// Multi-statement transactions committed (buffered batch applied).
+    TxnCommits,
+    /// Transactions aborted: explicit ROLLBACK, failed commit-time
+    /// validation, or a session dropped mid-transaction.
+    TxnAborts,
+    /// Epoch-commit group fsyncs — one per closed epoch, however many
+    /// statements it covered.
+    EpochFsyncs,
+    /// ORAM requests in a batch served without their own path fetch
+    /// (repeat addresses answered from the stash after the first fetch).
+    OramBatchedFetches,
 }
 
 /// Number of [`Counter`] variants (the registry's fixed size).
-const COUNTER_COUNT: usize = Counter::ServerErrors as usize + 1;
+const COUNTER_COUNT: usize = Counter::OramBatchedFetches as usize + 1;
 
 const COUNTER_NAMES: [&str; COUNTER_COUNT] = [
     "prepares",
@@ -87,6 +98,10 @@ const COUNTER_NAMES: [&str; COUNTER_COUNT] = [
     "server_bytes_in",
     "server_bytes_out",
     "server_errors",
+    "txn_commits",
+    "txn_aborts",
+    "epoch_fsyncs",
+    "oram_batched_fetches",
 ];
 
 /// Every log₂ histogram the engine maintains.

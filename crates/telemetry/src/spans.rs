@@ -97,6 +97,10 @@ pub enum SpanKind {
     Worker,
     /// Replay of recovered statements into a reopened database.
     Recovery,
+    /// One epoch close: commit marker append plus the group fsync.
+    Epoch,
+    /// One transaction commit: validate + apply the buffered batch.
+    TxnCommit,
 }
 
 impl SpanKind {
@@ -123,6 +127,8 @@ impl SpanKind {
             SpanKind::WalRecovery => "wal.recovery",
             SpanKind::Worker => "pool.worker",
             SpanKind::Recovery => "recovery",
+            SpanKind::Epoch => "epoch",
+            SpanKind::TxnCommit => "txn.commit",
         }
     }
 }

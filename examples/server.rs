@@ -33,8 +33,9 @@ fn main() {
     // One shared engine over an in-RAM host store; swap in
     // `oblidb::substrates::DiskMemory::create(dir)` for durability.
     let db = SharedDatabase::new(Host::new(), DbConfig::default()).unwrap();
-    let handle = serve(db, ServerConfig { addr: "127.0.0.1:0".to_string(), workers: 2 })
-        .expect("start server");
+    let handle =
+        serve(db, ServerConfig { addr: "127.0.0.1:0".to_string(), workers: 2, epoch: None })
+            .expect("start server");
     println!("serving on {}\n", handle.addr());
 
     // Two wire clients — each gets its own engine session on the server.

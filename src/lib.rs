@@ -24,6 +24,10 @@
 //! * [`core`] — the database engine: storage methods, oblivious operators,
 //!   query planner, SQL front-end — plus [`core::SharedDatabase`], the
 //!   concurrent-session layer over one store.
+//! * [`txn`] — epoch-based transactions over the shared engine:
+//!   `BEGIN`/`COMMIT`/`ROLLBACK` sessions with buffered write sets,
+//!   Obladi-style group commit ([`txn::TxnManager`]), and the background
+//!   epoch flusher.
 //! * [`server`] — the TCP serving front-end: a length-prefixed wire
 //!   protocol, session-per-connection server ([`server::serve`]), blocking
 //!   client, and the `oblidb-serve` / `oblidb-sql` binaries.
@@ -56,6 +60,7 @@ pub use oblidb_server as server;
 pub use oblidb_storage as storage;
 pub use oblidb_substrates as substrates;
 pub use oblidb_telemetry as telemetry;
+pub use oblidb_txn as txn;
 pub use oblidb_workloads as workloads;
 
 /// Opens a [`core::Database`] over the substrate a

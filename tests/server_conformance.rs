@@ -137,7 +137,9 @@ fn concurrent_sessions_converge_on_sharded() {
 #[test]
 fn served_disk_store_converges_over_tcp() {
     let db = SharedDatabase::new(DiskMemory::temp().unwrap(), DbConfig::default()).unwrap();
-    let handle = serve(db, ServerConfig { addr: "127.0.0.1:0".to_string(), workers: 3 }).unwrap();
+    let handle =
+        serve(db, ServerConfig { addr: "127.0.0.1:0".to_string(), workers: 3, epoch: None })
+            .unwrap();
     let addr = handle.addr().to_string();
     let mut setup = Connection::connect(&addr).unwrap();
     setup.execute("CREATE TABLE t (k INT, v INT) STORAGE = FLAT CAPACITY 128").unwrap();

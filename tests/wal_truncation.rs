@@ -1,0 +1,152 @@
+//! WAL truncation at checkpoint: with `truncate_at_checkpoint` on, each
+//! `persist_to` retires the old log region and seeds a fresh one with a
+//! compacted state dump, so the log stays proportional to live state
+//! instead of statement history — while the manifest's checkpoint LSN
+//! keeps counting every statement ever logged.
+
+use oblidb::core::{Database, DbConfig, Row, Value, WalConfig};
+use oblidb::substrates::{SubstrateSpec, TempDir};
+
+fn truncating_config() -> DbConfig {
+    DbConfig {
+        wal: Some(WalConfig { truncate_at_checkpoint: true, ..WalConfig::default() }),
+        ..DbConfig::default()
+    }
+}
+
+fn all_rows(db: &mut Database<impl oblidb::enclave::EnclaveMemory>) -> Vec<Row> {
+    db.execute("SELECT * FROM t ORDER BY k").unwrap().rows().to_vec()
+}
+
+#[test]
+fn log_stays_bounded_across_checkpoint_cycles() {
+    let guard = TempDir::new("oblidb-waltrunc-bounded").unwrap();
+    let dir = guard.path().join("db");
+    let spec = SubstrateSpec::Disk { dir: Some(dir.clone()) };
+    let mut db = oblidb::database_on(&spec, truncating_config()).unwrap();
+    db.execute("CREATE TABLE t (k INT, v INT) CAPACITY 16").unwrap();
+
+    // Steady state: each cycle updates the same single row many times,
+    // then checkpoints. History grows without bound; live state doesn't.
+    db.execute("INSERT INTO t VALUES (1, 0)").unwrap();
+    let mut log_lens = Vec::new();
+    let mut base_lsns = Vec::new();
+    for cycle in 0..6 {
+        for i in 0..20 {
+            db.execute(&format!("UPDATE t SET v = {} WHERE k = 1", cycle * 100 + i)).unwrap();
+        }
+        db.persist_to(&dir).unwrap();
+        log_lens.push(db.wal_len());
+        base_lsns.push(db.wal_base_lsn().unwrap());
+    }
+    // The compacted log holds the state dump (1 CREATE + 1 INSERT), not
+    // the 20-update history of each cycle — bounded, and identical every
+    // cycle because live state is identical.
+    assert!(
+        log_lens.iter().all(|&l| l == log_lens[0]),
+        "truncated log must not grow with history: {log_lens:?}"
+    );
+    assert!(log_lens[0] <= 4, "compacted dump should be a handful of records: {log_lens:?}");
+    // The checkpoint LSN keeps counting the full history monotonically.
+    assert!(
+        base_lsns.windows(2).all(|w| w[0] < w[1]),
+        "base LSN must advance with every checkpoint: {base_lsns:?}"
+    );
+
+    // Un-truncated control: same workload, log keeps every record.
+    let guard2 = TempDir::new("oblidb-waltrunc-control").unwrap();
+    let dir2 = guard2.path().join("db");
+    let spec2 = SubstrateSpec::Disk { dir: Some(dir2.clone()) };
+    let plain = DbConfig { wal: Some(WalConfig::default()), ..DbConfig::default() };
+    let mut control = oblidb::database_on(&spec2, plain).unwrap();
+    control.execute("CREATE TABLE t (k INT, v INT) CAPACITY 16").unwrap();
+    control.execute("INSERT INTO t VALUES (1, 0)").unwrap();
+    for cycle in 0..6 {
+        for i in 0..20 {
+            control.execute(&format!("UPDATE t SET v = {} WHERE k = 1", cycle * 100 + i)).unwrap();
+        }
+        control.persist_to(&dir2).unwrap();
+    }
+    assert!(
+        control.wal_len() > 10 * db.wal_len(),
+        "control log ({} records) should dwarf the truncated log ({})",
+        control.wal_len(),
+        db.wal_len()
+    );
+}
+
+#[test]
+fn truncated_store_reopens_with_identical_state() {
+    let guard = TempDir::new("oblidb-waltrunc-reopen").unwrap();
+    let dir = guard.path().join("db");
+    let spec = SubstrateSpec::Disk { dir: Some(dir.clone()) };
+    let expected = {
+        let mut db = oblidb::database_on(&spec, truncating_config()).unwrap();
+        db.execute("CREATE TABLE t (k INT, v INT, s CHAR(6)) CAPACITY 32").unwrap();
+        for i in 0..8 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, {}, 'x{}')", i * 3, i)).unwrap();
+        }
+        db.persist_to(&dir).unwrap();
+        // Mutate past the checkpoint too: these live only in the fresh
+        // log until the next checkpoint.
+        db.execute("UPDATE t SET v = -5 WHERE k >= 6").unwrap();
+        db.execute("DELETE FROM t WHERE k = 0").unwrap();
+        db.persist_to(&dir).unwrap();
+        all_rows(&mut db)
+    };
+    let mut reopened = oblidb::database_open(&spec, truncating_config()).unwrap();
+    assert_eq!(all_rows(&mut reopened), expected);
+    // And the reopened engine keeps truncating.
+    reopened.execute("INSERT INTO t VALUES (50, 1, 'y')").unwrap();
+    reopened.persist_to(&dir).unwrap();
+    let len_after = reopened.wal_len();
+    drop(reopened);
+    let mut again = oblidb::database_open(&spec, truncating_config()).unwrap();
+    assert_eq!(again.wal_len(), len_after);
+    assert_eq!(again.execute("SELECT * FROM t WHERE k = 50").unwrap().len(), 1);
+}
+
+#[test]
+fn crash_after_truncating_checkpoint_recovers() {
+    // Post-truncation crash: the fresh log holds dump + post-checkpoint
+    // statements; recovery replays dump state, then the overhang.
+    let guard = TempDir::new("oblidb-waltrunc-crash").unwrap();
+    let dir = guard.path().join("db");
+    let spec = SubstrateSpec::Disk { dir: Some(dir.clone()) };
+    {
+        let mut db = oblidb::database_on(&spec, truncating_config()).unwrap();
+        db.execute("CREATE TABLE t (k INT, v INT) CAPACITY 16").unwrap();
+        for i in 0..5 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, {i})")).unwrap();
+        }
+        db.persist_to(&dir).unwrap(); // truncates: log = compacted dump
+        db.execute("INSERT INTO t VALUES (100, 100)").unwrap();
+        db.execute("DELETE FROM t WHERE k = 1").unwrap();
+        // Crash before the next checkpoint.
+    }
+    let mut recovered = oblidb::database_open(&spec, truncating_config()).unwrap();
+    let rows = all_rows(&mut recovered);
+    assert_eq!(rows.len(), 5, "4 surviving seeds + the post-checkpoint insert: {rows:?}");
+    assert!(rows.contains(&vec![Value::Int(100), Value::Int(100)]));
+    assert!(!rows.iter().any(|r| r[0] == Value::Int(1)), "deleted row resurrected");
+}
+
+#[test]
+fn text_values_survive_dump_and_restore() {
+    // The dump renders literals back to SQL: quotes must escape, floats
+    // must round-trip, and the restored rows must compare equal.
+    let guard = TempDir::new("oblidb-waltrunc-text").unwrap();
+    let dir = guard.path().join("db");
+    let spec = SubstrateSpec::Disk { dir: Some(dir.clone()) };
+    let expected = {
+        let mut db = oblidb::database_on(&spec, truncating_config()).unwrap();
+        db.execute("CREATE TABLE t (k INT, f FLOAT, s CHAR(12)) CAPACITY 8").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 0.1, 'it''s here')").unwrap();
+        db.execute("INSERT INTO t VALUES (2, 1e-7, 'semi;colon')").unwrap();
+        db.execute("INSERT INTO t VALUES (3, -2.5e10, '')").unwrap();
+        db.persist_to(&dir).unwrap(); // state now lives only in the dump
+        all_rows(&mut db)
+    };
+    let mut reopened = oblidb::database_open(&spec, truncating_config()).unwrap();
+    assert_eq!(all_rows(&mut reopened), expected);
+}
